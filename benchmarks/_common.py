@@ -1,0 +1,28 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one paper artifact at bench scale, times it via
+pytest-benchmark (single round — these are minutes-scale experiments,
+not microseconds), prints the paper-layout table and writes it to
+``benchmarks/results/`` so the numbers that back EXPERIMENTS.md are
+always on disk next to the timing data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (rounds=1) and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,86 @@
+"""Ablation benches A1–A4: the design choices DESIGN.md calls out.
+
+* A1 — §3.2 stratified initialization vs random boxes.
+* A2 — §3.3 crowding replacement (Jaccard phenotype) vs alternatives.
+* A3 — EMAX sweep: the §5 coverage/accuracy dial.
+* A4 — §3.4 multi-execution pooling vs a single execution.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis import (
+    ablation_markdown,
+    format_table,
+    run_ablation_emax,
+    run_ablation_init,
+    run_ablation_pooling,
+    run_ablation_predicting_mode,
+    run_ablation_replacement,
+)
+
+
+def _table(rows, metric):
+    return format_table(
+        ["Variant", metric, "% pred", "detail"],
+        [
+            [r.variant, f"{r.score.error:.5f}", f"{r.score.percentage:.1f}",
+             r.detail]
+            for r in rows
+        ],
+    )
+
+
+def test_ablation_initialization(benchmark):
+    rows = run_once(benchmark, run_ablation_init, scale="bench", seed=10)
+    emit("ablation_init",
+         _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    by = {r.variant: r for r in rows}
+    # §3.2's point is *output-space* diversity: the stratified pool's
+    # predicting parts must span at least as wide an output range as
+    # random boxes (input-space coverage can go either way on smooth
+    # dynamics — the table records both).
+    span = lambda r: float(r.detail.split()[-1])
+    assert span(by["init=stratified"]) >= 0.8 * span(by["init=random"])
+    assert all(r.score.coverage > 0.3 for r in rows)
+
+
+def test_ablation_replacement(benchmark):
+    rows = run_once(benchmark, run_ablation_replacement, scale="bench", seed=11)
+    emit("ablation_replacement",
+         _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    by = {r.variant: r.score for r in rows}
+    # Crowding preserves niches: replace-worst collapses diversity, so
+    # jaccard must hold at least as much coverage.
+    assert by["crowding=jaccard"].coverage >= by["crowding=worst"].coverage - 0.05
+
+
+def test_ablation_emax(benchmark):
+    rows = run_once(
+        benchmark, run_ablation_emax,
+        scale="bench", seed=12, e_max_values=(5.0, 25.0, 100.0),
+    )
+    emit("ablation_emax",
+         _table(rows, "RMSE-cm") + "\n\n" + ablation_markdown(rows, "RMSE (cm)"))
+    # §5: tuning for coverage costs accuracy — coverage is monotone in
+    # EMAX, error roughly so.
+    coverages = [r.score.coverage for r in rows]
+    assert coverages[-1] >= coverages[0]
+
+
+def test_ablation_predicting_mode(benchmark):
+    rows = run_once(benchmark, run_ablation_predicting_mode,
+                    scale="bench", seed=14)
+    emit("ablation_predicting_mode",
+         _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    by = {r.variant: r.score for r in rows}
+    # §3.1's hyperplane must beat a constant mean prediction per rule.
+    assert by["predicting=linear"].error < by["predicting=constant"].error
+
+
+def test_ablation_pooling(benchmark):
+    rows = run_once(benchmark, run_ablation_pooling, scale="bench", seed=13)
+    emit("ablation_pooling",
+         _table(rows, "Galvan") + "\n\n" + ablation_markdown(rows, "Galvan error"))
+    coverages = [r.score.coverage for r in rows]
+    # §3.4: pooled executions widen coverage.
+    assert coverages[-1] >= coverages[0]

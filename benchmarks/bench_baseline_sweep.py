@@ -1,0 +1,108 @@
+"""Extended evaluation: every implemented forecaster on one benchmark.
+
+Not a paper table — a completeness sweep pitting the rule system
+against *all* comparators in the repository (the paper only reports the
+NN family per domain).  Mackey-Glass h=50, NMSE on each model's
+predicted subset (100% for baselines, partial for the rule system),
+plus the paired Wilcoxon verdict of RS vs the best baseline on the
+windows both predict.
+"""
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.stats import paired_comparison
+from repro.baselines import (
+    ARForecaster,
+    ARMAForecaster,
+    ARMAParams,
+    ElmanForecaster,
+    ElmanParams,
+    KNNForecaster,
+    MLPForecaster,
+    MLPParams,
+    MRANForecaster,
+    MovingAverageForecaster,
+    PersistenceForecaster,
+    RANForecaster,
+)
+from repro.core import mackey_config, multirun
+from repro.metrics import nmse, score_table2
+from repro.series import load_mackey_glass
+
+HORIZON = 50
+
+
+def run_sweep():
+    data = load_mackey_glass()
+    config = mackey_config(horizon=HORIZON, scale="bench")
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+
+    results = {}
+    # The rule system (partial predictor).
+    rs = multirun(train_ds, config, coverage_target=0.9,
+                  max_executions=3, root_seed=42)
+    batch = rs.system.predict(val_ds.X)
+    rs_score = score_table2(val_ds.y, batch.values, batch.predicted)
+    results["RuleSystem"] = (rs_score.error, rs_score.percentage, batch.values)
+
+    models = {
+        "MLP": MLPForecaster(MLPParams(hidden=16, epochs=60, seed=0)),
+        "Elman": ElmanForecaster(ElmanParams(hidden=10, epochs=30, seed=0)),
+        "RAN": RANForecaster(),
+        "MRAN": MRANForecaster(),
+        "AR": ARForecaster(),
+        "kNN": KNNForecaster(k=5),
+        "MovingAvg": MovingAverageForecaster(width=5),
+        "Persistence": PersistenceForecaster(),
+    }
+    for name, model in models.items():
+        model.fit(train_ds.X, train_ds.y)
+        pred = model.predict(val_ds.X)
+        results[name] = (nmse(val_ds.y, pred), 100.0, pred)
+
+    # ARMA operates on the raw series.
+    arma = ARMAForecaster(ARMAParams(p=6, q=2)).fit(data.train)
+    arma_pred = arma.predict_series(data.validation, horizon=HORIZON)
+    # Align with windows: target i corresponds to series index d-1+h+i.
+    offset = config.d - 1 + HORIZON
+    aligned = arma_pred[offset : offset + len(val_ds)]
+    ok = np.isfinite(aligned)
+    results["ARMA"] = (
+        nmse(val_ds.y[ok], aligned[ok]),
+        100.0 * ok.mean(),
+        np.where(ok, aligned, np.nan),
+    )
+    return results, val_ds
+
+
+def test_baseline_sweep(benchmark):
+    results, val_ds = run_once(benchmark, run_sweep)
+
+    ordered = sorted(results.items(), key=lambda kv: kv[1][0])
+    text = format_table(
+        ["Model", "NMSE", "% pred"],
+        [[name, f"{err:.4f}", f"{pct:.1f}"] for name, (err, pct, _p) in ordered],
+        title=f"Baseline sweep — Mackey-Glass, horizon {HORIZON}",
+    )
+
+    # Paired test: RS vs the best non-RS model on common windows.
+    best_name = next(n for n, _ in ordered if n != "RuleSystem")
+    pc = paired_comparison(
+        val_ds.y, results["RuleSystem"][2], results[best_name][2]
+    )
+    text += (
+        f"\n\nRS vs {best_name} on {pc.n_common} common windows: "
+        f"mean|err| {pc.a_mean_abs:.4f} vs {pc.b_mean_abs:.4f}, "
+        f"wins {pc.a_wins}/{pc.b_wins}, Wilcoxon p={pc.p_value:.3g}"
+    )
+    emit("baseline_sweep", text)
+
+    # The rule system must rank above the generic global models.
+    rs_err = results["RuleSystem"][0]
+    for global_model in ("AR", "MLP", "Persistence", "MovingAvg", "ARMA"):
+        assert rs_err < results[global_model][0], (
+            f"RS should beat {global_model} on chaotic dynamics"
+        )

@@ -1,0 +1,42 @@
+"""Figure 2 — prediction of an unusual high tide at horizon 1.
+
+The paper overlays the real and predicted series around an acqua-alta
+event, showing the rule system tracking the anomalous peak.  We locate
+the highest tide in the validation block of the synthetic lagoon,
+regenerate the overlay as ASCII, and assert the quantitative content of
+the figure: the peak is covered and predicted within a small error.
+"""
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro.analysis import overlay_plot, run_figure2
+
+
+def test_figure2_high_tide(benchmark):
+    result = run_once(
+        benchmark, run_figure2,
+        scale="bench", seed=4, window_halfwidth=48, max_executions=3,
+    )
+    plot = overlay_plot(
+        {"real": result.real, "pred": result.predicted},
+        width=78, height=16,
+        title=(
+            f"Figure 2 — unusual tide, horizon 1 "
+            f"(peak {result.peak_level:.1f} cm)"
+        ),
+    )
+    summary = (
+        f"peak level: {result.peak_level:.1f} cm\n"
+        f"peak abs error: {result.peak_error:.2f} cm\n"
+        f"segment coverage: {100 * result.coverage:.1f}%"
+    )
+    emit("figure2_high_tide", plot + "\n\n" + summary)
+
+    # Figure content: the event segment is mostly predicted and the
+    # prediction hugs the real series (paper: "how good the predicted
+    # value to the real time series is, even for unusual behaviours").
+    assert result.coverage > 0.6
+    assert np.isfinite(result.peak_error)
+    assert result.peak_error < 25.0  # cm — tracks the anomalous peak

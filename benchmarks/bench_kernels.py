@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the GA's hot kernels (profile-guided, per the
+HPC guide: "no optimization without measuring").
+
+These are the operations executed once per generation; their throughput
+bounds the generations/second of every experiment:
+
+* rule↦window matching (lazy vs dense) on a paper-scale window matrix;
+* per-rule hyperplane fit;
+* Jaccard phenotype distances against a full population;
+* rule-system batch prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import match_mask, match_mask_dense
+from repro.core.predictor import RuleSystem
+from repro.core.regression import fit_predicting_part
+from repro.core.replacement import jaccard_distances
+from repro.core.rule import Rule
+
+N_WINDOWS = 45_000  # the paper's Venice training volume
+D = 24
+
+
+@pytest.fixture(scope="module")
+def windows():
+    rng = np.random.default_rng(0)
+    return rng.uniform(-50, 150, size=(N_WINDOWS, D))
+
+
+@pytest.fixture(scope="module")
+def selective_rule():
+    # Matches ~a few % of windows: the common case mid-evolution.
+    lo = np.full(D, -50.0)
+    hi = np.full(D, 150.0)
+    lo[:6] = 40.0
+    hi[:6] = 80.0
+    return Rule.from_box(lo, hi)
+
+
+@pytest.fixture(scope="module")
+def general_rule():
+    return Rule.from_box(np.full(D, -60.0), np.full(D, 160.0))
+
+
+def test_match_lazy_selective(benchmark, windows, selective_rule):
+    mask = benchmark(match_mask, selective_rule, windows)
+    assert mask.sum() < N_WINDOWS
+
+
+def test_match_dense_selective(benchmark, windows, selective_rule):
+    mask = benchmark(match_mask_dense, selective_rule, windows)
+    assert mask.sum() < N_WINDOWS
+
+
+def test_match_lazy_general(benchmark, windows, general_rule):
+    mask = benchmark(match_mask, general_rule, windows)
+    assert mask.all()
+
+
+def test_regression_fit(benchmark, windows):
+    rng = np.random.default_rng(1)
+    X = windows[:2000]
+    v = X @ rng.normal(size=D) + rng.normal(size=2000)
+    part = benchmark(fit_predicting_part, X, v)
+    assert np.isfinite(part.error)
+
+
+def test_jaccard_population_distance(benchmark):
+    rng = np.random.default_rng(2)
+    pop_masks = rng.random((100, N_WINDOWS)) < 0.2
+    off_mask = rng.random(N_WINDOWS) < 0.2
+    dist = benchmark(jaccard_distances, off_mask, pop_masks)
+    assert dist.shape == (100,)
+
+
+def test_rule_system_predict(benchmark, windows):
+    rng = np.random.default_rng(3)
+    rules = []
+    for _ in range(80):
+        center = windows[int(rng.integers(0, N_WINDOWS))]
+        r = Rule.from_box(center - 30, center + 30, prediction=50.0)
+        r.error = 5.0
+        rules.append(r)
+    system = RuleSystem(rules)
+    batch = benchmark(system.predict, windows[:5000])
+    assert batch.values.shape == (5000,)

@@ -1,0 +1,102 @@
+"""P1 — parallel scaling of the paper's multi-execution loop.
+
+IPPS is a parallel-processing venue; the reproduction's parallel axis
+is the §3.4 outer loop.  This bench runs the same four executions
+serially and across a process pool, checks the results are *identical*
+(seeding is execution-indexed, so the backend is science-transparent),
+and reports the speedup.  Also benches the island model topology sweep.
+"""
+
+import time
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro.core import mackey_config, multirun
+from repro.metrics import score_table2
+from repro.parallel import (
+    IslandModel,
+    ProcessPoolBackend,
+    SerialBackend,
+    complete_topology,
+    ring_topology,
+)
+from repro.series import load_mackey_glass
+
+N_EXECUTIONS = 4
+
+
+def _run(backend):
+    data = load_mackey_glass()
+    # 4x the bench generations so per-execution work (~5 s) amortizes
+    # the ~1 s spawn cost per pool worker; at paper scale (75k
+    # generations) the outer loop is embarrassingly parallel.
+    config = mackey_config(horizon=50, scale="bench").replace(generations=10_000)
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+    result = multirun(
+        train_ds, config, coverage_target=2.0,
+        max_executions=N_EXECUTIONS, batch_size=N_EXECUTIONS,
+        backend=backend, root_seed=77,
+    )
+    batch = result.system.predict(val_ds.X)
+    return result, score_table2(val_ds.y, batch.values, batch.predicted)
+
+
+def test_multirun_process_pool_scaling(benchmark):
+    t0 = time.time()
+    serial_result, serial_score = _run(SerialBackend())
+    serial_time = time.time() - t0
+
+    with ProcessPoolBackend(workers=min(4, N_EXECUTIONS)) as backend:
+        parallel_result, parallel_score = run_once(benchmark, _run, backend)
+
+    # Identical science on both backends.
+    assert len(serial_result.system) == len(parallel_result.system)
+    for a, b in zip(serial_result.system.rules, parallel_result.system.rules):
+        assert np.array_equal(a.lower, b.lower)
+    assert serial_score.error == parallel_score.error
+
+    stats = benchmark.stats.stats
+    parallel_time = stats.mean
+    emit(
+        "parallel_scaling",
+        f"executions: {N_EXECUTIONS}\n"
+        f"serial wall time:   {serial_time:7.2f} s\n"
+        f"parallel wall time: {parallel_time:7.2f} s "
+        f"({min(4, N_EXECUTIONS)} workers)\n"
+        f"speedup:            {serial_time / max(parallel_time, 1e-9):7.2f}x\n"
+        f"NMSE (identical on both backends): {serial_score.error:.4f} "
+        f"@ {serial_score.percentage:.1f}%",
+    )
+
+
+def test_island_topologies(benchmark):
+    data = load_mackey_glass()
+    config = mackey_config(horizon=50, scale="bench").replace(generations=1500)
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+
+    def run_islands():
+        out = {}
+        for name, topo in (("ring", ring_topology(4)),
+                           ("complete", complete_topology(4))):
+            model = IslandModel(train_ds, config, topo,
+                                migration_interval=500, root_seed=5)
+            result = model.run()
+            batch = result.system.predict(val_ds.X)
+            out[name] = (
+                score_table2(val_ds.y, batch.values, batch.predicted),
+                result.migrations_accepted,
+                result.migrations_sent,
+            )
+        return out
+
+    out = run_once(benchmark, run_islands)
+    lines = []
+    for name, (score, acc, sent) in out.items():
+        lines.append(
+            f"{name:>9}: NMSE {score.error:.4f} @ {score.percentage:.1f}% "
+            f"(migrations {acc}/{sent})"
+        )
+        assert score.coverage > 0.4
+    emit("island_topologies", "\n".join(lines))

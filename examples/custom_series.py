@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bring-your-own series: the public API on user data, end to end.
+
+Shows the pieces a downstream user composes when their data is not one
+of the paper's domains: build a :class:`SplitSeries` from any 1-D
+array, run :func:`quick_forecast`, save the trained rule system to
+JSON, reload it, and verify the round-trip predicts identically.
+
+The demo series is an AR(3) process with a regime-switching variance —
+a simple case where *local* rules genuinely help (each regime gets its
+own rules).
+
+Usage::
+
+    python examples/custom_series.py [--seed 7]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import quick_forecast
+from repro.io import load_rule_system, save_rule_system
+from repro.series import SplitSeries, ar_process
+from repro.series.windowing import MinMaxScaler, train_test_split_series
+
+
+def make_regime_series(n: int, seed: int) -> np.ndarray:
+    """AR(3) with alternating low/high-volatility regimes."""
+    rng = np.random.default_rng(seed)
+    quiet = ar_process(n, [0.6, 0.2, -0.1], sigma=0.3, seed=seed)
+    loud = ar_process(n, [0.6, 0.2, -0.1], sigma=1.5, seed=seed + 1)
+    regime = (np.arange(n) // 200) % 2  # flip every 200 steps
+    return np.where(regime == 0, quiet, loud) + 5.0 * regime
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    series = make_regime_series(3000, args.seed)
+    train, validation = train_test_split_series(series, 2400)
+    scaler = MinMaxScaler().fit(train)
+    data = SplitSeries(
+        name="custom-ar3",
+        train=scaler.transform(train),
+        validation=scaler.transform(validation),
+        scaler=scaler,
+    )
+
+    result = quick_forecast(
+        data, d=8, horizon=1,
+        generations=2000, population_size=40,
+        max_executions=2, seed=args.seed,
+    )
+    print(f"custom series: RMSE {result.score.error:.4f} at "
+          f"{result.score.percentage:.1f}% coverage "
+          f"({len(result.system)} rules)")
+
+    # Persist and reload the trained forecaster.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "rules.json"
+        save_rule_system(result.system, path)
+        reloaded = load_rule_system(path)
+        again = reloaded.predict(result.validation.X)
+        same = np.allclose(
+            np.nan_to_num(again.values), np.nan_to_num(result.batch.values)
+        )
+        print(f"saved {path.stat().st_size} bytes; reload predicts "
+              f"identically: {same}")
+
+    # Undo the normalization for user-facing values.
+    covered = result.batch.predicted
+    preds_cm = scaler.inverse_transform(result.batch.values[covered])
+    print(f"first 5 predictions in original units: "
+          f"{np.round(preds_cm[:5], 3).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

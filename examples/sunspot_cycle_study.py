@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Sunspot study: rule locality across solar-cycle phases (§4.3).
+
+The paper claims the rule system "recognizes, in a local way, the
+peculiarities of the series".  This example makes that visible: it
+evolves a rule pool on the synthetic monthly sunspot series, then
+groups the evolved rules by the *output zone* they predict (cycle
+minimum / rise / maximum / decline) and reports per-zone error and rule
+specialization — plus the comparison against the feedforward and
+recurrent network baselines of Table 3.
+
+Usage::
+
+    python examples/sunspot_cycle_study.py [--horizon 4] [--seed 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import quick_forecast
+from repro.baselines import ElmanForecaster, ElmanParams, MLPForecaster, MLPParams
+from repro.metrics import score_table3
+from repro.series import load_sunspot
+
+
+ZONES = [
+    ("minimum", 0.00, 0.15),
+    ("rise/decline", 0.15, 0.45),
+    ("active", 0.45, 0.75),
+    ("peak", 0.75, 1.01),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    data = load_sunspot()
+    result = quick_forecast(
+        data,
+        d=24,
+        horizon=args.horizon,
+        e_max=0.2,
+        generations=2500,
+        population_size=50,
+        max_executions=3,
+        seed=args.seed,
+    )
+    val = result.validation
+    score = score_table3(
+        val.y, result.batch.values, args.horizon, result.batch.predicted
+    )
+    print(f"rule system: Galvan error {score.error:.5f} at "
+          f"{score.percentage:.1f}% coverage ({len(result.system)} rules)")
+
+    # Baselines on the same windows.
+    train = result.multirun.executions[0]
+    train_ds, _ = data.windows(24, args.horizon)
+    mlp = MLPForecaster(MLPParams(hidden=16, epochs=80, seed=args.seed))
+    mlp.fit(train_ds.X, train_ds.y)
+    ff = score_table3(val.y, mlp.predict(val.X), args.horizon)
+    elman = ElmanForecaster(ElmanParams(hidden=10, epochs=40, seed=args.seed))
+    elman.fit(train_ds.X, train_ds.y)
+    rec = score_table3(val.y, elman.predict(val.X), args.horizon)
+    print(f"feedforward NN: {ff.error:.5f}   recurrent NN: {rec.error:.5f}")
+
+    # Per-zone audit: where in the cycle does each rule predict?
+    print(f"\nper-zone breakdown (standardized level):")
+    print(f"{'zone':>14} {'val pts':>8} {'covered':>8} {'MAE':>8} {'rules':>6}")
+    preds = np.array([r.prediction for r in result.system.rules])
+    for name, lo, hi in ZONES:
+        in_zone = (val.y >= lo) & (val.y < hi)
+        covered = in_zone & result.batch.predicted
+        rules_here = int(((preds >= lo) & (preds < hi)).sum())
+        if covered.any():
+            mae = float(np.abs(
+                result.batch.values[covered] - val.y[covered]
+            ).mean())
+            mae_s = f"{mae:.4f}"
+        else:
+            mae_s = "-"
+        print(f"{name:>14} {int(in_zone.sum()):>8} "
+              f"{int(covered.sum()):>8} {mae_s:>8} {rules_here:>6}")
+
+    print("\nmost specific rules (fewest matches — local specialists):")
+    for rule in sorted(result.system.rules, key=lambda r: r.n_matched)[:3]:
+        print(" ", rule.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Time Series Forecasting by means of
+Evolutionary Algorithms* (Luque, Valls, Isasi; IPPS 2007).
+
+A Michigan-approach steady-state GA evolves a population of local
+prediction rules over sliding windows of a time series; the whole
+population is the forecaster.  See :mod:`repro.core` for the method,
+:mod:`repro.series` for the experimental substrates, and
+:mod:`repro.baselines` for the comparators the paper cites.
+
+Quickstart::
+
+    from repro import quick_forecast
+    from repro.series import load_mackey_glass
+
+    data = load_mackey_glass()
+    result = quick_forecast(data, d=12, horizon=50, seed=0)
+    print(result.score.error, result.score.percentage)
+"""
+
+from . import core, metrics, parallel, series
+from .core import (
+    EvolutionConfig,
+    FitnessParams,
+    Interval,
+    Rule,
+    RuleSystem,
+    evolve,
+    multirun,
+)
+from .forecast import ForecastResult, quick_forecast
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "series",
+    "metrics",
+    "parallel",
+    "EvolutionConfig",
+    "FitnessParams",
+    "Interval",
+    "Rule",
+    "RuleSystem",
+    "evolve",
+    "multirun",
+    "quick_forecast",
+    "ForecastResult",
+    "__version__",
+]

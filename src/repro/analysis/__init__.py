@@ -1,0 +1,69 @@
+"""Experiment harness: runners, table formatting, ASCII plots, reports."""
+
+from .ascii_plot import line_plot, overlay_plot, render_rule
+from .experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    AblationRow,
+    Figure2Result,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    run_ablation_emax,
+    run_ablation_init,
+    run_ablation_pooling,
+    run_ablation_predicting_mode,
+    run_ablation_replacement,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from .profiling import SectionTimer, engine_throughput, profile_run
+from .report import (
+    ablation_markdown,
+    figure2_markdown,
+    table1_markdown,
+    table2_markdown,
+    table3_markdown,
+)
+from .stats import BootstrapCI, PairedResult, bootstrap_metric, paired_comparison
+from .tables import format_float, format_table
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure2",
+    "run_ablation_init",
+    "run_ablation_replacement",
+    "run_ablation_emax",
+    "run_ablation_pooling",
+    "run_ablation_predicting_mode",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "AblationRow",
+    "Figure2Result",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "format_table",
+    "format_float",
+    "line_plot",
+    "overlay_plot",
+    "render_rule",
+    "table1_markdown",
+    "table2_markdown",
+    "table3_markdown",
+    "figure2_markdown",
+    "ablation_markdown",
+    "SectionTimer",
+    "engine_throughput",
+    "profile_run",
+    "BootstrapCI",
+    "bootstrap_metric",
+    "PairedResult",
+    "paired_comparison",
+]

@@ -1,0 +1,157 @@
+"""Terminal plotting: series overlays (Figure 2) and rule boxes (Figure 1).
+
+No matplotlib in the offline environment, so figures are rendered as
+ASCII — good enough to verify the *shape* claims (the predicted curve
+hugging an unusual high-tide peak; a rule's interval staircase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.rule import Rule
+
+__all__ = ["line_plot", "overlay_plot", "render_rule"]
+
+
+def _scale_to_rows(values: np.ndarray, lo: float, hi: float, height: int) -> np.ndarray:
+    """Map values to integer row indices (0 = bottom row)."""
+    span = hi - lo
+    if span <= 0:
+        return np.full(values.shape, height // 2, dtype=np.int64)
+    unit = (values - lo) / span
+    return np.clip((unit * (height - 1)).round().astype(np.int64), 0, height - 1)
+
+
+def line_plot(
+    values: np.ndarray,
+    width: int = 78,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Single-series ASCII line plot (downsampled to ``width`` columns)."""
+    return overlay_plot({"*": np.asarray(values, dtype=np.float64)}, width, height, title)
+
+
+def overlay_plot(
+    named_series: Dict[str, np.ndarray],
+    width: int = 78,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Overlay several series, one glyph each (dict key's first char).
+
+    All series must share a length; NaNs (abstentions) leave gaps —
+    which is exactly how the rule system's partial predictions should
+    look.
+    """
+    if not named_series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("plot must be at least 8x3")
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in named_series.items()}
+    lengths = {a.shape[0] for a in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("cannot plot empty series")
+
+    finite_all = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if finite_all.size == 0:
+        raise ValueError("all values are NaN")
+    lo, hi = float(finite_all.min()), float(finite_all.max())
+
+    # Downsample by taking column-centre samples.
+    cols = min(width, n)
+    idx = np.linspace(0, n - 1, cols).round().astype(np.int64)
+
+    grid = [[" "] * cols for _ in range(height)]
+    for name, arr in arrays.items():
+        glyph = name[0] if name else "*"
+        sampled = arr[idx]
+        ok = np.isfinite(sampled)
+        rows = _scale_to_rows(sampled[ok], lo, hi, height)
+        for col, row in zip(np.nonzero(ok)[0], rows):
+            grid[height - 1 - int(row)][int(col)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.3f} ┴" + "".join(grid[-1]))
+    legend = "   ".join(f"{k[0]}={k}" for k in arrays)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_rule(
+    rule: Rule,
+    series_range: Optional[Sequence[float]] = None,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII rendition of Figure 1: per-lag interval boxes + prediction.
+
+    Each lag's interval is drawn as a vertical bar spanning its bounds;
+    wildcards render as full-height dotted columns; the prediction value
+    appears as a ``P`` marker one column after the last lag.
+    """
+    d = rule.n_lags
+    if series_range is None:
+        finite = np.concatenate(
+            [rule.lower[~rule.wildcard], rule.upper[~rule.wildcard]]
+        )
+        preds = (
+            np.array([rule.prediction])
+            if np.isfinite(rule.prediction)
+            else np.array([])
+        )
+        finite = np.concatenate([finite, preds])
+        if finite.size == 0:
+            finite = np.array([0.0, 1.0])
+        lo, hi = float(finite.min()), float(finite.max())
+    else:
+        lo, hi = float(series_range[0]), float(series_range[1])
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+
+    col_width = max(1, width // (d + 2))
+    grid_cols = col_width * (d + 2)
+    grid = [[" "] * grid_cols for _ in range(height)]
+
+    def to_row(v: float) -> int:
+        unit = (v - lo) / (hi - lo)
+        return int(np.clip(round(unit * (height - 1)), 0, height - 1))
+
+    for lag in range(d):
+        c0 = lag * col_width
+        mid = c0 + col_width // 2
+        if rule.wildcard[lag]:
+            for r in range(height):
+                grid[height - 1 - r][mid] = "·"
+            continue
+        r_lo = to_row(float(rule.lower[lag]))
+        r_hi = to_row(float(rule.upper[lag]))
+        for r in range(r_lo, r_hi + 1):
+            grid[height - 1 - r][mid] = "█"
+
+    if np.isfinite(rule.prediction):
+        mid = (d + 1) * col_width + col_width // 2
+        r = to_row(float(rule.prediction))
+        grid[height - 1 - r][min(mid, grid_cols - 1)] = "P"
+
+    lines = [f"{hi:10.3f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.3f} ┴" + "".join(grid[-1]))
+    labels = " " * 12 + "".join(
+        f"y{lag + 1}".center(col_width) for lag in range(d)
+    )
+    lines.append(labels + " pred".rjust(col_width + 4))
+    lines.append(" " * 12 + rule.describe())
+    return "\n".join(lines)

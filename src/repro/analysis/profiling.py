@@ -1,0 +1,117 @@
+"""Lightweight profiling utilities ("no optimization without measuring").
+
+A timer registry for labelled code sections plus an engine throughput
+probe (generations/second) — the quantity that bounds every experiment's
+wall time.  Used by the kernel benches and available for users tuning
+configurations.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..core.config import EvolutionConfig
+from ..core.engine import SteadyStateEngine
+from ..series.windowing import WindowDataset
+
+__all__ = ["SectionTimer", "engine_throughput", "profile_run"]
+
+
+@dataclass
+class SectionTimer:
+    """Accumulating wall-clock timer for labelled sections.
+
+    >>> timer = SectionTimer()
+    >>> with timer.section("matching"):
+    ...     pass
+    >>> timer.report()  # doctest: +SKIP
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        """Time one with-block under ``label`` (accumulates)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def mean(self, label: str) -> float:
+        """Mean seconds per entry for a label."""
+        if label not in self.totals:
+            raise KeyError(f"no section named {label!r}")
+        return self.totals[label] / self.counts[label]
+
+    def report(self) -> str:
+        """Table of totals, counts and means, slowest first."""
+        lines = [f"{'section':<24}{'total s':>10}{'calls':>8}{'mean ms':>10}"]
+        for label in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{label:<24}{self.totals[label]:>10.3f}"
+                f"{self.counts[label]:>8d}"
+                f"{1e3 * self.mean(label):>10.3f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all accumulated sections."""
+        self.totals.clear()
+        self.counts.clear()
+
+
+def engine_throughput(
+    dataset: WindowDataset,
+    config: EvolutionConfig,
+    sample_generations: int = 200,
+) -> float:
+    """Measured steady-state generations per second for a configuration.
+
+    Initializes an engine, runs ``sample_generations`` steps, and
+    returns the rate — multiply by ``config.generations`` for a wall-
+    time estimate of a full execution.
+    """
+    if sample_generations < 1:
+        raise ValueError("sample_generations must be >= 1")
+    engine = SteadyStateEngine(dataset, config)
+    engine.initialize()
+    start = time.perf_counter()
+    for _ in range(sample_generations):
+        engine.step()
+    elapsed = time.perf_counter() - start
+    return sample_generations / max(elapsed, 1e-12)
+
+
+def profile_run(
+    dataset: WindowDataset,
+    config: EvolutionConfig,
+    generations: int = 500,
+    top: int = 15,
+) -> str:
+    """cProfile a short engine run; returns the top-``top`` hotspots.
+
+    The expected profile is dominated by matching and the regression
+    fit; anything else appearing near the top signals a regression in
+    the vectorized paths.
+    """
+    engine = SteadyStateEngine(dataset, config.replace(generations=generations))
+    engine.initialize()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(generations):
+        engine.step()
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()

@@ -1,0 +1,45 @@
+"""Plain-text table rendering in the paper's layout.
+
+Experiment runners return row dataclasses; this module prints them in
+the same column structure as Tables 1–3 so a bench run's stdout can be
+compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: Optional[float], digits: int = 4) -> str:
+    """Fixed-point with a dash for missing entries (paper's '-')."""
+    if value is None or value != value:  # NaN check without numpy
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace grid with a header rule; all cells stringified."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Baseline forecasters the paper compares against, all from scratch.
+
+* :class:`~repro.baselines.mlp.MLPForecaster` — feedforward NN
+  (Tables 1 and 3).
+* :class:`~repro.baselines.recurrent.ElmanForecaster` — recurrent NN
+  (Table 3).
+* :class:`~repro.baselines.ran.RANForecaster` — Platt's resource-
+  allocating network (Table 2).
+* :class:`~repro.baselines.mran.MRANForecaster` — minimal RAN
+  (Table 2).
+* :mod:`~repro.baselines.linear` — AR least squares + naive anchors.
+* :class:`~repro.baselines.knn.KNNForecaster` — lazy-learning control.
+"""
+
+from .arma import ARMAForecaster, ARMAParams
+from .base import BaseForecaster
+from .knn import KNNForecaster
+from .linear import (
+    ARForecaster,
+    MovingAverageForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+from .mlp import MLPForecaster, MLPParams
+from .mran import MRANForecaster, MRANParams
+from .ran import RANForecaster, RANParams
+from .recurrent import ElmanForecaster, ElmanParams
+
+__all__ = [
+    "BaseForecaster",
+    "ARMAForecaster",
+    "ARMAParams",
+    "MLPForecaster",
+    "MLPParams",
+    "ElmanForecaster",
+    "ElmanParams",
+    "RANForecaster",
+    "RANParams",
+    "MRANForecaster",
+    "MRANParams",
+    "ARForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "MovingAverageForecaster",
+    "KNNForecaster",
+]

@@ -1,0 +1,219 @@
+"""ARMA(p, q) baseline via two-stage Hannan–Rissanen estimation.
+
+The paper's related work opens with ARMA models forecasting the Venice
+level ([13] Moretti & Tomasin 1984); :class:`~repro.baselines.linear.ARForecaster`
+covers the pure-AR case, and this module adds the moving-average part:
+
+1. fit a long AR model to estimate the innovation sequence;
+2. regress ``x_t`` on ``p`` lagged values *and* ``q`` lagged estimated
+   innovations (ordinary least squares);
+3. forecast ``horizon`` steps by iterating the recursion with future
+   innovations set to their mean (zero).
+
+Operating on raw series (not windows) because MA terms need the
+innovation history; :meth:`ARMAForecaster.predict_series` returns the
+aligned one-step-ahead (or h-step) forecasts for a continuation series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ARMAParams", "ARMAForecaster"]
+
+
+@dataclass(frozen=True)
+class ARMAParams:
+    """Orders and estimation knobs for :class:`ARMAForecaster`.
+
+    ``long_ar_order`` is the stage-1 AR order used to estimate the
+    innovations (defaults to ``2 * (p + q)``, the usual heuristic).
+    """
+
+    p: int = 4
+    q: int = 2
+    long_ar_order: Optional[int] = None
+    ridge: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.p < 0 or self.q < 0:
+            raise ValueError("orders must be non-negative")
+        if self.p == 0 and self.q == 0:
+            raise ValueError("ARMA(0,0) is just the mean — use p+q >= 1")
+        if self.long_ar_order is not None and self.long_ar_order < 1:
+            raise ValueError("long_ar_order must be >= 1")
+
+
+def _stabilize_ar(coeffs: np.ndarray, margin: float = 0.98) -> np.ndarray:
+    """Shrink AR coefficients until the recursion is stable.
+
+    Hannan–Rissanen on short or strongly nonlinear series can return an
+    explosive AR polynomial; iterated multi-step forecasts then diverge.
+    Scaling ``a_k ← a_k c^k`` scales every companion-matrix eigenvalue
+    by ``c``, so choosing ``c = margin / ρ`` (spectral radius ρ) pulls
+    all roots strictly inside the unit circle while preserving the
+    short-horizon behaviour.
+    """
+    p = coeffs.shape[0]
+    if p == 0:
+        return coeffs
+    companion = np.zeros((p, p))
+    companion[0, :] = coeffs
+    if p > 1:
+        companion[1:, :-1] = np.eye(p - 1)
+    rho = float(np.max(np.abs(np.linalg.eigvals(companion))))
+    if rho <= margin or rho == 0.0:
+        return coeffs
+    c = margin / rho
+    powers = c ** np.arange(1, p + 1)
+    return coeffs * powers
+
+
+def _ols(A: np.ndarray, y: np.ndarray, ridge: float) -> np.ndarray:
+    G = A.T @ A
+    if ridge > 0:
+        G[np.diag_indices_from(G)] += ridge
+    try:
+        return np.linalg.solve(G, A.T @ y)
+    except np.linalg.LinAlgError:
+        coeffs, *_ = np.linalg.lstsq(A, y, rcond=None)
+        return coeffs
+
+
+class ARMAForecaster:
+    """Hannan–Rissanen ARMA estimator with iterated h-step forecasting."""
+
+    def __init__(self, params: ARMAParams = ARMAParams()) -> None:
+        self.params = params
+        self.mean: Optional[float] = None
+        self.ar_coeffs: Optional[np.ndarray] = None   # (p,) newest-lag first
+        self.ma_coeffs: Optional[np.ndarray] = None   # (q,) newest-lag first
+        self.intercept: float = 0.0
+        self._train_tail: Optional[np.ndarray] = None
+        self._innov_tail: Optional[np.ndarray] = None
+
+    # -- stage 1: innovation estimation ------------------------------------
+
+    def _estimate_innovations(self, x: np.ndarray) -> np.ndarray:
+        p = self.params
+        m = p.long_ar_order or max(2 * (p.p + p.q), 4)
+        m = min(m, x.shape[0] // 4)
+        m = max(m, 1)
+        n = x.shape[0]
+        A = np.column_stack(
+            [x[m - k - 1 : n - k - 1] for k in range(m)] + [np.ones(n - m)]
+        )
+        coeffs = _ols(A, x[m:], p.ridge)
+        fitted = A @ coeffs
+        innov = np.zeros(n)
+        innov[m:] = x[m:] - fitted
+        return innov
+
+    # -- API -----------------------------------------------------------------
+
+    def fit(self, series: np.ndarray) -> "ARMAForecaster":
+        """Estimate ARMA coefficients from a 1-D training series."""
+        x = np.asarray(series, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("series must be 1-D")
+        p, q = self.params.p, self.params.q
+        min_len = 4 * max(p, q, 1) + 8
+        if x.shape[0] < min_len:
+            raise ValueError(
+                f"series too short for ARMA({p},{q}): need >= {min_len}"
+            )
+        self.mean = float(x.mean())
+        xc = x - self.mean
+        innov = self._estimate_innovations(xc)
+
+        start = max(p, q)
+        n = xc.shape[0]
+        cols = [xc[start - k - 1 : n - k - 1] for k in range(p)]
+        cols += [innov[start - k - 1 : n - k - 1] for k in range(q)]
+        cols.append(np.ones(n - start))
+        A = np.column_stack(cols)
+        coeffs = _ols(A, xc[start:], self.params.ridge)
+        self.ar_coeffs = _stabilize_ar(coeffs[:p])
+        # Invertibility: the innovation recursion e_t = x_t - … - Σ b_k
+        # e_{t-k} is itself an AR recursion in e with coefficients -b_k;
+        # stabilize it the same way or innovation estimates diverge.
+        self.ma_coeffs = -_stabilize_ar(-coeffs[p : p + q])
+        self.intercept = float(coeffs[-1])
+
+        # Refresh innovations under the final model for forecasting state.
+        fitted = A @ coeffs
+        resid = np.zeros(n)
+        resid[start:] = xc[start:] - fitted
+        self._train_tail = xc[-max(p, 1) :].copy()
+        self._innov_tail = resid[-max(q, 1) :].copy()
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("ARMAForecaster used before fit()")
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Iterated forecast ``steps`` ahead from the end of training."""
+        self._require_fitted()
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        p, q = self.params.p, self.params.q
+        x_hist = list(self._train_tail)
+        e_hist = list(self._innov_tail)
+        out = np.empty(steps)
+        for t in range(steps):
+            val = self.intercept
+            for k in range(p):
+                val += self.ar_coeffs[k] * x_hist[-1 - k]
+            for k in range(q):
+                val += self.ma_coeffs[k] * e_hist[-1 - k]
+            out[t] = val
+            x_hist.append(val)
+            e_hist.append(0.0)  # future innovations at their mean
+        return out + self.mean
+
+    def predict_series(self, series: np.ndarray, horizon: int = 1) -> np.ndarray:
+        """h-step forecasts along a continuation series.
+
+        For each time ``t`` with enough history, forecast ``x_{t+horizon}``
+        using observations up to ``t`` (innovations re-estimated on the
+        fly with the fitted model).  Returns an array aligned with the
+        input: position ``i`` holds the forecast *of* ``series[i]``;
+        the first ``max(p, q) + horizon`` entries are NaN.
+        """
+        self._require_fitted()
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        x = np.asarray(series, dtype=np.float64) - self.mean
+        p, q = self.params.p, self.params.q
+        n = x.shape[0]
+        start = max(p, q)
+        out = np.full(n, np.nan)
+
+        # One-step innovations under the fitted model.
+        innov = np.zeros(n)
+        for t in range(start, n):
+            val = self.intercept
+            for k in range(p):
+                val += self.ar_coeffs[k] * x[t - 1 - k]
+            for k in range(q):
+                val += self.ma_coeffs[k] * innov[t - 1 - k]
+            innov[t] = x[t] - val
+
+        for t in range(start, n - horizon):
+            x_hist = list(x[max(0, t - p + 1) : t + 1]) if p else [0.0]
+            e_hist = list(innov[max(0, t - q + 1) : t + 1]) if q else [0.0]
+            val = 0.0
+            for _h in range(horizon):
+                val = self.intercept
+                for k in range(min(p, len(x_hist))):
+                    val += self.ar_coeffs[k] * x_hist[-1 - k]
+                for k in range(min(q, len(e_hist))):
+                    val += self.ma_coeffs[k] * e_hist[-1 - k]
+                x_hist.append(val)
+                e_hist.append(0.0)
+            out[t + horizon] = val + self.mean
+        return out

@@ -1,0 +1,46 @@
+"""Common interface for all baseline forecasters.
+
+Every comparator implements ``fit(X, y)`` / ``predict(X)`` on windowed
+data, so experiment code can treat the rule system's rivals uniformly.
+Baselines always predict (coverage 100%) — the asymmetry against the
+rule system's abstention is precisely what the paper's tables expose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BaseForecaster", "check_Xy"]
+
+
+def check_Xy(X: np.ndarray, y: Optional[np.ndarray] = None) -> tuple:
+    """Validate and coerce a windowed design matrix (and targets)."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D (n, D), got shape {X.shape}")
+    if y is None:
+        return X, None
+    y = np.asarray(y, dtype=np.float64)
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    return X, y
+
+
+class BaseForecaster:
+    """Abstract fit/predict forecaster over windowed series data."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseForecaster":
+        """Train on windows ``X`` (n, D) and targets ``y`` (n,)."""
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a value for every window (no abstention)."""
+        raise NotImplementedError
+
+    def _require_fitted(self, attr: str) -> None:
+        if getattr(self, attr, None) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} used before fit()"
+            )

@@ -1,0 +1,84 @@
+"""Lazy k-nearest-neighbour forecaster (Valls et al. lazy-learning flavour).
+
+The paper cites lazy learning with RBF networks [18] as prior art on
+the same domains.  The kernel idea — predict from training patterns
+*near the query* — is the non-evolutionary cousin of the rule system's
+local rules, so a distance-weighted kNN over windows is a natural extra
+comparator (and a strong one on smooth dynamics like Mackey-Glass).
+
+Neighbour search is brute-force vectorized (one ``(n_query, n_train)``
+distance block per batch, chunked to bound memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseForecaster, check_Xy
+
+__all__ = ["KNNForecaster"]
+
+
+@dataclass
+class KNNForecaster(BaseForecaster):
+    """Distance-weighted k-nearest-neighbour regression on windows.
+
+    Parameters
+    ----------
+    k:
+        Neighbours per query.
+    weighting:
+        ``"uniform"`` or ``"inverse"`` (1/(d+eps) weights).
+    chunk_size:
+        Queries per distance block (memory / speed trade-off).
+    """
+
+    k: int = 5
+    weighting: str = "inverse"
+    chunk_size: int = 256
+    X_train: Optional[np.ndarray] = None
+    y_train: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.weighting not in ("uniform", "inverse"):
+            raise ValueError(f"unknown weighting {self.weighting!r}")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNForecaster":
+        X, y = check_Xy(X, y)
+        if X.shape[0] < self.k:
+            raise ValueError(
+                f"need at least k={self.k} training windows, got {X.shape[0]}"
+            )
+        self.X_train = np.array(X, copy=True)
+        self.y_train = np.array(y, copy=True)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("X_train")
+        X, _ = check_Xy(X)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        train = self.X_train
+        t2 = np.einsum("nd,nd->n", train, train)
+        for start in range(0, X.shape[0], self.chunk_size):
+            q = X[start : start + self.chunk_size]
+            q2 = np.einsum("nd,nd->n", q, q)[:, None]
+            d2 = q2 + t2[None, :] - 2.0 * q @ train.T
+            np.maximum(d2, 0.0, out=d2)
+            idx = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            rows = np.arange(q.shape[0])[:, None]
+            nd2 = d2[rows, idx]
+            ny = self.y_train[idx]
+            if self.weighting == "uniform":
+                pred = ny.mean(axis=1)
+            else:
+                w = 1.0 / (np.sqrt(nd2) + 1e-12)
+                pred = (w * ny).sum(axis=1) / w.sum(axis=1)
+            out[start : start + q.shape[0]] = pred
+        return out

@@ -1,0 +1,122 @@
+"""Linear and naive baselines: AR least squares, persistence, seasonal.
+
+The paper's related work opens with ARMA models on the Venice data
+([13]); a global least-squares AR fit over the windows is the exact
+linear analogue of what a *single* all-matching rule would learn, which
+makes it the sharpest control for the "local rules beat one global
+model" claim.  Persistence and seasonal-naive anchors bound the tables
+from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseForecaster, check_Xy
+
+__all__ = [
+    "ARForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "MovingAverageForecaster",
+]
+
+
+@dataclass
+class ARForecaster(BaseForecaster):
+    """Global least-squares autoregression over the window lags.
+
+    ``y ≈ X @ w + b`` — one hyperplane for the whole series (exactly the
+    rule system's per-rule predicting part, §3.1, but fitted globally).
+    A ridge term guards against collinear lags.
+    """
+
+    ridge: float = 1e-8
+    coeffs: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ARForecaster":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        A = np.column_stack([X, np.ones(n)])
+        G = A.T @ A
+        if self.ridge > 0:
+            G[np.diag_indices_from(G)] += self.ridge
+        try:
+            self.coeffs = np.linalg.solve(G, A.T @ y)
+        except np.linalg.LinAlgError:
+            self.coeffs, *_ = np.linalg.lstsq(A, y, rcond=None)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("coeffs")
+        X, _ = check_Xy(X)
+        return X @ self.coeffs[:-1] + self.coeffs[-1]
+
+
+@dataclass
+class PersistenceForecaster(BaseForecaster):
+    """Predict the last observed window value (naive anchor)."""
+
+    fitted: bool = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PersistenceForecaster":
+        check_Xy(X, y)
+        self.fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X, _ = check_Xy(X)
+        return X[:, -1].copy()
+
+
+@dataclass
+class SeasonalNaiveForecaster(BaseForecaster):
+    """Predict the window value one season back from the end.
+
+    ``period`` in samples (e.g. ~12.42 h tide → 12 for hourly Venice,
+    132 for monthly sunspots).  Requires ``period <= D``.
+    """
+
+    period: int = 12
+    d: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SeasonalNaiveForecaster":
+        X, y = check_Xy(X, y)
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.period > X.shape[1]:
+            raise ValueError(
+                f"period {self.period} exceeds window width {X.shape[1]}"
+            )
+        self.d = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("d")
+        X, _ = check_Xy(X)
+        return X[:, X.shape[1] - self.period].copy()
+
+
+@dataclass
+class MovingAverageForecaster(BaseForecaster):
+    """Predict the mean of the last ``width`` window values."""
+
+    width: int = 5
+    d: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MovingAverageForecaster":
+        X, y = check_Xy(X, y)
+        if not 1 <= self.width <= X.shape[1]:
+            raise ValueError(
+                f"width must be in [1, {X.shape[1]}], got {self.width}"
+            )
+        self.d = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("d")
+        X, _ = check_Xy(X)
+        return X[:, -self.width :].mean(axis=1)

@@ -1,0 +1,114 @@
+"""Platt's Resource-Allocating Network (Table 2's "Error RAN" column).
+
+Platt (1991): a sequential RBF learner that *allocates* a new Gaussian
+unit whenever the current example is both novel (far from every center)
+and badly predicted (large error); otherwise it takes an LMS gradient
+step.  The novelty radius ``delta`` shrinks exponentially from
+``delta_max`` to ``delta_min`` so early units capture coarse structure
+and later ones refine.
+
+Presented examples are consumed one at a time in chronological order —
+the natural regime for time-series windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseForecaster, check_Xy
+from .rbf_common import RBFUnits
+
+__all__ = ["RANParams", "RANForecaster"]
+
+
+@dataclass(frozen=True)
+class RANParams:
+    """Platt's RAN hyperparameters.
+
+    ``epsilon`` is the error threshold for allocation, ``kappa`` the
+    width multiplier of a new unit (overlap factor), ``tau_delta`` the
+    e-folding number of examples for the novelty-radius decay, and
+    ``learning_rate`` the LMS step size.
+    """
+
+    epsilon: float = 0.02
+    delta_max: float = 1.0
+    delta_min: float = 0.07
+    tau_delta: float = 60.0
+    kappa: float = 0.87
+    learning_rate: float = 0.05
+    adapt_centers: bool = True
+    max_units: int = 200
+    epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0 < self.delta_min <= self.delta_max:
+            raise ValueError("need 0 < delta_min <= delta_max")
+        if self.kappa <= 0:
+            raise ValueError("kappa must be positive")
+        if self.max_units < 1:
+            raise ValueError("max_units must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+class RANForecaster(BaseForecaster):
+    """Sequential resource-allocating RBF network."""
+
+    def __init__(self, params: RANParams = RANParams()) -> None:
+        self.params = params
+        self.units: Optional[RBFUnits] = None
+        self.growth_curve: list = []
+
+    def _delta(self, t: int) -> float:
+        """Novelty radius after ``t`` presented examples."""
+        p = self.params
+        return max(p.delta_min, p.delta_max * float(np.exp(-t / p.tau_delta)))
+
+    def partial_fit_one(self, x: np.ndarray, y: float, t: int) -> None:
+        """Present one example (allocate or LMS-update)."""
+        assert self.units is not None
+        p = self.params
+        pred = self.units.output(x)
+        error = float(y - pred)
+        dist = self.units.nearest_center_distance(x)
+        if (
+            abs(error) > p.epsilon
+            and dist > self._delta(t)
+            and self.units.n_units < p.max_units
+        ):
+            sigma = max(p.kappa * dist, 1e-6)
+            if not np.isfinite(sigma):
+                # First unit: no neighbours — width from the novelty radius.
+                sigma = p.kappa * self._delta(t)
+            self.units.add_unit(x, error, sigma)
+        else:
+            self.units.lms_update(x, error, p.learning_rate, p.adapt_centers)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RANForecaster":
+        X, y = check_Xy(X, y)
+        self.units = RBFUnits(dim=X.shape[1])
+        self.units.bias = float(y.mean())
+        self.growth_curve = []
+        t = 0
+        for _epoch in range(self.params.epochs):
+            for i in range(X.shape[0]):
+                self.partial_fit_one(X[i], float(y[i]), t)
+                t += 1
+            self.growth_curve.append(self.units.n_units)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("units")
+        X, _ = check_Xy(X)
+        return self.units.batch_output(X)
+
+    @property
+    def n_units(self) -> int:
+        """Allocated hidden units (network size)."""
+        return 0 if self.units is None else self.units.n_units

@@ -1,0 +1,162 @@
+"""Shared Gaussian-RBF machinery for the RAN / MRAN baselines.
+
+Both sequential learners maintain a growing set of Gaussian units
+
+::
+
+    f(x) = alpha_0 + sum_k alpha_k exp(-||x - c_k||^2 / sigma_k^2)
+
+and differ only in their growth/update/pruning policies.  This module
+holds the unit store with vectorized evaluation and the gradient (LMS)
+update both learners share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RBFUnits"]
+
+
+class RBFUnits:
+    """A dynamically growing set of Gaussian RBF units plus a bias.
+
+    Storage is pre-allocated in geometric chunks so unit insertion is
+    amortized O(1) and evaluation works on contiguous slices (no
+    per-unit Python objects in the hot path).
+    """
+
+    def __init__(self, dim: int, capacity: int = 16) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.n_units = 0
+        self.bias = 0.0
+        self._centers = np.zeros((capacity, dim))
+        self._alphas = np.zeros(capacity)
+        self._sigmas = np.ones(capacity)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Active centers, shape ``(n_units, dim)``."""
+        return self._centers[: self.n_units]
+
+    @property
+    def alphas(self) -> np.ndarray:
+        """Active weights, shape ``(n_units,)``."""
+        return self._alphas[: self.n_units]
+
+    @property
+    def sigmas(self) -> np.ndarray:
+        """Active widths, shape ``(n_units,)``."""
+        return self._sigmas[: self.n_units]
+
+    # -- structure -------------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = self._centers.shape[0]
+        new_cap = max(2 * cap, 16)
+        for name in ("_centers", "_alphas", "_sigmas"):
+            old = getattr(self, name)
+            shape = (new_cap,) + old.shape[1:]
+            new = np.zeros(shape)
+            new[: self.n_units] = old[: self.n_units]
+            setattr(self, name, new)
+
+    def add_unit(self, center: np.ndarray, alpha: float, sigma: float) -> None:
+        """Append one unit (novelty-driven allocation)."""
+        center = np.asarray(center, dtype=np.float64)
+        if center.shape != (self.dim,):
+            raise ValueError(f"center shape {center.shape} != ({self.dim},)")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.n_units == self._centers.shape[0]:
+            self._grow()
+        k = self.n_units
+        self._centers[k] = center
+        self._alphas[k] = alpha
+        self._sigmas[k] = sigma
+        self.n_units += 1
+
+    def remove_units(self, keep: np.ndarray) -> None:
+        """Keep only units flagged in the boolean ``keep`` mask (pruning)."""
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.n_units,):
+            raise ValueError("keep mask must cover the active units")
+        k = int(keep.sum())
+        self._centers[:k] = self._centers[: self.n_units][keep]
+        self._alphas[:k] = self._alphas[: self.n_units][keep]
+        self._sigmas[:k] = self._sigmas[: self.n_units][keep]
+        self.n_units = k
+
+    # -- evaluation --------------------------------------------------------------
+
+    def activations(self, x: np.ndarray) -> np.ndarray:
+        """Per-unit Gaussian activations for one input ``(dim,)``."""
+        if self.n_units == 0:
+            return np.zeros(0)
+        diff = self.centers - x
+        d2 = np.einsum("kd,kd->k", diff, diff)
+        return np.exp(-d2 / self.sigmas**2)
+
+    def output(self, x: np.ndarray) -> float:
+        """Network output for one input."""
+        return float(self.bias + self.alphas @ self.activations(x))
+
+    def batch_output(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized output for ``(n, dim)`` inputs."""
+        X = np.atleast_2d(X)
+        if self.n_units == 0:
+            return np.full(X.shape[0], self.bias)
+        # (n, k) squared distances via the expansion trick.
+        x2 = np.einsum("nd,nd->n", X, X)[:, None]
+        c2 = np.einsum("kd,kd->k", self.centers, self.centers)[None, :]
+        d2 = x2 + c2 - 2.0 * X @ self.centers.T
+        np.maximum(d2, 0.0, out=d2)
+        phi = np.exp(-d2 / self.sigmas**2)
+        return self.bias + phi @ self.alphas
+
+    def nearest_center_distance(self, x: np.ndarray) -> float:
+        """Distance to the nearest unit center (``inf`` when empty)."""
+        if self.n_units == 0:
+            return np.inf
+        diff = self.centers - x
+        return float(np.sqrt(np.einsum("kd,kd->k", diff, diff).min()))
+
+    # -- learning ----------------------------------------------------------------
+
+    def lms_update(
+        self,
+        x: np.ndarray,
+        error: float,
+        learning_rate: float,
+        adapt_centers: bool = True,
+    ) -> None:
+        """One LMS gradient step on (bias, alphas[, centers]).
+
+        ``error = y_true - f(x)``; the step *reduces* squared error.
+        Center adaptation follows Platt's original update.
+        """
+        phi = self.activations(x)
+        self.bias += learning_rate * error
+        if self.n_units == 0:
+            return
+        a = self.alphas
+        self._alphas[: self.n_units] += learning_rate * error * phi
+        if adapt_centers:
+            # d f / d c_k = alpha_k * phi_k * 2 (x - c_k) / sigma_k^2
+            coef = (
+                learning_rate
+                * error
+                * (a * phi / self.sigmas**2)[:, None]
+                * 2.0
+            )
+            self._centers[: self.n_units] += coef * (x - self.centers)
+
+    def contributions(self, x: np.ndarray) -> np.ndarray:
+        """|alpha_k| * phi_k(x) — per-unit contribution magnitudes."""
+        return np.abs(self.alphas) * self.activations(x)

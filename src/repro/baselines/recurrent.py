@@ -1,0 +1,175 @@
+"""Elman recurrent network baseline (Table 3's "Recurr. NN" column).
+
+Galván & Isasi's multi-step recurrent models are the paper's second
+sunspot comparator.  We implement an Elman network: the window's ``D``
+values are fed one per time step through a tanh hidden layer with a
+recurrent connection, and the output is read after the last step.
+Training is backpropagation-through-time over the full (short, length
+``D``) unrolled sequence — exact gradients, no truncation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseForecaster, check_Xy
+from .mlp import _Standardizer
+
+__all__ = ["ElmanParams", "ElmanForecaster"]
+
+
+@dataclass(frozen=True)
+class ElmanParams:
+    """Hyperparameters for :class:`ElmanForecaster`."""
+
+    hidden: int = 12
+    epochs: int = 120
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    grad_clip: float = 5.0
+    val_fraction: float = 0.15
+    patience: int = 15
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.hidden < 1:
+            raise ValueError("hidden must be >= 1")
+        if self.grad_clip <= 0:
+            raise ValueError("grad_clip must be positive")
+
+
+class ElmanForecaster(BaseForecaster):
+    """Elman (simple recurrent) network trained with full BPTT.
+
+    State update per step ``t`` over the window values ``x_t``::
+
+        h_t = tanh(w_in * x_t + W_rec h_{t-1} + b)
+        out = w_out . h_D + b_out
+    """
+
+    def __init__(self, params: ElmanParams = ElmanParams()) -> None:
+        self.params = params
+        self.w_in: Optional[np.ndarray] = None
+        self.w_rec: Optional[np.ndarray] = None
+        self.b: Optional[np.ndarray] = None
+        self.w_out: Optional[np.ndarray] = None
+        self.b_out: Optional[float] = None
+        self.x_scaler = _Standardizer()
+        self.y_scaler = _Standardizer()
+        self.train_curve: list = []
+
+    # -- forward --------------------------------------------------------------
+
+    def _forward_states(self, X: np.ndarray) -> np.ndarray:
+        """Hidden states for all steps: shape (batch, D+1, H); h_0 = 0."""
+        b, d = X.shape
+        H = self.params.hidden
+        hs = np.zeros((b, d + 1, H))
+        for t in range(d):
+            hs[:, t + 1] = np.tanh(
+                np.outer(X[:, t], self.w_in) + hs[:, t] @ self.w_rec + self.b
+            )
+        return hs
+
+    def _forward(self, X: np.ndarray) -> np.ndarray:
+        hs = self._forward_states(X)
+        return hs[:, -1] @ self.w_out + self.b_out
+
+    def _loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean((self._forward(X) - y) ** 2))
+
+    # -- API --------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ElmanForecaster":
+        X, y = check_Xy(X, y)
+        p = self.params
+        rng = np.random.default_rng(p.seed)
+
+        Xs = self.x_scaler.fit(X).transform(X)
+        ys = self.y_scaler.fit(y).transform(y)
+
+        n, d = Xs.shape
+        n_val = int(round(p.val_fraction * n))
+        if n_val > 0 and n - n_val >= p.batch_size:
+            X_tr, y_tr = Xs[: n - n_val], ys[: n - n_val]
+            X_val, y_val = Xs[n - n_val :], ys[n - n_val :]
+        else:
+            X_tr, y_tr = Xs, ys
+            X_val, y_val = None, None
+
+        H = p.hidden
+        self.w_in = rng.normal(0.0, 0.5, size=H)
+        self.w_rec = rng.normal(0.0, 1.0 / np.sqrt(H), size=(H, H))
+        self.b = np.zeros(H)
+        self.w_out = rng.normal(0.0, 1.0 / np.sqrt(H), size=H)
+        self.b_out = 0.0
+
+        velocity = {k: 0.0 for k in ("w_in", "w_rec", "b", "w_out", "b_out")}
+        best_val, best_weights, stale = np.inf, None, 0
+        n_tr = X_tr.shape[0]
+        self.train_curve = []
+
+        for _epoch in range(p.epochs):
+            order = rng.permutation(n_tr)
+            for start in range(0, n_tr, p.batch_size):
+                idx = order[start : start + p.batch_size]
+                xb, yb = X_tr[idx], y_tr[idx]
+                m = xb.shape[0]
+
+                hs = self._forward_states(xb)
+                out = hs[:, -1] @ self.w_out + self.b_out
+                g_out = 2.0 * (out - yb) / m
+
+                g = {
+                    "w_in": np.zeros(H),
+                    "w_rec": np.zeros((H, H)),
+                    "b": np.zeros(H),
+                    "w_out": hs[:, -1].T @ g_out,
+                    "b_out": float(g_out.sum()),
+                }
+                # Backprop through time (exact, sequence length = D).
+                dh = np.outer(g_out, self.w_out)
+                for t in range(d - 1, -1, -1):
+                    h_t1 = hs[:, t + 1]
+                    dz = dh * (1.0 - h_t1**2)
+                    g["w_in"] += dz.T @ xb[:, t]
+                    g["w_rec"] += hs[:, t].T @ dz
+                    g["b"] += dz.sum(axis=0)
+                    dh = dz @ self.w_rec.T
+
+                for key, grad in g.items():
+                    grad = np.clip(grad, -p.grad_clip, p.grad_clip)
+                    velocity[key] = p.momentum * velocity[key] - p.learning_rate * grad
+                    setattr(self, key, getattr(self, key) + velocity[key])
+
+            if X_val is not None:
+                val_loss = self._loss(X_val, y_val)
+                self.train_curve.append(val_loss)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_weights = {
+                        k: (np.array(getattr(self, k), copy=True))
+                        for k in ("w_in", "w_rec", "b", "w_out", "b_out")
+                    }
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= p.patience:
+                        break
+            else:
+                self.train_curve.append(self._loss(X_tr, y_tr))
+
+        if best_weights is not None:
+            for k, v in best_weights.items():
+                setattr(self, k, v if v.ndim else float(v))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("w_in")
+        X, _ = check_Xy(X)
+        Xs = self.x_scaler.transform(X)
+        return self.y_scaler.inverse(self._forward(Xs))

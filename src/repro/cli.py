@@ -1,0 +1,186 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Runs any paper experiment from the shell::
+
+    repro table1 --horizons 1 4 12 --scale bench --seed 1
+    repro table2
+    repro table3 --jobs 4
+    repro figure2
+    repro ablation-emax
+
+Each command prints the paper-layout table (see
+:mod:`repro.analysis.tables`) and, with ``--markdown``, the
+paper-vs-measured markdown block used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    ablation_markdown,
+    figure2_markdown,
+    format_table,
+    overlay_plot,
+    run_ablation_emax,
+    run_ablation_init,
+    run_ablation_pooling,
+    run_ablation_replacement,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    table1_markdown,
+    table2_markdown,
+    table3_markdown,
+)
+from .parallel.backends import Backend, ProcessPoolBackend, SerialBackend
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures from 'Time Series Forecasting by "
+            "means of Evolutionary Algorithms' (IPPS 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", choices=("bench", "paper"), default="bench",
+                       help="workload scale (paper scale takes hours)")
+        p.add_argument("--seed", type=int, default=1, help="root RNG seed")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for GA executions")
+        p.add_argument("--markdown", action="store_true",
+                       help="also print the paper-vs-measured markdown block")
+
+    p1 = sub.add_parser("table1", help="Venice Lagoon (Table 1)")
+    common(p1)
+    p1.add_argument("--horizons", type=int, nargs="+",
+                    default=[1, 4, 12, 24, 28, 48, 72, 96])
+
+    p2 = sub.add_parser("table2", help="Mackey-Glass (Table 2)")
+    common(p2)
+    p2.add_argument("--horizons", type=int, nargs="+", default=[50, 85])
+
+    p3 = sub.add_parser("table3", help="Sunspots (Table 3)")
+    common(p3)
+    p3.add_argument("--horizons", type=int, nargs="+", default=[1, 4, 8, 12, 18])
+
+    pf = sub.add_parser("figure2", help="Unusual high-tide segment (Figure 2)")
+    common(pf)
+
+    for name in ("ablation-init", "ablation-replacement", "ablation-emax",
+                 "ablation-pooling"):
+        pa = sub.add_parser(name, help=f"{name} study")
+        common(pa)
+    return parser
+
+
+def _backend(jobs: int) -> Backend:
+    return ProcessPoolBackend(workers=jobs) if jobs > 1 else SerialBackend()
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    backend = _backend(args.jobs)
+    try:
+        if args.command == "table1":
+            rows = run_table1(
+                horizons=args.horizons, scale=args.scale, seed=args.seed,
+                backend=backend,
+            )
+            _print(format_table(
+                ["Horizon", "% pred", "Error RS", "Error NN"],
+                [
+                    [r.horizon, f"{r.rs.percentage:.1f}", f"{r.rs.error:.2f}",
+                     f"{r.nn_error:.2f}"]
+                    for r in rows
+                ],
+                title="Table 1 — Venice Lagoon (RMSE, cm)",
+            ))
+            if args.markdown:
+                _print("")
+                _print(table1_markdown(rows))
+        elif args.command == "table2":
+            rows = run_table2(
+                horizons=args.horizons, scale=args.scale, seed=args.seed,
+                backend=backend,
+            )
+            _print(format_table(
+                ["Horizon", "% pred", "RS", "MRAN", "RAN"],
+                [
+                    [r.horizon, f"{r.rs.percentage:.1f}", f"{r.rs.error:.3f}",
+                     f"{r.mran_error:.3f}", f"{r.ran_error:.3f}"]
+                    for r in rows
+                ],
+                title="Table 2 — Mackey-Glass (NMSE)",
+            ))
+            if args.markdown:
+                _print("")
+                _print(table2_markdown(rows))
+        elif args.command == "table3":
+            rows = run_table3(
+                horizons=args.horizons, scale=args.scale, seed=args.seed,
+                backend=backend,
+            )
+            _print(format_table(
+                ["Horizon", "% pred", "RS", "Feedfw NN", "Recurr NN"],
+                [
+                    [r.horizon, f"{r.rs.percentage:.1f}", f"{r.rs.error:.5f}",
+                     f"{r.ff_error:.5f}", f"{r.rec_error:.5f}"]
+                    for r in rows
+                ],
+                title="Table 3 — Sunspots (Galvan error)",
+            ))
+            if args.markdown:
+                _print("")
+                _print(table3_markdown(rows))
+        elif args.command == "figure2":
+            result = run_figure2(scale=args.scale, seed=args.seed, backend=backend)
+            _print(overlay_plot(
+                {"real": result.real, "pred": result.predicted},
+                title="Figure 2 — prediction for an unusual tide (horizon 1)",
+            ))
+            if args.markdown:
+                _print("")
+                _print(figure2_markdown(result))
+        else:
+            runner = {
+                "ablation-init": (run_ablation_init, "NMSE"),
+                "ablation-replacement": (run_ablation_replacement, "NMSE"),
+                "ablation-emax": (run_ablation_emax, "RMSE (cm)"),
+                "ablation-pooling": (run_ablation_pooling, "Galvan error"),
+            }[args.command]
+            rows = runner[0](scale=args.scale, seed=args.seed)
+            _print(format_table(
+                ["Variant", runner[1], "% pred", "detail"],
+                [
+                    [r.variant, f"{r.score.error:.5f}",
+                     f"{r.score.percentage:.1f}", r.detail]
+                    for r in rows
+                ],
+                title=f"Ablation — {args.command}",
+            ))
+            if args.markdown:
+                _print("")
+                _print(ablation_markdown(rows, runner[1]))
+        return 0
+    finally:
+        backend.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the evolutionary rule system.
+
+Public surface:
+
+* :class:`~repro.core.rule.Rule` and
+  :class:`~repro.core.intervals.Interval` — the individual.
+* :class:`~repro.core.config.EvolutionConfig` — one-value run spec.
+* :func:`~repro.core.engine.evolve` /
+  :class:`~repro.core.engine.SteadyStateEngine` — one execution.
+* :func:`~repro.core.multirun.multirun` — pooled executions (§3.4).
+* :class:`~repro.core.predictor.RuleSystem` — the final forecaster.
+"""
+
+from .config import EvolutionConfig, MutationParams, mackey_config, sunspot_config, venice_config
+from .diagnostics import (
+    PoolSummary,
+    overlap_matrix,
+    redundancy_prune,
+    summarize_pool,
+    zone_errors,
+)
+from .engine import EvolutionResult, GenerationStats, SteadyStateEngine, evolve
+from .generalize import RuleRegressor, TabularDataset
+from .tuning import TuneResult, tune_e_max
+from .evaluation import evaluate_population, evaluate_rule
+from .fitness import FitnessParams, fitness_array, rule_fitness
+from .intervals import Interval
+from .multirun import MultiRunResult, multirun
+from .predictor import PredictionBatch, RuleSystem
+from .rule import Rule
+
+__all__ = [
+    "EvolutionConfig",
+    "MutationParams",
+    "FitnessParams",
+    "Interval",
+    "Rule",
+    "SteadyStateEngine",
+    "EvolutionResult",
+    "GenerationStats",
+    "evolve",
+    "evaluate_rule",
+    "evaluate_population",
+    "rule_fitness",
+    "fitness_array",
+    "multirun",
+    "MultiRunResult",
+    "RuleSystem",
+    "PredictionBatch",
+    "venice_config",
+    "mackey_config",
+    "sunspot_config",
+    "RuleRegressor",
+    "TabularDataset",
+    "PoolSummary",
+    "summarize_pool",
+    "overlap_matrix",
+    "redundancy_prune",
+    "zone_errors",
+    "TuneResult",
+    "tune_e_max",
+]

@@ -1,0 +1,182 @@
+"""Rule-pool diagnostics: niche structure, overlap, per-zone accuracy.
+
+The paper's discussion (§5) rests on claims about the pool's *structure*
+— rules specialize to zones, unusual behaviours get their own rules,
+uncovered regions are genuinely unpredictable.  These helpers quantify
+that structure so examples and reports can show it instead of asserting
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .matching import population_match_matrix
+from .predictor import RuleSystem
+from .rule import Rule
+
+__all__ = [
+    "PoolSummary",
+    "summarize_pool",
+    "overlap_matrix",
+    "redundancy_prune",
+    "zone_errors",
+]
+
+
+@dataclass(frozen=True)
+class PoolSummary:
+    """Aggregate statistics of a rule pool on a reference window set.
+
+    Attributes
+    ----------
+    n_rules:
+        Pool size.
+    coverage:
+        Fraction of reference windows matched by >= 1 rule.
+    mean_matches_per_rule / median_matches_per_rule:
+        ``N_R`` distribution location.
+    mean_rules_per_window:
+        Average ensemble size where prediction happens.
+    specialist_fraction:
+        Fraction of rules matching < 1% of windows (local specialists).
+    wildcard_fraction:
+        Fraction of interval genes that are wildcards.
+    prediction_span:
+        Range of the rules' predicting parts (output-space diversity).
+    """
+
+    n_rules: int
+    coverage: float
+    mean_matches_per_rule: float
+    median_matches_per_rule: float
+    mean_rules_per_window: float
+    specialist_fraction: float
+    wildcard_fraction: float
+    prediction_span: float
+
+
+def summarize_pool(
+    rules: Sequence[Rule], windows: np.ndarray
+) -> PoolSummary:
+    """Compute :class:`PoolSummary` for a pool on reference windows."""
+    if len(rules) == 0:
+        return PoolSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    masks = population_match_matrix(rules, windows)
+    per_rule = masks.sum(axis=1)
+    per_window = masks.sum(axis=0)
+    n = windows.shape[0]
+    preds = np.array([r.prediction for r in rules])
+    preds = preds[np.isfinite(preds)]
+    wild = np.concatenate([r.wildcard for r in rules])
+    covered = per_window > 0
+    return PoolSummary(
+        n_rules=len(rules),
+        coverage=float(covered.mean()) if n else 0.0,
+        mean_matches_per_rule=float(per_rule.mean()),
+        median_matches_per_rule=float(np.median(per_rule)),
+        mean_rules_per_window=float(per_window[covered].mean()) if covered.any() else 0.0,
+        specialist_fraction=float((per_rule < max(1, 0.01 * n)).mean()),
+        wildcard_fraction=float(wild.mean()) if wild.size else 0.0,
+        prediction_span=float(preds.max() - preds.min()) if preds.size else 0.0,
+    )
+
+
+def overlap_matrix(rules: Sequence[Rule], windows: np.ndarray) -> np.ndarray:
+    """Pairwise Jaccard *similarity* of matched-window sets.
+
+    ``O[i, j] = |M_i ∩ M_j| / |M_i ∪ M_j]`` (1 on the diagonal for
+    non-empty rules; 0 for two disjoint rules).  High off-diagonal mass
+    means redundant niches.
+    """
+    masks = population_match_matrix(rules, windows).astype(np.float64)
+    inter = masks @ masks.T
+    sizes = masks.sum(axis=1)
+    union = sizes[:, None] + sizes[None, :] - inter
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = inter / union
+    sim[union == 0] = 0.0
+    return sim
+
+
+def redundancy_prune(
+    rules: Sequence[Rule],
+    windows: np.ndarray,
+    max_similarity: float = 0.95,
+) -> List[Rule]:
+    """Greedy pool compression: drop near-duplicate niches.
+
+    Rules are visited best-fitness-first; a rule is kept unless its
+    matched set is ``max_similarity``-similar to an already-kept rule's.
+    Keeps coverage intact (a dropped rule's windows are ≥95% covered by
+    its keeper) while shrinking pools that multi-execution pooling
+    inflates.
+    """
+    if not 0.0 < max_similarity <= 1.0:
+        raise ValueError("max_similarity must be in (0, 1]")
+    order = np.argsort([-r.fitness for r in rules])
+    masks = population_match_matrix(rules, windows)
+    kept: List[Rule] = []
+    kept_masks: List[np.ndarray] = []
+    for idx in order:
+        mask = masks[int(idx)]
+        size = int(mask.sum())
+        redundant = False
+        for km in kept_masks:
+            inter = int((mask & km).sum())
+            union = size + int(km.sum()) - inter
+            if union > 0 and inter / union >= max_similarity:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(rules[int(idx)])
+            kept_masks.append(mask)
+    return kept
+
+
+def zone_errors(
+    system: RuleSystem,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_zones: int = 4,
+) -> List[dict]:
+    """Per-output-zone coverage and MAE (the §5 locality audit).
+
+    Splits the target range into ``n_zones`` equal bands and reports,
+    for each: how many points fall there, how many are predicted, the
+    MAE over predictions, and how many rules *predict into* the band.
+    """
+    if n_zones < 1:
+        raise ValueError("n_zones must be >= 1")
+    y = np.asarray(y, dtype=np.float64)
+    batch = system.predict(X)
+    lo, hi = float(y.min()), float(y.max())
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    edges = np.linspace(lo, hi, n_zones + 1)
+    preds = np.array([r.prediction for r in system.rules])
+    rows = []
+    for z in range(n_zones):
+        z_lo, z_hi = edges[z], edges[z + 1]
+        in_zone = (y >= z_lo) & (y <= z_hi if z == n_zones - 1 else y < z_hi)
+        covered = in_zone & batch.predicted
+        mae = (
+            float(np.abs(batch.values[covered] - y[covered]).mean())
+            if covered.any()
+            else np.nan
+        )
+        rows.append(
+            {
+                "zone": (float(z_lo), float(z_hi)),
+                "n_points": int(in_zone.sum()),
+                "n_predicted": int(covered.sum()),
+                "mae": mae,
+                "n_rules": int(
+                    np.sum((preds >= z_lo) & (preds < z_hi))
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,60 @@
+"""Rule evaluation: match → fit predicting part → fitness.
+
+This ties together :mod:`~repro.core.matching`,
+:mod:`~repro.core.regression` and :mod:`~repro.core.fitness` into the
+single operation the engine applies to every offspring, caching the
+match mask on the rule (it doubles as the crowding phenotype).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..series.windowing import WindowDataset
+from .config import EvolutionConfig
+from .fitness import rule_fitness
+from .matching import match_mask
+from .regression import fit_predicting_part
+from .rule import Rule
+
+__all__ = ["evaluate_rule", "evaluate_population"]
+
+
+def evaluate_rule(rule: Rule, dataset: WindowDataset, config: EvolutionConfig) -> Rule:
+    """Evaluate ``rule`` in place against the training dataset.
+
+    Populates ``match_mask``, ``n_matched``, the predicting part
+    (``prediction``, ``error``, ``coeffs``) and ``fitness``.  Zero-match
+    rules receive ``f_min`` fitness with an undefined predicting part.
+    Returns the same object for chaining.
+    """
+    mask = match_mask(rule, dataset.X)
+    n = int(mask.sum())
+    rule.match_mask = mask
+    rule.n_matched = n
+    if n == 0:
+        rule.prediction = np.nan
+        rule.error = np.inf
+        rule.coeffs = None
+        rule.fitness = config.fitness.f_min
+        return rule
+
+    Xm, vm = dataset.subset(mask)
+    part = fit_predicting_part(
+        Xm, vm, mode=config.predicting_mode, ridge=config.ridge
+    )
+    rule.prediction = part.prediction
+    rule.error = part.error
+    rule.coeffs = part.coeffs
+    rule.fitness = rule_fitness(n, part.error, config.fitness)
+    return rule
+
+
+def evaluate_population(
+    rules: Sequence[Rule], dataset: WindowDataset, config: EvolutionConfig
+) -> None:
+    """Evaluate every rule in place (used at initialization)."""
+    for rule in rules:
+        evaluate_rule(rule, dataset, config)

@@ -1,0 +1,75 @@
+"""The paper's fitness function (§3.1).
+
+::
+
+    IF ((NR > 1) AND (eR < EMAX)) THEN
+        fitness = (NR * EMAX) - eR
+    ELSE
+        fitness = f_min
+
+``NR`` rewards coverage, ``-eR`` rewards accuracy, and ``EMAX`` is the
+exchange rate between them: matching one extra window is worth ``EMAX``
+units of worst-case error.  Rules whose worst-case error exceeds
+``EMAX`` — or that match at most one training window — are punished with
+the flat ``f_min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitnessParams", "rule_fitness", "fitness_array"]
+
+
+@dataclass(frozen=True)
+class FitnessParams:
+    """Parameters of the paper's fitness function.
+
+    Attributes
+    ----------
+    e_max:
+        ``EMAX`` — maximum admissible worst-case rule error, in target
+        units.  Larger values favour coverage; smaller values favour
+        accuracy (§5: the algorithm "can be tuned" through this knob).
+    f_min:
+        Flat fitness for invalid rules (no/one match, or ``e_R >= EMAX``).
+    min_matches:
+        ``N_R`` must exceed this to be valid (paper: ``NR > 1`` → 1).
+    """
+
+    e_max: float
+    f_min: float = -1.0
+    min_matches: int = 1
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.e_max) or self.e_max <= 0:
+            raise ValueError(f"e_max must be positive and finite, got {self.e_max}")
+        if self.min_matches < 0:
+            raise ValueError("min_matches must be >= 0")
+        # f_min must undercut every achievable valid fitness; the smallest
+        # valid fitness is (min_matches+1)*e_max - e_max >= e_max > 0 when
+        # min_matches >= 1, so any f_min <= 0 is safe.  Reject values that
+        # could shadow valid rules.
+        if self.f_min > 0:
+            raise ValueError("f_min must be <= 0 so invalid rules never win")
+
+
+def rule_fitness(n_matched: int, error: float, params: FitnessParams) -> float:
+    """Fitness of a single rule from ``(N_R, e_R)``."""
+    if n_matched > params.min_matches and error < params.e_max:
+        return n_matched * params.e_max - error
+    return params.f_min
+
+
+def fitness_array(
+    n_matched: np.ndarray, errors: np.ndarray, params: FitnessParams
+) -> np.ndarray:
+    """Vectorized :func:`rule_fitness` over parallel arrays."""
+    n_matched = np.asarray(n_matched)
+    errors = np.asarray(errors, dtype=np.float64)
+    valid = (n_matched > params.min_matches) & (errors < params.e_max)
+    out = np.full(n_matched.shape, params.f_min, dtype=np.float64)
+    out[valid] = n_matched[valid] * params.e_max - errors[valid]
+    return out

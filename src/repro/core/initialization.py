@@ -1,0 +1,102 @@
+"""Output-range-stratified population initialization (§3.2).
+
+The paper seeds diversity *before* evolution: the output range is split
+into ``population_size`` equal-width bins (Venice example: −50..150 cm →
+100 bins of 2 cm) and one very general rule is built per bin:
+
+1. select the training patterns whose output falls in the bin;
+2. the rule's interval for each input lag is the ``[min, max]`` of that
+   lag over the selected patterns;
+3. the rule's prediction is the mean selected output.
+
+Bins that contain no pattern (or a single one) cannot produce a valid
+rule; the paper is silent on them, so we fall back to a random-window
+box rule (documented substitution — it keeps the population at full
+strength without biasing any particular output zone).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..series.windowing import WindowDataset
+from .config import EvolutionConfig
+from .rule import Rule
+
+__all__ = [
+    "output_bins",
+    "stratified_population",
+    "random_population",
+    "random_box_rule",
+]
+
+
+def output_bins(y_min: float, y_max: float, n_bins: int) -> np.ndarray:
+    """Equal-width bin edges over ``[y_min, y_max]`` (``n_bins + 1``)."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if not np.isfinite(y_min) or not np.isfinite(y_max):
+        raise ValueError("output range must be finite")
+    if y_min == y_max:
+        # Degenerate constant series — widen symmetrically so the single
+        # output value lands strictly inside.
+        y_min, y_max = y_min - 0.5, y_max + 0.5
+    return np.linspace(y_min, y_max, n_bins + 1)
+
+
+def random_box_rule(
+    dataset: WindowDataset, rng: np.random.Generator, half_width_frac: float = 0.15
+) -> Rule:
+    """A rule boxed around one random training window.
+
+    The box spans ``±half_width_frac`` of the series range around each
+    lag value — specific enough to be locally meaningful, wide enough to
+    usually match more than one window.
+    """
+    lo, hi = dataset.input_range
+    span = max(hi - lo, np.finfo(np.float64).tiny)
+    half = half_width_frac * span
+    idx = int(rng.integers(0, len(dataset)))
+    center = dataset.X[idx]
+    return Rule.from_box(center - half, center + half)
+
+
+def stratified_population(
+    dataset: WindowDataset, config: EvolutionConfig, rng: np.random.Generator
+) -> List[Rule]:
+    """The §3.2 initializer: one general rule per output bin.
+
+    Returns exactly ``config.population_size`` unevaluated rules.
+    """
+    y = dataset.y
+    y_min, y_max = dataset.output_range
+    edges = output_bins(y_min, y_max, config.population_size)
+    # Right-inclusive final bin so y_max is assigned somewhere.
+    bin_index = np.clip(
+        np.searchsorted(edges, y, side="right") - 1, 0, config.population_size - 1
+    )
+
+    rules: List[Rule] = []
+    for b in range(config.population_size):
+        sel = bin_index == b
+        n_sel = int(sel.sum())
+        if n_sel == 0:
+            rules.append(random_box_rule(dataset, rng))
+            continue
+        Xb = dataset.X[sel]
+        lower = Xb.min(axis=0)
+        upper = Xb.max(axis=0)
+        rule = Rule.from_box(lower, upper, prediction=float(y[sel].mean()))
+        rules.append(rule)
+    return rules
+
+
+def random_population(
+    dataset: WindowDataset, config: EvolutionConfig, rng: np.random.Generator
+) -> List[Rule]:
+    """Ablation initializer: random boxes, no output stratification."""
+    return [
+        random_box_rule(dataset, rng) for _ in range(config.population_size)
+    ]

@@ -1,0 +1,215 @@
+"""Interval algebra for rule condition genes.
+
+A rule's conditional part is a conjunction of per-lag intervals
+``I_i = [LL_i, UL_i]`` (inclusive on both ends, §3.1 of the paper), any of
+which may be the wildcard ``*`` meaning "this lag is irrelevant".
+
+This module provides a small, scalar :class:`Interval` value type used by
+the public API, plus the vectorized helpers that the hot paths (matching,
+mutation) use on packed ``(lower, upper, wildcard)`` arrays.  The scalar
+type is convenient and well-tested; the packed representation is what the
+engine actually evolves, following the HPC guide's advice to keep the
+inner loop free of Python-object traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Interval",
+    "WILDCARD",
+    "effective_bounds",
+    "clip_intervals",
+    "intervals_contain",
+    "pack_intervals",
+    "unpack_intervals",
+]
+
+#: Sentinel used in the paper's flat encoding for a wildcard gene.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lower, upper]``, or the wildcard interval.
+
+    Parameters
+    ----------
+    lower, upper:
+        Inclusive bounds.  Ignored (and normalized to ``-inf``/``+inf``)
+        when ``wildcard`` is true.
+    wildcard:
+        If true the interval matches every value (the paper's ``*``).
+    """
+
+    lower: float
+    upper: float
+    wildcard: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.wildcard and self.lower > self.upper:
+            raise ValueError(
+                f"Interval lower bound {self.lower!r} exceeds upper bound "
+                f"{self.upper!r}"
+            )
+
+    @staticmethod
+    def star() -> "Interval":
+        """The wildcard interval (matches everything)."""
+        return Interval(-np.inf, np.inf, wildcard=True)
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (``inf`` for wildcards)."""
+        if self.wildcard:
+            return np.inf
+        return self.upper - self.lower
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval (``nan`` for wildcards)."""
+        if self.wildcard:
+            return np.nan
+        return 0.5 * (self.lower + self.upper)
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the (inclusive) interval."""
+        if self.wildcard:
+            return True
+        return self.lower <= value <= self.upper
+
+    def intersects(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one point."""
+        if self.wildcard or other.wildcard:
+            return True
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def union_bounds(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands."""
+        if self.wildcard or other.wildcard:
+            return Interval.star()
+        return Interval(min(self.lower, other.lower), max(self.upper, other.upper))
+
+    def shifted(self, delta: float) -> "Interval":
+        """The interval translated by ``delta`` (wildcards unchanged)."""
+        if self.wildcard:
+            return self
+        return Interval(self.lower + delta, self.upper + delta)
+
+    def scaled(self, factor: float) -> "Interval":
+        """The interval scaled about its center by ``factor`` >= 0."""
+        if self.wildcard:
+            return self
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        half = 0.5 * self.width * factor
+        c = self.center
+        return Interval(c - half, c + half)
+
+    def encode(self) -> Tuple[object, object]:
+        """Paper-style flat encoding: ``(LL, UL)`` or ``('*', '*')``."""
+        if self.wildcard:
+            return (WILDCARD, WILDCARD)
+        return (self.lower, self.upper)
+
+    @staticmethod
+    def decode(lower: object, upper: object) -> "Interval":
+        """Inverse of :meth:`encode`."""
+        if lower == WILDCARD or upper == WILDCARD:
+            if lower != upper:
+                raise ValueError("both halves of a wildcard gene must be '*'")
+            return Interval.star()
+        return Interval(float(lower), float(upper))  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Packed (vectorized) representation helpers
+# ---------------------------------------------------------------------------
+
+def pack_intervals(
+    intervals: Iterable[Interval],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack scalar :class:`Interval` objects into parallel arrays.
+
+    Returns ``(lower, upper, wildcard)`` float64/float64/bool arrays.
+    Wildcard slots carry ``-inf``/``+inf`` bounds so that the packed
+    arrays can be used directly in comparisons without consulting the
+    mask.
+    """
+    ivs = list(intervals)
+    lower = np.empty(len(ivs), dtype=np.float64)
+    upper = np.empty(len(ivs), dtype=np.float64)
+    wild = np.zeros(len(ivs), dtype=bool)
+    for i, iv in enumerate(ivs):
+        if iv.wildcard:
+            lower[i], upper[i], wild[i] = -np.inf, np.inf, True
+        else:
+            lower[i], upper[i] = iv.lower, iv.upper
+    return lower, upper, wild
+
+
+def unpack_intervals(
+    lower: np.ndarray, upper: np.ndarray, wildcard: np.ndarray
+) -> Tuple[Interval, ...]:
+    """Inverse of :func:`pack_intervals`."""
+    out = []
+    for lo, hi, w in zip(lower, upper, wildcard):
+        out.append(Interval.star() if w else Interval(float(lo), float(hi)))
+    return tuple(out)
+
+
+def effective_bounds(
+    lower: np.ndarray, upper: np.ndarray, wildcard: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bounds with wildcard slots widened to ``(-inf, +inf)``.
+
+    The matching kernel uses these so a single pair of broadcasted
+    comparisons covers wildcards with no branch.
+    """
+    lo = np.where(wildcard, -np.inf, lower)
+    hi = np.where(wildcard, np.inf, upper)
+    return lo, hi
+
+
+def clip_intervals(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    lo_bound: float,
+    hi_bound: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clip packed bounds into ``[lo_bound, hi_bound]`` preserving order.
+
+    Used after mutation so intervals cannot drift arbitrarily far from
+    the data range.  Degenerate results are snapped to a zero-width
+    interval at the nearest bound.
+    """
+    lo = np.clip(lower, lo_bound, hi_bound)
+    hi = np.clip(upper, lo_bound, hi_bound)
+    swap = lo > hi
+    if np.any(swap):
+        mid = 0.5 * (lo[swap] + hi[swap])
+        lo = lo.copy()
+        hi = hi.copy()
+        lo[swap] = mid
+        hi[swap] = mid
+    return lo, hi
+
+
+def intervals_contain(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    wildcard: np.ndarray,
+    values: np.ndarray,
+) -> np.ndarray:
+    """Element-wise containment test for packed intervals.
+
+    ``values`` must have the same length ``D`` as the packed arrays.
+    Returns a boolean array of per-gene results; callers typically reduce
+    with :func:`numpy.all`.
+    """
+    lo, hi = effective_bounds(lower, upper, wildcard)
+    return (values >= lo) & (values <= hi)

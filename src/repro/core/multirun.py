@@ -1,0 +1,155 @@
+"""Multi-execution pooling (§3.4).
+
+"This statistical method obtains different solutions in different
+executions.  After each execution the solutions obtained … are added to
+the obtained in previous executions.  The number of executions is
+determined by the percentage of the search space covered by the rules."
+
+We run independent executions (fresh seed each) and union their valid
+rules into one :class:`~repro.core.predictor.RuleSystem`, stopping when
+training coverage reaches ``coverage_target`` or ``max_executions`` is
+hit.  Executions beyond the first batch run through a
+:class:`~repro.parallel.backends.Backend`, so the paper's own outermost
+loop is the parallel axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..parallel.backends import Backend, SerialBackend
+from ..parallel.rng import spawn_seeds
+from ..series.windowing import WindowDataset
+from .config import EvolutionConfig
+from .engine import EvolutionResult, evolve
+from .matching import coverage_fraction
+from .predictor import RuleSystem
+from .rule import Rule
+
+__all__ = ["MultiRunResult", "run_execution", "multirun"]
+
+
+@dataclass
+class MultiRunResult:
+    """Pooled outcome of several executions.
+
+    Attributes
+    ----------
+    system:
+        The union rule pool as a ready-to-use predictor.
+    executions:
+        Per-execution :class:`~repro.core.engine.EvolutionResult`.
+    coverage_history:
+        Training coverage of the pooled system after each execution —
+        the quantity the paper's stopping criterion watches.
+    """
+
+    system: RuleSystem
+    executions: List[EvolutionResult] = field(default_factory=list)
+    coverage_history: List[float] = field(default_factory=list)
+
+    @property
+    def n_executions(self) -> int:
+        return len(self.executions)
+
+
+@dataclass(frozen=True)
+class _ExecutionTask:
+    """Picklable unit of work for one GA execution."""
+
+    series: np.ndarray
+    config: EvolutionConfig
+    init: str
+
+
+def run_execution(task: _ExecutionTask) -> EvolutionResult:
+    """Run one execution (module-level so process pools can pickle it)."""
+    dataset = WindowDataset.from_series(task.series, task.config.d, task.config.horizon)
+    return evolve(dataset, task.config, init=task.init)
+
+
+def multirun(
+    dataset: WindowDataset,
+    config: EvolutionConfig,
+    coverage_target: float = 0.95,
+    max_executions: int = 8,
+    batch_size: Optional[int] = None,
+    backend: Optional[Backend] = None,
+    root_seed: Optional[int] = None,
+    init: str = "stratified",
+) -> MultiRunResult:
+    """Pool executions until training coverage reaches the target.
+
+    Parameters
+    ----------
+    dataset:
+        Training windows.
+    config:
+        Per-execution configuration (its ``seed`` is ignored; each
+        execution draws an independent seed from ``root_seed``).
+    coverage_target:
+        Stop once the pooled rules match at least this fraction of
+        training windows.  Values above 1 are unreachable by design and
+        mean "always run ``max_executions`` executions".
+    max_executions:
+        Hard cap on executions.
+    batch_size:
+        Executions launched per round; defaults to the backend's
+        parallelism (1 for serial).
+    backend:
+        Execution backend; serial by default.
+    root_seed:
+        Root of the per-execution seed tree (determinism across any
+        batch size / backend combination).
+    init:
+        Initialization mode forwarded to the engine.
+    """
+    if coverage_target < 0.0:
+        raise ValueError("coverage_target must be >= 0")
+    if max_executions < 1:
+        raise ValueError("max_executions must be >= 1")
+
+    backend = backend if backend is not None else SerialBackend()
+    if batch_size is None:
+        batch_size = getattr(backend, "workers", 1)
+    batch_size = max(1, min(batch_size, max_executions))
+
+    seeds = spawn_seeds(max_executions, root_seed)
+    pooled: List[Rule] = []
+    executions: List[EvolutionResult] = []
+    coverage_history: List[float] = []
+
+    launched = 0
+    while launched < max_executions:
+        n = min(batch_size, max_executions - launched)
+        tasks = [
+            _ExecutionTask(
+                series=dataset.series,
+                config=config.replace(
+                    seed=int(seeds[launched + i].generate_state(1)[0])
+                ),
+                init=init,
+            )
+            for i in range(n)
+        ]
+        results = backend.map(run_execution, tasks)
+        launched += n
+        done = False
+        for result in results:
+            executions.append(result)
+            pooled.extend(result.valid_rules)
+            cov = coverage_fraction(pooled, dataset.X) if pooled else 0.0
+            coverage_history.append(cov)
+            if cov >= coverage_target:
+                done = True
+        if done:
+            break
+
+    return MultiRunResult(
+        system=RuleSystem(pooled),
+        executions=executions,
+        coverage_history=coverage_history,
+    )

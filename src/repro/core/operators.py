@@ -1,0 +1,125 @@
+"""Genetic operators: uniform crossover and interval mutations (§3.1).
+
+Crossover is *uniform over interval genes*: for each lag the offspring
+inherits the whole ``(LL_i, UL_i)`` pair (wildcard state included) from
+either parent with equal probability.  The predicting part ``(p, e)`` is
+*not* inherited — it is recomputed from the training data when the
+offspring is evaluated, exactly as in the paper's example where the
+offspring carries ``(…, p, e)`` placeholders.
+
+Mutation perturbs individual genes by enlarging, shrinking, or moving
+the interval up/down; we add wildcard on/off toggles (the paper's
+encoding has ``*`` genes but no stated origin for them) with
+probabilities in :class:`~repro.core.config.MutationParams`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .config import MutationParams
+from .rule import Rule
+
+__all__ = ["uniform_crossover", "mutate", "MUTATION_OPS"]
+
+#: The four interval edit operations of §3.1, in a fixed order so the
+#: RNG draw → operation mapping is stable across runs.
+MUTATION_OPS: Tuple[str, ...] = ("enlarge", "shrink", "shift_up", "shift_down")
+
+
+def uniform_crossover(
+    parent_a: Rule, parent_b: Rule, rng: np.random.Generator
+) -> Rule:
+    """One offspring by uniform gene inheritance (predicting part reset).
+
+    Each interval gene comes verbatim from parent A or parent B with
+    probability 1/2; the offspring starts unevaluated.
+    """
+    if parent_a.n_lags != parent_b.n_lags:
+        raise ValueError(
+            f"parents disagree on arity: {parent_a.n_lags} vs {parent_b.n_lags}"
+        )
+    take_a = rng.random(parent_a.n_lags) < 0.5
+    lower = np.where(take_a, parent_a.lower, parent_b.lower)
+    upper = np.where(take_a, parent_a.upper, parent_b.upper)
+    wild = np.where(take_a, parent_a.wildcard, parent_b.wildcard)
+    return Rule(lower, upper, wild)
+
+
+def _edit_interval(
+    lo: float, hi: float, op: str, step: float
+) -> Tuple[float, float]:
+    """Apply one §3.1 edit to a single interval.
+
+    ``step`` is the absolute magnitude (already scaled by the series
+    range).  Shrinking never inverts the interval: it collapses to a
+    zero-width interval at the midpoint at worst.
+    """
+    if op == "enlarge":
+        return lo - step, hi + step
+    if op == "shrink":
+        half_width = 0.5 * (hi - lo)
+        s = min(step, half_width)
+        return lo + s, hi - s
+    if op == "shift_up":
+        return lo + step, hi + step
+    if op == "shift_down":
+        return lo - step, hi - step
+    raise ValueError(f"unknown mutation op {op!r}")
+
+
+def mutate(
+    rule: Rule,
+    params: MutationParams,
+    series_range: Tuple[float, float],
+    rng: np.random.Generator,
+) -> Rule:
+    """Mutate ``rule`` in place; returns it for chaining.
+
+    For each gene, with probability ``params.rate``:
+
+    * a wildcard gene turns concrete with probability
+      ``p_wildcard_off`` (re-seeded as a random sub-interval of the
+      series range);
+    * a concrete gene turns wildcard with probability ``p_wildcard_on``;
+    * otherwise one of the four §3.1 edits is applied with a step drawn
+      uniformly from ``(0, params.scale * range]``.
+
+    Bounds are *not* clipped to the series range: the paper lets
+    intervals roam (e.g. ``-10 < y3 < 5`` on a positive series), and
+    over-wide intervals simply behave like wildcards.
+    """
+    lo_r, hi_r = series_range
+    span = max(hi_r - lo_r, np.finfo(np.float64).tiny)
+    d = rule.n_lags
+
+    mutating = np.nonzero(rng.random(d) < params.rate)[0]
+    if mutating.size == 0:
+        return rule
+
+    changed = False
+    for g in mutating:
+        if rule.wildcard[g]:
+            if rng.random() < params.p_wildcard_off:
+                a, b = rng.uniform(lo_r, hi_r, size=2)
+                rule.lower[g], rule.upper[g] = min(a, b), max(a, b)
+                rule.wildcard[g] = False
+                changed = True
+            continue
+        if rng.random() < params.p_wildcard_on:
+            rule.lower[g], rule.upper[g] = -np.inf, np.inf
+            rule.wildcard[g] = True
+            changed = True
+            continue
+        op = MUTATION_OPS[int(rng.integers(0, len(MUTATION_OPS)))]
+        step = float(rng.uniform(0.0, params.scale * span))
+        rule.lower[g], rule.upper[g] = _edit_interval(
+            float(rule.lower[g]), float(rule.upper[g]), op, step
+        )
+        changed = True
+
+    if changed:
+        rule.invalidate()
+    return rule

@@ -1,0 +1,152 @@
+"""The rule-system predictor (§3.4).
+
+The final solution is the union of all rules obtained across
+executions.  For an unseen input pattern:
+
+1. find the rules whose conditional part the pattern fits;
+2. each matching rule produces an output (its hyperplane applied to the
+   pattern, or its constant ``p_R``);
+3. the system prediction is the *mean* of those outputs;
+4. if no rule matches, the system abstains — the "percentage of
+   prediction" is the fraction of patterns with at least one match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .matching import match_mask
+from .rule import Rule
+
+__all__ = ["PredictionBatch", "RuleSystem"]
+
+
+@dataclass(frozen=True)
+class PredictionBatch:
+    """Predictions for a batch of patterns.
+
+    Attributes
+    ----------
+    values:
+        Predicted values; ``NaN`` where the system abstains.
+    predicted:
+        Boolean mask — True where at least one rule matched.
+    n_rules_used:
+        Per-pattern count of contributing rules.
+    """
+
+    values: np.ndarray
+    predicted: np.ndarray
+    n_rules_used: np.ndarray
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of patterns predicted (paper's percentage / 100)."""
+        if self.predicted.size == 0:
+            return 0.0
+        return float(self.predicted.mean())
+
+
+class RuleSystem:
+    """A pool of prediction rules acting as one forecaster.
+
+    Parameters
+    ----------
+    rules:
+        Evaluated rules (each needs a predicting part; unevaluated rules
+        are rejected).
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules: List[Rule] = []
+        for rule in rules:
+            if not np.isfinite(rule.prediction) and rule.coeffs is None:
+                raise ValueError(
+                    "RuleSystem requires evaluated rules (run the engine "
+                    "or evaluate_rule first); got one with no predicting part"
+                )
+            self.rules.append(rule)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def n_lags(self) -> int:
+        """Common arity ``D`` of the pooled rules."""
+        if not self.rules:
+            raise ValueError("empty rule system has no arity")
+        return self.rules[0].n_lags
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(self, patterns: np.ndarray) -> PredictionBatch:
+        """Mean-of-matching-rules prediction for ``(n, D)`` patterns."""
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        n = patterns.shape[0]
+        if not self.rules:
+            return PredictionBatch(
+                values=np.full(n, np.nan),
+                predicted=np.zeros(n, dtype=bool),
+                n_rules_used=np.zeros(n, dtype=np.int64),
+            )
+        if patterns.shape[1] != self.n_lags:
+            raise ValueError(
+                f"patterns have {patterns.shape[1]} lags, rules expect "
+                f"{self.n_lags}"
+            )
+        totals = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.int64)
+        for rule in self.rules:
+            mask = match_mask(rule, patterns)
+            if not mask.any():
+                continue
+            totals[mask] += rule.output(patterns[mask])
+            counts[mask] += 1
+        predicted = counts > 0
+        values = np.full(n, np.nan)
+        values[predicted] = totals[predicted] / counts[predicted]
+        return PredictionBatch(values=values, predicted=predicted, n_rules_used=counts)
+
+    def predict_one(self, pattern: np.ndarray) -> Optional[float]:
+        """Single-pattern convenience; ``None`` when the system abstains."""
+        batch = self.predict(np.asarray(pattern, dtype=np.float64)[None, :])
+        if not batch.predicted[0]:
+            return None
+        return float(batch.values[0])
+
+    def coverage(self, patterns: np.ndarray) -> float:
+        """Fraction of ``patterns`` matched by at least one rule."""
+        return self.predict(patterns).coverage
+
+    # -- composition -----------------------------------------------------------
+
+    def merged_with(self, other: "RuleSystem") -> "RuleSystem":
+        """Union of two rule pools (multi-execution pooling, §3.4)."""
+        return RuleSystem(list(self.rules) + list(other.rules))
+
+    def filtered(
+        self,
+        max_error: Optional[float] = None,
+        min_matches: int = 0,
+    ) -> "RuleSystem":
+        """Sub-pool with only rules meeting quality thresholds."""
+        kept: List[Rule] = []
+        for rule in self.rules:
+            if max_error is not None and not (rule.error <= max_error):
+                continue
+            if rule.n_matched < min_matches:
+                continue
+            kept.append(rule)
+        return RuleSystem(kept)
+
+    def describe(self, limit: int = 10) -> str:
+        """Multi-line human-readable summary of the pool."""
+        lines = [f"RuleSystem with {len(self.rules)} rules"]
+        for rule in self.rules[:limit]:
+            lines.append("  " + rule.describe())
+        if len(self.rules) > limit:
+            lines.append(f"  … and {len(self.rules) - limit} more")
+        return "\n".join(lines)

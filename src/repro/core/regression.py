@@ -1,0 +1,146 @@
+"""Per-rule predicting part: hyperplane fit and expected error (§3.1).
+
+Given the matched windows ``C_R(S)`` and their horizon-``tau`` outputs
+``v_i``, the paper fits the regression hyperplane
+``v~_i = a_0 x_i + … + a_{D-1} x_{i+D-1} + a_D`` by least squares and
+sets the expected error to the *worst case* residual
+``e_R = max_i |v_i - v~_i|``.
+
+Two modes are supported:
+
+``linear``
+    The §3.1 procedure.  When a rule matches fewer points than the
+    regression has parameters, plain ``lstsq`` returns a zero-residual
+    minimum-norm solution — an overfit rule with a deceptively perfect
+    ``e_R``.  A small ridge term (``ridge``) keeps such fits tame, and
+    rules matching fewer than ``min_points_linear`` windows fall back to
+    the constant mode.
+
+``constant``
+    The narrative "prediction = 33 ± 5" form: ``p_R`` = mean matched
+    output, residuals measured against that mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PredictingPart", "fit_predicting_part"]
+
+
+@dataclass(frozen=True)
+class PredictingPart:
+    """Result of fitting a rule's predicting part.
+
+    Attributes
+    ----------
+    prediction:
+        ``p_R`` — mean (regressed) output over matched windows.
+    error:
+        ``e_R`` — max absolute residual over matched windows.
+    coeffs:
+        ``(D+1,)`` hyperplane coefficients (intercept last) or ``None``
+        in constant mode.
+    n_matched:
+        Number of matched windows used for the fit.
+    """
+
+    prediction: float
+    error: float
+    coeffs: Optional[np.ndarray]
+    n_matched: int
+
+
+def _fit_linear(
+    X: np.ndarray, v: np.ndarray, ridge: float
+) -> np.ndarray:
+    """Least-squares (optionally ridge-regularized) hyperplane fit.
+
+    Solves ``min ||A c - v||^2 + ridge ||c||^2`` with ``A = [X | 1]``.
+    The normal-equation path with a ridge term is both faster for the
+    small systems rules produce (D+1 unknowns) and numerically safer
+    than bare ``lstsq`` on rank-deficient matched sets.
+    """
+    n, d = X.shape
+    A = np.empty((n, d + 1), dtype=np.float64)
+    A[:, :d] = X
+    A[:, d] = 1.0
+    if ridge > 0.0:
+        G = A.T @ A
+        G[np.diag_indices_from(G)] += ridge
+        try:
+            return np.linalg.solve(G, A.T @ v)
+        except np.linalg.LinAlgError:
+            pass
+    coeffs, *_ = np.linalg.lstsq(A, v, rcond=None)
+    return coeffs
+
+
+def fit_predicting_part(
+    X: np.ndarray,
+    v: np.ndarray,
+    mode: str = "linear",
+    ridge: float = 1e-8,
+    min_points_linear: Optional[int] = None,
+) -> PredictingPart:
+    """Fit ``(p_R, e_R)`` for the matched set ``C'_R(S) = (X, v)``.
+
+    Parameters
+    ----------
+    X:
+        Matched windows, shape ``(n, D)``.
+    v:
+        Horizon outputs ``v_i``, shape ``(n,)``.
+    mode:
+        ``"linear"`` (paper §3.1) or ``"constant"``.
+    ridge:
+        Tikhonov term for the linear fit (0 disables).
+    min_points_linear:
+        Minimum matches required to attempt the hyperplane; defaults to
+        ``D + 2`` (one more than the parameter count, so the max-residual
+        error estimate is never vacuously zero by construction).
+
+    Raises
+    ------
+    ValueError
+        If the matched set is empty — callers must handle zero-match
+        rules *before* fitting (they get ``f_min`` fitness directly).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (n, D)")
+    n, d = X.shape
+    if n == 0:
+        raise ValueError("cannot fit a predicting part on zero matches")
+    if v.shape != (n,):
+        raise ValueError(f"v shape {v.shape} != ({n},)")
+    if mode not in ("linear", "constant"):
+        raise ValueError(f"unknown predicting mode {mode!r}")
+
+    if min_points_linear is None:
+        min_points_linear = d + 2
+
+    if mode == "linear" and n >= min_points_linear:
+        coeffs = _fit_linear(X, v, ridge)
+        fitted = X @ coeffs[:-1] + coeffs[-1]
+        residuals = np.abs(v - fitted)
+        return PredictingPart(
+            prediction=float(fitted.mean()),
+            error=float(residuals.max()),
+            coeffs=coeffs,
+            n_matched=n,
+        )
+
+    # Constant mode (explicit, or linear fallback on tiny matched sets).
+    p = float(v.mean())
+    residuals = np.abs(v - p)
+    return PredictingPart(
+        prediction=p,
+        error=float(residuals.max()),
+        coeffs=None,
+        n_matched=n,
+    )

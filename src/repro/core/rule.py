@@ -1,0 +1,248 @@
+"""The prediction rule: conditional part + predicting part (§3.1).
+
+A rule ``R`` is::
+
+    IF  (LL_1 <= y_1 <= UL_1) AND ... AND (LL_D <= y_D <= UL_D)
+    THEN prediction = p_R  (expected error e_R)
+
+where any interval may be the wildcard ``*``.  The predicting part is
+*derived* from the training windows the condition matches — either a
+least-squares hyperplane (the paper's §3.1 procedure) or the mean output
+(the narrative "33 ± 5" constant form); see
+:mod:`repro.core.regression`.
+
+Rules are stored in packed NumPy form (``lower``, ``upper``,
+``wildcard`` arrays of length ``D``) so that matching a rule against
+tens of thousands of windows is two broadcasted comparisons, per the
+HPC-guide vectorization idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .intervals import (
+    WILDCARD,
+    Interval,
+    effective_bounds,
+    pack_intervals,
+    unpack_intervals,
+)
+
+__all__ = ["Rule"]
+
+
+@dataclass(eq=False)
+class Rule:
+    """A local prediction rule (one GA individual).
+
+    Rules use *identity* equality (``eq=False``): two independently
+    evolved rules with equal genes are still distinct individuals, and
+    array-valued fields make value equality ill-defined anyway.
+
+    Parameters
+    ----------
+    lower, upper:
+        Per-lag interval bounds, shape ``(D,)`` float64.  Wildcard slots
+        hold ``-inf``/``+inf``.
+    wildcard:
+        Boolean mask, shape ``(D,)``; true where the gene is ``*``.
+    prediction:
+        The scalar predicting part ``p_R`` (mean matched output).  For
+        linear rules this is the mean *regressed* output; it is what the
+        crowding replacement uses as a phenotype tie-break.
+    error:
+        Expected error ``e_R`` = max absolute residual over matched
+        training windows (``inf`` until evaluated).
+    coeffs:
+        Regression coefficients ``(a_0 … a_{D-1}, a_D)`` with the
+        intercept last, or ``None`` for constant-mode rules.
+    n_matched:
+        ``N_R`` — number of training windows matched at evaluation time.
+    fitness:
+        Cached fitness (``-inf`` until evaluated).
+    match_mask:
+        Cached boolean mask over the *training* windows (phenotype for
+        crowding); ``None`` until evaluated.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    wildcard: np.ndarray
+    prediction: float = np.nan
+    error: float = np.inf
+    coeffs: Optional[np.ndarray] = None
+    n_matched: int = 0
+    fitness: float = -np.inf
+    match_mask: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=np.float64)
+        self.upper = np.asarray(self.upper, dtype=np.float64)
+        self.wildcard = np.asarray(self.wildcard, dtype=bool)
+        if not (self.lower.shape == self.upper.shape == self.wildcard.shape):
+            raise ValueError("lower/upper/wildcard must share a shape")
+        if self.lower.ndim != 1:
+            raise ValueError("rule bounds must be 1-D (one slot per lag)")
+        bad = ~self.wildcard & (self.lower > self.upper)
+        if np.any(bad):
+            raise ValueError(
+                f"lower > upper at non-wildcard lags {np.nonzero(bad)[0].tolist()}"
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_intervals(
+        intervals: Sequence[Interval],
+        prediction: float = np.nan,
+        error: float = np.inf,
+    ) -> "Rule":
+        """Build a rule from scalar :class:`~repro.core.intervals.Interval`s."""
+        lower, upper, wild = pack_intervals(intervals)
+        return Rule(lower, upper, wild, prediction=prediction, error=error)
+
+    @staticmethod
+    def from_box(
+        lower: np.ndarray, upper: np.ndarray, prediction: float = np.nan
+    ) -> "Rule":
+        """Build a wildcard-free rule from a bounding box."""
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        return Rule(lower, upper, np.zeros(lower.shape, dtype=bool), prediction)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n_lags(self) -> int:
+        """``D`` — the number of consecutive inputs the rule inspects."""
+        return self.lower.shape[0]
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """Scalar view of the conditional part."""
+        return unpack_intervals(self.lower, self.upper, self.wildcard)
+
+    @property
+    def is_evaluated(self) -> bool:
+        """True once the predicting part has been computed."""
+        return self.match_mask is not None
+
+    @property
+    def volume_log(self) -> float:
+        """Log of the condition-box volume over non-wildcard lags.
+
+        A generality proxy used by diagnostics; wildcards are excluded
+        (they would make every volume infinite).  Zero-width intervals
+        contribute ``-inf``.
+        """
+        widths = (self.upper - self.lower)[~self.wildcard]
+        if widths.size == 0:
+            return np.inf
+        with np.errstate(divide="ignore"):
+            return float(np.sum(np.log(widths)))
+
+    # -- matching ----------------------------------------------------------
+
+    def matches(self, window: np.ndarray) -> bool:
+        """True if one window ``(D,)`` satisfies the conditional part."""
+        window = np.asarray(window, dtype=np.float64)
+        if window.shape != self.lower.shape:
+            raise ValueError(
+                f"window shape {window.shape} != rule arity {self.lower.shape}"
+            )
+        lo, hi = effective_bounds(self.lower, self.upper, self.wildcard)
+        return bool(np.all((window >= lo) & (window <= hi)))
+
+    # -- predicting --------------------------------------------------------
+
+    def output(self, windows: np.ndarray) -> np.ndarray:
+        """Rule output for windows ``(n, D)`` (no matching performed).
+
+        Linear rules apply their regression hyperplane; constant rules
+        return ``p_R`` for every row.  Callers are expected to have
+        selected matching rows already (see
+        :class:`repro.core.predictor.RuleSystem`).
+        """
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
+        if self.coeffs is not None:
+            return windows @ self.coeffs[:-1] + self.coeffs[-1]
+        return np.full(windows.shape[0], self.prediction, dtype=np.float64)
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self) -> Tuple[object, ...]:
+        """The paper's flat encoding ``(LL1, UL1, …, LLD, ULD, p, e)``.
+
+        Wildcard genes appear as a pair of ``'*'`` entries, exactly as in
+        §3.1's example ``(50, 100, 40, 90, −10, 5, *, *, 1, 100, 33, 5)``.
+        """
+        flat: list = []
+        for iv in self.intervals:
+            flat.extend(iv.encode())
+        flat.append(self.prediction)
+        flat.append(self.error)
+        return tuple(flat)
+
+    @staticmethod
+    def decode(flat: Sequence[object]) -> "Rule":
+        """Inverse of :meth:`encode`."""
+        if len(flat) < 4 or len(flat) % 2 != 0:
+            raise ValueError(
+                "flat encoding must be 2*D interval bounds plus (p, e)"
+            )
+        *bounds, pred, err = flat
+        ivs = [
+            Interval.decode(bounds[i], bounds[i + 1])
+            for i in range(0, len(bounds), 2)
+        ]
+        return Rule.from_intervals(ivs, prediction=float(pred), error=float(err))  # type: ignore[arg-type]
+
+    # -- copying -----------------------------------------------------------
+
+    def copy(self) -> "Rule":
+        """Deep copy (arrays owned by the copy; cache preserved)."""
+        return Rule(
+            self.lower.copy(),
+            self.upper.copy(),
+            self.wildcard.copy(),
+            prediction=self.prediction,
+            error=self.error,
+            coeffs=None if self.coeffs is None else self.coeffs.copy(),
+            n_matched=self.n_matched,
+            fitness=self.fitness,
+            match_mask=None if self.match_mask is None else self.match_mask.copy(),
+        )
+
+    def invalidate(self) -> None:
+        """Drop the predicting part and caches (after genetic edits)."""
+        self.prediction = np.nan
+        self.error = np.inf
+        self.coeffs = None
+        self.n_matched = 0
+        self.fitness = -np.inf
+        self.match_mask = None
+
+    # -- pretty printing ----------------------------------------------------
+
+    def describe(self, precision: int = 3) -> str:
+        """Human-readable IF/THEN form mirroring the paper's example."""
+        conds = []
+        for i, iv in enumerate(self.intervals, start=1):
+            if iv.wildcard:
+                continue
+            conds.append(
+                f"({iv.lower:.{precision}g} < y{i} < {iv.upper:.{precision}g})"
+            )
+        cond = " AND ".join(conds) if conds else "(TRUE)"
+        kind = "linear" if self.coeffs is not None else "const"
+        return (
+            f"IF {cond} THEN prediction = {self.prediction:.{precision}g} "
+            f"± {self.error:.{precision}g} [{kind}, N_R={self.n_matched}]"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,153 @@
+"""Automatic EMAX selection — §5's manual dial, automated.
+
+The paper tunes ``EMAX`` per experiment "to maximize the percentage of
+predicted data … avoiding a high mean error".  :func:`tune_e_max` makes
+that procedure reproducible: bisection over ``EMAX`` against a held-out
+tail of the training block, targeting a requested coverage with the
+smallest error bound that reaches it.
+
+The search evaluates cheap pilot runs (a fraction of the full
+generation budget) — EMAX's effect on coverage is monotone (verified by
+the A3 ablation), so bisection converges in a handful of pilots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..series.windowing import WindowDataset
+from .config import EvolutionConfig
+from .engine import evolve
+from .fitness import FitnessParams
+from .predictor import RuleSystem
+
+__all__ = ["TuneResult", "tune_e_max"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of the EMAX search.
+
+    Attributes
+    ----------
+    e_max:
+        Selected value (smallest pilot-tested EMAX reaching the target).
+    coverage / error:
+        Held-out coverage and RMSE of the selecting pilot.
+    trials:
+        Every ``(e_max, coverage, error)`` pilot evaluated, in order.
+    """
+
+    e_max: float
+    coverage: float
+    error: float
+    trials: List[Tuple[float, float, float]]
+
+
+def _pilot(
+    train: WindowDataset,
+    holdout: WindowDataset,
+    config: EvolutionConfig,
+    e_max: float,
+    seed: int,
+) -> Tuple[float, float]:
+    cfg = config.replace(
+        fitness=FitnessParams(
+            e_max=float(e_max),
+            f_min=config.fitness.f_min,
+            min_matches=config.fitness.min_matches,
+        ),
+        seed=seed,
+    )
+    result = evolve(train, cfg)
+    system = RuleSystem(result.valid_rules)
+    batch = system.predict(holdout.X)
+    covered = batch.predicted
+    coverage = float(covered.mean()) if len(holdout) else 0.0
+    if covered.any():
+        err = float(
+            np.sqrt(np.mean((batch.values[covered] - holdout.y[covered]) ** 2))
+        )
+    else:
+        err = np.inf
+    return coverage, err
+
+
+def tune_e_max(
+    dataset: WindowDataset,
+    config: EvolutionConfig,
+    target_coverage: float = 0.9,
+    holdout_fraction: float = 0.25,
+    pilot_generations: Optional[int] = None,
+    max_trials: int = 7,
+    seed: int = 0,
+) -> TuneResult:
+    """Bisect EMAX to the smallest value reaching ``target_coverage``.
+
+    Parameters
+    ----------
+    dataset:
+        Full training windows; the chronological tail
+        (``holdout_fraction``) is held out for pilot scoring.
+    config:
+        Base configuration (its ``fitness.e_max`` is ignored).
+    target_coverage:
+        Desired held-out coverage in (0, 1].
+    pilot_generations:
+        Generation budget per pilot (default: a quarter of the full
+        budget, at least 200).
+    max_trials:
+        Bisection budget.
+
+    Notes
+    -----
+    The bracket starts at ``[1%, 200%]`` of the training output range;
+    if even the upper end misses the target the upper end is returned
+    (with its achieved coverage, so callers can see the shortfall).
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise ValueError("target_coverage must be in (0, 1]")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    if max_trials < 2:
+        raise ValueError("max_trials must be >= 2")
+
+    n = len(dataset.series)
+    split = int(round((1.0 - holdout_fraction) * n))
+    min_len = dataset.d + dataset.horizon
+    split = min(max(split, min_len), n - min_len)
+    train = WindowDataset.from_series(dataset.series[:split], dataset.d, dataset.horizon)
+    holdout = WindowDataset.from_series(dataset.series[split:], dataset.d, dataset.horizon)
+
+    if pilot_generations is None:
+        pilot_generations = max(200, config.generations // 4)
+    base = config.replace(generations=pilot_generations)
+
+    lo_out, hi_out = train.output_range
+    span = max(hi_out - lo_out, np.finfo(np.float64).tiny)
+    lo, hi = 0.01 * span, 2.0 * span
+
+    trials: List[Tuple[float, float, float]] = []
+
+    def probe(e_max: float, k: int) -> Tuple[float, float]:
+        cov, err = _pilot(train, holdout, base, e_max, seed + k)
+        trials.append((float(e_max), cov, err))
+        return cov, err
+
+    cov_hi, err_hi = probe(hi, 0)
+    if cov_hi < target_coverage:
+        return TuneResult(e_max=hi, coverage=cov_hi, error=err_hi, trials=trials)
+
+    best = (hi, cov_hi, err_hi)
+    for k in range(1, max_trials):
+        mid = 0.5 * (lo + hi)
+        cov, err = probe(mid, k)
+        if cov >= target_coverage:
+            best = (mid, cov, err)
+            hi = mid
+        else:
+            lo = mid
+    return TuneResult(e_max=best[0], coverage=best[1], error=best[2], trials=trials)

@@ -1,0 +1,112 @@
+"""One-call convenience API: split → evolve → pool → score.
+
+:func:`quick_forecast` is the front door for users who want the paper's
+pipeline on a :class:`~repro.series.datasets.SplitSeries` without
+touching the engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .core.config import EvolutionConfig, FitnessParams
+from .core.multirun import MultiRunResult, multirun
+from .core.predictor import PredictionBatch, RuleSystem
+from .metrics.coverage import CoverageScore, score_with_coverage
+from .parallel.backends import Backend
+from .series.datasets import SplitSeries
+from .series.windowing import WindowDataset
+
+__all__ = ["ForecastResult", "quick_forecast"]
+
+
+@dataclass
+class ForecastResult:
+    """Everything a quick forecast produces.
+
+    Attributes
+    ----------
+    system:
+        The pooled rule system.
+    batch:
+        Validation predictions (with abstentions).
+    score:
+        RMSE-over-predicted + coverage on the validation windows.
+    multirun:
+        The underlying :class:`~repro.core.multirun.MultiRunResult`.
+    validation:
+        The validation window dataset (for further analysis).
+    """
+
+    system: RuleSystem
+    batch: PredictionBatch
+    score: CoverageScore
+    multirun: MultiRunResult
+    validation: WindowDataset
+
+
+def quick_forecast(
+    data: SplitSeries,
+    d: int = 24,
+    horizon: int = 1,
+    e_max: Optional[float] = None,
+    generations: int = 3000,
+    population_size: int = 60,
+    coverage_target: float = 0.95,
+    max_executions: int = 4,
+    seed: Optional[int] = None,
+    backend: Optional[Backend] = None,
+) -> ForecastResult:
+    """Run the full §3 pipeline on a train/validation split.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.series.datasets.SplitSeries` (any loader in
+        :mod:`repro.series.datasets`, or your own).
+    d, horizon:
+        Window width and prediction horizon.
+    e_max:
+        ``EMAX``; defaults to 15% of the training output range — a
+        reasonable accuracy/coverage balance across domains.
+    generations, population_size:
+        Per-execution GA budget.
+    coverage_target, max_executions:
+        Multi-execution pooling policy (§3.4).
+    seed:
+        Root seed (fully deterministic given a backend-independent
+        execution count).
+    backend:
+        Optional parallel backend for the executions.
+    """
+    train_ds, val_ds = data.windows(d, horizon)
+    if e_max is None:
+        lo, hi = train_ds.output_range
+        e_max = max(0.15 * (hi - lo), np.finfo(np.float64).tiny)
+    config = EvolutionConfig(
+        d=d,
+        horizon=horizon,
+        population_size=population_size,
+        generations=generations,
+        fitness=FitnessParams(e_max=float(e_max)),
+    )
+    result = multirun(
+        train_ds,
+        config,
+        coverage_target=coverage_target,
+        max_executions=max_executions,
+        backend=backend,
+        root_seed=seed,
+    )
+    batch = result.system.predict(val_ds.X)
+    score = score_with_coverage(val_ds.y, batch.values, batch.predicted)
+    return ForecastResult(
+        system=result.system,
+        batch=batch,
+        score=score,
+        multirun=result,
+        validation=val_ds,
+    )

@@ -1,0 +1,15 @@
+"""Persistence: rule-system JSON snapshots and series caching."""
+
+from .cache import SeriesCache
+from .csv_io import read_series_csv, write_series_csv
+from .serialize import load_rule_system, rule_from_dict, rule_to_dict, save_rule_system
+
+__all__ = [
+    "SeriesCache",
+    "save_rule_system",
+    "load_rule_system",
+    "rule_to_dict",
+    "rule_from_dict",
+    "read_series_csv",
+    "write_series_csv",
+]

@@ -1,0 +1,74 @@
+"""On-disk caching of generated series (npy files keyed by parameters).
+
+Paper-scale series (55 000 Venice hours) are cheap but not free; the
+cache lets examples and benches share one deterministic copy.  Keys are
+derived from the generator name, parameters and seed, so a parameter
+change never aliases a stale file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["SeriesCache"]
+
+
+class SeriesCache:
+    """A tiny content-addressed cache for 1-D float arrays."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _key(self, name: str, params: Dict) -> str:
+        canon = json.dumps(params, sort_keys=True, default=str)
+        digest = hashlib.sha256(f"{name}:{canon}".encode()).hexdigest()[:20]
+        return f"{name}-{digest}"
+
+    def path_for(self, name: str, params: Dict) -> Path:
+        """The npy path a (name, params) pair maps to."""
+        return self.root / f"{self._key(name, params)}.npy"
+
+    def get(self, name: str, params: Dict) -> Optional[np.ndarray]:
+        """Cached array, or ``None`` on a miss (or corrupt file)."""
+        path = self.path_for(name, params)
+        if not path.exists():
+            return None
+        try:
+            return np.load(path)
+        except (ValueError, OSError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, name: str, params: Dict, series: np.ndarray) -> Path:
+        """Store an array; returns the file path."""
+        series = np.asarray(series, dtype=np.float64)
+        path = self.path_for(name, params)
+        tmp = path.with_suffix(".tmp.npy")
+        np.save(tmp, series)
+        tmp.replace(path)
+        return path
+
+    def get_or_create(
+        self, name: str, params: Dict, factory: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Fetch, or generate-and-store via ``factory`` on a miss."""
+        cached = self.get(name, params)
+        if cached is not None:
+            return cached
+        series = factory()
+        self.put(name, params, series)
+        return series
+
+    def clear(self) -> int:
+        """Delete every cache file; returns the number removed."""
+        n = 0
+        for path in self.root.glob("*.npy"):
+            path.unlink()
+            n += 1
+        return n

@@ -1,0 +1,74 @@
+"""Plain-text series I/O: single-column CSV with optional header.
+
+The format real tide gauges and the SIDC archive distribute is a value
+per line (sometimes timestamp,value).  These helpers cover both without
+pulling in pandas: reading takes the last numeric column of each row.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["read_series_csv", "write_series_csv"]
+
+
+def read_series_csv(
+    path: Union[str, Path],
+    column: Optional[int] = None,
+    delimiter: str = ",",
+) -> np.ndarray:
+    """Read a 1-D series from a CSV/one-value-per-line file.
+
+    Parameters
+    ----------
+    path:
+        Input file.
+    column:
+        Column index to read; default = last column of each row.
+    delimiter:
+        Field separator.
+
+    Non-numeric leading rows (headers) are skipped; a non-numeric row in
+    the middle of the data raises.
+    """
+    values = []
+    started = False
+    with open(path, newline="") as fh:
+        for lineno, row in enumerate(csv.reader(fh, delimiter=delimiter), start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            cell = row[column if column is not None else -1]
+            try:
+                values.append(float(cell))
+                started = True
+            except ValueError:
+                if started:
+                    raise ValueError(
+                        f"{path}: non-numeric value {cell!r} at line {lineno}"
+                    )
+                # Header row(s) before data — skip.
+                continue
+    if not values:
+        raise ValueError(f"{path}: no numeric data found")
+    return np.asarray(values, dtype=np.float64)
+
+
+def write_series_csv(
+    series: np.ndarray,
+    path: Union[str, Path],
+    header: Optional[str] = "value",
+) -> None:
+    """Write a 1-D series one value per line (optional header)."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        if header:
+            writer.writerow([header])
+        for v in series:
+            writer.writerow([repr(float(v))])

@@ -1,0 +1,93 @@
+"""JSON (de)serialization of rules and rule systems.
+
+A trained rule system is a plain list of numbers — ideal for portable
+JSON snapshots (model registry, cross-run comparison, examples that
+save and reload a forecaster).  Wildcard bounds (``±inf``) are encoded
+as the strings ``"-inf"``/``"inf"`` because JSON has no infinities.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..core.predictor import RuleSystem
+from ..core.rule import Rule
+
+__all__ = ["rule_to_dict", "rule_from_dict", "save_rule_system", "load_rule_system"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_float(x: float) -> Union[float, str]:
+    if np.isposinf(x):
+        return "inf"
+    if np.isneginf(x):
+        return "-inf"
+    if np.isnan(x):
+        return "nan"
+    return float(x)
+
+
+def _decode_float(x: Union[float, str]) -> float:
+    if isinstance(x, str):
+        return float(x)
+    return float(x)
+
+
+def rule_to_dict(rule: Rule) -> Dict:
+    """Lossless dict form of one rule (caches excluded)."""
+    return {
+        "lower": [_encode_float(v) for v in rule.lower],
+        "upper": [_encode_float(v) for v in rule.upper],
+        "wildcard": [bool(w) for w in rule.wildcard],
+        "prediction": _encode_float(rule.prediction),
+        "error": _encode_float(rule.error),
+        "coeffs": None
+        if rule.coeffs is None
+        else [_encode_float(v) for v in rule.coeffs],
+        "n_matched": int(rule.n_matched),
+        "fitness": _encode_float(rule.fitness),
+    }
+
+
+def rule_from_dict(payload: Dict) -> Rule:
+    """Inverse of :func:`rule_to_dict`."""
+    rule = Rule(
+        lower=np.array([_decode_float(v) for v in payload["lower"]]),
+        upper=np.array([_decode_float(v) for v in payload["upper"]]),
+        wildcard=np.array(payload["wildcard"], dtype=bool),
+        prediction=_decode_float(payload["prediction"]),
+        error=_decode_float(payload["error"]),
+        coeffs=None
+        if payload.get("coeffs") is None
+        else np.array([_decode_float(v) for v in payload["coeffs"]]),
+        n_matched=int(payload.get("n_matched", 0)),
+        fitness=_decode_float(payload.get("fitness", "-inf")),
+    )
+    return rule
+
+
+def save_rule_system(system: RuleSystem, path: Union[str, Path]) -> None:
+    """Write a rule system to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "n_rules": len(system),
+        "rules": [rule_to_dict(r) for r in system.rules],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_rule_system(path: Union[str, Path]) -> RuleSystem:
+    """Read a rule system back from :func:`save_rule_system` output."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported rule-system format version {version!r}"
+        )
+    rules: List[Rule] = [rule_from_dict(d) for d in payload["rules"]]
+    return RuleSystem(rules)

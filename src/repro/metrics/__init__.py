@@ -1,0 +1,33 @@
+"""Error measures and abstention-aware scoring (the tables' columns)."""
+
+from .coverage import (
+    CoverageScore,
+    score_table1,
+    score_table2,
+    score_table3,
+    score_with_coverage,
+)
+from .errors import (
+    galvan_error,
+    mae,
+    max_abs_error,
+    mse,
+    nmse,
+    rmse,
+    rmse_paper_literal,
+)
+
+__all__ = [
+    "rmse",
+    "rmse_paper_literal",
+    "mse",
+    "nmse",
+    "galvan_error",
+    "mae",
+    "max_abs_error",
+    "CoverageScore",
+    "score_with_coverage",
+    "score_table1",
+    "score_table2",
+    "score_table3",
+]

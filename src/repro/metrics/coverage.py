@@ -1,0 +1,114 @@
+"""Abstention-aware scoring for partial predictors.
+
+The rule system deliberately abstains where no rule matches (§2: "a
+balance between the performance of the system and the percentage of
+prediction must be found").  Scoring therefore always reports a *pair*:
+the error over the predicted subset and the fraction predicted — the
+two columns of every table in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .errors import galvan_error, nmse, rmse
+
+__all__ = ["CoverageScore", "score_with_coverage", "score_table1", "score_table2", "score_table3"]
+
+
+@dataclass(frozen=True)
+class CoverageScore:
+    """Error over the predicted subset plus coverage accounting.
+
+    Attributes
+    ----------
+    error:
+        Metric value on predicted points (``nan`` if nothing predicted).
+    coverage:
+        Fraction of points predicted, in [0, 1].
+    n_total / n_predicted:
+        Raw counts behind ``coverage``.
+    """
+
+    error: float
+    coverage: float
+    n_total: int
+    n_predicted: int
+
+    @property
+    def percentage(self) -> float:
+        """Coverage as the paper prints it (0–100)."""
+        return 100.0 * self.coverage
+
+
+def score_with_coverage(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    predicted: Optional[np.ndarray] = None,
+    metric: Callable[[np.ndarray, np.ndarray], float] = rmse,
+) -> CoverageScore:
+    """Score a partial prediction.
+
+    Parameters
+    ----------
+    y_true:
+        Ground truth.
+    y_pred:
+        Predictions; positions where the system abstained may be NaN.
+    predicted:
+        Boolean mask of scored positions; defaults to ``~isnan(y_pred)``.
+    metric:
+        Error function applied to the predicted subset.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if predicted is None:
+        predicted = ~np.isnan(y_pred)
+    predicted = np.asarray(predicted, dtype=bool)
+    if predicted.shape != y_true.shape:
+        raise ValueError("mask shape mismatch")
+    n_total = int(y_true.shape[0])
+    n_pred = int(predicted.sum())
+    if n_pred == 0:
+        return CoverageScore(error=np.nan, coverage=0.0, n_total=n_total, n_predicted=0)
+    err = metric(y_true[predicted], y_pred[predicted])
+    return CoverageScore(
+        error=err,
+        coverage=n_pred / n_total if n_total else 0.0,
+        n_total=n_total,
+        n_predicted=n_pred,
+    )
+
+
+def score_table1(
+    y_true: np.ndarray, y_pred: np.ndarray, predicted: Optional[np.ndarray] = None
+) -> CoverageScore:
+    """Venice scoring: RMSE in cm over the predicted subset."""
+    return score_with_coverage(y_true, y_pred, predicted, metric=rmse)
+
+
+def score_table2(
+    y_true: np.ndarray, y_pred: np.ndarray, predicted: Optional[np.ndarray] = None
+) -> CoverageScore:
+    """Mackey-Glass scoring: NMSE over the predicted subset."""
+    return score_with_coverage(y_true, y_pred, predicted, metric=nmse)
+
+
+def score_table3(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    horizon: int,
+    predicted: Optional[np.ndarray] = None,
+) -> CoverageScore:
+    """Sunspot scoring: Galván error at the given horizon."""
+    return score_with_coverage(
+        y_true,
+        y_pred,
+        predicted,
+        metric=lambda t, p: galvan_error(t, p, horizon),
+    )

@@ -1,0 +1,107 @@
+"""Error measures used in the paper's three tables.
+
+* **RMSE** (Table 1): the paper displays ``e = ½(x − x̄)²`` and
+  ``RMSE = sqrt(Σ e² / n)`` — dimensionally inconsistent (it would be a
+  4th-power statistic).  We report the standard RMSE and also expose the
+  literal formula as :func:`rmse_paper_literal` so the discrepancy is
+  auditable.
+* **NMSE** (Table 2): mean squared error normalized by the variance of
+  the true values — the measure of Platt (RAN) and Yingwei et al.
+  (MRAN).
+* **Galván error** (Table 3): ``e = 1/(2(N+τ)) Σ (x(i) − x̃(i))²``
+  from Galván & Isasi's recurrent-network paper.
+
+All functions ignore nothing silently: NaNs in inputs raise unless the
+caller masks them first (see :mod:`repro.metrics.coverage` for
+abstention-aware scoring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "rmse_paper_literal",
+    "mse",
+    "nmse",
+    "galvan_error",
+    "mae",
+    "max_abs_error",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    if np.isnan(y_true).any() or np.isnan(y_pred).any():
+        raise ValueError(
+            "NaN in inputs — mask abstentions first (see repro.metrics.coverage)"
+        )
+    return y_true, y_pred
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Standard root-mean-squared error (Table 1 metric)."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def rmse_paper_literal(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's displayed formula, verbatim.
+
+    ``e_i = ½ (x_i − x̃_i)²``, ``RMSE = sqrt(Σ e_i² / n)``.  Kept only
+    for auditability of the typo; do not use for comparisons.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    e = 0.5 * (y_true - y_pred) ** 2
+    return float(np.sqrt(np.mean(e**2)))
+
+
+def nmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Normalized MSE: ``MSE / Var(y_true)`` (Table 2 metric).
+
+    A constant true segment has zero variance; that is a degenerate
+    comparison and raises rather than returning ``inf`` silently.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    var = float(np.var(y_true))
+    if var == 0.0:
+        raise ValueError("NMSE undefined on a constant true segment")
+    return mse(y_true, y_pred) / var
+
+
+def galvan_error(
+    y_true: np.ndarray, y_pred: np.ndarray, horizon: int
+) -> float:
+    """Galván-Isasi error (Table 3): ``1/(2(N+τ)) Σ (x − x̃)²``.
+
+    ``N`` is the number of scored points and ``τ`` the prediction
+    horizon, exactly as printed in §4.3.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    n = y_true.shape[0]
+    return float(np.sum((y_true - y_pred) ** 2) / (2.0 * (n + horizon)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def max_abs_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Worst-case absolute error (the rule-level ``e_R`` aggregate)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))

@@ -1,0 +1,33 @@
+"""Parallel substrate: map backends, RNG streams, island-model GA."""
+
+from .backends import Backend, ProcessPoolBackend, SerialBackend, default_workers, get_backend
+from .islands import (
+    IslandModel,
+    IslandResult,
+    complete_topology,
+    ring_topology,
+    star_topology,
+    torus_topology,
+)
+from .partition import chunk_evenly, chunk_ranges, round_robin
+from .rng import generator_from_seed, spawn_generators, spawn_seeds
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "default_workers",
+    "spawn_seeds",
+    "spawn_generators",
+    "generator_from_seed",
+    "IslandModel",
+    "IslandResult",
+    "ring_topology",
+    "torus_topology",
+    "star_topology",
+    "complete_topology",
+    "chunk_evenly",
+    "chunk_ranges",
+    "round_robin",
+]

@@ -1,0 +1,109 @@
+"""Execution backends: a uniform ordered-``map`` over tasks.
+
+The paper's outermost loops — multiple independent GA executions
+(§3.4), per-horizon table rows, island populations — are embarrassingly
+parallel.  Following the mpi4py guide's scatter/compute/gather
+discipline, backends expose exactly one operation::
+
+    backend.map(fn, items)  ->  list of results, in input order
+
+``SerialBackend`` runs in-process (debuggable, zero overhead for small
+jobs); ``ProcessPoolBackend`` fans out over a :mod:`multiprocessing`
+pool (true parallelism for CPU-bound GA executions — threading would
+serialize on the GIL).  Both preserve input order and propagate worker
+exceptions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["Backend", "SerialBackend", "ProcessPoolBackend", "get_backend", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count: all cores, at least 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Backend:
+    """Abstract ordered-map executor."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialBackend(Backend):
+    """In-process execution — the reference backend."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend(Backend):
+    """Process-pool execution with ordered results.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the machine's core count.
+    chunksize:
+        Items per task message; ``None`` lets the pool pick
+        ``ceil(len(items) / (4 * workers))`` — large enough to amortize
+        pickling, small enough to balance load.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.chunksize = chunksize
+        self._pool: Optional[mp.pool.Pool] = None
+
+    def _ensure_pool(self) -> "mp.pool.Pool":
+        if self._pool is None:
+            self._pool = mp.get_context("spawn").Pool(self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if self.workers == 1 or len(items) == 1:
+            # Avoid pool overhead when no parallelism is possible.
+            return [fn(item) for item in items]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(items) // (4 * self.workers)))
+        pool = self._ensure_pool()
+        return pool.map(fn, items, chunksize=chunksize)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+def get_backend(name: str, workers: Optional[int] = None) -> Backend:
+    """Factory: ``"serial"`` or ``"process"``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ValueError(f"unknown backend {name!r} (expected 'serial' or 'process')")

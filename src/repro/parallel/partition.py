@@ -1,0 +1,55 @@
+"""Work-partitioning helpers (scatter-side of the map discipline)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["chunk_evenly", "chunk_ranges", "round_robin"]
+
+
+def chunk_evenly(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split items into ``n_chunks`` contiguous near-equal chunks.
+
+    Sizes differ by at most one; leading chunks get the extra items.
+    Empty chunks are produced when ``n_chunks > len(items)`` so the
+    result always has exactly ``n_chunks`` entries (stable scatter).
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    items = list(items)
+    base, extra = divmod(len(items), n_chunks)
+    out: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def chunk_ranges(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """``(start, stop)`` index ranges of :func:`chunk_evenly` chunks."""
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    base, extra = divmod(n_items, n_chunks)
+    out = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def round_robin(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Deal items round-robin — balances heterogeneous task costs."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    out: List[List[T]] = [[] for _ in range(n_chunks)]
+    for i, item in enumerate(items):
+        out[i % n_chunks].append(item)
+    return out

@@ -1,0 +1,39 @@
+"""Deterministic independent RNG streams for parallel work.
+
+Built on :class:`numpy.random.SeedSequence` spawning — the supported way
+to hand each worker a statistically independent stream that is fully
+reproducible from one root seed, no matter how many processes run or in
+which order tasks complete.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["spawn_generators", "spawn_seeds", "generator_from_seed"]
+
+
+def spawn_seeds(n: int, root_seed: Optional[int] = None) -> List[np.random.SeedSequence]:
+    """``n`` child seed sequences from one root seed."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    root = np.random.SeedSequence(root_seed)
+    return root.spawn(n)
+
+
+def spawn_generators(
+    n: int, root_seed: Optional[int] = None
+) -> List[np.random.Generator]:
+    """``n`` independent generators from one root seed."""
+    return [np.random.default_rng(s) for s in spawn_seeds(n, root_seed)]
+
+
+def generator_from_seed(
+    seed: Optional[object],
+) -> np.random.Generator:
+    """Coerce ``None`` / int / SeedSequence / Generator to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)  # type: ignore[arg-type]

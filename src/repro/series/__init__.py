@@ -1,0 +1,33 @@
+"""Time-series substrates: generators, windowing, canonical splits."""
+
+from .datasets import SplitSeries, load_mackey_glass, load_sunspot, load_venice
+from .lorenz import LorenzParams, lorenz_series
+from .mackey_glass import MackeyGlassParams, mackey_glass
+from .noise import add_outliers, ar_process, random_walk, sine_series, white_noise
+from .sunspot import SunspotParams, sunspot_series
+from .venice import VeniceParams, venice_series
+from .windowing import MinMaxScaler, WindowDataset, make_windows, train_test_split_series
+
+__all__ = [
+    "SplitSeries",
+    "load_venice",
+    "load_mackey_glass",
+    "load_sunspot",
+    "MackeyGlassParams",
+    "mackey_glass",
+    "LorenzParams",
+    "lorenz_series",
+    "VeniceParams",
+    "venice_series",
+    "SunspotParams",
+    "sunspot_series",
+    "WindowDataset",
+    "MinMaxScaler",
+    "make_windows",
+    "train_test_split_series",
+    "ar_process",
+    "sine_series",
+    "random_walk",
+    "white_noise",
+    "add_outliers",
+]

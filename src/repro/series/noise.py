@@ -1,0 +1,97 @@
+"""Auxiliary stochastic-process generators for tests and ablations.
+
+Small, well-understood processes used to (a) sanity-check learners
+against analytically known structure and (b) inject controlled noise in
+robustness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ar_process", "sine_series", "random_walk", "white_noise", "add_outliers"]
+
+
+def white_noise(n: int, sigma: float = 1.0, seed: Optional[int] = None) -> np.ndarray:
+    """IID Gaussian noise of length ``n``."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return np.random.default_rng(seed).normal(0.0, sigma, size=n)
+
+
+def ar_process(
+    n: int,
+    coeffs: Sequence[float],
+    sigma: float = 1.0,
+    seed: Optional[int] = None,
+    burn_in: int = 200,
+) -> np.ndarray:
+    """AR(p) process ``x_t = sum_k c_k x_{t-k} + eps_t``.
+
+    A burn-in prefix is discarded so the returned samples are close to
+    the stationary distribution (the caller must supply stable
+    coefficients; no stationarity check is enforced).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    p = coeffs.shape[0]
+    if p < 1:
+        raise ValueError("need at least one AR coefficient")
+    rng = np.random.default_rng(seed)
+    total = n + burn_in + p
+    eps = rng.normal(0.0, sigma, size=total)
+    x = np.zeros(total, dtype=np.float64)
+    for t in range(p, total):
+        x[t] = float(coeffs @ x[t - p : t][::-1]) + eps[t]
+    return x[p + burn_in :]
+
+
+def sine_series(
+    n: int,
+    period: float = 50.0,
+    amplitude: float = 1.0,
+    noise_sigma: float = 0.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Sine wave with optional additive noise — a trivially learnable series."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    t = np.arange(n, dtype=np.float64)
+    x = amplitude * np.sin(2.0 * np.pi * t / period)
+    if noise_sigma > 0:
+        x = x + np.random.default_rng(seed).normal(0.0, noise_sigma, size=n)
+    return x
+
+
+def random_walk(n: int, sigma: float = 1.0, seed: Optional[int] = None) -> np.ndarray:
+    """Gaussian random walk — the canonical *unpredictable* control."""
+    return np.cumsum(white_noise(n, sigma, seed))
+
+
+def add_outliers(
+    series: np.ndarray,
+    fraction: float = 0.01,
+    magnitude: float = 5.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Return a copy with a fraction of points displaced by ±magnitude·std.
+
+    Used in failure-injection tests: the rule system should keep its
+    coverage/error contract in the presence of isolated spikes.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    out = np.array(series, dtype=np.float64, copy=True)
+    n_out = int(round(fraction * out.shape[0]))
+    if n_out == 0:
+        return out
+    idx = rng.choice(out.shape[0], size=n_out, replace=False)
+    signs = rng.choice([-1.0, 1.0], size=n_out)
+    out[idx] += signs * magnitude * out.std()
+    return out

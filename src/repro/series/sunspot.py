@@ -1,0 +1,119 @@
+"""Synthetic monthly sunspot-number series (§4.3 substitution).
+
+The paper uses the SIDC monthly sunspot record, Jan 1749 – Mar 1977
+(2739 samples).  The archive is unreachable offline, so we synthesize a
+series with the statistical signatures the method exploits:
+
+* quasi-periodic solar cycles with an ~11-year *mean* period but strong
+  cycle-to-cycle jitter in both length (9–14 yr) and amplitude
+  (Maunder-like weak cycles through strong ones);
+* the classic *asymmetric* cycle shape — fast rise (~4 yr) and slow
+  decay (~7 yr);
+* non-negative counts with signal-dependent (multiplicative-ish) noise,
+  matching the dispersion of monthly means of daily counts;
+* occasional "unpredictable zones" — cycles whose shape breaks the
+  pattern (the paper's §4.3 remarks on those explicitly).
+
+The generator emits raw "sunspot numbers" (0 – ~250); experiment code
+standardizes to [0, 1] as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SunspotParams", "sunspot_series", "paper_series", "PAPER_N_MONTHS"]
+
+#: Jan 1749 .. Mar 1977 inclusive = 228 years * 12 + 3 months.
+PAPER_N_MONTHS = 228 * 12 + 3
+
+
+@dataclass(frozen=True)
+class SunspotParams:
+    """Knobs of the synthetic solar-cycle generator.
+
+    Attributes
+    ----------
+    mean_cycle_years / cycle_jitter_years:
+        Mean and std of each cycle's full length.
+    rise_fraction:
+        Fraction of the cycle spent rising (asymmetry; ~0.35).
+    amp_mean / amp_sigma:
+        Log-normal-ish amplitude distribution of cycle maxima.
+    weak_cycle_prob / weak_cycle_factor:
+        Probability and scaling of anomalously weak cycles (grand-minimum
+        behaviour → locally unpredictable zones).
+    noise_floor / noise_gain:
+        Additive and signal-proportional monthly noise.
+    """
+
+    mean_cycle_years: float = 11.0
+    cycle_jitter_years: float = 1.2
+    rise_fraction: float = 0.35
+    amp_mean: float = 110.0
+    amp_sigma: float = 45.0
+    weak_cycle_prob: float = 0.12
+    weak_cycle_factor: float = 0.35
+    noise_floor: float = 3.0
+    noise_gain: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0.05 <= self.rise_fraction <= 0.95:
+            raise ValueError("rise_fraction must be in [0.05, 0.95]")
+        if self.mean_cycle_years <= 0:
+            raise ValueError("mean_cycle_years must be positive")
+
+
+def _cycle_shape(n_months: int, rise_fraction: float) -> np.ndarray:
+    """Unit-peak asymmetric cycle: sine-squared rise, exponential decay."""
+    n_rise = max(2, int(round(rise_fraction * n_months)))
+    n_fall = max(2, n_months - n_rise)
+    rise = np.sin(0.5 * np.pi * np.linspace(0.0, 1.0, n_rise)) ** 2
+    # Decay reaching ~2% of peak at cycle end.
+    fall = np.exp(-np.linspace(0.0, 4.0, n_fall))
+    shape = np.concatenate([rise, rise[-1] * fall])
+    return shape[:n_months]
+
+
+def sunspot_series(
+    n_months: int,
+    params: SunspotParams = SunspotParams(),
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Generate ``n_months`` of synthetic monthly sunspot numbers."""
+    if n_months < 1:
+        raise ValueError("n_months must be >= 1")
+    rng = np.random.default_rng(seed)
+    out = np.zeros(n_months, dtype=np.float64)
+    pos = 0
+    while pos < n_months:
+        cycle_years = rng.normal(params.mean_cycle_years, params.cycle_jitter_years)
+        cycle_years = float(np.clip(cycle_years, 8.0, 15.0))
+        cycle_months = max(24, int(round(cycle_years * 12)))
+        amplitude = max(
+            10.0, rng.normal(params.amp_mean, params.amp_sigma)
+        )
+        if rng.random() < params.weak_cycle_prob:
+            amplitude *= params.weak_cycle_factor
+        # Per-cycle shape perturbation (breaks strict periodicity).
+        rise = float(
+            np.clip(
+                rng.normal(params.rise_fraction, 0.05), 0.2, 0.55
+            )
+        )
+        shape = _cycle_shape(cycle_months, rise)
+        stop = min(n_months, pos + cycle_months)
+        out[pos:stop] += amplitude * shape[: stop - pos]
+        pos = stop
+    noise_sd = params.noise_floor + params.noise_gain * out
+    out = out + rng.normal(0.0, 1.0, size=n_months) * noise_sd
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def paper_series(seed: Optional[int] = None) -> np.ndarray:
+    """Monthly series with the paper's record length (2739 samples)."""
+    return sunspot_series(PAPER_N_MONTHS, seed=seed)

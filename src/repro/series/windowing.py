@@ -1,0 +1,190 @@
+"""Sliding-window dataset construction (§1, §3.1 of the paper).
+
+Given a series ``y_1 … y_m``, a window width ``D`` and a prediction
+horizon ``tau``, the learning problem pairs each window
+``X_i = (x_i, …, x_{i+D-1})`` with the target ``v_i = x_{i+D-1+tau}``.
+
+Windows are materialized with :func:`numpy.lib.stride_tricks.sliding_window_view`
+— a zero-copy strided view per the HPC guide ("use views, not copies").
+The view is marked read-only; callers that need to mutate must copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WindowDataset",
+    "make_windows",
+    "MinMaxScaler",
+    "train_test_split_series",
+]
+
+
+def make_windows(
+    series: np.ndarray, d: int, horizon: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the ``(X, y)`` sliding-window pairs for a series.
+
+    Parameters
+    ----------
+    series:
+        1-D array of series values.
+    d:
+        Window width ``D`` (number of consecutive inputs).
+    horizon:
+        Prediction horizon ``tau >= 1``: the target for the window ending
+        at index ``i+D-1`` is ``series[i+D-1+tau]``.
+
+    Returns
+    -------
+    X:
+        Read-only view of shape ``(n, D)`` with
+        ``n = len(series) - D - horizon + 1``.
+    y:
+        Targets of shape ``(n,)`` (a view into ``series``).
+    """
+    series = np.ascontiguousarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    if d < 1:
+        raise ValueError(f"window width D must be >= 1, got {d}")
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    n = series.shape[0] - d - horizon + 1
+    if n < 1:
+        raise ValueError(
+            f"series of length {series.shape[0]} too short for "
+            f"D={d}, horizon={horizon}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(series, d)[:n]
+    targets = series[d - 1 + horizon :][:n]
+    windows = windows.view()
+    windows.flags.writeable = False
+    return windows, targets
+
+
+@dataclass(frozen=True)
+class WindowDataset:
+    """An immutable windowed view of a series.
+
+    Attributes
+    ----------
+    series:
+        The underlying 1-D series.
+    d:
+        Window width ``D``.
+    horizon:
+        Prediction horizon ``tau``.
+    X:
+        ``(n, D)`` read-only window matrix (strided view — zero copy).
+    y:
+        ``(n,)`` targets.
+    """
+
+    series: np.ndarray
+    d: int
+    horizon: int
+    X: np.ndarray
+    y: np.ndarray
+
+    @staticmethod
+    def from_series(series: np.ndarray, d: int, horizon: int) -> "WindowDataset":
+        """Construct a dataset; see :func:`make_windows` for semantics."""
+        X, y = make_windows(series, d, horizon)
+        return WindowDataset(
+            series=np.ascontiguousarray(series, dtype=np.float64),
+            d=d,
+            horizon=horizon,
+            X=X,
+            y=y,
+        )
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def output_range(self) -> Tuple[float, float]:
+        """``(min, max)`` over targets — drives initialization bins."""
+        return float(self.y.min()), float(self.y.max())
+
+    @property
+    def input_range(self) -> Tuple[float, float]:
+        """``(min, max)`` over the full series — drives mutation scales."""
+        return float(self.series.min()), float(self.series.max())
+
+    def subset(self, mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(X[mask], y[mask])`` — the matched windows of a rule."""
+        return self.X[mask], self.y[mask]
+
+
+class MinMaxScaler:
+    """Affine map of a series onto ``[lo, hi]`` with invertible params.
+
+    The paper normalizes Mackey-Glass and sunspot data to ``[0, 1]``; the
+    scaler is fit on *training* data only and then applied to validation
+    data so no test statistics leak into training.
+    """
+
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError("feature_range must satisfy lo < hi")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.data_min: Optional[float] = None
+        self.data_max: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        """Record the min/max of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.data_min = float(values.min())
+        self.data_max = float(values.max())
+        return self
+
+    def _check(self) -> None:
+        if self.data_min is None or self.data_max is None:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map values into the feature range (constant data maps to lo)."""
+        self._check()
+        values = np.asarray(values, dtype=np.float64)
+        span = self.data_max - self.data_min  # type: ignore[operator]
+        if span == 0.0:
+            return np.full_like(values, self.lo)
+        scaled = (values - self.data_min) / span
+        return self.lo + scaled * (self.hi - self.lo)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        """Convenience: ``fit(values)`` then ``transform(values)``."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map feature-range values back to the original units."""
+        self._check()
+        values = np.asarray(values, dtype=np.float64)
+        span = self.data_max - self.data_min  # type: ignore[operator]
+        unit = (values - self.lo) / (self.hi - self.lo)
+        return self.data_min + unit * span
+
+
+def train_test_split_series(
+    series: np.ndarray, n_train: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chronological split: first ``n_train`` values vs the rest.
+
+    Time series must never be split randomly — the validation block is
+    strictly later in time than every training value.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if not 0 < n_train < series.shape[0]:
+        raise ValueError(
+            f"n_train={n_train} outside (0, {series.shape[0]}) for split"
+        )
+    return series[:n_train], series[n_train:]

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic datasets and configs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvolutionConfig, FitnessParams
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine_dataset():
+    """Windowed noisy sine — easily learnable, 393 windows."""
+    series = sine_series(400, period=40, noise_sigma=0.02, seed=1)
+    return WindowDataset.from_series(series, 6, 2)
+
+
+@pytest.fixture
+def tiny_config(sine_dataset):
+    """A fast config matching the sine dataset's geometry."""
+    return EvolutionConfig(
+        d=sine_dataset.d,
+        horizon=sine_dataset.horizon,
+        population_size=12,
+        generations=150,
+        fitness=FitnessParams(e_max=0.4),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def linear_dataset():
+    """Windows from an exactly linear recurrence (zero-noise regression)."""
+    rng = np.random.default_rng(3)
+    n = 300
+    x = np.empty(n)
+    x[:3] = rng.normal(size=3)
+    for t in range(3, n):
+        x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] - 0.2 * x[t - 3]
+    return WindowDataset.from_series(x, 3, 1)

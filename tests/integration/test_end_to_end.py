@@ -1,0 +1,108 @@
+"""Integration tests: the full §3 pipeline on real(istic) series."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, FitnessParams, RuleSystem, evolve, multirun
+from repro.metrics import score_table2, score_with_coverage
+from repro.series import load_mackey_glass
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+class TestLearnsStructure:
+    def test_beats_mean_predictor_on_sine(self):
+        tr = WindowDataset.from_series(
+            sine_series(600, period=40, noise_sigma=0.05, seed=1), 8, 1
+        )
+        va = WindowDataset.from_series(
+            sine_series(240, period=40, noise_sigma=0.05, seed=2), 8, 1
+        )
+        cfg = EvolutionConfig(
+            d=8, horizon=1, population_size=30, generations=800,
+            fitness=FitnessParams(e_max=0.5), seed=3,
+        )
+        res = evolve(tr, cfg)
+        system = RuleSystem(res.valid_rules)
+        batch = system.predict(va.X)
+        score = score_with_coverage(va.y, batch.values, batch.predicted)
+        mean_rmse = float(np.sqrt(np.mean((va.y - va.y.mean()) ** 2)))
+        assert score.coverage > 0.5
+        assert score.error < 0.5 * mean_rmse
+
+    def test_mackey_glass_h50_reproduces_table2_shape(self):
+        """The headline result: RS NMSE ≈ paper's 0.025 at ~79% coverage."""
+        data = load_mackey_glass()
+        cfg = EvolutionConfig(
+            d=12, horizon=50, population_size=50, generations=2500,
+            fitness=FitnessParams(e_max=0.15),
+        )
+        tr, va = data.windows(cfg.d, cfg.horizon)
+        res = multirun(tr, cfg, coverage_target=0.9, max_executions=3,
+                       root_seed=7)
+        batch = res.system.predict(va.X)
+        score = score_table2(va.y, batch.values, batch.predicted)
+        # Paper: NMSE 0.025 at 78.9%.  Allow slack for the bench scale.
+        assert score.error < 0.08
+        assert 0.5 < score.coverage <= 1.0
+
+    def test_multirun_coverage_grows_with_executions(self):
+        data = load_mackey_glass()
+        cfg = EvolutionConfig(
+            d=12, horizon=50, population_size=30, generations=600,
+            fitness=FitnessParams(e_max=0.15),
+        )
+        tr, _ = data.windows(cfg.d, cfg.horizon)
+        res = multirun(tr, cfg, coverage_target=2.0, max_executions=3,
+                       root_seed=9)
+        assert res.coverage_history[-1] >= res.coverage_history[0]
+
+
+class TestAbstentionContract:
+    def test_no_prediction_without_matching_rule(self):
+        tr = WindowDataset.from_series(
+            sine_series(400, period=40, seed=1), 6, 1
+        )
+        cfg = EvolutionConfig(
+            d=6, horizon=1, population_size=15, generations=200,
+            fitness=FitnessParams(e_max=0.4), seed=5,
+        )
+        res = evolve(tr, cfg)
+        system = RuleSystem(res.valid_rules)
+        # Far-out-of-range patterns must yield abstention, not a guess.
+        crazy = np.full((5, 6), 1e9)
+        batch = system.predict(crazy)
+        assert not batch.predicted.any()
+        assert np.isnan(batch.values).all()
+
+    def test_validation_nan_exactly_where_not_predicted(self):
+        data = load_mackey_glass()
+        cfg = EvolutionConfig(
+            d=12, horizon=50, population_size=25, generations=400,
+            fitness=FitnessParams(e_max=0.15), seed=1,
+        )
+        tr, va = data.windows(cfg.d, cfg.horizon)
+        res = evolve(tr, cfg)
+        system = RuleSystem(res.valid_rules)
+        batch = system.predict(va.X)
+        assert np.array_equal(np.isnan(batch.values), ~batch.predicted)
+        assert np.array_equal(batch.predicted, batch.n_rules_used > 0)
+
+
+class TestEmaxTradeoff:
+    def test_larger_emax_buys_coverage(self):
+        """§5: the algorithm can be tuned for coverage at the cost of error."""
+        data = load_mackey_glass()
+        # Horizon 50 is genuinely hard: a strict error budget must leave
+        # parts of the space uncovered.
+        tr, va = data.windows(10, 50)
+        coverages = []
+        for e_max in (0.01, 0.3):
+            cfg = EvolutionConfig(
+                d=10, horizon=50, population_size=25, generations=600,
+                fitness=FitnessParams(e_max=e_max), seed=11,
+            )
+            res = evolve(tr, cfg)
+            system = RuleSystem(res.valid_rules)
+            coverages.append(system.coverage(va.X))
+        assert coverages[1] > coverages[0]

@@ -1,0 +1,106 @@
+"""Smoke tests for the experiment runners (scaled far down via patching).
+
+The bench-scale runners take seconds-to-minutes; here we shrink the GA
+configs through monkeypatching so every runner's *plumbing* (data flow,
+scoring, report generation) is exercised in a few seconds.
+"""
+
+import numpy as np
+import pytest
+
+import repro.analysis.experiments as exp
+from repro.analysis.report import (
+    ablation_markdown,
+    figure2_markdown,
+    table1_markdown,
+    table2_markdown,
+    table3_markdown,
+)
+from repro.core.config import EvolutionConfig, FitnessParams
+
+
+@pytest.fixture(autouse=True)
+def tiny_configs(monkeypatch):
+    """Shrink every domain preset to a toy GA."""
+
+    def mini(d, horizon, e_max):
+        return EvolutionConfig(
+            d=d, horizon=horizon, population_size=12, generations=120,
+            fitness=FitnessParams(e_max=e_max),
+        )
+
+    monkeypatch.setattr(
+        exp, "venice_config",
+        lambda horizon=1, scale="bench", seed=None: mini(12, horizon, 25.0),
+    )
+    monkeypatch.setattr(
+        exp, "mackey_config",
+        lambda horizon=50, scale="bench", seed=None: mini(8, horizon, 0.15),
+    )
+    monkeypatch.setattr(
+        exp, "sunspot_config",
+        lambda horizon=1, scale="bench", seed=None: mini(12, horizon, 0.2),
+    )
+
+
+class TestRunners:
+    def test_table1_two_horizons(self):
+        rows = exp.run_table1(horizons=(1, 4), seed=1, max_executions=1,
+                              mlp_epochs=5)
+        assert [r.horizon for r in rows] == [1, 4]
+        for row in rows:
+            assert row.rs.n_total > 0
+            assert np.isfinite(row.nn_error)
+        text = table1_markdown(rows)
+        assert "| 1 |" in text and "| 4 |" in text
+
+    def test_table2(self):
+        rows = exp.run_table2(horizons=(50,), seed=2, max_executions=1)
+        assert rows[0].rs.coverage > 0
+        assert np.isfinite(rows[0].ran_error)
+        assert np.isfinite(rows[0].mran_error)
+        assert "| 50 |" in table2_markdown(rows)
+
+    def test_table3(self):
+        rows = exp.run_table3(horizons=(1,), seed=3, max_executions=1,
+                              nn_epochs=5)
+        assert np.isfinite(rows[0].ff_error)
+        assert np.isfinite(rows[0].rec_error)
+        assert "| 1 |" in table3_markdown(rows)
+
+    def test_figure2(self):
+        result = exp.run_figure2(seed=4, max_executions=1,
+                                 window_halfwidth=24)
+        assert result.real.shape == result.predicted.shape
+        assert result.peak_level > 0
+        assert 0.0 <= result.coverage <= 1.0
+        assert "peak level" in figure2_markdown(result)
+
+    def test_ablation_init(self):
+        rows = exp.run_ablation_init(seed=5)
+        assert {r.variant for r in rows} == {"init=stratified", "init=random"}
+        assert "init=random" in ablation_markdown(rows, "NMSE")
+
+    def test_ablation_replacement(self):
+        rows = exp.run_ablation_replacement(seed=6)
+        assert len(rows) == 4
+
+    def test_ablation_emax(self):
+        rows = exp.run_ablation_emax(seed=7, e_max_values=(10.0, 50.0))
+        assert len(rows) == 2
+        # Larger EMAX must not reduce training-pool coverage.
+        assert rows[1].score.coverage >= rows[0].score.coverage - 0.05
+
+    def test_ablation_predicting_mode(self):
+        rows = exp.run_ablation_predicting_mode(seed=9)
+        assert {r.variant for r in rows} == {
+            "predicting=linear", "predicting=constant",
+        }
+
+    def test_ablation_pooling(self):
+        rows = exp.run_ablation_pooling(seed=8)
+        assert [r.variant for r in rows] == [
+            "executions=1", "executions=2", "executions=4",
+        ]
+        # More executions ⇒ more pooled rules ⇒ no coverage loss.
+        assert rows[-1].score.coverage >= rows[0].score.coverage - 0.05

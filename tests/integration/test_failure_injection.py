@@ -1,0 +1,99 @@
+"""Failure-injection tests: degenerate inputs must not break the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, FitnessParams, RuleSystem, evolve
+from repro.core.evaluation import evaluate_rule
+from repro.core.rule import Rule
+from repro.series.noise import add_outliers, random_walk, sine_series
+from repro.series.windowing import WindowDataset
+
+
+def tiny_cfg(d, horizon=1, e_max=0.5, gens=150, seed=0):
+    return EvolutionConfig(
+        d=d, horizon=horizon, population_size=10, generations=gens,
+        fitness=FitnessParams(e_max=e_max), seed=seed,
+    )
+
+
+class TestDegenerateSeries:
+    def test_constant_series(self):
+        """Zero output range: bins degenerate but nothing crashes."""
+        ds = WindowDataset.from_series(np.full(100, 5.0), 4, 1)
+        res = evolve(ds, tiny_cfg(4))
+        system = RuleSystem(res.valid_rules)
+        batch = system.predict(ds.X)
+        if batch.predicted.any():
+            assert np.allclose(batch.values[batch.predicted], 5.0, atol=1e-6)
+
+    def test_two_level_series(self):
+        series = np.tile([0.0, 1.0], 60).astype(float)
+        ds = WindowDataset.from_series(series, 4, 1)
+        res = evolve(ds, tiny_cfg(4))
+        assert len(res.rules) == 10
+
+    def test_random_walk_stays_sane(self):
+        """Unpredictable series: the system may abstain a lot, never crash."""
+        ds = WindowDataset.from_series(random_walk(300, seed=1), 6, 1)
+        res = evolve(ds, tiny_cfg(6, e_max=2.0))
+        system = RuleSystem(res.valid_rules)
+        batch = system.predict(ds.X)
+        covered = batch.predicted
+        if covered.any():
+            assert np.isfinite(batch.values[covered]).all()
+
+    def test_outlier_spikes_tolerated(self):
+        base = sine_series(400, period=30, seed=2)
+        spiked = add_outliers(base, fraction=0.03, magnitude=8.0, seed=3)
+        ds = WindowDataset.from_series(spiked, 6, 1)
+        res = evolve(ds, tiny_cfg(6, e_max=1.0))
+        assert any(r.fitness > -1.0 for r in res.rules)
+
+    def test_minimum_length_series(self):
+        """Exactly one window — engine must survive a 1-point dataset."""
+        ds = WindowDataset.from_series(np.arange(6, dtype=float), 4, 2)
+        assert len(ds) == 1
+        res = evolve(ds, tiny_cfg(4, horizon=2, gens=30))
+        assert len(res.rules) == 10
+
+
+class TestDegenerateRules:
+    def test_zero_width_interval_rule(self):
+        ds = WindowDataset.from_series(np.tile([1.0, 2.0], 30), 2, 1)
+        rule = Rule.from_box(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        evaluate_rule(rule, ds, tiny_cfg(2))
+        assert rule.n_matched > 0  # inclusive bounds catch exact values
+
+    def test_inverted_series_range_rule_matches_nothing(self):
+        ds = WindowDataset.from_series(sine_series(100, period=10), 3, 1)
+        rule = Rule.from_box(np.full(3, 100.0), np.full(3, 200.0))
+        evaluate_rule(rule, ds, tiny_cfg(3))
+        assert rule.n_matched == 0
+        assert rule.fitness == tiny_cfg(3).fitness.f_min
+
+    def test_nan_series_rejected_downstream(self):
+        series = np.ones(50)
+        series[25] = np.nan
+        ds = WindowDataset.from_series(series, 3, 1)
+        rule = Rule.from_box(np.zeros(3), np.full(3, 2.0))
+        cfg = tiny_cfg(3)
+        evaluate_rule(rule, ds, cfg)
+        # NaN windows never match (comparisons are False) — no poisoning.
+        assert np.isfinite(rule.error) or rule.fitness == cfg.fitness.f_min
+
+
+class TestHorizonEdges:
+    def test_horizon_consumes_entire_tail(self):
+        series = sine_series(50, period=10)
+        ds = WindowDataset.from_series(series, 5, 45)
+        assert len(ds) == 1
+
+    def test_horizon_too_large_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            WindowDataset.from_series(sine_series(50, period=10), 5, 46)
+
+    def test_large_horizon_evolution(self):
+        ds = WindowDataset.from_series(sine_series(200, period=20, seed=4), 4, 30)
+        res = evolve(ds, tiny_cfg(4, horizon=30, gens=100))
+        assert len(res.rules) == 10

@@ -1,0 +1,73 @@
+"""Integration tests: parallel execution paths give identical science."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, FitnessParams, multirun
+from repro.parallel import IslandModel, ProcessPoolBackend, SerialBackend, ring_topology
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return WindowDataset.from_series(
+        sine_series(500, period=40, noise_sigma=0.03, seed=1), 6, 1
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EvolutionConfig(
+        d=6, horizon=1, population_size=15, generations=300,
+        fitness=FitnessParams(e_max=0.4),
+    )
+
+
+class TestBackendEquivalence:
+    def test_serial_and_process_pools_agree(self, dataset, config):
+        """Same root seed ⇒ identical pooled rules on any backend."""
+        kwargs = dict(coverage_target=2.0, max_executions=3, root_seed=21)
+        serial = multirun(dataset, config, backend=SerialBackend(), **kwargs)
+        with ProcessPoolBackend(workers=2) as backend:
+            parallel = multirun(dataset, config, backend=backend,
+                                batch_size=3, **kwargs)
+        assert len(serial.system) == len(parallel.system)
+        for a, b in zip(serial.system.rules, parallel.system.rules):
+            assert np.array_equal(a.lower, b.lower)
+            assert np.array_equal(a.upper, b.upper)
+            assert a.fitness == pytest.approx(b.fitness)
+
+    def test_pool_reuse_across_calls(self, dataset, config):
+        with ProcessPoolBackend(workers=2) as backend:
+            r1 = multirun(dataset, config, coverage_target=2.0,
+                          max_executions=2, backend=backend, root_seed=1)
+            r2 = multirun(dataset, config, coverage_target=2.0,
+                          max_executions=2, backend=backend, root_seed=2)
+        assert r1.n_executions == r2.n_executions == 2
+
+
+class TestIslandIntegration:
+    def test_islands_predict_reasonably(self, dataset, config):
+        model = IslandModel(
+            dataset, config.replace(generations=400), ring_topology(3),
+            migration_interval=100, root_seed=3,
+        )
+        result = model.run()
+        va = WindowDataset.from_series(
+            sine_series(200, period=40, noise_sigma=0.03, seed=9), 6, 1
+        )
+        batch = result.system.predict(va.X)
+        assert batch.coverage > 0.4
+        covered = batch.predicted
+        rmse = float(np.sqrt(np.mean((batch.values[covered] - va.y[covered]) ** 2)))
+        assert rmse < 0.4
+
+    def test_migration_does_not_lose_rules(self, dataset, config):
+        model = IslandModel(
+            dataset, config.replace(generations=200), ring_topology(2),
+            migration_interval=50, root_seed=4,
+        )
+        result = model.run()
+        for pop in result.island_rules:
+            assert len(pop) == config.population_size

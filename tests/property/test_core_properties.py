@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the core rule machinery."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.fitness import FitnessParams, fitness_array, rule_fitness
+from repro.core.intervals import Interval, pack_intervals, unpack_intervals
+from repro.core.matching import match_mask, match_mask_dense
+from repro.core.operators import _edit_interval, mutate, uniform_crossover
+from repro.core.config import MutationParams
+from repro.core.rule import Rule
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw):
+    if draw(st.booleans()) and draw(st.integers(0, 4)) == 0:
+        return Interval.star()
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def rules(draw, d=None):
+    if d is None:
+        d = draw(st.integers(1, 8))
+    return Rule.from_intervals([draw(intervals()) for _ in range(d)])
+
+
+class TestIntervalProperties:
+    @given(intervals())
+    def test_encode_decode_roundtrip(self, iv):
+        assert Interval.decode(*iv.encode()) == iv
+
+    @given(intervals(), finite)
+    def test_shift_preserves_width(self, iv, delta):
+        shifted = iv.shifted(delta)
+        if iv.wildcard:
+            assert shifted.wildcard
+        else:
+            assert shifted.width == iv.width or abs(
+                shifted.width - iv.width
+            ) < 1e-6 * max(1.0, abs(iv.width))
+
+    @given(intervals(), finite)
+    def test_containment_consistent_with_bounds(self, iv, x):
+        if iv.contains(x) and not iv.wildcard:
+            assert iv.lower <= x <= iv.upper
+
+    @given(st.lists(intervals(), min_size=1, max_size=10))
+    def test_pack_unpack_roundtrip(self, ivs):
+        assert list(unpack_intervals(*pack_intervals(ivs))) == ivs
+
+    @given(intervals(), intervals())
+    def test_union_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        for iv in (a, b):
+            if not iv.wildcard and not u.wildcard:
+                assert u.lower <= iv.lower and u.upper >= iv.upper
+
+
+class TestMatchingProperties:
+    @given(rules(), st.integers(0, 300), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_equals_dense_equals_scalar(self, rule, n, seed):
+        rng = np.random.default_rng(seed)
+        windows = rng.uniform(-1e6, 1e6, size=(n, rule.n_lags))
+        lazy = match_mask(rule, windows)
+        dense = match_mask_dense(rule, windows)
+        assert np.array_equal(lazy, dense)
+        for i in range(0, n, max(1, n // 7)):
+            assert lazy[i] == rule.matches(windows[i])
+
+    @given(rules(), st.integers(1, 100), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_widening_only_adds_matches(self, rule, n, seed):
+        rng = np.random.default_rng(seed)
+        windows = rng.uniform(-1e6, 1e6, size=(n, rule.n_lags))
+        before = match_mask(rule, windows)
+        wide = rule.copy()
+        concrete = ~wide.wildcard
+        wide.lower[concrete] -= 1.0
+        wide.upper[concrete] += 1.0
+        after = match_mask(wide, windows)
+        assert np.all(after | ~before)  # before ⊆ after
+
+
+class TestFitnessProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(1e-3, 1e3),
+    )
+    def test_valid_fitness_exceeds_fmin(self, n, e, e_max):
+        p = FitnessParams(e_max=e_max, f_min=-1.0)
+        f = rule_fitness(n, e, p)
+        if n > p.min_matches and e < e_max:
+            assert f > p.f_min
+        else:
+            assert f == p.f_min
+
+    @given(
+        st.integers(2, 1000),
+        st.floats(0, 0.9),
+        st.floats(1e-2, 1e2),
+    )
+    def test_monotone_in_matches(self, n, e_frac, e_max):
+        p = FitnessParams(e_max=e_max)
+        e = e_frac * e_max
+        assert rule_fitness(n + 1, e, p) > rule_fitness(n, e, p)
+
+    @given(
+        st.integers(2, 1000),
+        st.floats(0, 0.5),
+        st.floats(1e-2, 1e2),
+    )
+    def test_antitone_in_error(self, n, e_frac, e_max):
+        p = FitnessParams(e_max=e_max)
+        e_small = e_frac * e_max
+        e_big = (e_frac + 0.4) * e_max
+        assert rule_fitness(n, e_small, p) > rule_fitness(n, e_big, p)
+
+    @given(
+        hnp.arrays(np.int64, st.integers(0, 30), elements=st.integers(0, 100)),
+        st.floats(1e-2, 1e2),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_array_matches_scalar(self, n_arr, e_max, seed):
+        rng = np.random.default_rng(seed)
+        errors = rng.uniform(0, 2 * e_max, size=n_arr.shape)
+        p = FitnessParams(e_max=e_max)
+        got = fitness_array(n_arr, errors, p)
+        want = [rule_fitness(int(n), float(e), p) for n, e in zip(n_arr, errors)]
+        assert np.allclose(got, want)
+
+
+class TestOperatorProperties:
+    @given(rules(d=5), rules(d=5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_crossover_gene_provenance(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        child = uniform_crossover(a, b, rng)
+        for i in range(5):
+            gene = (child.lower[i], child.upper[i], child.wildcard[i])
+            gene_a = (a.lower[i], a.upper[i], a.wildcard[i])
+            gene_b = (b.lower[i], b.upper[i], b.wildcard[i])
+            assert gene == gene_a or gene == gene_b
+
+    @given(rules(), st.integers(0, 2**31 - 1), st.floats(0.01, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_mutation_preserves_order_invariant(self, rule, seed, rate):
+        rng = np.random.default_rng(seed)
+        params = MutationParams(rate=rate, scale=0.3)
+        mutate(rule, params, (-10.0, 10.0), rng)
+        ok = rule.wildcard | (rule.lower <= rule.upper)
+        assert ok.all()
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(0, 50),
+        st.sampled_from(["enlarge", "shrink", "shift_up", "shift_down"]),
+        st.floats(0, 25),
+    )
+    def test_edit_interval_never_inverts(self, lo, width, op, step):
+        new_lo, new_hi = _edit_interval(lo, lo + width, op, step)
+        assert new_lo <= new_hi + 1e-12

@@ -1,0 +1,136 @@
+"""Property-based tests for windowing, metrics, scalers, serialization."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.intervals import Interval
+from repro.core.rule import Rule
+from repro.io.serialize import rule_from_dict, rule_to_dict
+from repro.metrics.errors import galvan_error, mae, mse, nmse, rmse
+from repro.series.windowing import MinMaxScaler, make_windows
+
+series_strategy = hnp.arrays(
+    np.float64,
+    st.integers(10, 200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestWindowingProperties:
+    @given(series_strategy, st.integers(1, 6), st.integers(1, 4))
+    def test_alignment_identity(self, series, d, horizon):
+        assume(len(series) >= d + horizon)
+        X, y = make_windows(series, d, horizon)
+        n = X.shape[0]
+        assert n == len(series) - d - horizon + 1
+        for i in range(0, n, max(1, n // 5)):
+            assert np.array_equal(X[i], series[i : i + d])
+            assert y[i] == series[i + d - 1 + horizon]
+
+    @given(series_strategy)
+    def test_every_window_value_from_series(self, series):
+        assume(len(series) >= 5)
+        X, _ = make_windows(series, 3, 2)
+        assert np.isin(X.ravel(), series).all()
+
+
+class TestScalerProperties:
+    @given(series_strategy)
+    def test_roundtrip_identity(self, values):
+        assume(np.ptp(values) > 1e-9)
+        s = MinMaxScaler().fit(values)
+        back = s.inverse_transform(s.transform(values))
+        assert np.allclose(back, values, rtol=1e-9, atol=1e-6)
+
+    @given(series_strategy)
+    def test_transform_is_monotone(self, values):
+        """Sorting commutes with the affine map (up to float rounding)."""
+        assume(np.ptp(values) > 1e-9)
+        s = MinMaxScaler().fit(values)
+        t_sorted = s.transform(np.sort(values))
+        assert np.all(np.diff(t_sorted) >= -1e-12)
+
+
+pred_pairs = st.integers(2, 100).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.float64, n, elements=st.floats(-1e3, 1e3, allow_nan=False)),
+        hnp.arrays(np.float64, n, elements=st.floats(-1e3, 1e3, allow_nan=False)),
+    )
+)
+
+
+class TestMetricProperties:
+    @given(pred_pairs)
+    def test_rmse_nonnegative_and_zero_iff_equal(self, pair):
+        t, p = pair
+        assert rmse(t, p) >= 0
+        assert rmse(t, t) == 0.0
+
+    @given(pred_pairs)
+    def test_rmse_symmetric(self, pair):
+        t, p = pair
+        assert rmse(t, p) == rmse(p, t)
+
+    @given(pred_pairs)
+    def test_mse_is_rmse_squared(self, pair):
+        t, p = pair
+        assert np.isclose(mse(t, p), rmse(t, p) ** 2, rtol=1e-10)
+
+    @given(pred_pairs)
+    def test_mae_bounded_by_rmse(self, pair):
+        t, p = pair
+        assert mae(t, p) <= rmse(t, p) + 1e-9
+
+    @given(pred_pairs, st.integers(0, 50))
+    def test_galvan_error_scales_with_horizon(self, pair, horizon):
+        t, p = pair
+        e0 = galvan_error(t, p, 0)
+        eh = galvan_error(t, p, horizon)
+        # Larger horizon divides by a larger constant.
+        assert eh <= e0 + 1e-12
+
+    @given(pred_pairs, st.floats(0.1, 10))
+    def test_nmse_scale_invariant(self, pair, scale):
+        t, p = pair
+        assume(np.var(t) > 1e-9)
+        a = nmse(t, p)
+        b = nmse(t * scale, p * scale)
+        assert np.isclose(a, b, rtol=1e-6)
+
+
+@st.composite
+def arbitrary_rules(draw):
+    d = draw(st.integers(1, 6))
+    ivs = []
+    for _ in range(d):
+        if draw(st.integers(0, 3)) == 0:
+            ivs.append(Interval.star())
+        else:
+            a = draw(st.floats(-1e3, 1e3, allow_nan=False))
+            w = draw(st.floats(0, 1e3, allow_nan=False))
+            ivs.append(Interval(a, a + w))
+    rule = Rule.from_intervals(ivs)
+    rule.prediction = draw(st.floats(-1e3, 1e3, allow_nan=False))
+    rule.error = draw(st.floats(0, 1e3, allow_nan=False))
+    rule.n_matched = draw(st.integers(0, 1000))
+    rule.fitness = draw(st.floats(-1e3, 1e3, allow_nan=False))
+    if draw(st.booleans()):
+        rule.coeffs = np.array(
+            [draw(st.floats(-10, 10, allow_nan=False)) for _ in range(d + 1)]
+        )
+    return rule
+
+
+class TestSerializationProperties:
+    @given(arbitrary_rules())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_roundtrip_preserves_behaviour(self, rule):
+        clone = rule_from_dict(rule_to_dict(rule))
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1e3, 1e3, size=(25, rule.n_lags))
+        from repro.core.matching import match_mask
+
+        assert np.array_equal(match_mask(rule, X), match_mask(clone, X))
+        assert np.allclose(rule.output(X), clone.output(X))

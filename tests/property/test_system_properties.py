@@ -1,0 +1,121 @@
+"""Property-based tests for engine- and system-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EvolutionConfig, FitnessParams, MutationParams
+from repro.core.engine import SteadyStateEngine
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+@st.composite
+def small_configs(draw):
+    """Random-but-sane engine configurations on a fixed tiny dataset."""
+    return EvolutionConfig(
+        d=4,
+        horizon=draw(st.integers(1, 3)),
+        population_size=draw(st.integers(4, 12)),
+        generations=draw(st.integers(0, 60)),
+        fitness=FitnessParams(e_max=draw(st.floats(0.05, 1.0))),
+        mutation=MutationParams(
+            rate=draw(st.floats(0.0, 1.0)),
+            scale=draw(st.floats(0.01, 0.5)),
+        ),
+        tournament_rounds=draw(st.integers(1, 4)),
+        predicting_mode=draw(st.sampled_from(["linear", "constant"])),
+        crowding=draw(st.sampled_from(["jaccard", "prediction", "random", "worst"])),
+        seed=draw(st.integers(0, 2**31 - 1)),
+    )
+
+
+class TestEngineInvariants:
+    @given(small_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_run_preserves_structural_invariants(self, config):
+        series = sine_series(160, period=25, noise_sigma=0.05, seed=3)
+        dataset = WindowDataset.from_series(series, config.d, config.horizon)
+        engine = SteadyStateEngine(dataset, config)
+        result = engine.run()
+        # Size invariant.
+        assert len(result.rules) == config.population_size
+        # Every rule is evaluated and self-consistent.
+        for rule in result.rules:
+            assert rule.is_evaluated
+            assert rule.n_matched == int(rule.match_mask.sum())
+            if rule.fitness > config.fitness.f_min:
+                assert rule.n_matched > config.fitness.min_matches
+                assert rule.error < config.fitness.e_max
+        # Replacements never exceed generations.
+        assert 0 <= result.replacements <= config.generations
+
+    @given(small_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_total_fitness_monotone(self, config):
+        series = sine_series(160, period=25, noise_sigma=0.05, seed=4)
+        dataset = WindowDataset.from_series(series, config.d, config.horizon)
+        engine = SteadyStateEngine(dataset, config)
+        engine.initialize()
+        prev = sum(r.fitness for r in engine.population)
+        for _ in range(min(30, config.generations or 30)):
+            engine.step()
+            cur = sum(r.fitness for r in engine.population)
+            assert cur >= prev - 1e-9
+            prev = cur
+
+
+class TestPredictorProperties:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 20),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_is_mean_of_matching_outputs(self, d, n_rules, seed):
+        rng = np.random.default_rng(seed)
+        rules = []
+        for _ in range(n_rules):
+            lo = rng.uniform(0, 0.6, size=d)
+            hi = lo + rng.uniform(0.05, 0.4, size=d)
+            r = Rule.from_box(lo, hi, prediction=float(rng.normal()))
+            r.error = 0.1
+            rules.append(r)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(0, 1, size=(30, d))
+        batch = system.predict(patterns)
+        for i in range(30):
+            outs = [
+                r.prediction for r in rules if r.matches(patterns[i])
+            ]
+            if outs:
+                assert batch.predicted[i]
+                assert np.isclose(batch.values[i], np.mean(outs))
+                assert batch.n_rules_used[i] == len(outs)
+            else:
+                assert not batch.predicted[i]
+                assert np.isnan(batch.values[i])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_merging_pools_never_reduces_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        d = 3
+
+        def pool(k):
+            rules = []
+            for _ in range(k):
+                lo = rng.uniform(0, 0.7, size=d)
+                r = Rule.from_box(lo, lo + 0.2, prediction=0.5)
+                r.error = 0.1
+                rules.append(r)
+            return RuleSystem(rules)
+
+        a, b = pool(4), pool(4)
+        patterns = rng.uniform(0, 1, size=(100, d))
+        merged = a.merged_with(b)
+        assert merged.coverage(patterns) >= max(
+            a.coverage(patterns), b.coverage(patterns)
+        ) - 1e-12

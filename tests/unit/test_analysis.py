@@ -1,0 +1,118 @@
+"""Unit tests for repro.analysis (tables, plots, report formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import line_plot, overlay_plot, render_rule
+from repro.analysis.experiments import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3
+from repro.analysis.report import ablation_markdown, table1_markdown
+from repro.analysis.tables import format_float, format_table
+from repro.core.intervals import Interval
+from repro.core.rule import Rule
+from repro.metrics.coverage import CoverageScore
+
+
+class TestFormatTable:
+    def test_basic_grid(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "30" in lines[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_float(self):
+        assert format_float(1.23456, 2) == "1.23"
+        assert format_float(None) == "-"
+        assert format_float(float("nan")) == "-"
+
+
+class TestPaperReferences:
+    def test_table1_values_from_paper(self):
+        assert PAPER_TABLE1[1] == (91.3, 3.37, 3.30)
+        assert PAPER_TABLE1[96] == (99.5, 16.04, None)
+        assert len(PAPER_TABLE1) == 8
+
+    def test_table2_values(self):
+        assert PAPER_TABLE2[50] == (78.9, 0.025, 0.040, None)
+        assert PAPER_TABLE2[85] == (78.2, 0.046, None, 0.050)
+
+    def test_table3_values(self):
+        assert PAPER_TABLE3[1] == (100.0, 0.00228, 0.00511, 0.00511)
+        assert len(PAPER_TABLE3) == 5
+
+
+class TestAsciiPlot:
+    def test_line_plot_shape(self):
+        text = line_plot(np.sin(np.linspace(0, 10, 200)), width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 9  # 8 rows + legend
+        assert "┤" in lines[0] and "┴" in lines[-2]
+
+    def test_overlay_handles_nan_gaps(self):
+        real = np.sin(np.linspace(0, 6, 100))
+        pred = real.copy()
+        pred[40:60] = np.nan
+        text = overlay_plot({"real": real, "pred": pred})
+        assert "r=real" in text and "p=pred" in text
+
+    def test_overlay_validation(self):
+        with pytest.raises(ValueError):
+            overlay_plot({})
+        with pytest.raises(ValueError, match="lengths differ"):
+            overlay_plot({"a": np.zeros(5), "b": np.zeros(6)})
+        with pytest.raises(ValueError, match="NaN"):
+            overlay_plot({"a": np.full(5, np.nan)})
+        with pytest.raises(ValueError):
+            overlay_plot({"a": np.zeros(5)}, width=2)
+        with pytest.raises(ValueError):
+            overlay_plot({"a": np.array([])})
+
+    def test_constant_series_plot(self):
+        text = line_plot(np.full(50, 3.0))
+        assert text  # no crash on zero span
+
+    def test_render_rule_shows_wildcards_and_prediction(self):
+        rule = Rule.from_intervals(
+            [Interval(0, 1), Interval.star(), Interval(0.2, 0.6)],
+            prediction=0.4,
+        )
+        text = render_rule(rule, series_range=(0.0, 1.0))
+        assert "·" in text  # wildcard column
+        assert "P" in text  # prediction marker
+        assert "y1" in text
+
+    def test_render_rule_without_range(self):
+        rule = Rule.from_intervals([Interval(0, 2), Interval(1, 3)], prediction=2.5)
+        assert "P" in render_rule(rule)
+
+    def test_render_all_wildcard_rule(self):
+        rule = Rule.from_intervals([Interval.star(), Interval.star()])
+        text = render_rule(rule)
+        assert "·" in text
+
+
+class TestReportMarkdown:
+    def _score(self, err, cov):
+        return CoverageScore(error=err, coverage=cov, n_total=100,
+                             n_predicted=int(100 * cov))
+
+    def test_table1_markdown_includes_paper_numbers(self):
+        from repro.analysis.experiments import Table1Row
+
+        rows = [Table1Row(horizon=4, rs=self._score(8.1, 0.98), nn_error=9.9)]
+        text = table1_markdown(rows)
+        assert "9.55" in text  # paper NN value at h=4
+        assert "8.10" in text
+        assert "98.0" in text
+
+    def test_ablation_markdown(self):
+        from repro.analysis.experiments import AblationRow
+
+        rows = [AblationRow("init=random", self._score(0.1, 0.5), "x")]
+        text = ablation_markdown(rows, "NMSE")
+        assert "init=random" in text and "NMSE" in text

@@ -1,0 +1,105 @@
+"""Unit tests for the ARMA baseline (Hannan-Rissanen)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.arma import ARMAForecaster, ARMAParams
+from repro.series.noise import ar_process, sine_series
+
+
+class TestParams:
+    def test_valid(self):
+        ARMAParams(p=2, q=1)
+        ARMAParams(p=0, q=1)
+        ARMAParams(p=1, q=0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ARMAParams(p=-1, q=1)
+        with pytest.raises(ValueError):
+            ARMAParams(p=0, q=0)
+        with pytest.raises(ValueError):
+            ARMAParams(p=1, q=1, long_ar_order=0)
+
+
+class TestFit:
+    def test_recovers_ar_coefficients(self):
+        series = ar_process(4000, [0.7, -0.2], sigma=1.0, seed=1)
+        model = ARMAForecaster(ARMAParams(p=2, q=0)).fit(series)
+        assert model.ar_coeffs[0] == pytest.approx(0.7, abs=0.06)
+        assert model.ar_coeffs[1] == pytest.approx(-0.2, abs=0.06)
+
+    def test_residuals_near_innovation_scale(self):
+        series = ar_process(3000, [0.6], sigma=2.0, seed=3)
+        model = ARMAForecaster(ARMAParams(p=1, q=1)).fit(series[:2500])
+        pred = model.predict_series(series[2400:], horizon=1)
+        ok = np.isfinite(pred)
+        resid = series[2400:][ok] - pred[ok]
+        assert 1.6 < resid.std() < 2.4  # ≈ sigma
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            ARMAForecaster(ARMAParams(p=4, q=2)).fit(np.zeros(10))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ARMAForecaster().fit(np.zeros((10, 10)))
+
+    def test_mean_handling(self):
+        series = ar_process(2000, [0.5], sigma=0.5, seed=5) + 100.0
+        model = ARMAForecaster(ARMAParams(p=1, q=0)).fit(series)
+        fc = model.forecast(10)
+        assert 95 < fc.mean() < 105  # forecasts near the series mean
+
+
+class TestForecast:
+    def test_forecast_length_and_decay(self):
+        series = ar_process(2000, [0.8], sigma=1.0, seed=7)
+        model = ARMAForecaster(ARMAParams(p=1, q=0)).fit(series)
+        fc = model.forecast(50)
+        assert fc.shape == (50,)
+        # AR(1) iterated forecast decays geometrically to the mean.
+        dev = np.abs(fc - model.mean)
+        assert dev[-1] < dev[0] + 1e-9
+
+    def test_forecast_validation(self):
+        model = ARMAForecaster(ARMAParams(p=1, q=0))
+        with pytest.raises(RuntimeError):
+            model.forecast(5)
+        model.fit(ar_process(500, [0.5], seed=1))
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+
+class TestPredictSeries:
+    def test_alignment(self):
+        series = ar_process(1500, [0.6], sigma=0.8, seed=9)
+        model = ARMAForecaster(ARMAParams(p=1, q=0)).fit(series[:1000])
+        pred = model.predict_series(series[1000:], horizon=1)
+        assert pred.shape == (500,)
+        assert np.isnan(pred[0])  # no history yet
+        assert np.isfinite(pred[-1])
+
+    def test_larger_horizon_is_harder(self):
+        series = ar_process(3000, [0.85], sigma=1.0, seed=11)
+        model = ARMAForecaster(ARMAParams(p=1, q=0)).fit(series[:2000])
+        tail = series[2000:]
+        errs = []
+        for h in (1, 5):
+            pred = model.predict_series(tail, horizon=h)
+            ok = np.isfinite(pred)
+            errs.append(float(np.sqrt(np.mean((tail[ok] - pred[ok]) ** 2))))
+        assert errs[1] > errs[0]
+
+    def test_horizon_validation(self):
+        model = ARMAForecaster(ARMAParams(p=1, q=0)).fit(
+            ar_process(500, [0.5], seed=1)
+        )
+        with pytest.raises(ValueError):
+            model.predict_series(np.zeros(50), horizon=0)
+
+    def test_pure_ma_model_runs(self):
+        series = sine_series(800, period=20, noise_sigma=0.5, seed=13)
+        model = ARMAForecaster(ARMAParams(p=0, q=2)).fit(series)
+        pred = model.predict_series(series[-100:], horizon=1)
+        assert np.isfinite(pred[-1])

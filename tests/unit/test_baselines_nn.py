@@ -1,0 +1,104 @@
+"""Unit tests for the MLP and Elman baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPForecaster, MLPParams
+from repro.baselines.recurrent import ElmanForecaster, ElmanParams
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+@pytest.fixture
+def sine_windows():
+    tr = WindowDataset.from_series(sine_series(600, period=30, noise_sigma=0.02, seed=1), 6, 1)
+    va = WindowDataset.from_series(sine_series(200, period=30, noise_sigma=0.02, seed=2), 6, 1)
+    return tr, va
+
+
+class TestMLP:
+    def test_learns_sine(self, sine_windows):
+        tr, va = sine_windows
+        model = MLPForecaster(MLPParams(hidden=12, epochs=80, seed=0))
+        model.fit(tr.X, tr.y)
+        pred = model.predict(va.X)
+        err = float(np.sqrt(np.mean((pred - va.y) ** 2)))
+        # Naive persistence RMSE on this sine is ~0.2; MLP must beat it.
+        assert err < 0.1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPForecaster().predict(np.zeros((2, 6)))
+
+    def test_deterministic_given_seed(self, sine_windows):
+        tr, va = sine_windows
+        p = MLPParams(hidden=8, epochs=10, seed=42)
+        m1 = MLPForecaster(p).fit(tr.X, tr.y)
+        m2 = MLPForecaster(p).fit(tr.X, tr.y)
+        assert np.allclose(m1.predict(va.X), m2.predict(va.X))
+
+    def test_early_stopping_restores_best(self, sine_windows):
+        tr, _ = sine_windows
+        model = MLPForecaster(MLPParams(hidden=8, epochs=300, patience=5, seed=0))
+        model.fit(tr.X, tr.y)
+        # Training must have stopped well before 300 epochs recorded.
+        assert len(model.train_curve) < 300
+
+    def test_no_validation_split_path(self, sine_windows):
+        tr, _ = sine_windows
+        model = MLPForecaster(MLPParams(hidden=4, epochs=5, val_fraction=0.0, seed=0))
+        model.fit(tr.X, tr.y)
+        assert len(model.train_curve) == 5
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MLPParams(hidden=0)
+        with pytest.raises(ValueError):
+            MLPParams(val_fraction=1.0)
+        with pytest.raises(ValueError):
+            MLPParams(learning_rate=0.0)
+
+    def test_output_in_original_units(self):
+        """Standardization must be inverted on predict."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 4))
+        y = 1000.0 + 50.0 * X[:, 0]
+        model = MLPForecaster(MLPParams(hidden=8, epochs=60, seed=1))
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert 900 < pred.mean() < 1100
+
+
+class TestElman:
+    def test_learns_sine(self, sine_windows):
+        tr, va = sine_windows
+        model = ElmanForecaster(ElmanParams(hidden=8, epochs=40, seed=0))
+        model.fit(tr.X, tr.y)
+        err = float(np.sqrt(np.mean((model.predict(va.X) - va.y) ** 2)))
+        assert err < 0.15
+
+    def test_deterministic(self, sine_windows):
+        tr, va = sine_windows
+        p = ElmanParams(hidden=6, epochs=5, seed=3)
+        m1 = ElmanForecaster(p).fit(tr.X, tr.y)
+        m2 = ElmanForecaster(p).fit(tr.X, tr.y)
+        assert np.allclose(m1.predict(va.X), m2.predict(va.X))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ElmanForecaster().predict(np.zeros((2, 6)))
+
+    def test_hidden_state_depends_on_order(self, sine_windows):
+        """A recurrent net must be sensitive to input order."""
+        tr, va = sine_windows
+        model = ElmanForecaster(ElmanParams(hidden=8, epochs=20, seed=0))
+        model.fit(tr.X, tr.y)
+        fwd = model.predict(va.X[:10])
+        rev = model.predict(va.X[:10, ::-1])
+        assert not np.allclose(fwd, rev)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ElmanParams(hidden=0)
+        with pytest.raises(ValueError):
+            ElmanParams(grad_clip=0.0)

@@ -1,0 +1,154 @@
+"""Unit tests for RBF machinery, RAN and MRAN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mran import MRANForecaster, MRANParams
+from repro.baselines.ran import RANForecaster, RANParams
+from repro.baselines.rbf_common import RBFUnits
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+
+class TestRBFUnits:
+    def test_empty_network_outputs_bias(self):
+        u = RBFUnits(dim=3)
+        u.bias = 2.5
+        assert u.output(np.zeros(3)) == 2.5
+        assert np.allclose(u.batch_output(np.zeros((4, 3))), 2.5)
+
+    def test_single_unit_peak_at_center(self):
+        u = RBFUnits(dim=2)
+        u.add_unit(np.array([1.0, 1.0]), alpha=3.0, sigma=0.5)
+        at_center = u.output(np.array([1.0, 1.0]))
+        away = u.output(np.array([2.0, 2.0]))
+        assert at_center == pytest.approx(3.0)
+        assert away < at_center
+
+    def test_batch_matches_scalar(self, rng):
+        u = RBFUnits(dim=4)
+        for _ in range(5):
+            u.add_unit(rng.uniform(size=4), rng.normal(), 0.3 + rng.uniform())
+        X = rng.uniform(size=(20, 4))
+        batch = u.batch_output(X)
+        scalar = np.array([u.output(x) for x in X])
+        assert np.allclose(batch, scalar)
+
+    def test_growth_beyond_capacity(self, rng):
+        u = RBFUnits(dim=2, capacity=2)
+        for i in range(10):
+            u.add_unit(rng.uniform(size=2), float(i), 0.5)
+        assert u.n_units == 10
+        assert u.alphas.tolist() == [float(i) for i in range(10)]
+
+    def test_remove_units(self, rng):
+        u = RBFUnits(dim=2)
+        for i in range(4):
+            u.add_unit(np.full(2, float(i)), float(i), 0.5)
+        u.remove_units(np.array([True, False, True, False]))
+        assert u.n_units == 2
+        assert u.alphas.tolist() == [0.0, 2.0]
+
+    def test_nearest_center_distance(self):
+        u = RBFUnits(dim=2)
+        assert u.nearest_center_distance(np.zeros(2)) == np.inf
+        u.add_unit(np.array([3.0, 4.0]), 1.0, 1.0)
+        assert u.nearest_center_distance(np.zeros(2)) == pytest.approx(5.0)
+
+    def test_lms_update_reduces_error(self, rng):
+        u = RBFUnits(dim=2)
+        u.add_unit(np.array([0.5, 0.5]), 0.0, 1.0)
+        x, y = np.array([0.5, 0.5]), 2.0
+        for _ in range(200):
+            err = y - u.output(x)
+            u.lms_update(x, err, 0.1)
+        assert abs(y - u.output(x)) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBFUnits(dim=0)
+        u = RBFUnits(dim=2)
+        with pytest.raises(ValueError):
+            u.add_unit(np.zeros(3), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            u.add_unit(np.zeros(2), 1.0, 0.0)
+        with pytest.raises(ValueError):
+            u.remove_units(np.array([True]))
+
+
+@pytest.fixture
+def mg_like_windows():
+    tr = WindowDataset.from_series(
+        sine_series(500, period=35, noise_sigma=0.01, seed=3), 5, 1
+    )
+    va = WindowDataset.from_series(
+        sine_series(150, period=35, noise_sigma=0.01, seed=4), 5, 1
+    )
+    return tr, va
+
+
+class TestRAN:
+    def test_allocates_units_then_learns(self, mg_like_windows):
+        tr, va = mg_like_windows
+        model = RANForecaster(RANParams())
+        model.fit(tr.X, tr.y)
+        assert model.n_units > 3
+        err = float(np.sqrt(np.mean((model.predict(va.X) - va.y) ** 2)))
+        assert err < 0.15
+
+    def test_novelty_radius_decays(self):
+        model = RANForecaster(RANParams(delta_max=1.0, delta_min=0.1, tau_delta=10.0))
+        assert model._delta(0) == pytest.approx(1.0)
+        assert model._delta(10_000) == pytest.approx(0.1)
+        assert model._delta(10) < model._delta(5)
+
+    def test_max_units_respected(self, mg_like_windows):
+        tr, _ = mg_like_windows
+        model = RANForecaster(RANParams(max_units=5, epsilon=1e-9))
+        model.fit(tr.X, tr.y)
+        assert model.n_units <= 5
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RANForecaster().predict(np.zeros((2, 5)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RANParams(epsilon=0.0)
+        with pytest.raises(ValueError):
+            RANParams(delta_min=2.0, delta_max=1.0)
+        with pytest.raises(ValueError):
+            RANParams(max_units=0)
+
+
+class TestMRAN:
+    def test_fits_and_prunes(self, mg_like_windows):
+        tr, va = mg_like_windows
+        model = MRANForecaster(MRANParams(
+            pruning_threshold=0.05, pruning_window=30, epochs=1,
+        ))
+        model.fit(tr.X, tr.y)
+        assert model.n_units > 0
+        err = float(np.sqrt(np.mean((model.predict(va.X) - va.y) ** 2)))
+        assert err < 0.25
+
+    def test_rms_criterion_blocks_growth(self, mg_like_windows):
+        """A huge RMS threshold forbids all allocation."""
+        tr, _ = mg_like_windows
+        model = MRANForecaster(MRANParams(e_rms_threshold=1e9))
+        model.fit(tr.X, tr.y)
+        assert model.n_units == 0
+
+    def test_pruning_counts(self, mg_like_windows):
+        tr, _ = mg_like_windows
+        aggressive = MRANForecaster(MRANParams(
+            pruning_threshold=0.5, pruning_window=5, epochs=1,
+        ))
+        aggressive.fit(tr.X, tr.y)
+        assert aggressive.pruned_total > 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MRANParams(rms_window=0)
+        with pytest.raises(ValueError):
+            MRANParams(pruning_window=0)

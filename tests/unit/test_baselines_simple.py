@@ -1,0 +1,121 @@
+"""Unit tests for the linear/naive/kNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import check_Xy
+from repro.baselines.knn import KNNForecaster
+from repro.baselines.linear import (
+    ARForecaster,
+    MovingAverageForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+
+
+class TestCheckXy:
+    def test_coerces_and_validates(self):
+        X, y = check_Xy([[1, 2]], [3])
+        assert X.dtype == np.float64 and y.dtype == np.float64
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros(5), np.zeros(5))
+
+    def test_rejects_mismatched_y(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestAR:
+    def test_recovers_exact_ar_coefficients(self, linear_dataset):
+        model = ARForecaster(ridge=0.0).fit(linear_dataset.X, linear_dataset.y)
+        # x_t = 0.5 x_{t-1} + 0.3 x_{t-2} - 0.2 x_{t-3}; window order is
+        # oldest-first, so coeffs = (-0.2, 0.3, 0.5).
+        assert np.allclose(model.coeffs[:-1], [-0.2, 0.3, 0.5], atol=1e-8)
+        assert model.coeffs[-1] == pytest.approx(0.0, abs=1e-8)
+
+    def test_perfect_prediction_on_deterministic_ar(self, linear_dataset):
+        model = ARForecaster().fit(linear_dataset.X, linear_dataset.y)
+        pred = model.predict(linear_dataset.X)
+        assert np.allclose(pred, linear_dataset.y, atol=1e-6)
+
+    def test_singular_design_falls_back(self):
+        X = np.ones((10, 3))  # rank-1
+        y = np.arange(10, dtype=float)
+        model = ARForecaster(ridge=0.0).fit(X, y)
+        assert np.all(np.isfinite(model.coeffs))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            ARForecaster().predict(np.zeros((2, 3)))
+
+
+class TestNaive:
+    def test_persistence(self):
+        model = PersistenceForecaster().fit(np.zeros((2, 3)), np.zeros(2))
+        pred = model.predict(np.array([[1.0, 2.0, 3.0]]))
+        assert pred[0] == 3.0
+
+    def test_seasonal_naive(self):
+        model = SeasonalNaiveForecaster(period=2)
+        model.fit(np.zeros((2, 4)), np.zeros(2))
+        pred = model.predict(np.array([[10.0, 20.0, 30.0, 40.0]]))
+        assert pred[0] == 30.0  # one period back from the end
+
+    def test_seasonal_period_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaiveForecaster(period=9).fit(np.zeros((2, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            SeasonalNaiveForecaster(period=0).fit(np.zeros((2, 4)), np.zeros(2))
+
+    def test_moving_average(self):
+        model = MovingAverageForecaster(width=2)
+        model.fit(np.zeros((2, 4)), np.zeros(2))
+        pred = model.predict(np.array([[0.0, 0.0, 2.0, 4.0]]))
+        assert pred[0] == 3.0
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(width=9).fit(np.zeros((2, 4)), np.zeros(2))
+
+
+class TestKNN:
+    def test_exact_neighbour_recall(self, rng):
+        X = rng.uniform(size=(100, 4))
+        y = rng.uniform(size=100)
+        model = KNNForecaster(k=1).fit(X, y)
+        # Querying the training points with k=1 returns their own targets.
+        assert np.allclose(model.predict(X[:20]), y[:20])
+
+    def test_uniform_vs_inverse_weighting(self, rng):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        q = np.array([[0.25]])
+        uni = KNNForecaster(k=2, weighting="uniform").fit(X, y).predict(q)
+        inv = KNNForecaster(k=2, weighting="inverse").fit(X, y).predict(q)
+        assert uni[0] == pytest.approx(5.0)
+        assert inv[0] < 5.0  # closer to the nearer target 0.0
+
+    def test_chunked_equals_unchunked(self, rng):
+        X = rng.uniform(size=(300, 3))
+        y = rng.uniform(size=300)
+        q = rng.uniform(size=(50, 3))
+        small = KNNForecaster(k=3, chunk_size=7).fit(X, y).predict(q)
+        big = KNNForecaster(k=3, chunk_size=1000).fit(X, y).predict(q)
+        assert np.allclose(small, big)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNForecaster(k=0)
+        with pytest.raises(ValueError):
+            KNNForecaster(weighting="gaussian")
+        with pytest.raises(ValueError):
+            KNNForecaster(k=10).fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_fit_copies_data(self, rng):
+        X = rng.uniform(size=(30, 2))
+        y = rng.uniform(size=30)
+        model = KNNForecaster(k=2).fit(X, y)
+        X[:] = 0.0
+        assert not np.allclose(model.X_train, 0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the repro CLI (parser wiring; fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.horizons == [1, 4, 12, 24, 28, 48, 72, 96]
+        assert args.scale == "bench"
+        assert args.jobs == 1
+
+    def test_table2_custom_horizons(self):
+        args = build_parser().parse_args(["table2", "--horizons", "50"])
+        assert args.horizons == [50]
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galaxy"])
+
+    def test_all_subcommands_exist(self):
+        for cmd in ("table1", "table2", "table3", "figure2",
+                    "ablation-init", "ablation-replacement",
+                    "ablation-emax", "ablation-pooling"):
+            args = build_parser().parse_args([cmd])
+            assert args.command == cmd
+
+    def test_markdown_flag(self):
+        args = build_parser().parse_args(["figure2", "--markdown"])
+        assert args.markdown
+
+
+class TestMainSmoke:
+    def test_table2_single_horizon_runs(self, capsys, monkeypatch):
+        """End-to-end CLI on the cheapest real experiment."""
+        import repro.analysis.experiments as exp
+        from repro.core.config import EvolutionConfig, FitnessParams
+
+        def tiny_mackey(horizon=50, scale="bench", seed=None):
+            return EvolutionConfig(
+                d=6, horizon=horizon, population_size=15, generations=150,
+                fitness=FitnessParams(e_max=0.2), seed=seed,
+            )
+
+        monkeypatch.setattr(exp, "mackey_config", tiny_mackey)
+        rc = main(["table2", "--horizons", "50", "--seed", "1", "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "MRAN" in out
+        assert "| 50 |" in out  # markdown block present

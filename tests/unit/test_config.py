@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    EvolutionConfig,
+    MutationParams,
+    mackey_config,
+    sunspot_config,
+    venice_config,
+)
+from repro.core.fitness import FitnessParams
+
+
+class TestMutationParams:
+    def test_valid_defaults(self):
+        MutationParams()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            MutationParams(rate=1.5)
+        with pytest.raises(ValueError):
+            MutationParams(rate=-0.1)
+
+    def test_scale_positive(self):
+        with pytest.raises(ValueError):
+            MutationParams(scale=0.0)
+
+    def test_wildcard_probs(self):
+        with pytest.raises(ValueError):
+            MutationParams(p_wildcard_on=2.0)
+
+
+class TestEvolutionConfig:
+    def test_defaults_valid(self):
+        cfg = EvolutionConfig()
+        assert cfg.d == 24 and cfg.horizon == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d": 0},
+            {"horizon": 0},
+            {"population_size": 1},
+            {"generations": -1},
+            {"tournament_rounds": 0},
+            {"predicting_mode": "spline"},
+            {"crowding": "nearest"},
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            EvolutionConfig(**kwargs)
+
+    def test_replace_returns_new(self):
+        cfg = EvolutionConfig()
+        cfg2 = cfg.replace(horizon=4)
+        assert cfg2.horizon == 4 and cfg.horizon == 1
+
+    def test_frozen(self):
+        cfg = EvolutionConfig()
+        with pytest.raises(Exception):
+            cfg.d = 5  # type: ignore[misc]
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [venice_config, mackey_config, sunspot_config])
+    def test_both_scales(self, factory):
+        bench = factory(scale="bench")
+        paper = factory(scale="paper")
+        assert paper.generations > bench.generations
+        assert isinstance(bench.fitness, FitnessParams)
+        with pytest.raises(ValueError):
+            factory(scale="huge")
+
+    def test_paper_scale_matches_text(self):
+        cfg = venice_config(scale="paper")
+        # §4.1: populations evolved along 75 000 generations, D=24.
+        assert cfg.generations == 75_000
+        assert cfg.d == 24
+        assert cfg.population_size == 100
+
+    def test_horizon_forwarded(self):
+        assert venice_config(horizon=96).horizon == 96
+        assert mackey_config(horizon=85).horizon == 85

@@ -1,0 +1,84 @@
+"""Unit tests for repro.series.datasets (paper splits)."""
+
+import numpy as np
+import pytest
+
+from repro.series.datasets import load_mackey_glass, load_sunspot, load_venice
+
+
+class TestVenice:
+    def test_bench_volumes(self):
+        d = load_venice(scale="bench")
+        assert len(d.train) == 6000
+        assert len(d.validation) == 1500
+        assert d.scaler is None  # raw centimetres
+
+    def test_paper_volumes(self):
+        d = load_venice(scale="paper")
+        assert len(d.train) == 45_000
+        assert len(d.validation) == 10_000
+
+    def test_chronological(self):
+        d = load_venice(scale="bench", seed=1)
+        from repro.series.venice import venice_series
+
+        full = venice_series(7500, seed=1)
+        assert np.array_equal(d.train, full[:6000])
+        assert np.array_equal(d.validation, full[6000:])
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            load_venice(scale="giant")
+
+    def test_windows_helper(self):
+        d = load_venice(scale="bench")
+        tr, va = d.windows(24, 4)
+        assert tr.d == va.d == 24
+        assert tr.horizon == va.horizon == 4
+        assert len(tr) == 6000 - 24 - 4 + 1
+
+
+class TestMackeyGlass:
+    def test_paper_split(self):
+        d = load_mackey_glass()
+        assert len(d.train) == 1000   # samples [3500, 4500)
+        assert len(d.validation) == 500  # [4500, 5000)
+
+    def test_normalized_to_unit_interval(self):
+        d = load_mackey_glass()
+        assert d.train.min() == pytest.approx(0.0)
+        assert d.train.max() == pytest.approx(1.0)
+        # validation uses the *training* scaler: may exceed [0,1] slightly
+        assert -0.5 < d.validation.min() and d.validation.max() < 1.5
+
+    def test_scaler_invertible(self):
+        d = load_mackey_glass()
+        raw = d.scaler.inverse_transform(d.train)
+        from repro.series.mackey_glass import mackey_glass
+
+        assert np.allclose(raw, mackey_glass(5000)[3500:4500])
+
+
+class TestSunspot:
+    def test_paper_split_volumes(self):
+        d = load_sunspot()
+        assert len(d.train) == (1919 - 1749 + 1) * 12  # 2052 months
+        # Jan 1929 .. Mar 1977 = 579 months
+        assert len(d.validation) == 579
+
+    def test_standardized(self):
+        d = load_sunspot()
+        assert d.train.min() == pytest.approx(0.0)
+        assert d.train.max() == pytest.approx(1.0)
+
+    def test_gap_years_excluded(self):
+        """1920–1928 must appear in neither split."""
+        d = load_sunspot(seed=1749)
+        from repro.series.sunspot import paper_series
+
+        full = paper_series(seed=1749)
+        n_train = 2052
+        skip = 108
+        scaled_gap = d.scaler.transform(full[n_train : n_train + skip])
+        # Gap samples are not the first validation samples.
+        assert not np.allclose(scaled_gap[:10], d.validation[:10])

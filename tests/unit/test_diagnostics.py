@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    overlap_matrix,
+    redundancy_prune,
+    summarize_pool,
+    zone_errors,
+)
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+
+
+def box(lo, hi, prediction=0.5, fitness=1.0, d=2):
+    r = Rule.from_box(np.full(d, lo), np.full(d, hi), prediction=prediction)
+    r.error = 0.1
+    r.fitness = fitness
+    return r
+
+
+@pytest.fixture
+def windows(rng):
+    return rng.uniform(0, 1, size=(400, 2))
+
+
+class TestSummarize:
+    def test_empty_pool(self, windows):
+        s = summarize_pool([], windows)
+        assert s.n_rules == 0 and s.coverage == 0.0
+
+    def test_full_cover_rule(self, windows):
+        s = summarize_pool([box(0, 1)], windows)
+        assert s.coverage == 1.0
+        assert s.mean_matches_per_rule == 400
+        assert s.mean_rules_per_window == 1.0
+        assert s.specialist_fraction == 0.0
+
+    def test_specialists_counted(self, windows):
+        tiny = box(0.5, 0.502)  # matches ~0 windows
+        s = summarize_pool([box(0, 1), tiny], windows)
+        assert s.specialist_fraction == pytest.approx(0.5)
+
+    def test_wildcard_fraction(self, windows):
+        from repro.core.intervals import Interval
+
+        r = Rule.from_intervals([Interval(0, 1), Interval.star()], prediction=0.3)
+        s = summarize_pool([r], windows)
+        assert s.wildcard_fraction == pytest.approx(0.5)
+
+    def test_prediction_span(self, windows):
+        s = summarize_pool([box(0, 1, 0.1), box(0, 1, 0.9)], windows)
+        assert s.prediction_span == pytest.approx(0.8)
+
+
+class TestOverlap:
+    def test_identical_rules_similarity_one(self, windows):
+        a, b = box(0, 0.5), box(0, 0.5)
+        O = overlap_matrix([a, b], windows)
+        assert O[0, 1] == pytest.approx(1.0)
+        assert O[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_rules_similarity_zero(self, windows):
+        O = overlap_matrix([box(0, 0.3), box(0.7, 1.0)], windows)
+        assert O[0, 1] == 0.0
+
+    def test_symmetry(self, windows):
+        O = overlap_matrix([box(0, 0.6), box(0.4, 1.0), box(0, 1)], windows)
+        assert np.allclose(O, O.T)
+
+
+class TestPrune:
+    def test_removes_duplicates_keeps_fittest(self, windows):
+        strong = box(0, 0.5, fitness=10.0)
+        weak_dup = box(0, 0.5, fitness=1.0)
+        other = box(0.6, 1.0, fitness=5.0)
+        kept = redundancy_prune([weak_dup, strong, other], windows)
+        assert strong in kept and other in kept
+        assert weak_dup not in kept
+
+    def test_keeps_distinct_niches(self, windows):
+        rules = [box(0, 0.4), box(0.3, 0.7), box(0.6, 1.0)]
+        kept = redundancy_prune(rules, windows, max_similarity=0.99)
+        assert len(kept) == 3
+
+    def test_coverage_preserved(self, windows):
+        from repro.core.matching import coverage_fraction
+
+        rules = [box(0, 0.5), box(0, 0.5), box(0.5, 1.0), box(0.4, 1.0)]
+        kept = redundancy_prune(rules, windows, max_similarity=0.9)
+        assert coverage_fraction(kept, windows) == pytest.approx(
+            coverage_fraction(rules, windows), abs=0.02
+        )
+
+    def test_validation(self, windows):
+        with pytest.raises(ValueError):
+            redundancy_prune([box(0, 1)], windows, max_similarity=0.0)
+
+
+class TestZoneErrors:
+    def test_zones_partition_points(self, rng):
+        X = rng.uniform(0, 1, size=(200, 2))
+        y = X[:, 0]
+        system = RuleSystem([box(0, 1, prediction=0.5)])
+        rows = zone_errors(system, X, y, n_zones=4)
+        assert len(rows) == 4
+        assert sum(r["n_points"] for r in rows) == 200
+
+    def test_uncovered_zone_has_nan_mae(self, rng):
+        X = rng.uniform(0, 1, size=(100, 2))
+        y = X[:, 0]
+        # Rule only matches the lower half of input space.
+        system = RuleSystem([box(0, 0.5, prediction=0.25)])
+        rows = zone_errors(system, X, y, n_zones=2)
+        assert rows[0]["n_predicted"] > 0
+
+    def test_constant_targets(self):
+        X = np.random.default_rng(0).uniform(0, 1, size=(50, 2))
+        y = np.full(50, 3.0)
+        system = RuleSystem([box(0, 1, prediction=3.0)])
+        rows = zone_errors(system, X, y, n_zones=3)
+        assert sum(r["n_points"] for r in rows) == 50
+
+    def test_validation(self, rng):
+        system = RuleSystem([box(0, 1)])
+        with pytest.raises(ValueError):
+            zone_errors(system, rng.uniform(size=(10, 2)), np.zeros(10), n_zones=0)

@@ -1,0 +1,48 @@
+"""Unit tests for the engine's early-stopping extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvolutionConfig
+from repro.core.engine import evolve
+
+
+class TestEarlyStop:
+    def test_disabled_by_default(self, sine_dataset, tiny_config):
+        assert tiny_config.early_stop_patience == 0
+        res = evolve(sine_dataset, tiny_config)
+        assert len(res.rules) == tiny_config.population_size
+
+    def test_converged_run_stops_early(self, sine_dataset, tiny_config):
+        """With patience 1, the first rejected offspring halts the run;
+        the stats trail records the stopping generation."""
+        cfg = tiny_config.replace(
+            generations=5000, early_stop_patience=25, stats_every=0,
+        )
+        res = evolve(sine_dataset, cfg)
+        # The run halts once 25 consecutive offspring are rejected —
+        # far before 5000 generations on this easy problem.
+        assert res.stats  # final snapshot recorded at the stop point
+        assert res.stats[-1].generation < 5000
+
+    def test_early_stop_does_not_hurt_quality_much(self, sine_dataset, tiny_config):
+        full = evolve(sine_dataset, tiny_config.replace(generations=800))
+        stopped = evolve(
+            sine_dataset,
+            tiny_config.replace(generations=800, early_stop_patience=100),
+        )
+        best_full = max(r.fitness for r in full.rules)
+        best_stop = max(r.fitness for r in stopped.rules)
+        assert best_stop >= 0.5 * best_full
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(early_stop_patience=-1)
+
+    def test_deterministic_with_early_stop(self, sine_dataset, tiny_config):
+        cfg = tiny_config.replace(generations=2000, early_stop_patience=50)
+        a = evolve(sine_dataset, cfg)
+        b = evolve(sine_dataset, cfg)
+        assert a.replacements == b.replacements
+        for ra, rb in zip(a.rules, b.rules):
+            assert np.array_equal(ra.lower, rb.lower)

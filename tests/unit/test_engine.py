@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.engine (the steady-state GA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SteadyStateEngine, evolve
+from repro.core.evaluation import evaluate_rule
+
+
+class TestLifecycle:
+    def test_initialize_builds_evaluated_population(self, sine_dataset, tiny_config):
+        eng = SteadyStateEngine(sine_dataset, tiny_config)
+        eng.initialize()
+        assert len(eng.population) == tiny_config.population_size
+        assert all(r.is_evaluated for r in eng.population)
+        assert eng._masks.shape == (
+            tiny_config.population_size,
+            len(sine_dataset),
+        )
+
+    def test_mismatched_dataset_raises(self, sine_dataset, tiny_config):
+        bad = tiny_config.replace(d=sine_dataset.d + 1)
+        with pytest.raises(ValueError, match="D="):
+            SteadyStateEngine(sine_dataset, bad)
+        bad_h = tiny_config.replace(horizon=sine_dataset.horizon + 1)
+        with pytest.raises(ValueError, match="horizon"):
+            SteadyStateEngine(sine_dataset, bad_h)
+
+    def test_bad_init_mode(self, sine_dataset, tiny_config):
+        with pytest.raises(ValueError, match="init"):
+            SteadyStateEngine(sine_dataset, tiny_config, init="magic")
+
+
+class TestEvolution:
+    def test_mean_fitness_never_decreases(self, sine_dataset, tiny_config):
+        """Replace-if-strictly-fitter ⇒ monotone population fitness sum."""
+        eng = SteadyStateEngine(sine_dataset, tiny_config)
+        eng.initialize()
+        prev = np.mean([r.fitness for r in eng.population])
+        for _ in range(100):
+            eng.step()
+            cur = np.mean([r.fitness for r in eng.population])
+            assert cur >= prev - 1e-12
+            prev = cur
+
+    def test_population_size_constant(self, sine_dataset, tiny_config):
+        res = evolve(sine_dataset, tiny_config)
+        assert len(res.rules) == tiny_config.population_size
+
+    def test_masks_stay_consistent(self, sine_dataset, tiny_config):
+        """The cached mask matrix always matches fresh evaluation."""
+        eng = SteadyStateEngine(sine_dataset, tiny_config)
+        eng.initialize()
+        for _ in range(60):
+            eng.step()
+        from repro.core.matching import match_mask
+
+        for i, rule in enumerate(eng.population):
+            assert np.array_equal(
+                eng._masks[i], match_mask(rule, sine_dataset.X)
+            )
+
+    def test_deterministic_given_seed(self, sine_dataset, tiny_config):
+        r1 = evolve(sine_dataset, tiny_config)
+        r2 = evolve(sine_dataset, tiny_config)
+        assert r1.replacements == r2.replacements
+        for a, b in zip(r1.rules, r2.rules):
+            assert np.array_equal(a.lower, b.lower)
+            assert a.fitness == b.fitness
+
+    def test_different_seeds_differ(self, sine_dataset, tiny_config):
+        r1 = evolve(sine_dataset, tiny_config)
+        r2 = evolve(sine_dataset, tiny_config.replace(seed=99))
+        same = all(
+            np.array_equal(a.lower, b.lower)
+            for a, b in zip(r1.rules, r2.rules)
+        )
+        assert not same
+
+    def test_zero_generations(self, sine_dataset, tiny_config):
+        res = evolve(sine_dataset, tiny_config.replace(generations=0))
+        assert res.replacements == 0
+        assert len(res.rules) == tiny_config.population_size
+
+    def test_stats_recorded(self, sine_dataset, tiny_config):
+        cfg = tiny_config.replace(generations=100, stats_every=25)
+        res = evolve(sine_dataset, cfg)
+        assert len(res.stats) == 4
+        assert res.stats[-1].generation == 100
+        for st in res.stats:
+            assert 0.0 <= st.coverage <= 1.0
+            assert st.n_valid <= cfg.population_size
+
+    def test_valid_rules_filtered(self, sine_dataset, tiny_config):
+        res = evolve(sine_dataset, tiny_config)
+        f_min = tiny_config.fitness.f_min
+        assert all(r.fitness > f_min for r in res.valid_rules)
+
+    def test_evolution_improves_over_init(self, sine_dataset, tiny_config):
+        eng = SteadyStateEngine(sine_dataset, tiny_config)
+        eng.initialize()
+        init_best = max(r.fitness for r in eng.population)
+        res = eng.run()
+        final_best = max(r.fitness for r in res.rules)
+        assert final_best >= init_best
+        assert res.replacements > 0  # something actually evolved
+
+
+class TestEvaluation:
+    def test_zero_match_rule_gets_fmin(self, sine_dataset, tiny_config):
+        from repro.core.rule import Rule
+
+        far = Rule.from_box(
+            np.full(sine_dataset.d, 1e6), np.full(sine_dataset.d, 2e6)
+        )
+        evaluate_rule(far, sine_dataset, tiny_config)
+        assert far.fitness == tiny_config.fitness.f_min
+        assert far.n_matched == 0
+        assert far.error == np.inf
+
+    def test_all_matching_rule(self, sine_dataset, tiny_config):
+        from repro.core.rule import Rule
+
+        lo, hi = sine_dataset.input_range
+        everything = Rule.from_box(
+            np.full(sine_dataset.d, lo - 1), np.full(sine_dataset.d, hi + 1)
+        )
+        evaluate_rule(everything, sine_dataset, tiny_config)
+        assert everything.n_matched == len(sine_dataset)
+        assert np.isfinite(everything.error)
+        assert everything.coeffs is not None  # linear mode fit
+
+    def test_constant_mode(self, sine_dataset, tiny_config):
+        from repro.core.rule import Rule
+
+        cfg = tiny_config.replace(predicting_mode="constant")
+        lo, hi = sine_dataset.input_range
+        rule = Rule.from_box(
+            np.full(sine_dataset.d, lo - 1), np.full(sine_dataset.d, hi + 1)
+        )
+        evaluate_rule(rule, sine_dataset, cfg)
+        assert rule.coeffs is None
+        assert rule.prediction == pytest.approx(float(sine_dataset.y.mean()))

@@ -1,0 +1,72 @@
+"""Unit tests for repro.core.fitness (the paper's §3.1 formula)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import FitnessParams, fitness_array, rule_fitness
+
+
+class TestParams:
+    def test_rejects_nonpositive_emax(self):
+        with pytest.raises(ValueError):
+            FitnessParams(e_max=0.0)
+        with pytest.raises(ValueError):
+            FitnessParams(e_max=-1.0)
+        with pytest.raises(ValueError):
+            FitnessParams(e_max=np.inf)
+
+    def test_rejects_positive_fmin(self):
+        with pytest.raises(ValueError, match="f_min"):
+            FitnessParams(e_max=1.0, f_min=0.5)
+
+    def test_rejects_negative_min_matches(self):
+        with pytest.raises(ValueError):
+            FitnessParams(e_max=1.0, min_matches=-1)
+
+
+class TestRuleFitness:
+    def test_paper_formula(self):
+        p = FitnessParams(e_max=10.0)
+        assert rule_fitness(5, 2.0, p) == pytest.approx(5 * 10.0 - 2.0)
+
+    def test_single_match_invalid(self):
+        # Paper: NR must exceed 1.
+        p = FitnessParams(e_max=10.0, f_min=-1.0)
+        assert rule_fitness(1, 0.0, p) == -1.0
+        assert rule_fitness(0, 0.0, p) == -1.0
+        assert rule_fitness(2, 0.0, p) == 20.0
+
+    def test_error_at_emax_invalid(self):
+        # Strict inequality: eR < EMAX.
+        p = FitnessParams(e_max=10.0, f_min=-1.0)
+        assert rule_fitness(5, 10.0, p) == -1.0
+        assert rule_fitness(5, 9.999, p) > 0
+
+    def test_infinite_error_invalid(self):
+        p = FitnessParams(e_max=10.0)
+        assert rule_fitness(5, np.inf, p) == p.f_min
+
+    def test_more_matches_dominates_small_error_gap(self):
+        # One extra match is worth EMAX of error — coverage dominates.
+        p = FitnessParams(e_max=10.0)
+        better_cover = rule_fitness(6, 9.0, p)
+        better_error = rule_fitness(5, 0.0, p)
+        assert better_cover > better_error
+
+    def test_valid_fitness_always_beats_fmin(self):
+        p = FitnessParams(e_max=0.5, f_min=-1.0)
+        assert rule_fitness(2, 0.49, p) > p.f_min
+
+
+class TestFitnessArray:
+    def test_matches_scalar(self, rng):
+        p = FitnessParams(e_max=3.0)
+        n = rng.integers(0, 6, size=40)
+        e = rng.uniform(0, 6, size=40)
+        got = fitness_array(n, e, p)
+        expected = np.array([rule_fitness(int(a), float(b), p) for a, b in zip(n, e)])
+        assert np.allclose(got, expected)
+
+    def test_empty_arrays(self):
+        p = FitnessParams(e_max=1.0)
+        assert fitness_array(np.array([]), np.array([]), p).shape == (0,)

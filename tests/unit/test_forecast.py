@@ -1,0 +1,65 @@
+"""Unit tests for the quick_forecast convenience API."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import quick_forecast
+from repro.series import SplitSeries
+from repro.series.noise import sine_series
+
+
+@pytest.fixture
+def sine_split():
+    return SplitSeries(
+        name="sine",
+        train=sine_series(500, period=40, noise_sigma=0.02, seed=1),
+        validation=sine_series(200, period=40, noise_sigma=0.02, seed=2),
+        scaler=None,
+    )
+
+
+class TestQuickForecast:
+    def test_end_to_end(self, sine_split):
+        res = quick_forecast(
+            sine_split, d=6, horizon=1,
+            generations=300, population_size=15,
+            max_executions=2, seed=0,
+        )
+        assert len(res.system) > 0
+        assert res.score.coverage > 0.3
+        assert res.score.error < 0.3
+        assert res.batch.values.shape == (len(res.validation),)
+
+    def test_default_emax_from_output_range(self, sine_split):
+        res = quick_forecast(
+            sine_split, d=6, horizon=1,
+            generations=50, population_size=10,
+            max_executions=1, seed=0,
+        )
+        e_max = res.multirun.executions[0].config.fitness.e_max
+        # ~15% of the ±1 sine output range → about 0.3.
+        assert 0.2 < e_max < 0.4
+
+    def test_explicit_emax_respected(self, sine_split):
+        res = quick_forecast(
+            sine_split, d=6, horizon=1, e_max=0.123,
+            generations=50, population_size=10,
+            max_executions=1, seed=0,
+        )
+        assert res.multirun.executions[0].config.fitness.e_max == 0.123
+
+    def test_deterministic(self, sine_split):
+        kwargs = dict(d=6, horizon=1, generations=100,
+                      population_size=10, max_executions=1, seed=11)
+        a = quick_forecast(sine_split, **kwargs)
+        b = quick_forecast(sine_split, **kwargs)
+        assert np.allclose(
+            np.nan_to_num(a.batch.values), np.nan_to_num(b.batch.values)
+        )
+
+    def test_horizon_forwarded(self, sine_split):
+        res = quick_forecast(
+            sine_split, d=6, horizon=3, generations=50,
+            population_size=10, max_executions=1, seed=0,
+        )
+        assert res.validation.horizon == 3

@@ -1,0 +1,97 @@
+"""Unit tests for the tabular RuleRegressor (§5 generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generalize import RuleRegressor, TabularDataset
+
+
+@pytest.fixture
+def piecewise_data(rng):
+    """Regression target with two regimes — where local rules shine."""
+    X = rng.uniform(-1, 1, size=(500, 3))
+    y = np.where(X[:, 0] > 0, 2.0 * X[:, 1], -3.0 * X[:, 2])
+    y = y + rng.normal(0, 0.02, size=500)
+    return X, y
+
+
+class TestTabularDataset:
+    def test_from_arrays(self, piecewise_data):
+        X, y = piecewise_data
+        ds = TabularDataset.from_arrays(X, y)
+        assert len(ds) == 500
+        assert ds.d == 3
+        lo, hi = ds.output_range
+        assert lo < 0 < hi
+
+    def test_subset(self, piecewise_data):
+        X, y = piecewise_data
+        ds = TabularDataset.from_arrays(X, y)
+        mask = np.zeros(500, dtype=bool)
+        mask[:10] = True
+        Xs, ys = ds.subset(mask)
+        assert Xs.shape == (10, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TabularDataset.from_arrays(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            TabularDataset.from_arrays(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            TabularDataset.from_arrays(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestRuleRegressor:
+    def test_learns_piecewise_function(self, piecewise_data, rng):
+        X, y = piecewise_data
+        reg = RuleRegressor(
+            population_size=25, generations=800, n_executions=2, seed=1
+        )
+        reg.fit(X, y)
+        Xt = rng.uniform(-1, 1, size=(150, 3))
+        yt = np.where(Xt[:, 0] > 0, 2.0 * Xt[:, 1], -3.0 * Xt[:, 2])
+        pred = reg.predict(Xt)
+        covered = np.isfinite(pred)
+        assert covered.mean() > 0.3
+        err = float(np.sqrt(np.mean((pred[covered] - yt[covered]) ** 2)))
+        baseline = float(np.sqrt(np.mean((yt - yt.mean()) ** 2)))
+        assert err < 0.5 * baseline
+
+    def test_fallback_mean(self, piecewise_data):
+        X, y = piecewise_data
+        reg = RuleRegressor(
+            population_size=10, generations=100, n_executions=1, seed=2
+        ).fit(X, y)
+        far = np.full((5, 3), 100.0)  # out of range → abstention
+        pred = reg.predict(far, fallback="mean")
+        assert np.allclose(pred, y.mean(), atol=1e-9)
+        with pytest.raises(ValueError):
+            reg.predict(far, fallback="zero")
+
+    def test_abstention_is_nan_by_default(self, piecewise_data):
+        X, y = piecewise_data
+        reg = RuleRegressor(
+            population_size=10, generations=100, n_executions=1, seed=3
+        ).fit(X, y)
+        pred = reg.predict(np.full((3, 3), 100.0))
+        assert np.isnan(pred).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RuleRegressor().predict(np.zeros((2, 3)))
+
+    def test_explicit_emax(self, piecewise_data):
+        X, y = piecewise_data
+        reg = RuleRegressor(
+            e_max=0.5, population_size=10, generations=100,
+            n_executions=1, seed=4,
+        ).fit(X, y)
+        assert reg.training_coverage is not None
+
+    def test_deterministic(self, piecewise_data):
+        X, y = piecewise_data
+        kwargs = dict(population_size=10, generations=150,
+                      n_executions=1, seed=9)
+        a = RuleRegressor(**kwargs).fit(X, y).predict(X[:50])
+        b = RuleRegressor(**kwargs).fit(X, y).predict(X[:50])
+        assert np.allclose(np.nan_to_num(a), np.nan_to_num(b))

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.initialization (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvolutionConfig, FitnessParams
+from repro.core.initialization import (
+    output_bins,
+    random_box_rule,
+    random_population,
+    stratified_population,
+)
+from repro.core.matching import match_mask
+
+
+class TestOutputBins:
+    def test_edges_cover_range(self):
+        edges = output_bins(-50.0, 150.0, 100)
+        assert edges.shape == (101,)
+        assert edges[0] == -50.0 and edges[-1] == 150.0
+        widths = np.diff(edges)
+        assert np.allclose(widths, 2.0)  # the paper's 2 cm example
+
+    def test_degenerate_range_widens(self):
+        edges = output_bins(5.0, 5.0, 4)
+        assert edges[0] < 5.0 < edges[-1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            output_bins(0, 1, 0)
+        with pytest.raises(ValueError):
+            output_bins(np.nan, 1.0, 3)
+
+
+class TestStratified:
+    def test_population_size_exact(self, sine_dataset, tiny_config, rng):
+        pop = stratified_population(sine_dataset, tiny_config, rng)
+        assert len(pop) == tiny_config.population_size
+
+    def test_rules_cover_their_bin_patterns(self, sine_dataset, tiny_config, rng):
+        """Each bin rule's box must contain every pattern of its bin."""
+        pop = stratified_population(sine_dataset, tiny_config, rng)
+        y = sine_dataset.y
+        edges = output_bins(*sine_dataset.output_range, tiny_config.population_size)
+        bin_index = np.clip(
+            np.searchsorted(edges, y, side="right") - 1,
+            0,
+            tiny_config.population_size - 1,
+        )
+        for b, rule in enumerate(pop):
+            sel = bin_index == b
+            if not sel.any():
+                continue  # fallback random rule
+            mask = match_mask(rule, sine_dataset.X)
+            assert mask[sel].all(), f"bin {b} rule misses its own patterns"
+
+    def test_predictions_are_bin_means(self, sine_dataset, tiny_config, rng):
+        pop = stratified_population(sine_dataset, tiny_config, rng)
+        y = sine_dataset.y
+        edges = output_bins(*sine_dataset.output_range, tiny_config.population_size)
+        bin_index = np.clip(
+            np.searchsorted(edges, y, side="right") - 1,
+            0,
+            tiny_config.population_size - 1,
+        )
+        for b, rule in enumerate(pop):
+            sel = bin_index == b
+            if sel.any():
+                assert rule.prediction == pytest.approx(float(y[sel].mean()))
+
+    def test_empty_bins_get_random_rules(self, rng):
+        # A two-valued series leaves most of 30 bins empty.
+        series = np.tile([0.0, 100.0], 40).astype(float)
+        from repro.series.windowing import WindowDataset
+
+        ds = WindowDataset.from_series(series, 3, 1)
+        config = EvolutionConfig(
+            d=3, horizon=1, population_size=30, generations=0,
+            fitness=FitnessParams(e_max=10.0),
+        )
+        pop = stratified_population(ds, config, rng)
+        assert len(pop) == 30
+        for rule in pop:
+            assert np.all(rule.lower <= rule.upper)
+
+
+class TestRandom:
+    def test_random_box_rule_matches_its_center(self, sine_dataset, rng):
+        rule = random_box_rule(sine_dataset, rng)
+        # The box is centred on some window, so at least one window matches.
+        assert match_mask(rule, sine_dataset.X).any()
+
+    def test_random_population_size(self, sine_dataset, tiny_config, rng):
+        pop = random_population(sine_dataset, tiny_config, rng)
+        assert len(pop) == tiny_config.population_size

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import (
+    WILDCARD,
+    Interval,
+    clip_intervals,
+    effective_bounds,
+    intervals_contain,
+    pack_intervals,
+    unpack_intervals,
+)
+
+
+class TestInterval:
+    def test_contains_inclusive_bounds(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(2.0)
+        assert iv.contains(1.5)
+        assert not iv.contains(0.999)
+        assert not iv.contains(2.001)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Interval(3.0, 1.0)
+
+    def test_zero_width_allowed(self):
+        iv = Interval(2.0, 2.0)
+        assert iv.contains(2.0)
+        assert iv.width == 0.0
+
+    def test_wildcard_contains_everything(self):
+        star = Interval.star()
+        assert star.contains(-1e300)
+        assert star.contains(1e300)
+        assert star.contains(0.0)
+        assert star.wildcard
+
+    def test_width_and_center(self):
+        iv = Interval(-2.0, 4.0)
+        assert iv.width == 6.0
+        assert iv.center == 1.0
+
+    def test_wildcard_width_center(self):
+        star = Interval.star()
+        assert star.width == np.inf
+        assert np.isnan(star.center)
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert Interval(0, 2).intersects(Interval(2, 3))  # touching
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+        assert Interval(0, 1).intersects(Interval.star())
+
+    def test_union_bounds(self):
+        u = Interval(0, 1).union_bounds(Interval(3, 4))
+        assert (u.lower, u.upper) == (0, 4)
+        assert Interval(0, 1).union_bounds(Interval.star()).wildcard
+
+    def test_shifted(self):
+        iv = Interval(1.0, 2.0).shifted(0.5)
+        assert (iv.lower, iv.upper) == (1.5, 2.5)
+        assert Interval.star().shifted(10).wildcard
+
+    def test_scaled(self):
+        iv = Interval(0.0, 4.0).scaled(0.5)
+        assert (iv.lower, iv.upper) == (1.0, 3.0)
+        with pytest.raises(ValueError):
+            Interval(0, 1).scaled(-1.0)
+
+    def test_encode_decode_roundtrip(self):
+        iv = Interval(1.25, 7.5)
+        assert Interval.decode(*iv.encode()) == iv
+
+    def test_encode_wildcard(self):
+        assert Interval.star().encode() == (WILDCARD, WILDCARD)
+        assert Interval.decode(WILDCARD, WILDCARD).wildcard
+
+    def test_decode_half_wildcard_raises(self):
+        with pytest.raises(ValueError, match="both halves"):
+            Interval.decode(WILDCARD, 5.0)
+
+
+class TestPackedHelpers:
+    def test_pack_unpack_roundtrip(self):
+        ivs = (Interval(0, 1), Interval.star(), Interval(-5, -2))
+        lower, upper, wild = pack_intervals(ivs)
+        assert unpack_intervals(lower, upper, wild) == ivs
+
+    def test_pack_wildcard_bounds_are_inf(self):
+        lower, upper, wild = pack_intervals([Interval.star()])
+        assert lower[0] == -np.inf and upper[0] == np.inf and wild[0]
+
+    def test_effective_bounds_widen_wildcards(self):
+        lower = np.array([0.0, 5.0])
+        upper = np.array([1.0, 6.0])
+        wild = np.array([False, True])
+        lo, hi = effective_bounds(lower, upper, wild)
+        assert lo[0] == 0.0 and hi[0] == 1.0
+        assert lo[1] == -np.inf and hi[1] == np.inf
+
+    def test_intervals_contain_elementwise(self):
+        lower = np.array([0.0, 0.0, 0.0])
+        upper = np.array([1.0, 1.0, 1.0])
+        wild = np.array([False, True, False])
+        got = intervals_contain(lower, upper, wild, np.array([0.5, 99.0, 2.0]))
+        assert got.tolist() == [True, True, False]
+
+    def test_clip_intervals_preserves_order(self):
+        lower = np.array([-10.0, 0.5])
+        upper = np.array([10.0, 0.7])
+        lo, hi = clip_intervals(lower, upper, 0.0, 1.0)
+        assert np.all(lo <= hi)
+        assert lo[0] == 0.0 and hi[0] == 1.0
+        assert lo[1] == 0.5 and hi[1] == 0.7
+
+    def test_clip_intervals_degenerate_snaps(self):
+        # Interval entirely above the clip range collapses at the bound.
+        lo, hi = clip_intervals(np.array([5.0]), np.array([6.0]), 0.0, 1.0)
+        assert lo[0] == hi[0] == 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for repro.io (serialization + cache)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.io.cache import SeriesCache
+from repro.io.serialize import (
+    load_rule_system,
+    rule_from_dict,
+    rule_to_dict,
+    save_rule_system,
+)
+
+
+def sample_rule():
+    r = Rule.from_intervals(
+        [Interval(0.0, 1.0), Interval.star(), Interval(-2.0, 2.0)],
+        prediction=0.5,
+        error=0.1,
+    )
+    r.coeffs = np.array([1.0, 0.0, -1.0, 0.25])
+    r.n_matched = 17
+    r.fitness = 4.2
+    return r
+
+
+class TestRuleSerialization:
+    def test_roundtrip_preserves_everything(self):
+        r = sample_rule()
+        r2 = rule_from_dict(rule_to_dict(r))
+        assert np.array_equal(r2.wildcard, r.wildcard)
+        assert np.array_equal(r2.lower, r.lower)
+        assert np.array_equal(r2.upper, r.upper)
+        assert np.allclose(r2.coeffs, r.coeffs)
+        assert r2.prediction == r.prediction
+        assert r2.error == r.error
+        assert r2.n_matched == r.n_matched
+        assert r2.fitness == r.fitness
+
+    def test_wildcard_infinities_survive_json(self):
+        r = sample_rule()
+        text = json.dumps(rule_to_dict(r))  # must not raise
+        r2 = rule_from_dict(json.loads(text))
+        assert np.isneginf(r2.lower[1]) and np.isposinf(r2.upper[1])
+
+    def test_constant_rule_roundtrip(self):
+        r = Rule.from_box(np.zeros(2), np.ones(2), prediction=3.0)
+        r.error = 0.2
+        r2 = rule_from_dict(rule_to_dict(r))
+        assert r2.coeffs is None
+        assert r2.prediction == 3.0
+
+
+class TestRuleSystemPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        system = RuleSystem([sample_rule(), sample_rule()])
+        path = tmp_path / "rules.json"
+        save_rule_system(system, path)
+        loaded = load_rule_system(path)
+        assert len(loaded) == 2
+        X = np.random.default_rng(0).uniform(-1, 1, size=(10, 3))
+        a = system.predict(X)
+        b = loaded.predict(X)
+        assert np.allclose(
+            np.nan_to_num(a.values), np.nan_to_num(b.values)
+        )
+        assert np.array_equal(a.predicted, b.predicted)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "rules": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_rule_system(path)
+
+    def test_empty_system(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_rule_system(RuleSystem([]), path)
+        assert len(load_rule_system(path)) == 0
+
+
+class TestSeriesCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SeriesCache(tmp_path)
+        assert cache.get("mg", {"n": 10}) is None
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return np.arange(10, dtype=float)
+
+        a = cache.get_or_create("mg", {"n": 10}, factory)
+        b = cache.get_or_create("mg", {"n": 10}, factory)
+        assert np.array_equal(a, b)
+        assert len(calls) == 1
+
+    def test_different_params_different_files(self, tmp_path):
+        cache = SeriesCache(tmp_path)
+        p1 = cache.put("mg", {"n": 10}, np.zeros(10))
+        p2 = cache.put("mg", {"n": 20}, np.zeros(20))
+        assert p1 != p2
+
+    def test_corrupt_file_treated_as_miss(self, tmp_path):
+        cache = SeriesCache(tmp_path)
+        path = cache.path_for("mg", {"n": 5})
+        path.write_text("not an npy file")
+        assert cache.get("mg", {"n": 5}) is None
+        assert not path.exists()  # corrupt file removed
+
+    def test_clear(self, tmp_path):
+        cache = SeriesCache(tmp_path)
+        cache.put("a", {}, np.zeros(3))
+        cache.put("b", {}, np.zeros(3))
+        assert cache.clear() == 2
+        assert cache.get("a", {}) is None

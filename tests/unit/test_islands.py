@@ -1,0 +1,119 @@
+"""Unit tests for the island-model GA."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.parallel.islands import (
+    IslandModel,
+    complete_topology,
+    ring_topology,
+    star_topology,
+    torus_topology,
+)
+
+
+class TestTopologies:
+    def test_ring(self):
+        g = ring_topology(4)
+        assert sorted(g.edges) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_single_island(self):
+        g = ring_topology(1)
+        assert g.number_of_edges() == 0
+
+    def test_torus_degree(self):
+        g = torus_topology(2, 3)
+        assert g.number_of_nodes() == 6
+        # Each island emits to E and S neighbours.
+        for node in g.nodes:
+            assert g.out_degree(node) == 2
+
+    def test_star(self):
+        g = star_topology(4)
+        assert g.has_edge(0, 3) and g.has_edge(3, 0)
+        assert not g.has_edge(1, 2)
+
+    def test_complete(self):
+        g = complete_topology(3)
+        assert g.number_of_edges() == 6
+
+    @pytest.mark.parametrize("builder", [ring_topology, star_topology, complete_topology])
+    def test_validation(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)
+
+    def test_torus_validation(self):
+        with pytest.raises(ValueError):
+            torus_topology(0, 3)
+
+
+class TestIslandModel:
+    def test_runs_and_pools(self, sine_dataset, tiny_config):
+        cfg = tiny_config.replace(generations=100)
+        model = IslandModel(
+            sine_dataset, cfg, ring_topology(3),
+            migration_interval=40, root_seed=1,
+        )
+        result = model.run()
+        assert len(result.island_rules) == 3
+        assert all(
+            len(pop) == cfg.population_size for pop in result.island_rules
+        )
+        assert len(result.system) > 0
+        assert result.migrations_sent > 0
+
+    def test_migration_preserves_population_invariants(self, sine_dataset, tiny_config):
+        cfg = tiny_config.replace(generations=80)
+        model = IslandModel(
+            sine_dataset, cfg, complete_topology(2),
+            migration_interval=20, root_seed=2,
+        )
+        result = model.run()
+        from repro.core.matching import match_mask
+
+        for pop in result.island_rules:
+            for rule in pop:
+                if rule.match_mask is not None:
+                    assert np.array_equal(
+                        rule.match_mask, match_mask(rule, sine_dataset.X)
+                    )
+
+    def test_accepted_never_exceeds_sent(self, sine_dataset, tiny_config):
+        model = IslandModel(
+            sine_dataset, tiny_config.replace(generations=60),
+            ring_topology(3), migration_interval=20, root_seed=3,
+        )
+        result = model.run()
+        assert 0 <= result.migrations_accepted <= result.migrations_sent
+
+    def test_single_island_no_migration(self, sine_dataset, tiny_config):
+        model = IslandModel(
+            sine_dataset, tiny_config.replace(generations=40),
+            ring_topology(1), migration_interval=10, root_seed=4,
+        )
+        result = model.run()
+        assert result.migrations_sent == 0
+
+    def test_history_recorded(self, sine_dataset, tiny_config):
+        model = IslandModel(
+            sine_dataset, tiny_config.replace(generations=100),
+            ring_topology(2), migration_interval=25, root_seed=5,
+        )
+        result = model.run()
+        assert len(result.history) == 4
+        assert set(result.history[0].keys()) == {0, 1}
+
+    def test_bad_topology_labels(self, sine_dataset, tiny_config):
+        g = nx.DiGraph()
+        g.add_nodes_from(["a", "b"])
+        with pytest.raises((ValueError, TypeError)):
+            IslandModel(sine_dataset, tiny_config, g)
+
+    def test_validation(self, sine_dataset, tiny_config):
+        with pytest.raises(ValueError):
+            IslandModel(sine_dataset, tiny_config, ring_topology(2),
+                        migration_interval=0)
+        with pytest.raises(ValueError):
+            IslandModel(sine_dataset, tiny_config, ring_topology(2),
+                        n_emigrants=0)

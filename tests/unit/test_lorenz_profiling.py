@@ -1,0 +1,90 @@
+"""Unit tests for the Lorenz generator and the profiling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiling import SectionTimer, engine_throughput, profile_run
+from repro.series.lorenz import LorenzParams, lorenz_series
+
+
+class TestLorenz:
+    def test_shape_and_band(self):
+        s = lorenz_series(500)
+        assert s.shape == (500,)
+        # x-component of the classic attractor lives in roughly ±20.
+        assert -25 < s.min() < 0 < s.max() < 25
+
+    def test_deterministic_without_seed(self):
+        assert np.array_equal(lorenz_series(200), lorenz_series(200))
+
+    def test_seed_changes_trajectory(self):
+        assert not np.array_equal(
+            lorenz_series(200, seed=1), lorenz_series(200, seed=2)
+        )
+
+    def test_two_lobe_switching(self):
+        """The x component must visit both lobes (sign changes)."""
+        s = lorenz_series(2000)
+        assert (s > 5).any() and (s < -5).any()
+
+    def test_components(self):
+        z = lorenz_series(300, component=2)
+        assert (z > 0).all()  # z stays positive on the attractor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lorenz_series(0)
+        with pytest.raises(ValueError):
+            lorenz_series(10, component=3)
+        with pytest.raises(ValueError):
+            LorenzParams(dt=0)
+        with pytest.raises(ValueError):
+            LorenzParams(sample_every=0)
+
+
+class TestSectionTimer:
+    def test_accumulates(self):
+        timer = SectionTimer()
+        for _ in range(3):
+            with timer.section("work"):
+                pass
+        assert timer.counts["work"] == 3
+        assert timer.totals["work"] >= 0.0
+        assert timer.mean("work") == timer.totals["work"] / 3
+
+    def test_report_sorted(self):
+        import time
+
+        timer = SectionTimer()
+        with timer.section("slow"):
+            time.sleep(0.01)
+        with timer.section("fast"):
+            pass
+        report = timer.report()
+        assert report.index("slow") < report.index("fast")
+
+    def test_missing_label(self):
+        with pytest.raises(KeyError):
+            SectionTimer().mean("nothing")
+
+    def test_reset(self):
+        timer = SectionTimer()
+        with timer.section("x"):
+            pass
+        timer.reset()
+        assert not timer.totals
+
+
+class TestEngineProbes:
+    def test_throughput_positive(self, sine_dataset, tiny_config):
+        rate = engine_throughput(sine_dataset, tiny_config, sample_generations=50)
+        assert rate > 10  # generations/second on a toy problem
+
+    def test_throughput_validation(self, sine_dataset, tiny_config):
+        with pytest.raises(ValueError):
+            engine_throughput(sine_dataset, tiny_config, sample_generations=0)
+
+    def test_profile_run_reports_hotspots(self, sine_dataset, tiny_config):
+        text = profile_run(sine_dataset, tiny_config, generations=50, top=5)
+        assert "cumulative" in text
+        assert "function calls" in text

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.matching import (
+    coverage_fraction,
+    coverage_mask,
+    match_counts,
+    match_mask,
+    match_mask_dense,
+    population_match_matrix,
+)
+from repro.core.rule import Rule
+
+
+@pytest.fixture
+def windows(rng):
+    return rng.uniform(0, 1, size=(800, 5))
+
+
+def box_rule(lo, hi, d=5):
+    return Rule.from_box(np.full(d, lo), np.full(d, hi))
+
+
+class TestMatchMask:
+    def test_matches_scalar_predicate(self, windows):
+        rule = box_rule(0.2, 0.8)
+        mask = match_mask(rule, windows)
+        for i in range(0, 800, 97):
+            assert mask[i] == rule.matches(windows[i])
+
+    def test_lazy_equals_dense(self, windows):
+        rule = box_rule(0.3, 0.6)
+        assert np.array_equal(
+            match_mask(rule, windows), match_mask_dense(rule, windows)
+        )
+
+    def test_all_wildcards_match_everything(self, windows):
+        rule = Rule.from_intervals([Interval.star()] * 5)
+        assert match_mask(rule, windows).all()
+
+    def test_empty_box_matches_nothing(self, windows):
+        rule = box_rule(2.0, 3.0)
+        assert not match_mask(rule, windows).any()
+
+    def test_wrong_arity_raises(self, windows):
+        with pytest.raises(ValueError, match="incompatible"):
+            match_mask(box_rule(0, 1, d=4), windows)
+
+    def test_partial_wildcards(self, windows):
+        ivs = [Interval.star()] * 5
+        ivs[2] = Interval(0.0, 0.5)
+        rule = Rule.from_intervals(ivs)
+        mask = match_mask(rule, windows)
+        assert np.array_equal(mask, windows[:, 2] <= 0.5)
+
+    def test_small_input_uses_dense_path(self):
+        rule = box_rule(0.0, 1.0)
+        tiny = np.full((3, 5), 0.5)
+        assert match_mask(rule, tiny).all()
+
+
+class TestAggregates:
+    def test_match_counts(self, windows):
+        rules = [box_rule(0, 1), box_rule(2, 3)]
+        counts = match_counts(rules, windows)
+        assert counts[0] == 800 and counts[1] == 0
+
+    def test_population_match_matrix_uses_cache(self, windows):
+        rule = box_rule(0, 1)
+        rule.match_mask = np.zeros(800, dtype=bool)  # poisoned cache
+        mat = population_match_matrix([rule], windows)
+        # cache had the right length so it is reused verbatim
+        assert not mat.any()
+
+    def test_population_match_matrix_ignores_stale_cache(self, windows):
+        rule = box_rule(0, 1)
+        rule.match_mask = np.zeros(10, dtype=bool)  # wrong length
+        mat = population_match_matrix([rule], windows)
+        assert mat.all()
+
+    def test_coverage_mask_union(self, windows):
+        low = Rule.from_box(np.zeros(5), np.full(5, 0.5))
+        high = Rule.from_box(np.full(5, 0.5), np.ones(5))
+        union = coverage_mask([low, high], windows)
+        each = match_mask(low, windows) | match_mask(high, windows)
+        assert np.array_equal(union, each)
+
+    def test_coverage_fraction_bounds(self, windows):
+        assert coverage_fraction([], windows) == 0.0
+        assert coverage_fraction([box_rule(0, 1)], windows) == 1.0
+
+    def test_coverage_fraction_empty_windows(self):
+        assert coverage_fraction([box_rule(0, 1)], np.empty((0, 5))) == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for repro.metrics (errors + coverage-aware scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.coverage import (
+    score_table1,
+    score_table2,
+    score_table3,
+    score_with_coverage,
+)
+from repro.metrics.errors import (
+    galvan_error,
+    mae,
+    max_abs_error,
+    mse,
+    nmse,
+    rmse,
+    rmse_paper_literal,
+)
+
+
+class TestErrors:
+    def test_rmse_known_value(self):
+        t = np.array([0.0, 0.0, 0.0, 0.0])
+        p = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(t, p) == pytest.approx(1.0)
+
+    def test_rmse_zero_on_perfect(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert rmse(x, x) == 0.0
+        assert mse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+
+    def test_paper_literal_differs_from_standard(self):
+        t = np.zeros(4)
+        p = np.array([2.0, 2.0, 2.0, 2.0])
+        # literal: e = 0.5*4 = 2; sqrt(mean(e^2)) = 2;  standard rmse = 2.
+        # with p=3: literal e = 4.5 → 4.5; standard = 3.
+        p3 = np.full(4, 3.0)
+        assert rmse_paper_literal(t, p3) == pytest.approx(4.5)
+        assert rmse(t, p3) == pytest.approx(3.0)
+
+    def test_nmse_one_for_mean_predictor(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=500)
+        p = np.full(500, t.mean())
+        assert nmse(t, p) == pytest.approx(1.0, rel=1e-10)
+
+    def test_nmse_constant_true_raises(self):
+        with pytest.raises(ValueError, match="constant"):
+            nmse(np.ones(5), np.zeros(5))
+
+    def test_galvan_error_formula(self):
+        t = np.array([1.0, 2.0, 3.0])
+        p = np.array([1.0, 1.0, 1.0])
+        # sum sq = 0 + 1 + 4 = 5 ; / (2*(3+2)) = 0.5
+        assert galvan_error(t, p, horizon=2) == pytest.approx(0.5)
+
+    def test_galvan_horizon_validation(self):
+        with pytest.raises(ValueError):
+            galvan_error(np.ones(3), np.ones(3), horizon=-1)
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.zeros(3), np.array([0.1, -0.7, 0.3])) == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("fn", [rmse, mse, mae, nmse, max_abs_error])
+    def test_shape_mismatch(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros(3), np.zeros(4))
+
+    @pytest.mark.parametrize("fn", [rmse, mse, mae])
+    def test_empty_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.array([]), np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            rmse(np.array([1.0, np.nan]), np.array([1.0, 1.0]))
+
+
+class TestCoverageScore:
+    def test_counts_and_error(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        p = np.array([0.0, np.nan, 2.5, np.nan])
+        s = score_with_coverage(t, p)
+        assert s.n_total == 4 and s.n_predicted == 2
+        assert s.coverage == 0.5
+        assert s.percentage == 50.0
+        assert s.error == pytest.approx(rmse(np.array([0.0, 2.0]), np.array([0.0, 2.5])))
+
+    def test_explicit_mask_overrides_nan(self):
+        t = np.array([0.0, 1.0])
+        p = np.array([0.5, 1.5])
+        mask = np.array([True, False])
+        s = score_with_coverage(t, p, predicted=mask)
+        assert s.n_predicted == 1
+        assert s.error == pytest.approx(0.5)
+
+    def test_zero_coverage(self):
+        s = score_with_coverage(np.ones(3), np.full(3, np.nan))
+        assert s.coverage == 0.0
+        assert np.isnan(s.error)
+
+    def test_full_coverage(self):
+        t = np.array([1.0, 2.0])
+        s = score_with_coverage(t, t)
+        assert s.coverage == 1.0 and s.error == 0.0
+
+    def test_table_scorers(self):
+        rng = np.random.default_rng(1)
+        t = rng.uniform(size=50)
+        p = t + rng.normal(0, 0.01, size=50)
+        s1 = score_table1(t, p)
+        s2 = score_table2(t, p)
+        s3 = score_table3(t, p, horizon=4)
+        assert s1.error == pytest.approx(rmse(t, p))
+        assert s2.error == pytest.approx(nmse(t, p))
+        assert s3.error == pytest.approx(galvan_error(t, p, 4))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            score_with_coverage(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            score_with_coverage(np.zeros(3), np.zeros(3), predicted=np.ones(4, dtype=bool))

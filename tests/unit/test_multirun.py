@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.multirun (§3.4 pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multirun import multirun
+from repro.parallel.backends import SerialBackend
+
+
+class TestMultirun:
+    def test_stops_at_coverage_target(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=100),
+            coverage_target=0.5, max_executions=6, root_seed=1,
+        )
+        assert res.coverage_history[-1] >= 0.5
+        assert res.n_executions <= 6
+
+    def test_respects_max_executions(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=20),
+            coverage_target=1.01,  # unreachable
+            max_executions=2, root_seed=1,
+        )
+        assert res.n_executions == 2
+
+    def test_pool_grows_monotonically(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=50),
+            coverage_target=1.01, max_executions=3, root_seed=1,
+        )
+        cov = res.coverage_history
+        assert all(b >= a - 1e-12 for a, b in zip(cov, cov[1:]))
+
+    def test_deterministic_under_root_seed(self, sine_dataset, tiny_config):
+        kwargs = dict(coverage_target=1.01, max_executions=2, root_seed=42)
+        r1 = multirun(sine_dataset, tiny_config.replace(generations=60), **kwargs)
+        r2 = multirun(sine_dataset, tiny_config.replace(generations=60), **kwargs)
+        assert len(r1.system) == len(r2.system)
+        for a, b in zip(r1.system.rules, r2.system.rules):
+            assert np.array_equal(a.lower, b.lower)
+
+    def test_batch_size_does_not_change_results(self, sine_dataset, tiny_config):
+        """Seeding is per-execution-index, so batching is transparent."""
+        cfg = tiny_config.replace(generations=40)
+        r1 = multirun(sine_dataset, cfg, coverage_target=1.01,
+                      max_executions=3, batch_size=1, root_seed=5)
+        r3 = multirun(sine_dataset, cfg, coverage_target=1.01,
+                      max_executions=3, batch_size=3, root_seed=5)
+        assert len(r1.system) == len(r3.system)
+        for a, b in zip(r1.system.rules, r3.system.rules):
+            assert np.array_equal(a.lower, b.lower)
+
+    def test_pooled_rules_are_valid_only(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=60),
+            coverage_target=1.01, max_executions=2, root_seed=1,
+        )
+        f_min = tiny_config.fitness.f_min
+        assert all(r.fitness > f_min for r in res.system.rules)
+
+    def test_executions_recorded(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=30),
+            coverage_target=1.01, max_executions=2, root_seed=1,
+        )
+        assert len(res.executions) == 2
+        assert all(e.config is not None for e in res.executions)
+
+    def test_parameter_validation(self, sine_dataset, tiny_config):
+        with pytest.raises(ValueError):
+            multirun(sine_dataset, tiny_config, coverage_target=-0.1)
+        with pytest.raises(ValueError):
+            multirun(sine_dataset, tiny_config, max_executions=0)
+
+    def test_explicit_backend(self, sine_dataset, tiny_config):
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=30),
+            coverage_target=1.01, max_executions=1,
+            backend=SerialBackend(), root_seed=0,
+        )
+        assert res.n_executions == 1

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.operators (crossover + mutation, §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MutationParams
+from repro.core.operators import _edit_interval, mutate, uniform_crossover
+from repro.core.rule import Rule
+
+
+def parent_pair():
+    a = Rule.from_box(np.array([0.0, 10.0, 20.0]), np.array([1.0, 11.0, 21.0]))
+    b = Rule.from_box(np.array([100.0, 110.0, 120.0]), np.array([101.0, 111.0, 121.0]))
+    return a, b
+
+
+class TestCrossover:
+    def test_genes_come_from_parents(self, rng):
+        a, b = parent_pair()
+        for _ in range(20):
+            child = uniform_crossover(a, b, rng)
+            for i in range(3):
+                from_a = child.lower[i] == a.lower[i] and child.upper[i] == a.upper[i]
+                from_b = child.lower[i] == b.lower[i] and child.upper[i] == b.upper[i]
+                assert from_a or from_b
+
+    def test_offspring_unevaluated(self, rng):
+        a, b = parent_pair()
+        a.fitness, b.fitness = 5.0, 6.0
+        child = uniform_crossover(a, b, rng)
+        assert child.fitness == -np.inf
+        assert child.match_mask is None
+        assert np.isnan(child.prediction)
+
+    def test_both_parents_contribute_eventually(self, rng):
+        a, b = parent_pair()
+        saw_a = saw_b = False
+        for _ in range(50):
+            child = uniform_crossover(a, b, rng)
+            if child.lower[0] == a.lower[0]:
+                saw_a = True
+            else:
+                saw_b = True
+        assert saw_a and saw_b
+
+    def test_wildcard_state_inherited(self, rng):
+        a, b = parent_pair()
+        a.wildcard[1] = True
+        child = uniform_crossover(a, b, rng)
+        if child.wildcard[1]:
+            assert True  # inherited from a
+        else:
+            assert child.lower[1] == b.lower[1]
+
+    def test_arity_mismatch(self, rng):
+        a, _ = parent_pair()
+        c = Rule.from_box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="arity"):
+            uniform_crossover(a, c, rng)
+
+
+class TestEditInterval:
+    def test_enlarge(self):
+        assert _edit_interval(0.0, 1.0, "enlarge", 0.5) == (-0.5, 1.5)
+
+    def test_shrink_never_inverts(self):
+        lo, hi = _edit_interval(0.0, 1.0, "shrink", 10.0)
+        assert lo <= hi
+        assert lo == pytest.approx(0.5) and hi == pytest.approx(0.5)
+
+    def test_shift(self):
+        assert _edit_interval(0.0, 1.0, "shift_up", 0.25) == (0.25, 1.25)
+        assert _edit_interval(0.0, 1.0, "shift_down", 0.25) == (-0.25, 0.75)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            _edit_interval(0.0, 1.0, "explode", 0.1)
+
+
+class TestMutate:
+    def test_preserves_invariant(self, rng):
+        params = MutationParams(rate=1.0, scale=0.5)
+        for _ in range(30):
+            rule = Rule.from_box(np.zeros(6), np.ones(6))
+            mutate(rule, params, (0.0, 1.0), rng)
+            ok = rule.wildcard | (rule.lower <= rule.upper)
+            assert ok.all()
+
+    def test_rate_zero_is_identity(self, rng):
+        rule = Rule.from_box(np.zeros(4), np.ones(4))
+        rule.fitness = 3.0
+        params = MutationParams(rate=0.0)
+        mutate(rule, params, (0.0, 1.0), rng)
+        assert np.all(rule.lower == 0.0) and np.all(rule.upper == 1.0)
+        assert rule.fitness == 3.0  # untouched → caches kept
+
+    def test_changed_rule_is_invalidated(self, rng):
+        params = MutationParams(rate=1.0, p_wildcard_on=0.0)
+        rule = Rule.from_box(np.zeros(8), np.ones(8))
+        rule.fitness = 3.0
+        mutate(rule, params, (0.0, 1.0), rng)
+        assert rule.fitness == -np.inf
+
+    def test_wildcard_toggle_on(self, rng):
+        params = MutationParams(rate=1.0, p_wildcard_on=1.0)
+        rule = Rule.from_box(np.zeros(5), np.ones(5))
+        mutate(rule, params, (0.0, 1.0), rng)
+        assert rule.wildcard.all()
+        assert np.all(np.isneginf(rule.lower))
+
+    def test_wildcard_toggle_off_reseeds_in_range(self, rng):
+        params = MutationParams(rate=1.0, p_wildcard_off=1.0)
+        from repro.core.intervals import Interval
+
+        rule = Rule.from_intervals([Interval.star()] * 5)
+        mutate(rule, params, (2.0, 3.0), rng)
+        concrete = ~rule.wildcard
+        assert concrete.any()
+        assert np.all(rule.lower[concrete] >= 2.0)
+        assert np.all(rule.upper[concrete] <= 3.0)
+
+    def test_step_bounded_by_scale(self, rng):
+        params = MutationParams(rate=1.0, scale=0.1, p_wildcard_on=0.0)
+        rule = Rule.from_box(np.full(4, 0.4), np.full(4, 0.6))
+        mutate(rule, params, (0.0, 1.0), rng)
+        # max change per bound = scale * range = 0.1
+        assert np.all(rule.lower >= 0.4 - 0.1 - 1e-12)
+        assert np.all(rule.upper <= 0.6 + 0.1 + 1e-12)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.parallel (backends, rng, partition)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    default_workers,
+    get_backend,
+)
+from repro.parallel.partition import chunk_evenly, chunk_ranges, round_robin
+from repro.parallel.rng import generator_from_seed, spawn_generators, spawn_seeds
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError("worker failure")
+
+
+class TestSerialBackend:
+    def test_map_order(self):
+        assert SerialBackend().map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialBackend().map(square, []) == []
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            SerialBackend().map(boom, [1])
+
+    def test_context_manager(self):
+        with SerialBackend() as b:
+            assert b.map(square, [2]) == [4]
+
+
+class TestProcessPoolBackend:
+    def test_map_order_parallel(self):
+        with ProcessPoolBackend(workers=2) as b:
+            assert b.map(square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_single_worker_shortcut(self):
+        # workers=1 runs in-process (no pool spawn).
+        b = ProcessPoolBackend(workers=1)
+        assert b.map(square, [1, 2]) == [1, 4]
+        assert b._pool is None
+
+    def test_single_item_shortcut(self):
+        b = ProcessPoolBackend(workers=4)
+        assert b.map(square, [3]) == [9]
+        assert b._pool is None
+        b.close()
+
+    def test_exception_propagates(self):
+        with ProcessPoolBackend(workers=2) as b:
+            with pytest.raises(RuntimeError):
+                b.map(boom, list(range(8)))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+
+    def test_close_idempotent(self):
+        b = ProcessPoolBackend(workers=2)
+        b.map(square, list(range(8)))
+        b.close()
+        b.close()
+
+
+class TestFactory:
+    def test_get_backend(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        b = get_backend("process", workers=2)
+        assert isinstance(b, ProcessPoolBackend)
+        b.close()
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestRNG:
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(5, 0)) == 5
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(-1)
+
+    def test_streams_independent_and_reproducible(self):
+        g1 = spawn_generators(3, root_seed=9)
+        g2 = spawn_generators(3, root_seed=9)
+        draws1 = [g.uniform(size=4) for g in g1]
+        draws2 = [g.uniform(size=4) for g in g2]
+        for a, b in zip(draws1, draws2):
+            assert np.array_equal(a, b)
+        # Different children differ from each other.
+        assert not np.array_equal(draws1[0], draws1[1])
+
+    def test_generator_from_seed_passthrough(self):
+        g = np.random.default_rng(1)
+        assert generator_from_seed(g) is g
+        assert isinstance(generator_from_seed(5), np.random.Generator)
+        assert isinstance(generator_from_seed(None), np.random.Generator)
+
+
+class TestPartition:
+    def test_chunk_evenly_sizes(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_chunk_evenly_more_chunks_than_items(self):
+        chunks = chunk_evenly([1, 2], 4)
+        assert len(chunks) == 4
+        assert sum(chunks, []) == [1, 2]
+
+    def test_chunk_ranges_match_chunks(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_round_robin(self):
+        chunks = round_robin(list(range(7)), 3)
+        assert chunks == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            round_robin([1], 0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.predictor (RuleSystem, §3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+
+
+def const_rule(lo, hi, prediction, d=3, error=0.1, n_matched=5):
+    r = Rule.from_box(np.full(d, lo), np.full(d, hi), prediction=prediction)
+    r.error = error
+    r.n_matched = n_matched
+    return r
+
+
+class TestConstruction:
+    def test_rejects_unevaluated_rules(self):
+        raw = Rule.from_box(np.zeros(3), np.ones(3))  # prediction NaN
+        with pytest.raises(ValueError, match="evaluated"):
+            RuleSystem([raw])
+
+    def test_accepts_linear_rules_with_nan_prediction(self):
+        r = Rule.from_box(np.zeros(3), np.ones(3))
+        r.coeffs = np.array([1.0, 0.0, 0.0, 0.0])
+        RuleSystem([r])  # must not raise
+
+    def test_len_and_arity(self):
+        sys = RuleSystem([const_rule(0, 1, 0.5)])
+        assert len(sys) == 1
+        assert sys.n_lags == 3
+
+    def test_empty_system(self):
+        sys = RuleSystem([])
+        batch = sys.predict(np.zeros((4, 3)))
+        assert not batch.predicted.any()
+        assert np.isnan(batch.values).all()
+        with pytest.raises(ValueError):
+            _ = sys.n_lags
+
+
+class TestPrediction:
+    def test_mean_of_matching_rules(self):
+        sys = RuleSystem([
+            const_rule(0, 1, 2.0),
+            const_rule(0, 1, 4.0),
+            const_rule(5, 6, 100.0),  # does not match
+        ])
+        batch = sys.predict(np.full((1, 3), 0.5))
+        assert batch.values[0] == pytest.approx(3.0)
+        assert batch.n_rules_used[0] == 2
+
+    def test_abstention_when_nothing_matches(self):
+        sys = RuleSystem([const_rule(0, 1, 2.0)])
+        batch = sys.predict(np.full((2, 3), 9.0))
+        assert np.isnan(batch.values).all()
+        assert batch.coverage == 0.0
+
+    def test_linear_rule_applies_hyperplane(self):
+        r = const_rule(0, 1, 0.0)
+        r.coeffs = np.array([1.0, 1.0, 1.0, 0.5])
+        sys = RuleSystem([r])
+        batch = sys.predict(np.array([[0.1, 0.2, 0.3]]))
+        assert batch.values[0] == pytest.approx(0.6 + 0.5)
+
+    def test_predict_one(self):
+        sys = RuleSystem([const_rule(0, 1, 7.0)])
+        assert sys.predict_one(np.full(3, 0.5)) == pytest.approx(7.0)
+        assert sys.predict_one(np.full(3, 9.0)) is None
+
+    def test_arity_mismatch(self):
+        sys = RuleSystem([const_rule(0, 1, 1.0)])
+        with pytest.raises(ValueError, match="lags"):
+            sys.predict(np.zeros((2, 4)))
+
+    def test_coverage_fraction(self):
+        sys = RuleSystem([const_rule(0, 1, 1.0)])
+        X = np.vstack([np.full((3, 3), 0.5), np.full((1, 3), 9.0)])
+        assert sys.coverage(X) == pytest.approx(0.75)
+
+
+class TestComposition:
+    def test_merged_with(self):
+        a = RuleSystem([const_rule(0, 1, 1.0)])
+        b = RuleSystem([const_rule(1, 2, 2.0)])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert len(a) == 1 and len(b) == 1  # originals untouched
+
+    def test_filtered_by_error(self):
+        sys = RuleSystem([
+            const_rule(0, 1, 1.0, error=0.05),
+            const_rule(0, 1, 2.0, error=0.50),
+        ])
+        assert len(sys.filtered(max_error=0.1)) == 1
+
+    def test_filtered_by_matches(self):
+        sys = RuleSystem([
+            const_rule(0, 1, 1.0, n_matched=2),
+            const_rule(0, 1, 2.0, n_matched=20),
+        ])
+        assert len(sys.filtered(min_matches=10)) == 1
+
+    def test_filtered_drops_inf_error(self):
+        sys = RuleSystem([const_rule(0, 1, 1.0, error=np.inf)])
+        assert len(sys.filtered(max_error=1e9)) == 0
+
+    def test_describe(self):
+        sys = RuleSystem([const_rule(0, 1, 1.0)])
+        text = sys.describe()
+        assert "1 rules" in text
+        assert "IF" in text

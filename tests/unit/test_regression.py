@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import fit_predicting_part
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.uniform(-1, 1, size=(60, 4))
+    true_coeffs = np.array([1.0, -2.0, 0.5, 3.0])
+    v = X @ true_coeffs + 0.75
+    return X, v, true_coeffs
+
+
+class TestLinearMode:
+    def test_exact_recovery_on_noiseless_data(self, linear_data):
+        X, v, true_coeffs = linear_data
+        part = fit_predicting_part(X, v, mode="linear", ridge=0.0)
+        assert part.coeffs is not None
+        assert np.allclose(part.coeffs[:-1], true_coeffs, atol=1e-8)
+        assert part.coeffs[-1] == pytest.approx(0.75, abs=1e-8)
+        assert part.error < 1e-8
+
+    def test_error_is_max_abs_residual(self, rng):
+        X = rng.uniform(-1, 1, size=(50, 2))
+        v = X @ np.array([1.0, 1.0])
+        v[7] += 0.5  # a single outlier drives the max residual
+        part = fit_predicting_part(X, v, mode="linear", ridge=0.0)
+        fitted = X @ part.coeffs[:-1] + part.coeffs[-1]
+        assert part.error == pytest.approx(np.max(np.abs(v - fitted)))
+
+    def test_small_matched_set_falls_back_to_constant(self, rng):
+        X = rng.uniform(size=(3, 5))  # 3 points < D+2 = 7
+        v = rng.uniform(size=3)
+        part = fit_predicting_part(X, v, mode="linear")
+        assert part.coeffs is None
+        assert part.prediction == pytest.approx(v.mean())
+
+    def test_min_points_linear_override(self, rng):
+        X = rng.uniform(size=(3, 5))
+        v = np.array([1.0, 2.0, 3.0])
+        part = fit_predicting_part(X, v, mode="linear", min_points_linear=2)
+        assert part.coeffs is not None
+
+    def test_ridge_bounds_degenerate_fit(self):
+        # Two identical rows: unregularized normal equations are singular.
+        X = np.ones((4, 3))
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        part = fit_predicting_part(X, v, mode="linear", min_points_linear=2)
+        assert np.isfinite(part.error)
+        assert np.all(np.isfinite(part.coeffs))
+
+    def test_prediction_is_mean_fitted(self, linear_data):
+        X, v, _ = linear_data
+        part = fit_predicting_part(X, v, mode="linear", ridge=0.0)
+        assert part.prediction == pytest.approx(v.mean(), abs=1e-8)
+
+
+class TestConstantMode:
+    def test_mean_and_max_residual(self):
+        X = np.zeros((4, 2))
+        v = np.array([0.0, 1.0, 2.0, 7.0])
+        part = fit_predicting_part(X, v, mode="constant")
+        assert part.prediction == pytest.approx(2.5)
+        assert part.error == pytest.approx(4.5)
+        assert part.coeffs is None
+        assert part.n_matched == 4
+
+    def test_single_point(self):
+        part = fit_predicting_part(np.zeros((1, 3)), np.array([5.0]), "constant")
+        assert part.prediction == 5.0
+        assert part.error == 0.0
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="zero matches"):
+            fit_predicting_part(np.empty((0, 3)), np.empty(0))
+
+    def test_bad_mode(self, rng):
+        with pytest.raises(ValueError, match="unknown predicting mode"):
+            fit_predicting_part(rng.uniform(size=(5, 2)), rng.uniform(size=5), "cubic")
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            fit_predicting_part(rng.uniform(size=(5, 2)), rng.uniform(size=4))
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            fit_predicting_part(np.zeros(5), np.zeros(5))

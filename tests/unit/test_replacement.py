@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.replacement (crowding, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.replacement import (
+    jaccard_distances,
+    nearest_phenotype_index,
+    prediction_distances,
+    replacement_index,
+    try_replace,
+)
+from repro.core.rule import Rule
+
+
+def rule_with(mask, prediction=0.0, fitness=0.0):
+    r = Rule.from_box(np.zeros(2), np.ones(2))
+    r.match_mask = np.asarray(mask, dtype=bool)
+    r.prediction = prediction
+    r.fitness = fitness
+    return r
+
+
+class TestJaccard:
+    def test_identical_masks_distance_zero(self):
+        m = np.array([True, False, True])
+        d = jaccard_distances(m, m[None, :])
+        assert d[0] == 0.0
+
+    def test_disjoint_masks_distance_one(self):
+        a = np.array([True, False, False])
+        b = np.array([[False, True, True]])
+        assert jaccard_distances(a, b)[0] == 1.0
+
+    def test_half_overlap(self):
+        a = np.array([True, True, False, False])
+        b = np.array([[False, True, True, False]])
+        # |∩|=1, |∪|=3 → d = 2/3
+        assert jaccard_distances(a, b)[0] == pytest.approx(2 / 3)
+
+    def test_both_empty_distance_zero(self):
+        a = np.zeros(3, dtype=bool)
+        b = np.zeros((1, 3), dtype=bool)
+        assert jaccard_distances(a, b)[0] == 0.0
+
+    def test_empty_vs_nonempty_distance_one(self):
+        a = np.zeros(3, dtype=bool)
+        b = np.ones((1, 3), dtype=bool)
+        assert jaccard_distances(a, b)[0] == 1.0
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            jaccard_distances(np.zeros(3, dtype=bool), np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError, match="disagree"):
+            jaccard_distances(np.zeros(3, dtype=bool), np.zeros((2, 4), dtype=bool))
+
+
+class TestPredictionDistance:
+    def test_absolute_difference(self):
+        off = rule_with([True], prediction=5.0)
+        pop = [rule_with([True], prediction=p) for p in (1.0, 4.0, 9.0)]
+        d = prediction_distances(off, pop)
+        assert np.allclose(d, [4.0, 1.0, 4.0])
+
+    def test_nan_maps_to_inf(self):
+        off = rule_with([True], prediction=5.0)
+        pop = [rule_with([True], prediction=np.nan)]
+        assert prediction_distances(off, pop)[0] == np.inf
+
+
+class TestNearestPhenotype:
+    def test_picks_mask_nearest(self):
+        off = rule_with([True, True, False, False])
+        pop = [
+            rule_with([False, False, True, True]),   # disjoint
+            rule_with([True, True, True, False]),    # close
+        ]
+        masks = np.stack([r.match_mask for r in pop])
+        assert nearest_phenotype_index(off, pop, masks) == 1
+
+    def test_tie_broken_by_prediction(self):
+        off = rule_with([True, False], prediction=10.0)
+        pop = [
+            rule_with([True, False], prediction=0.0),
+            rule_with([True, False], prediction=9.0),
+        ]
+        masks = np.stack([r.match_mask for r in pop])
+        assert nearest_phenotype_index(off, pop, masks) == 1
+
+    def test_full_tie_prefers_lowest_fitness(self):
+        off = rule_with([True], prediction=1.0)
+        pop = [
+            rule_with([True], prediction=1.0, fitness=9.0),
+            rule_with([True], prediction=1.0, fitness=2.0),
+        ]
+        masks = np.stack([r.match_mask for r in pop])
+        assert nearest_phenotype_index(off, pop, masks) == 1
+
+    def test_unevaluated_offspring_raises(self):
+        off = Rule.from_box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="evaluated"):
+            nearest_phenotype_index(off, [], np.zeros((0, 3), dtype=bool))
+
+
+class TestReplacementIndex:
+    def test_modes(self, rng):
+        off = rule_with([True, False], prediction=1.0)
+        pop = [
+            rule_with([True, False], prediction=1.0, fitness=5.0),
+            rule_with([False, True], prediction=99.0, fitness=-2.0),
+        ]
+        masks = np.stack([r.match_mask for r in pop])
+        assert replacement_index(off, pop, masks, "jaccard", rng) == 0
+        assert replacement_index(off, pop, masks, "prediction", rng) == 0
+        assert replacement_index(off, pop, masks, "worst", rng) == 1
+        assert replacement_index(off, pop, masks, "random", rng) in (0, 1)
+        with pytest.raises(ValueError):
+            replacement_index(off, pop, masks, "nope", rng)
+
+
+class TestTryReplace:
+    def test_replaces_only_if_strictly_fitter(self):
+        incumbent = rule_with([True, False], fitness=5.0)
+        pop = [incumbent]
+        masks = np.stack([incumbent.match_mask])
+        equal = rule_with([False, True], fitness=5.0)
+        assert not try_replace(pop, masks, equal, 0)
+        assert pop[0] is incumbent
+
+        better = rule_with([False, True], fitness=6.0)
+        assert try_replace(pop, masks, better, 0)
+        assert pop[0] is better
+        assert np.array_equal(masks[0], better.match_mask)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.rule import Rule
+
+
+def make_rule():
+    return Rule.from_intervals(
+        [Interval(0, 10), Interval.star(), Interval(-5, 5)], prediction=3.0
+    )
+
+
+class TestConstruction:
+    def test_from_intervals(self):
+        r = make_rule()
+        assert r.n_lags == 3
+        assert r.wildcard.tolist() == [False, True, False]
+
+    def test_from_box(self):
+        r = Rule.from_box(np.zeros(4), np.ones(4))
+        assert r.n_lags == 4
+        assert not r.wildcard.any()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            Rule(np.zeros(3), np.zeros(2), np.zeros(3, dtype=bool))
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError, match="lower > upper"):
+            Rule(np.array([2.0]), np.array([1.0]), np.array([False]))
+
+    def test_inverted_bounds_ok_under_wildcard(self):
+        r = Rule(np.array([2.0]), np.array([1.0]), np.array([True]))
+        assert r.wildcard[0]
+
+    def test_2d_bounds_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Rule(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+
+class TestMatching:
+    def test_matches_respects_wildcard(self):
+        r = make_rule()
+        assert r.matches([5.0, 12345.0, 0.0])
+        assert not r.matches([11.0, 0.0, 0.0])
+
+    def test_matches_inclusive(self):
+        r = make_rule()
+        assert r.matches([0.0, 0.0, -5.0])
+        assert r.matches([10.0, 0.0, 5.0])
+
+    def test_matches_wrong_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            make_rule().matches([1.0, 2.0])
+
+
+class TestOutput:
+    def test_constant_output(self):
+        r = make_rule()
+        out = r.output(np.zeros((4, 3)))
+        assert np.allclose(out, 3.0)
+
+    def test_linear_output(self):
+        r = make_rule()
+        r.coeffs = np.array([1.0, 0.0, 2.0, 0.5])  # a0,a1,a2,intercept
+        out = r.output(np.array([[1.0, 9.0, 2.0]]))
+        assert out[0] == pytest.approx(1.0 + 4.0 + 0.5)
+
+    def test_output_accepts_1d(self):
+        r = make_rule()
+        assert r.output(np.zeros(3)).shape == (1,)
+
+
+class TestEncoding:
+    def test_encode_matches_paper_layout(self):
+        r = make_rule()
+        r.error = 0.5
+        flat = r.encode()
+        assert flat == (0.0, 10.0, "*", "*", -5.0, 5.0, 3.0, 0.5)
+
+    def test_decode_roundtrip(self):
+        r = make_rule()
+        r.error = 1.25
+        r2 = Rule.decode(r.encode())
+        assert np.array_equal(r2.wildcard, r.wildcard)
+        assert r2.prediction == r.prediction
+        assert r2.error == r.error
+        non_wild = ~r.wildcard
+        assert np.array_equal(r2.lower[non_wild], r.lower[non_wild])
+
+    def test_decode_bad_length(self):
+        with pytest.raises(ValueError):
+            Rule.decode((1.0, 2.0, 3.0))
+
+
+class TestLifecycle:
+    def test_copy_is_deep(self):
+        r = make_rule()
+        r.match_mask = np.array([True, False])
+        c = r.copy()
+        c.lower[0] = -99.0
+        c.match_mask[0] = False
+        assert r.lower[0] == 0.0
+        assert r.match_mask[0]
+
+    def test_invalidate_clears_predicting_part(self):
+        r = make_rule()
+        r.coeffs = np.ones(4)
+        r.fitness = 5.0
+        r.match_mask = np.ones(3, dtype=bool)
+        r.invalidate()
+        assert r.coeffs is None
+        assert r.fitness == -np.inf
+        assert r.match_mask is None
+        assert not r.is_evaluated
+
+    def test_describe_skips_wildcards(self):
+        text = make_rule().describe()
+        assert "y2" not in text
+        assert "y1" in text and "y3" in text
+
+    def test_volume_log(self):
+        r = Rule.from_intervals([Interval(0, 2), Interval(0, 4)])
+        assert r.volume_log == pytest.approx(np.log(2) + np.log(4))
+        all_wild = Rule.from_intervals([Interval.star()])
+        assert all_wild.volume_log == np.inf

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.selection (3-round trials, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rule import Rule
+from repro.core.selection import roulette_select, select_parents, tournament_select
+
+
+def population_with_fitness(values):
+    pop = []
+    for f in values:
+        r = Rule.from_box(np.zeros(2), np.ones(2))
+        r.fitness = f
+        pop.append(r)
+    return pop
+
+
+class TestTournament:
+    def test_prefers_fitter(self, rng):
+        pop = population_with_fitness([0.0, 0.0, 0.0, 100.0])
+        wins = sum(tournament_select(pop, 3, rng) == 3 for _ in range(400))
+        # P(best in 3 draws) = 1-(3/4)^3 ≈ 0.578
+        assert 0.45 < wins / 400 < 0.70
+
+    def test_single_round_is_uniform(self, rng):
+        pop = population_with_fitness([0.0, 100.0])
+        wins = sum(tournament_select(pop, 1, rng) == 1 for _ in range(400))
+        assert 0.35 < wins / 400 < 0.65
+
+    def test_handles_negative_fitness(self, rng):
+        pop = population_with_fitness([-1.0, -5.0, -3.0])
+        counts = np.zeros(3)
+        for _ in range(300):
+            counts[tournament_select(pop, 3, rng)] += 1
+        assert counts[0] > counts[1]  # least-bad favoured
+
+    def test_empty_population(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select([], 3, rng)
+
+    def test_invalid_rounds(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select(population_with_fitness([1.0]), 0, rng)
+
+
+class TestRoulette:
+    def test_proportional_bias(self, rng):
+        pop = population_with_fitness([1.0, 3.0])
+        wins = sum(roulette_select(pop, rng) == 1 for _ in range(600))
+        # weights after shift: [0, 2] → index 1 always wins
+        assert wins == 600
+
+    def test_uniform_when_flat(self, rng):
+        pop = population_with_fitness([2.0, 2.0, 2.0])
+        picks = {roulette_select(pop, rng) for _ in range(100)}
+        assert picks == {0, 1, 2}
+
+    def test_handles_neg_inf(self, rng):
+        pop = population_with_fitness([-np.inf, 1.0])
+        assert roulette_select(pop, rng) in (0, 1)
+
+    def test_empty(self, rng):
+        with pytest.raises(ValueError):
+            roulette_select([], rng)
+
+
+class TestSelectParents:
+    def test_distinct_when_possible(self, rng):
+        pop = population_with_fitness([1.0, 2.0, 3.0, 4.0, 5.0])
+        distinct = sum(
+            a != b
+            for a, b in (select_parents(pop, 3, rng) for _ in range(100))
+        )
+        assert distinct >= 90  # retries make collisions rare
+
+    def test_single_individual_population(self, rng):
+        pop = population_with_fitness([1.0])
+        a, b = select_parents(pop, 3, rng)
+        assert a == b == 0

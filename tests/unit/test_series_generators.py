@@ -1,0 +1,164 @@
+"""Unit tests for the three series generators and the noise helpers."""
+
+import numpy as np
+import pytest
+
+from repro.series.mackey_glass import MackeyGlassParams, mackey_glass, paper_series
+from repro.series.noise import add_outliers, ar_process, random_walk, sine_series, white_noise
+from repro.series.sunspot import PAPER_N_MONTHS, SunspotParams, sunspot_series
+from repro.series.venice import VeniceParams, venice_series
+
+
+class TestMackeyGlass:
+    def test_length_and_finite(self):
+        s = mackey_glass(500)
+        assert s.shape == (500,)
+        assert np.isfinite(s).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(mackey_glass(300), mackey_glass(300))
+
+    def test_discard_shifts(self):
+        full = mackey_glass(400)
+        shifted = mackey_glass(300, discard=100)
+        assert np.allclose(full[100:400], shifted)
+
+    def test_chaotic_regime_oscillates(self):
+        """λ=17 chaos: the tail must keep crossing its own mean."""
+        s = mackey_glass(1000, discard=500)
+        centered = s - s.mean()
+        crossings = np.sum(np.diff(np.sign(centered)) != 0)
+        assert crossings > 20
+
+    def test_amplitude_in_expected_band(self):
+        s = mackey_glass(2000, discard=500)
+        assert 0.2 < s.min() < 0.6
+        assert 1.0 < s.max() < 1.6
+
+    def test_paper_series_volume(self):
+        s = paper_series()
+        assert s.shape == (5000,)
+
+    def test_stable_fixed_point_at_zero_delay(self):
+        # Without delay the ODE is contracting to the a/(b(1+x^10)) balance.
+        p = MackeyGlassParams(delay=0.0)
+        s = mackey_glass(500, p)
+        assert abs(s[-1] - s[-2]) < 1e-4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MackeyGlassParams(dt=0.3)  # does not divide 1.0
+        with pytest.raises(ValueError):
+            mackey_glass(0)
+        with pytest.raises(ValueError):
+            mackey_glass(10, discard=-1)
+
+
+class TestVenice:
+    def test_shape_and_range(self):
+        s = venice_series(5000, seed=1)
+        assert s.shape == (5000,)
+        # §3.2: output ranges roughly -50..150 cm.
+        assert -80 < s.min() < 30
+        assert 60 < s.max() < 250
+
+    def test_seed_reproducible(self):
+        assert np.array_equal(venice_series(1000, seed=7), venice_series(1000, seed=7))
+        assert not np.array_equal(
+            venice_series(1000, seed=7), venice_series(1000, seed=8)
+        )
+
+    def test_semidiurnal_periodicity(self):
+        """Autocorrelation must peak near the M2 period (~12.4 h)."""
+        s = venice_series(4000, seed=3)
+        x = s - s.mean()
+        ac = np.correlate(x, x, mode="full")[len(x) - 1 :]
+        ac /= ac[0]
+        lag = int(np.argmax(ac[8:20])) + 8
+        assert 10 <= lag <= 15
+
+    def test_storms_create_heavy_upper_tail(self):
+        p = VeniceParams(storm_rate_per_year=60.0)
+        with_storms = venice_series(8760, p, seed=5)
+        calm = venice_series(
+            8760, VeniceParams(storm_rate_per_year=0.0), seed=5
+        )
+        assert with_storms.max() > calm.max() + 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            VeniceParams(surge_phi=1.0)
+        with pytest.raises(ValueError):
+            VeniceParams(storm_rate_per_year=-1)
+        with pytest.raises(ValueError):
+            venice_series(0)
+
+
+class TestSunspot:
+    def test_shape_nonnegative(self):
+        s = sunspot_series(1200, seed=2)
+        assert s.shape == (1200,)
+        assert (s >= 0).all()
+
+    def test_paper_length_constant(self):
+        # Jan 1749 .. Mar 1977.
+        assert PAPER_N_MONTHS == 2739
+
+    def test_cycle_period_about_11_years(self):
+        """Dominant FFT period must fall in the 9–14 year band."""
+        s = sunspot_series(2739, seed=4)
+        x = s - s.mean()
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(len(x), d=1.0)
+        spectrum[0] = 0.0
+        # Only consider periods below 30 years to skip slow trends.
+        valid = freqs > 1.0 / (30 * 12)
+        peak = freqs[valid][np.argmax(spectrum[valid])]
+        period_years = 1.0 / peak / 12.0
+        assert 8.0 < period_years < 15.0
+
+    def test_seed_reproducible(self):
+        assert np.array_equal(sunspot_series(500, seed=9), sunspot_series(500, seed=9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sunspot_series(0)
+        with pytest.raises(ValueError):
+            SunspotParams(rise_fraction=0.99)
+
+
+class TestNoise:
+    def test_white_noise(self):
+        assert white_noise(100, seed=1).shape == (100,)
+        with pytest.raises(ValueError):
+            white_noise(-1)
+
+    def test_ar_process_autocorrelated(self):
+        s = ar_process(3000, [0.9], sigma=1.0, seed=1)
+        x = s - s.mean()
+        r1 = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+        assert 0.8 < r1 < 0.97
+
+    def test_ar_process_validation(self):
+        with pytest.raises(ValueError):
+            ar_process(0, [0.5])
+        with pytest.raises(ValueError):
+            ar_process(10, [])
+
+    def test_sine_series_period(self):
+        s = sine_series(100, period=25)
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(s[:50], s[50:], atol=1e-9)
+
+    def test_random_walk_is_cumsum(self):
+        w = random_walk(50, seed=3)
+        n = white_noise(50, seed=3)
+        assert np.allclose(w, np.cumsum(n))
+
+    def test_add_outliers(self):
+        base = sine_series(500, period=50)
+        spiked = add_outliers(base, fraction=0.05, magnitude=10, seed=1)
+        assert (spiked != base).sum() == 25
+        assert np.array_equal(add_outliers(base, fraction=0.0), base)
+        with pytest.raises(ValueError):
+            add_outliers(base, fraction=1.5)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.stats (bootstrap + paired tests)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_metric, paired_comparison
+from repro.metrics.errors import mae, rmse
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self, rng):
+        t = rng.normal(size=300)
+        p = t + rng.normal(0, 0.3, size=300)
+        ci = bootstrap_metric(t, p, seed=1, n_resamples=500)
+        assert ci.lower <= ci.estimate <= ci.upper
+        assert ci.estimate == pytest.approx(rmse(t, p))
+
+    def test_tighter_with_more_data(self, rng):
+        def width(n):
+            t = rng.normal(size=n)
+            p = t + rng.normal(0, 0.5, size=n)
+            ci = bootstrap_metric(t, p, seed=2, n_resamples=400)
+            return ci.upper - ci.lower
+
+        assert width(2000) < width(50)
+
+    def test_deterministic_given_seed(self, rng):
+        t = rng.normal(size=100)
+        p = t + 0.1
+        a = bootstrap_metric(t, p, seed=7, n_resamples=200)
+        b = bootstrap_metric(t, p, seed=7, n_resamples=200)
+        assert a.lower == b.lower and a.upper == b.upper
+
+    def test_custom_metric(self, rng):
+        t = rng.normal(size=100)
+        p = t + rng.normal(0, 0.2, size=100)
+        ci = bootstrap_metric(t, p, metric=mae, seed=1, n_resamples=200)
+        assert ci.estimate == pytest.approx(mae(t, p))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.zeros(1), np.zeros(1))
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.zeros(10), np.zeros(9))
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.zeros(10), np.zeros(10), confidence=1.5)
+
+    def test_str_formatting(self, rng):
+        t = rng.normal(size=50)
+        ci = bootstrap_metric(t, t + 0.1, seed=1, n_resamples=100)
+        assert "CI" in str(ci)
+
+
+class TestPairedComparison:
+    def test_clear_winner_is_significant(self, rng):
+        t = rng.normal(size=400)
+        good = t + rng.normal(0, 0.05, size=400)
+        bad = t + rng.normal(0, 0.8, size=400)
+        res = paired_comparison(t, good, bad)
+        assert res.a_mean_abs < res.b_mean_abs
+        assert res.a_wins > res.b_wins
+        assert res.significant
+
+    def test_identical_predictions_not_significant(self, rng):
+        t = rng.normal(size=100)
+        p = t + rng.normal(0, 0.3, size=100)
+        res = paired_comparison(t, p, p.copy())
+        assert res.p_value == 1.0
+        assert not res.significant
+        assert res.a_wins == res.b_wins == 0
+
+    def test_common_subset_only(self, rng):
+        t = rng.normal(size=100)
+        a = t + 0.1
+        b = t - 0.1
+        a[:50] = np.nan  # A abstains on the first half
+        res = paired_comparison(t, a, b)
+        assert res.n_common == 50
+
+    def test_extra_mask(self, rng):
+        t = rng.normal(size=100)
+        a, b = t + 0.1, t - 0.1
+        mask = np.zeros(100, dtype=bool)
+        mask[:30] = True
+        res = paired_comparison(t, a, b, mask=mask)
+        assert res.n_common == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_comparison(np.zeros(5), np.zeros(4), np.zeros(5))
+        nan = np.full(10, np.nan)
+        with pytest.raises(ValueError, match="common"):
+            paired_comparison(np.zeros(10), nan, np.zeros(10))

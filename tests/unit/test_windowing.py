@@ -1,0 +1,120 @@
+"""Unit tests for repro.series.windowing."""
+
+import numpy as np
+import pytest
+
+from repro.series.windowing import (
+    MinMaxScaler,
+    WindowDataset,
+    make_windows,
+    train_test_split_series,
+)
+
+
+class TestMakeWindows:
+    def test_window_target_alignment(self):
+        series = np.arange(20, dtype=float)
+        X, y = make_windows(series, d=4, horizon=3)
+        # X_i = series[i : i+4]; y_i = series[i+4-1+3] = series[i+6]
+        assert np.array_equal(X[0], [0, 1, 2, 3])
+        assert y[0] == 6.0
+        assert np.array_equal(X[-1], [13, 14, 15, 16])
+        assert y[-1] == 19.0
+        assert X.shape[0] == 20 - 4 - 3 + 1
+
+    def test_horizon_one(self):
+        X, y = make_windows(np.arange(10, dtype=float), d=3, horizon=1)
+        assert y[0] == 3.0  # next value after the window
+
+    def test_windows_are_views(self):
+        series = np.arange(50, dtype=float)
+        X, _ = make_windows(series, 5, 1)
+        assert X.base is not None  # strided view, no copy
+        assert not X.flags.writeable
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            make_windows(np.arange(5, dtype=float), d=4, horizon=3)
+
+    def test_bad_params(self):
+        s = np.arange(10, dtype=float)
+        with pytest.raises(ValueError):
+            make_windows(s, d=0, horizon=1)
+        with pytest.raises(ValueError):
+            make_windows(s, d=3, horizon=0)
+        with pytest.raises(ValueError, match="1-D"):
+            make_windows(np.zeros((3, 3)), d=1, horizon=1)
+
+    def test_exact_minimum_length(self):
+        # len = D + horizon → exactly one window.
+        X, y = make_windows(np.arange(7, dtype=float), d=4, horizon=3)
+        assert X.shape == (1, 4) and y.shape == (1,)
+
+
+class TestWindowDataset:
+    def test_ranges(self):
+        series = np.array([3.0, -1.0, 5.0, 2.0, 4.0, 0.0])
+        ds = WindowDataset.from_series(series, 2, 1)
+        assert ds.input_range == (-1.0, 5.0)
+        lo, hi = ds.output_range
+        assert lo == min(ds.y) and hi == max(ds.y)
+
+    def test_len_and_subset(self):
+        ds = WindowDataset.from_series(np.arange(10, dtype=float), 3, 1)
+        assert len(ds) == 7
+        mask = np.zeros(7, dtype=bool)
+        mask[2] = True
+        X, y = ds.subset(mask)
+        assert X.shape == (1, 3) and y.shape == (1,)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        vals = rng.normal(size=200)
+        s = MinMaxScaler().fit(vals)
+        t = s.transform(vals)
+        assert t.min() == pytest.approx(0.0)
+        assert t.max() == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self, rng):
+        vals = rng.normal(size=50) * 7 + 3
+        s = MinMaxScaler((0, 1)).fit(vals)
+        assert np.allclose(s.inverse_transform(s.transform(vals)), vals)
+
+    def test_custom_range(self):
+        s = MinMaxScaler((-1, 1)).fit(np.array([0.0, 10.0]))
+        assert s.transform(np.array([5.0]))[0] == pytest.approx(0.0)
+
+    def test_no_leakage_beyond_fit_range(self):
+        s = MinMaxScaler().fit(np.array([0.0, 10.0]))
+        assert s.transform(np.array([20.0]))[0] == pytest.approx(2.0)
+
+    def test_constant_data(self):
+        s = MinMaxScaler().fit(np.array([4.0, 4.0]))
+        assert np.all(s.transform(np.array([4.0, 4.0])) == 0.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            MinMaxScaler().transform(np.zeros(3))
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1, 1))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.array([]))
+
+
+class TestSplit:
+    def test_chronological(self):
+        series = np.arange(10, dtype=float)
+        a, b = train_test_split_series(series, 7)
+        assert np.array_equal(a, np.arange(7))
+        assert np.array_equal(b, np.arange(7, 10))
+
+    def test_bad_n_train(self):
+        with pytest.raises(ValueError):
+            train_test_split_series(np.arange(5, dtype=float), 0)
+        with pytest.raises(ValueError):
+            train_test_split_series(np.arange(5, dtype=float), 5)
