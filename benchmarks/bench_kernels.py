@@ -5,19 +5,34 @@ These are the operations executed once per generation; their throughput
 bounds the generations/second of every experiment:
 
 * rule↦window matching (lazy vs dense) on a paper-scale window matrix;
+* batched population matching (stacked bounds vs a per-rule loop);
 * per-rule hyperplane fit;
 * Jaccard phenotype distances against a full population;
-* rule-system batch prediction.
+* rule-system batch prediction;
+* whole-engine generations/second, incremental ``PopulationState``
+  vs ``--no-incremental`` full per-generation recomputation.
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.core.matching import match_mask, match_mask_dense
+from repro.core.config import EvolutionConfig
+from repro.core.engine import evolve
+from repro.core.fitness import FitnessParams
+from repro.core.matching import (
+    match_mask,
+    match_mask_dense,
+    population_match_matrix,
+    population_match_matrix_stacked,
+)
 from repro.core.predictor import RuleSystem
 from repro.core.regression import fit_predicting_part
 from repro.core.replacement import jaccard_distances
 from repro.core.rule import Rule
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
 
 N_WINDOWS = 45_000  # the paper's Venice training volume
 D = 24
@@ -75,6 +90,32 @@ def test_jaccard_population_distance(benchmark):
     assert dist.shape == (100,)
 
 
+def _random_population(rng, n_rules, windows):
+    """Rules boxed around random windows — a plausible evolved pool."""
+    rules = []
+    for _ in range(n_rules):
+        center = windows[int(rng.integers(0, windows.shape[0]))]
+        r = Rule.from_box(center - 25, center + 25)
+        wild = rng.random(D) < 0.3
+        r.wildcard = wild
+        rules.append(r)
+    return rules
+
+
+def test_population_matrix_per_rule(benchmark, windows):
+    rng = np.random.default_rng(4)
+    rules = _random_population(rng, 100, windows)
+    masks = benchmark(population_match_matrix, rules, windows)
+    assert masks.shape == (100, N_WINDOWS)
+
+
+def test_population_matrix_stacked(benchmark, windows):
+    rng = np.random.default_rng(4)
+    rules = _random_population(rng, 100, windows)
+    masks = benchmark(population_match_matrix_stacked, rules, windows)
+    assert np.array_equal(masks, population_match_matrix(rules, windows))
+
+
 def test_rule_system_predict(benchmark, windows):
     rng = np.random.default_rng(3)
     rules = []
@@ -86,3 +127,55 @@ def test_rule_system_predict(benchmark, windows):
     system = RuleSystem(rules)
     batch = benchmark(system.predict, windows[:5000])
     assert batch.values.shape == (5000,)
+
+
+# -- generations/second: incremental state vs full recomputation -------------
+
+GA_GENERATIONS = 200
+
+
+@pytest.fixture(scope="module")
+def ga_dataset():
+    """A paper-geometry training set (D=24) from a long noisy sine."""
+    series = sine_series(12_000 + D + 1, period=480, noise_sigma=0.05, seed=5)
+    return WindowDataset.from_series(series, D, 1)
+
+
+def _ga_config(incremental: bool) -> EvolutionConfig:
+    """Paper-default population size (100) at a timeable budget."""
+    return EvolutionConfig(
+        d=D,
+        horizon=1,
+        population_size=100,
+        generations=GA_GENERATIONS,
+        fitness=FitnessParams(e_max=0.4),
+        seed=42,
+        incremental=incremental,
+    )
+
+
+def _rule_set_key(result):
+    """Bitwise-comparable view of a final population."""
+    return [r.encode() for r in result.rules]
+
+
+def test_generations_per_second_incremental_vs_full(ga_dataset):
+    """The incremental engine must beat full recomputation >= 3x with
+    bitwise-identical results (same seed, same rule set)."""
+    timings = {}
+    results = {}
+    for incremental in (True, False):
+        cfg = _ga_config(incremental)
+        start = time.perf_counter()
+        results[incremental] = evolve(ga_dataset, cfg)
+        timings[incremental] = time.perf_counter() - start
+    gens_inc = GA_GENERATIONS / timings[True]
+    gens_full = GA_GENERATIONS / timings[False]
+    speedup = gens_inc / gens_full
+    print(
+        f"\ngenerations/sec  incremental={gens_inc:,.0f}  "
+        f"full-recompute={gens_full:,.0f}  speedup={speedup:.1f}x"
+    )
+    assert _rule_set_key(results[True]) == _rule_set_key(results[False])
+    assert results[True].replacements == results[False].replacements
+    assert speedup >= 3.0, f"incremental path only {speedup:.2f}x faster"

@@ -25,6 +25,12 @@ def main() -> None:
     parser.add_argument("--horizon", type=int, default=50,
                         help="prediction horizon tau (paper: 50 and 85)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--generations", type=int, default=2500,
+                        help="steady-state iterations per execution")
+    parser.add_argument("--population", type=int, default=50,
+                        help="rules per population")
+    parser.add_argument("--executions", type=int, default=3,
+                        help="max pooled executions (§3.4)")
     args = parser.parse_args()
 
     data = load_mackey_glass()
@@ -35,10 +41,10 @@ def main() -> None:
         data,
         d=12,
         horizon=args.horizon,
-        generations=2500,
-        population_size=50,
+        generations=args.generations,
+        population_size=args.population,
         coverage_target=0.90,
-        max_executions=3,
+        max_executions=args.executions,
         seed=args.seed,
     )
 

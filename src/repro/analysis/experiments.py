@@ -144,12 +144,15 @@ def run_table1(
     backend: Optional[Backend] = None,
     max_executions: int = 3,
     mlp_epochs: int = 60,
+    incremental: bool = True,
 ) -> List[Table1Row]:
     """Venice Lagoon comparison (§4.1): RS vs feedforward NN, RMSE in cm."""
     data = load_venice(scale=scale)
     rows: List[Table1Row] = []
     for i, horizon in enumerate(horizons):
-        config = venice_config(horizon=horizon, scale=scale)
+        config = venice_config(horizon=horizon, scale=scale).replace(
+            incremental=incremental
+        )
         result, batch, train_ds, val_ds = _rs_predict(
             data, config, 0.95, max_executions, seed + 1000 * i, backend
         )
@@ -173,12 +176,15 @@ def run_table2(
     seed: int = 2,
     backend: Optional[Backend] = None,
     max_executions: int = 3,
+    incremental: bool = True,
 ) -> List[Table2Row]:
     """Mackey-Glass comparison (§4.2): RS vs MRAN vs RAN, NMSE."""
     data = load_mackey_glass()
     rows: List[Table2Row] = []
     for i, horizon in enumerate(horizons):
-        config = mackey_config(horizon=horizon, scale=scale)
+        config = mackey_config(horizon=horizon, scale=scale).replace(
+            incremental=incremental
+        )
         result, batch, train_ds, val_ds = _rs_predict(
             data, config, 0.90, max_executions, seed + 1000 * i, backend
         )
@@ -209,12 +215,15 @@ def run_table3(
     backend: Optional[Backend] = None,
     max_executions: int = 3,
     nn_epochs: int = 80,
+    incremental: bool = True,
 ) -> List[Table3Row]:
     """Sunspot comparison (§4.3): RS vs feedforward vs recurrent NN."""
     data = load_sunspot(scale=scale)
     rows: List[Table3Row] = []
     for i, horizon in enumerate(horizons):
-        config = sunspot_config(horizon=horizon, scale=scale)
+        config = sunspot_config(horizon=horizon, scale=scale).replace(
+            incremental=incremental
+        )
         result, batch, train_ds, val_ds = _rs_predict(
             data, config, 0.95, max_executions, seed + 1000 * i, backend
         )
@@ -268,6 +277,7 @@ def run_figure2(
     window_halfwidth: int = 48,
     backend: Optional[Backend] = None,
     max_executions: int = 3,
+    incremental: bool = True,
 ) -> Figure2Result:
     """Figure 2 (§4.1): horizon-1 prediction around an unusual high tide.
 
@@ -276,7 +286,9 @@ def run_figure2(
     segments for plotting.
     """
     data = load_venice(scale=scale)
-    config = venice_config(horizon=1, scale=scale)
+    config = venice_config(horizon=1, scale=scale).replace(
+        incremental=incremental
+    )
     result, batch, train_ds, val_ds = _rs_predict(
         data, config, 0.95, max_executions, seed, backend
     )
@@ -346,13 +358,17 @@ def _prediction_span(system) -> float:
     return float(preds.max() - preds.min())
 
 
-def run_ablation_init(scale: str = "bench", seed: int = 10) -> List[AblationRow]:
+def run_ablation_init(
+    scale: str = "bench", seed: int = 10, incremental: bool = True
+) -> List[AblationRow]:
     """A1: §3.2 stratified initialization vs random boxes (Mackey-Glass).
 
     ``detail`` records the span of the final rule pool's predictions —
     the output-space diversity §3.2 is designed to guarantee.
     """
-    config = mackey_config(horizon=50, scale=scale)
+    config = mackey_config(horizon=50, scale=scale).replace(
+        incremental=incremental
+    )
     rows = []
     for init in ("stratified", "random"):
         score, system = _mackey_variant(config, seed, init=init)
@@ -366,11 +382,15 @@ def run_ablation_init(scale: str = "bench", seed: int = 10) -> List[AblationRow]
     return rows
 
 
-def run_ablation_replacement(scale: str = "bench", seed: int = 11) -> List[AblationRow]:
+def run_ablation_replacement(
+    scale: str = "bench", seed: int = 11, incremental: bool = True
+) -> List[AblationRow]:
     """A2: crowding (jaccard) vs prediction-distance vs random vs worst."""
     rows = []
     for mode in ("jaccard", "prediction", "random", "worst"):
-        config = mackey_config(horizon=50, scale=scale).replace(crowding=mode)
+        config = mackey_config(horizon=50, scale=scale).replace(
+            crowding=mode, incremental=incremental
+        )
         score, _system = _mackey_variant(config, seed)
         rows.append(AblationRow(variant=f"crowding={mode}", score=score))
     return rows
@@ -380,6 +400,7 @@ def run_ablation_emax(
     scale: str = "bench",
     seed: int = 12,
     e_max_values: Sequence[float] = (5.0, 10.0, 25.0, 50.0, 100.0),
+    incremental: bool = True,
 ) -> List[AblationRow]:
     """A3: EMAX sweep on Venice — the §5 coverage/accuracy trade-off."""
     data = load_venice(scale=scale)
@@ -387,7 +408,8 @@ def run_ablation_emax(
     for e_max in e_max_values:
         config = venice_config(horizon=1, scale=scale)
         config = config.replace(
-            fitness=config.fitness.__class__(e_max=float(e_max))
+            fitness=config.fitness.__class__(e_max=float(e_max)),
+            incremental=incremental,
         )
         train_ds, val_ds = data.windows(config.d, config.horizon)
         result = multirun(
@@ -406,7 +428,7 @@ def run_ablation_emax(
 
 
 def run_ablation_predicting_mode(
-    scale: str = "bench", seed: int = 14
+    scale: str = "bench", seed: int = 14, incremental: bool = True
 ) -> List[AblationRow]:
     """A5: §3.1 linear-regression predicting part vs constant mean.
 
@@ -417,7 +439,7 @@ def run_ablation_predicting_mode(
     rows = []
     for mode in ("linear", "constant"):
         config = mackey_config(horizon=50, scale=scale).replace(
-            predicting_mode=mode
+            predicting_mode=mode, incremental=incremental
         )
         score, system = _mackey_variant(config, seed)
         rows.append(
@@ -430,10 +452,14 @@ def run_ablation_predicting_mode(
     return rows
 
 
-def run_ablation_pooling(scale: str = "bench", seed: int = 13) -> List[AblationRow]:
+def run_ablation_pooling(
+    scale: str = "bench", seed: int = 13, incremental: bool = True
+) -> List[AblationRow]:
     """A4: pooled executions vs a single execution (sunspots, h=4)."""
     data = load_sunspot(scale=scale)
-    config = sunspot_config(horizon=4, scale=scale)
+    config = sunspot_config(horizon=4, scale=scale).replace(
+        incremental=incremental
+    )
     train_ds, val_ds = data.windows(config.d, config.horizon)
     rows = []
     for n_exec in (1, 2, 4):

@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for GA executions")
         p.add_argument("--markdown", action="store_true",
                        help="also print the paper-vs-measured markdown block")
+        p.add_argument("--no-incremental", action="store_true",
+                       help="disable the engine's incremental population "
+                            "state (full per-generation recomputation; "
+                            "A/B baseline, identical results)")
 
     p1 = sub.add_parser("table1", help="Venice Lagoon (Table 1)")
     common(p1)
@@ -96,11 +100,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     backend = _backend(args.jobs)
+    incremental = not args.no_incremental
     try:
         if args.command == "table1":
             rows = run_table1(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend,
+                backend=backend, incremental=incremental,
             )
             _print(format_table(
                 ["Horizon", "% pred", "Error RS", "Error NN"],
@@ -117,7 +122,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "table2":
             rows = run_table2(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend,
+                backend=backend, incremental=incremental,
             )
             _print(format_table(
                 ["Horizon", "% pred", "RS", "MRAN", "RAN"],
@@ -134,7 +139,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "table3":
             rows = run_table3(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend,
+                backend=backend, incremental=incremental,
             )
             _print(format_table(
                 ["Horizon", "% pred", "RS", "Feedfw NN", "Recurr NN"],
@@ -149,7 +154,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 _print("")
                 _print(table3_markdown(rows))
         elif args.command == "figure2":
-            result = run_figure2(scale=args.scale, seed=args.seed, backend=backend)
+            result = run_figure2(
+                scale=args.scale, seed=args.seed, backend=backend,
+                incremental=incremental,
+            )
             _print(overlay_plot(
                 {"real": result.real, "pred": result.predicted},
                 title="Figure 2 — prediction for an unusual tide (horizon 1)",
@@ -164,7 +172,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "ablation-emax": (run_ablation_emax, "RMSE (cm)"),
                 "ablation-pooling": (run_ablation_pooling, "Galvan error"),
             }[args.command]
-            rows = runner[0](scale=args.scale, seed=args.seed)
+            rows = runner[0](
+                scale=args.scale, seed=args.seed, incremental=incremental
+            )
             _print(format_table(
                 ["Variant", runner[1], "% pred", "detail"],
                 [

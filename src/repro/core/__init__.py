@@ -7,6 +7,9 @@ Public surface:
 * :class:`~repro.core.config.EvolutionConfig` — one-value run spec.
 * :func:`~repro.core.engine.evolve` /
   :class:`~repro.core.engine.SteadyStateEngine` — one execution.
+* :class:`~repro.core.population_state.PopulationState` — the engine's
+  incrementally maintained evaluation cache (match matrix, fitness
+  vector, coverage counts).
 * :func:`~repro.core.multirun.multirun` — pooled executions (§3.4).
 * :class:`~repro.core.predictor.RuleSystem` — the final forecaster.
 """
@@ -25,7 +28,9 @@ from .tuning import TuneResult, tune_e_max
 from .evaluation import evaluate_population, evaluate_rule
 from .fitness import FitnessParams, fitness_array, rule_fitness
 from .intervals import Interval
+from .matching import population_match_matrix_stacked
 from .multirun import MultiRunResult, multirun
+from .population_state import PopulationState
 from .predictor import PredictionBatch, RuleSystem
 from .rule import Rule
 
@@ -38,6 +43,8 @@ __all__ = [
     "SteadyStateEngine",
     "EvolutionResult",
     "GenerationStats",
+    "PopulationState",
+    "population_match_matrix_stacked",
     "evolve",
     "evaluate_rule",
     "evaluate_population",

@@ -91,6 +91,14 @@ class EvolutionConfig:
         paper's fixed-budget behaviour).  An extension: steady-state
         runs often converge long before the generation budget, and the
         unspent budget is better spent on extra pooled executions.
+    incremental:
+        Maintain population-wide quantities (match matrix, fitness
+        vector, coverage counts) incrementally through
+        :class:`~repro.core.population_state.PopulationState` — one
+        row update per generation.  ``False`` rebuilds the state from
+        scratch every generation (CLI: ``--no-incremental``); results
+        are bitwise identical, only the work differs.  Kept as an A/B
+        escape hatch for benchmarking and debugging.
     """
 
     d: int = 24
@@ -106,6 +114,7 @@ class EvolutionConfig:
     seed: Optional[int] = None
     stats_every: int = 0
     early_stop_patience: int = 0
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.early_stop_patience < 0:

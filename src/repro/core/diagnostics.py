@@ -5,6 +5,12 @@ The paper's discussion (§5) rests on claims about the pool's *structure*
 uncovered regions are genuinely unpredictable.  These helpers quantify
 that structure so examples and reports can show it instead of asserting
 it.
+
+Each helper accepts an optional precomputed ``masks`` argument — a raw
+``(P, n)`` matrix or the engine's live
+:class:`~repro.core.population_state.PopulationState` — so post-run
+diagnostics on the training windows reuse the incremental state instead
+of rematching the pool.
 """
 
 from __future__ import annotations
@@ -15,8 +21,30 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .matching import population_match_matrix
+from .population_state import MaskSource, PopulationState, as_mask_matrix
 from .predictor import RuleSystem
 from .rule import Rule
+
+
+def _pool_masks(
+    rules: Sequence[Rule], windows: np.ndarray, masks: Optional[MaskSource]
+) -> np.ndarray:
+    """Resolve the match matrix for a pool: reuse the caller's state
+    (e.g. ``engine.state`` after a run) when its geometry matches,
+    recompute otherwise.  A :class:`PopulationState` that remembers the
+    window matrix it was built against is reused only for *that* matrix
+    (identity check) — two window sets of equal length don't alias."""
+    if masks is not None:
+        if (
+            isinstance(masks, PopulationState)
+            and masks.windows is not None
+            and masks.windows is not windows
+        ):
+            return population_match_matrix(rules, windows)
+        matrix = as_mask_matrix(masks)
+        if matrix.shape == (len(rules), windows.shape[0]):
+            return matrix
+    return population_match_matrix(rules, windows)
 
 __all__ = [
     "PoolSummary",
@@ -60,12 +88,19 @@ class PoolSummary:
 
 
 def summarize_pool(
-    rules: Sequence[Rule], windows: np.ndarray
+    rules: Sequence[Rule],
+    windows: np.ndarray,
+    masks: Optional[MaskSource] = None,
 ) -> PoolSummary:
-    """Compute :class:`PoolSummary` for a pool on reference windows."""
+    """Compute :class:`PoolSummary` for a pool on reference windows.
+
+    ``masks`` may pass a precomputed match matrix or a live
+    :class:`~repro.core.population_state.PopulationState` (e.g.
+    ``engine.state``) to skip rematching the pool.
+    """
     if len(rules) == 0:
         return PoolSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    masks = population_match_matrix(rules, windows)
+    masks = _pool_masks(rules, windows, masks)
     per_rule = masks.sum(axis=1)
     per_window = masks.sum(axis=0)
     n = windows.shape[0]
@@ -85,14 +120,19 @@ def summarize_pool(
     )
 
 
-def overlap_matrix(rules: Sequence[Rule], windows: np.ndarray) -> np.ndarray:
+def overlap_matrix(
+    rules: Sequence[Rule],
+    windows: np.ndarray,
+    masks: Optional[MaskSource] = None,
+) -> np.ndarray:
     """Pairwise Jaccard *similarity* of matched-window sets.
 
     ``O[i, j] = |M_i ∩ M_j| / |M_i ∪ M_j]`` (1 on the diagonal for
     non-empty rules; 0 for two disjoint rules).  High off-diagonal mass
-    means redundant niches.
+    means redundant niches.  ``masks`` optionally reuses a precomputed
+    matrix or :class:`~repro.core.population_state.PopulationState`.
     """
-    masks = population_match_matrix(rules, windows).astype(np.float64)
+    masks = _pool_masks(rules, windows, masks).astype(np.float64)
     inter = masks @ masks.T
     sizes = masks.sum(axis=1)
     union = sizes[:, None] + sizes[None, :] - inter
@@ -106,6 +146,7 @@ def redundancy_prune(
     rules: Sequence[Rule],
     windows: np.ndarray,
     max_similarity: float = 0.95,
+    masks: Optional[MaskSource] = None,
 ) -> List[Rule]:
     """Greedy pool compression: drop near-duplicate niches.
 
@@ -118,7 +159,7 @@ def redundancy_prune(
     if not 0.0 < max_similarity <= 1.0:
         raise ValueError("max_similarity must be in (0, 1]")
     order = np.argsort([-r.fitness for r in rules])
-    masks = population_match_matrix(rules, windows)
+    masks = _pool_masks(rules, windows, masks)
     kept: List[Rule] = []
     kept_masks: List[np.ndarray] = []
     for idx in order:

@@ -8,6 +8,14 @@ individual (crowding) — replacement only on strict fitness improvement.
 The *population itself* is the solution (Michigan approach): after
 `generations` iterations the engine returns the full rule set plus
 run statistics.
+
+Because at most one individual changes per generation, all
+population-wide quantities live in an incrementally maintained
+:class:`~repro.core.population_state.PopulationState` (match matrix,
+fitness vector, coverage counts) that is updated one row at a time.
+``EvolutionConfig(incremental=False)`` rebuilds that state from scratch
+each generation instead — the A/B baseline for
+``benchmarks/bench_kernels.py`` — with bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -21,8 +29,8 @@ from ..series.windowing import WindowDataset
 from .config import EvolutionConfig
 from .evaluation import evaluate_population, evaluate_rule
 from .initialization import random_population, stratified_population
-from .matching import population_match_matrix
 from .operators import mutate, uniform_crossover
+from .population_state import PopulationState
 from .replacement import replacement_index, try_replace
 from .rule import Rule
 from .selection import select_parents
@@ -110,9 +118,14 @@ class SteadyStateEngine:
         self.rng = rng if rng is not None else np.random.default_rng(config.seed)
         self.init = init
         self.population: List[Rule] = []
-        self._masks: Optional[np.ndarray] = None
+        self.state: Optional[PopulationState] = None
         self.replacements = 0
         self.stats: List[GenerationStats] = []
+
+    @property
+    def _masks(self) -> Optional[np.ndarray]:
+        """The ``(P, n)`` match matrix (back-compat view of the state)."""
+        return None if self.state is None else self.state.masks
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -121,22 +134,30 @@ class SteadyStateEngine:
         maker = stratified_population if self.init == "stratified" else random_population
         self.population = maker(self.dataset, self.config, self.rng)
         evaluate_population(self.population, self.dataset, self.config)
-        self._masks = population_match_matrix(self.population, self.dataset.X)
+        self.state = PopulationState.from_population(
+            self.population, self.dataset.X
+        )
         self.replacements = 0
         self.stats = []
 
     def step(self, generation: int = 0) -> bool:
         """One steady-state generation; returns True if accepted."""
-        assert self._masks is not None, "initialize() must run first"
+        assert self.state is not None, "initialize() must run first"
         cfg = self.config
+        if not cfg.incremental:
+            # A/B baseline: pretend nothing is cached and rebuild every
+            # population-wide quantity from scratch this generation.
+            self.state = PopulationState.from_population(
+                self.population, self.dataset.X, use_cached=False
+            )
         ia, ib = select_parents(self.population, cfg.tournament_rounds, self.rng)
         offspring = uniform_crossover(self.population[ia], self.population[ib], self.rng)
         mutate(offspring, cfg.mutation, self.dataset.input_range, self.rng)
         evaluate_rule(offspring, self.dataset, cfg)
         slot = replacement_index(
-            offspring, self.population, self._masks, cfg.crowding, self.rng
+            offspring, self.population, self.state, cfg.crowding, self.rng
         )
-        accepted = try_replace(self.population, self._masks, offspring, slot)
+        accepted = try_replace(self.population, self.state, offspring, slot)
         if accepted:
             self.replacements += 1
         return accepted
@@ -169,17 +190,16 @@ class SteadyStateEngine:
     # -- diagnostics ---------------------------------------------------------
 
     def snapshot(self, generation: int) -> GenerationStats:
-        """Current population statistics."""
-        assert self._masks is not None
-        fits = np.array([r.fitness for r in self.population])
-        coverage = float(self._masks.any(axis=0).mean()) if len(self.dataset) else 0.0
-        n_valid = int((fits > self.config.fitness.f_min).sum())
+        """Current population statistics (O(n) from the cached state)."""
+        assert self.state is not None
+        state = self.state
+        coverage = state.coverage if len(self.dataset) else 0.0
         return GenerationStats(
             generation=generation,
-            best_fitness=float(fits.max()),
-            mean_fitness=float(fits.mean()),
+            best_fitness=state.best_fitness,
+            mean_fitness=state.mean_fitness,
             coverage=coverage,
-            n_valid=n_valid,
+            n_valid=state.n_valid(self.config.fitness.f_min),
             replacements=self.replacements,
         )
 

@@ -4,33 +4,49 @@ This ties together :mod:`~repro.core.matching`,
 :mod:`~repro.core.regression` and :mod:`~repro.core.fitness` into the
 single operation the engine applies to every offspring, caching the
 match mask on the rule (it doubles as the crowding phenotype).
+
+:func:`evaluate_population` batches the matching step through
+:func:`~repro.core.matching.population_match_matrix_stacked` — one
+``(P, D)`` bounds stack against the window matrix instead of ``P``
+separate passes — which is the cold-start path of
+:class:`~repro.core.population_state.PopulationState`.  Per-offspring
+evaluation (:func:`evaluate_rule` without a precomputed mask) keeps the
+lazy single-rule kernel.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..series.windowing import WindowDataset
 from .config import EvolutionConfig
 from .fitness import rule_fitness
-from .matching import match_mask
+from .matching import match_mask, population_match_matrix_stacked
 from .regression import fit_predicting_part
 from .rule import Rule
 
 __all__ = ["evaluate_rule", "evaluate_population"]
 
 
-def evaluate_rule(rule: Rule, dataset: WindowDataset, config: EvolutionConfig) -> Rule:
+def evaluate_rule(
+    rule: Rule,
+    dataset: WindowDataset,
+    config: EvolutionConfig,
+    mask: Optional[np.ndarray] = None,
+) -> Rule:
     """Evaluate ``rule`` in place against the training dataset.
 
     Populates ``match_mask``, ``n_matched``, the predicting part
     (``prediction``, ``error``, ``coeffs``) and ``fitness``.  Zero-match
     rules receive ``f_min`` fitness with an undefined predicting part.
-    Returns the same object for chaining.
+    ``mask`` may carry a precomputed match mask (batched callers);
+    when omitted the rule is matched fresh.  Returns the same object
+    for chaining.
     """
-    mask = match_mask(rule, dataset.X)
+    if mask is None:
+        mask = match_mask(rule, dataset.X)
     n = int(mask.sum())
     rule.match_mask = mask
     rule.n_matched = n
@@ -55,6 +71,13 @@ def evaluate_rule(rule: Rule, dataset: WindowDataset, config: EvolutionConfig) -
 def evaluate_population(
     rules: Sequence[Rule], dataset: WindowDataset, config: EvolutionConfig
 ) -> None:
-    """Evaluate every rule in place (used at initialization)."""
-    for rule in rules:
-        evaluate_rule(rule, dataset, config)
+    """Evaluate every rule in place (used at initialization).
+
+    Matches all rules in one batched stacked-bounds pass, then fits
+    each predicting part from its precomputed mask row.
+    """
+    if not rules:
+        return
+    masks = population_match_matrix_stacked(rules, dataset.X)
+    for i, rule in enumerate(rules):
+        evaluate_rule(rule, dataset, config, mask=masks[i])

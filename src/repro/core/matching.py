@@ -11,6 +11,13 @@ most candidate rules reject most windows on the first non-wildcard lag,
 so evaluating the comparison lag-by-lag over the surviving subset is
 substantially faster than the full dense product for selective rules,
 while never changing the result.
+
+For whole populations, :func:`population_match_matrix_stacked` batches
+all ``P`` rules into one ``(P, D)`` bounds stack broadcast against the
+window matrix — the cold-start path behind
+:class:`~repro.core.population_state.PopulationState`.  The per-rule
+functions remain the oracle the batched kernel is property-tested
+against.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ __all__ = [
     "match_mask_dense",
     "match_counts",
     "population_match_matrix",
+    "population_match_matrix_stacked",
     "coverage_mask",
     "coverage_fraction",
 ]
@@ -96,6 +104,46 @@ def population_match_matrix(
             out[i] = cached
         else:
             out[i] = match_mask(rule, windows)
+    return out
+
+
+def population_match_matrix_stacked(
+    rules: Sequence[Rule], windows: np.ndarray, block_size: int = 4096
+) -> np.ndarray:
+    """Batched match matrix: one ``(P, D)`` bounds stack vs all windows.
+
+    Stacks every rule's effective lo/hi bounds into two ``(P, D)``
+    matrices and broadcasts them against the ``(n, D)`` window matrix in
+    window blocks, producing the same ``(P, n)`` boolean matrix as
+    :func:`population_match_matrix` without any per-rule Python loop
+    over the windows.  This is the cold-start initializer of
+    :class:`~repro.core.population_state.PopulationState`; the per-rule
+    path stays as the property-test oracle.
+
+    ``block_size`` bounds the ``(P, block, D)`` comparison temporary so
+    peak memory stays ~``P * block_size * D`` bytes regardless of ``n``.
+    """
+    P = len(rules)
+    n = windows.shape[0]
+    if P == 0:
+        return np.empty((0, n), dtype=bool)
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    d = rules[0].n_lags
+    if windows.ndim != 2 or windows.shape[1] != d:
+        raise ValueError(
+            f"windows shape {windows.shape} incompatible with rule arity {d}"
+        )
+    lo = np.empty((P, d), dtype=np.float64)
+    hi = np.empty((P, d), dtype=np.float64)
+    for i, rule in enumerate(rules):
+        lo[i], hi[i] = effective_bounds(rule.lower, rule.upper, rule.wildcard)
+    out = np.empty((P, n), dtype=bool)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = windows[start:stop]  # (B, D)
+        hits = (block >= lo[:, None, :]) & (block <= hi[:, None, :])
+        out[:, start:stop] = hits.all(axis=2)
     return out
 
 

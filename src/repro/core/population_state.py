@@ -1,0 +1,238 @@
+"""Incrementally maintained population-wide evaluation state.
+
+The steady-state GA (§3.3) replaces *at most one* individual per
+generation, so every population-wide quantity the engine consumes —
+the stacked match matrix used by crowding replacement, the fitness
+vector behind statistics snapshots, the coverage mask behind the
+"percentage of prediction" — changes by at most one row per generation.
+:class:`PopulationState` owns those quantities and exposes
+:meth:`PopulationState.replace` so that a generation costs one row
+update (``O(n)``) instead of a full recomputation over all ``P`` rules
+× ``n`` windows (``O(P·n·D)``).
+
+Cold starts (engine initialization, island migration bootstraps) go
+through :meth:`PopulationState.from_population`, which reuses the
+rules' cached masks when they are valid and otherwise falls back to the
+batched :func:`~repro.core.matching.population_match_matrix_stacked`
+kernel.  The per-rule path
+(:func:`~repro.core.matching.match_mask_dense` +
+:func:`~repro.core.evaluation.evaluate_population`) remains the
+property-test oracle; see ``tests/property/test_population_state.py``.
+
+Setting ``EvolutionConfig(incremental=False)`` (CLI:
+``--no-incremental``) makes the engine rebuild this state from scratch
+every generation — the A/B baseline for
+``benchmarks/bench_kernels.py``'s generations/sec comparison.  Both
+paths are bitwise identical in results; only the work differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .matching import match_mask, population_match_matrix_stacked
+from .rule import Rule
+
+__all__ = ["PopulationState", "MaskSource", "as_mask_matrix"]
+
+
+class PopulationState:
+    """Cache of population-wide quantities, updated one row at a time.
+
+    Attributes
+    ----------
+    masks:
+        ``(P, n)`` boolean match matrix — row ``i`` is rule ``i``'s
+        match mask over the training windows (the crowding phenotype).
+    fitness:
+        ``(P,)`` float64 — per-rule fitness, kept in sync with
+        ``population[i].fitness``.
+    coverage_counts:
+        ``(n,)`` int64 — number of rules matching each window
+        (``masks.sum(axis=0)``), maintained incrementally so coverage
+        queries are ``O(n)`` instead of ``O(P·n)``.
+    windows:
+        Optional reference to the window matrix the masks were computed
+        against; lets consumers (diagnostics) detect by identity that a
+        state belongs to a *different* window set of the same length.
+    """
+
+    __slots__ = ("masks", "fitness", "coverage_counts", "windows")
+
+    def __init__(
+        self,
+        masks: np.ndarray,
+        fitness: np.ndarray,
+        windows: Optional[np.ndarray] = None,
+    ) -> None:
+        masks = np.asarray(masks, dtype=bool)
+        fitness = np.asarray(fitness, dtype=np.float64)
+        if masks.ndim != 2:
+            raise ValueError("masks must be a (P, n) boolean matrix")
+        if fitness.shape != (masks.shape[0],):
+            raise ValueError(
+                f"fitness shape {fitness.shape} != ({masks.shape[0]},)"
+            )
+        if windows is not None and windows.shape[0] != masks.shape[1]:
+            raise ValueError(
+                f"windows rows {windows.shape[0]} != mask columns "
+                f"{masks.shape[1]}"
+            )
+        self.masks = masks
+        self.fitness = fitness
+        self.coverage_counts = masks.sum(axis=0, dtype=np.int64)
+        self.windows = windows
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_population(
+        cls,
+        rules: Sequence[Rule],
+        windows: np.ndarray,
+        use_cached: bool = True,
+    ) -> "PopulationState":
+        """Cold-start the state for an evaluated population.
+
+        With ``use_cached=True`` (the default) rules carrying a valid
+        cached ``match_mask`` contribute it for free and only the
+        remainder is matched fresh.  With ``use_cached=False`` every
+        row is recomputed through the batched stacked-bounds kernel —
+        the full-recomputation baseline used by ``--no-incremental``
+        benchmarking.
+        """
+        n = windows.shape[0]
+        if not use_cached:
+            masks = population_match_matrix_stacked(rules, windows)
+        else:
+            # Cached rows are copied, not aliased: the state's matrix is
+            # mutated in place by replace(), and sharing buffers with the
+            # rules' own mask caches would corrupt evicted rules.
+            masks = np.empty((len(rules), n), dtype=bool)
+            missing = []
+            for i, rule in enumerate(rules):
+                cached = rule.match_mask
+                if cached is not None and cached.shape[0] == n:
+                    masks[i] = cached
+                else:
+                    missing.append(i)
+            if missing:
+                fresh = population_match_matrix_stacked(
+                    [rules[i] for i in missing], windows
+                )
+                for row, i in enumerate(missing):
+                    masks[i] = fresh[row]
+        fitness = np.array([r.fitness for r in rules], dtype=np.float64)
+        return cls(masks, fitness, windows=windows)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        """``P`` — population size."""
+        return self.masks.shape[0]
+
+    @property
+    def n_windows(self) -> int:
+        """``n`` — training windows the masks are defined over."""
+        return self.masks.shape[1]
+
+    @property
+    def coverage_mask(self) -> np.ndarray:
+        """Windows matched by at least one rule (the predictable zone)."""
+        return self.coverage_counts > 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of windows covered (paper: percentage of prediction)."""
+        if self.n_windows == 0:
+            return 0.0
+        return float(self.coverage_mask.mean())
+
+    @property
+    def best_fitness(self) -> float:
+        """Maximum fitness in the population."""
+        return float(self.fitness.max())
+
+    @property
+    def mean_fitness(self) -> float:
+        """Mean fitness over the population."""
+        return float(self.fitness.mean())
+
+    def n_valid(self, f_min: float) -> int:
+        """Number of rules strictly above the invalid-rule floor."""
+        return int((self.fitness > f_min).sum())
+
+    # -- incremental updates ------------------------------------------------
+
+    def replace(self, index: int, new_rule: Rule) -> None:
+        """Install ``new_rule`` at ``index``: one ``O(n)`` row update.
+
+        Updates the match-matrix row, the fitness entry and the
+        coverage counts; the caller is responsible for mutating the
+        population list itself (or use :meth:`try_replace`).
+        """
+        if not 0 <= index < self.n_rules:
+            raise IndexError(f"index {index} out of range [0, {self.n_rules})")
+        mask = new_rule.match_mask
+        if mask is None or mask.shape[0] != self.n_windows:
+            raise ValueError(
+                "new_rule must be evaluated against the same windows "
+                "before it can enter the population state"
+            )
+        old = self.masks[index]
+        self.coverage_counts -= old
+        self.coverage_counts += mask
+        self.masks[index] = mask
+        self.fitness[index] = new_rule.fitness
+
+    def try_replace(
+        self, population: list, offspring: Rule, index: int
+    ) -> bool:
+        """Crowding acceptance: replace iff strictly fitter (§3.3).
+
+        On success mutates both ``population[index]`` and this state;
+        on rejection nothing changes.  Returns whether the replacement
+        happened.
+        """
+        if offspring.fitness > population[index].fitness:
+            population[index] = offspring
+            self.replace(index, offspring)
+            return True
+        return False
+
+    # -- verification -------------------------------------------------------
+
+    def verify(self, rules: Sequence[Rule], windows: np.ndarray) -> None:
+        """Assert this state equals a from-scratch recomputation.
+
+        Debug/test helper: raises ``AssertionError`` when any cached
+        quantity has drifted from the oracle (per-rule
+        :func:`~repro.core.matching.match_mask` plus fresh reductions).
+        """
+        assert len(rules) == self.n_rules
+        for i, rule in enumerate(rules):
+            expect = match_mask(rule, windows)
+            assert np.array_equal(self.masks[i], expect), f"mask row {i} stale"
+            assert self.fitness[i] == rule.fitness, f"fitness entry {i} stale"
+        assert np.array_equal(
+            self.coverage_counts, self.masks.sum(axis=0, dtype=np.int64)
+        ), "coverage counts stale"
+
+
+#: Accepted forms of a population mask matrix across the core helpers.
+MaskSource = Union[np.ndarray, PopulationState]
+
+
+def as_mask_matrix(masks: MaskSource) -> np.ndarray:
+    """Coerce a raw ``(P, n)`` matrix or a :class:`PopulationState`.
+
+    Lets replacement/diagnostics helpers accept either representation
+    so callers holding only a matrix (tests, ad-hoc analysis) keep
+    working while the engine routes its state object straight through.
+    """
+    if isinstance(masks, PopulationState):
+        return masks.masks
+    return np.asarray(masks)

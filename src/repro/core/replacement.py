@@ -14,6 +14,12 @@ covers rules with empty matched sets.
 
 Alternative strategies (``prediction``-only distance, ``random``
 replacement, replace-``worst``) are provided for the ablation bench.
+
+The mask-matrix argument of these helpers may be a raw ``(P, n)``
+boolean matrix or the engine's live
+:class:`~repro.core.population_state.PopulationState`; passing the
+state lets :func:`try_replace` keep its fitness vector and coverage
+counts in sync with the one-row update.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from .population_state import MaskSource, PopulationState, as_mask_matrix
 from .rule import Rule
 
 __all__ = [
@@ -65,17 +72,19 @@ def prediction_distances(offspring: Rule, population: Sequence[Rule]) -> np.ndar
 def nearest_phenotype_index(
     offspring: Rule,
     population: Sequence[Rule],
-    population_masks: np.ndarray,
+    population_masks: MaskSource,
 ) -> int:
     """Index of the phenotypically nearest individual to the offspring.
 
     Primary key: Jaccard distance on training match masks.  Ties (and
     the all-empty degenerate case) are broken by prediction-value
     distance, then by lowest fitness (prefer displacing weak rules).
+    ``population_masks`` may be a raw ``(P, n)`` matrix or a
+    :class:`~repro.core.population_state.PopulationState`.
     """
     if offspring.match_mask is None:
         raise ValueError("offspring must be evaluated before replacement")
-    dj = jaccard_distances(offspring.match_mask, population_masks)
+    dj = jaccard_distances(offspring.match_mask, as_mask_matrix(population_masks))
     best = np.nonzero(dj == dj.min())[0]
     if best.size == 1:
         return int(best[0])
@@ -90,7 +99,7 @@ def nearest_phenotype_index(
 def replacement_index(
     offspring: Rule,
     population: Sequence[Rule],
-    population_masks: np.ndarray,
+    population_masks: MaskSource,
     mode: str,
     rng: np.random.Generator,
 ) -> int:
@@ -110,16 +119,20 @@ def replacement_index(
 
 def try_replace(
     population: List[Rule],
-    population_masks: np.ndarray,
+    population_masks: MaskSource,
     offspring: Rule,
     index: int,
 ) -> bool:
     """Replace ``population[index]`` iff the offspring is strictly fitter.
 
-    Updates the stacked mask matrix row in place on success.  Returns
-    whether the replacement happened (§3.3: "else the population doesn't
-    change").
+    Updates the stacked mask matrix row in place on success — and, when
+    ``population_masks`` is a
+    :class:`~repro.core.population_state.PopulationState`, its fitness
+    vector and coverage counts too.  Returns whether the replacement
+    happened (§3.3: "else the population doesn't change").
     """
+    if isinstance(population_masks, PopulationState):
+        return population_masks.try_replace(population, offspring, index)
     if offspring.fitness > population[index].fitness:
         population[index] = offspring
         if offspring.match_mask is not None:

@@ -27,7 +27,18 @@ __all__ = ["Backend", "SerialBackend", "ProcessPoolBackend", "get_backend", "def
 
 
 def default_workers() -> int:
-    """A sensible worker count: all cores, at least 1."""
+    """A sensible worker count: all *available* cores, at least 1.
+
+    Containers and batch schedulers often pin the process to a subset
+    of the machine's cores; ``os.sched_getaffinity`` reports that
+    subset where supported (Linux), so the pool is not oversubscribed.
+    Falls back to ``os.cpu_count()`` elsewhere (macOS, Windows).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
     return max(1, os.cpu_count() or 1)
 
 

@@ -23,7 +23,6 @@ import numpy as np
 
 from ..core.config import EvolutionConfig
 from ..core.engine import SteadyStateEngine
-from ..core.matching import population_match_matrix
 from ..core.predictor import RuleSystem
 from ..core.replacement import nearest_phenotype_index, try_replace
 from ..core.rule import Rule
@@ -166,21 +165,27 @@ class IslandModel:
         return [pop[int(i)] for i in order[: self.n_emigrants]]
 
     def _migrate(self) -> None:
-        """One synchronous migration round along every topology edge."""
+        """One synchronous migration round along every topology edge.
+
+        Each destination engine's incrementally maintained
+        :class:`~repro.core.population_state.PopulationState` is reused
+        directly — an accepted immigrant is one row update, exactly like
+        a §3.3 offspring, with no per-edge match-matrix rebuild.
+        """
         # Snapshot emigrants first so the round is order-independent.
         outbox = {i: [r.copy() for r in self._best_rules(i)] for i in self.topology.nodes}
         for src, dst in self.topology.edges:
             engine = self.engines[dst]
-            masks = population_match_matrix(engine.population, self.dataset.X)
-            engine._masks = masks
+            state = engine.state
+            assert state is not None, "islands must be initialized before migration"
             for immigrant in outbox[src]:
                 self.migrations_sent += 1
                 if immigrant.match_mask is None:
                     continue
                 slot = nearest_phenotype_index(
-                    immigrant, engine.population, masks
+                    immigrant, engine.population, state
                 )
-                if try_replace(engine.population, masks, immigrant.copy(), slot):
+                if try_replace(engine.population, state, immigrant.copy(), slot):
                     self.migrations_accepted += 1
 
     def run(self) -> IslandResult:
