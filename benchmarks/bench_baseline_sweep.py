@@ -41,10 +41,14 @@ def run_sweep():
     train_ds, val_ds = data.windows(config.d, config.horizon)
 
     results = {}
-    # The rule system (partial predictor).
+    # The rule system (partial predictor), scored through the compiled
+    # batch path; the per-rule loop must agree bitwise (A/B guard).
     rs = multirun(train_ds, config, coverage_target=0.9,
                   max_executions=3, root_seed=42)
-    batch = rs.system.predict(val_ds.X)
+    batch = rs.system.predict(val_ds.X, compiled=True)
+    loop_batch = rs.system.predict(val_ds.X, compiled=False)
+    assert np.array_equal(batch.values, loop_batch.values, equal_nan=True)
+    assert np.array_equal(batch.predicted, loop_batch.predicted)
     rs_score = score_table2(val_ds.y, batch.values, batch.predicted)
     results["RuleSystem"] = (rs_score.error, rs_score.percentage, batch.values)
 

@@ -8,11 +8,18 @@ bounds the generations/second of every experiment:
 * batched population matching (stacked bounds vs a per-rule loop);
 * per-rule hyperplane fit;
 * Jaccard phenotype distances against a full population;
-* rule-system batch prediction;
+* rule-system batch prediction — compiled stacked-array path vs the
+  per-rule loop, in both the bulk re-scoring and the per-event serving
+  regime (bitwise-identical results enforced inline);
 * whole-engine generations/second, incremental ``PopulationState``
   vs ``--no-incremental`` full per-generation recomputation.
+
+Setting ``REPRO_BENCH_TINY=1`` shrinks the data volumes so the
+prediction-throughput comparisons double as a CI smoke (speedup
+assertions are ratios, so they survive slow shared runners).
 """
 
+import os
 import time
 
 import numpy as np
@@ -31,10 +38,13 @@ from repro.core.predictor import RuleSystem
 from repro.core.regression import fit_predicting_part
 from repro.core.replacement import jaccard_distances
 from repro.core.rule import Rule
+from repro.serve import StreamingForecaster
 from repro.series.noise import sine_series
 from repro.series.windowing import WindowDataset
 
-N_WINDOWS = 45_000  # the paper's Venice training volume
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+
+N_WINDOWS = 6_000 if TINY else 45_000  # paper: the Venice training volume
 D = 24
 
 
@@ -129,9 +139,124 @@ def test_rule_system_predict(benchmark, windows):
     assert batch.values.shape == (5000,)
 
 
+# -- predictions/second: compiled stacked arrays vs the per-rule loop --------
+
+PRED_RULES = 240            # >= 200-rule pooled system (paper scale)
+PRED_WINDOWS = 3_000 if TINY else 12_000
+SERVE_LOOP_STEPS = 100 if TINY else 400  # loop-path sample of the stream
+
+
+@pytest.fixture(scope="module")
+def prediction_workload():
+    """A paper-regime serving workload: smooth series, local rules.
+
+    The pool mimics a pooled multirun result on a smooth series: boxes
+    around real windows (each rule matches a few % of windows — the
+    paper reports per-rule ``N_R`` in the hundreds out of 45k), half
+    linear, some wildcards, union coverage ~95%.
+    """
+    series = sine_series(
+        PRED_WINDOWS + D + 1, period=480, noise_sigma=0.05, seed=5
+    )
+    dataset = WindowDataset.from_series(series, D, 1)
+    X = np.ascontiguousarray(dataset.X)
+    span = X.max() - X.min()
+    rng = np.random.default_rng(7)
+    rules = []
+    for k in range(PRED_RULES):
+        center = X[int(rng.integers(0, X.shape[0]))]
+        width = 0.07 * span
+        rule = Rule.from_box(
+            center - width, center + width, prediction=float(rng.normal())
+        )
+        rule.wildcard = rng.random(D) < 0.2
+        rule.error = 1.0
+        if k % 2 == 0:
+            rule.coeffs = np.concatenate(
+                [rng.normal(size=D) * 0.1, [float(rng.normal())]]
+            )
+        rules.append(rule)
+    return RuleSystem(rules), X, series
+
+
+def _assert_batches_equal(a, b):
+    assert np.array_equal(a.values, b.values, equal_nan=True)
+    assert np.array_equal(a.predicted, b.predicted)
+    assert np.array_equal(a.n_rules_used, b.n_rules_used)
+
+
+def test_batch_prediction_compiled_vs_loop(prediction_workload):
+    """Bulk re-scoring: the compiled path must win with identical bits."""
+    system, X, _series = prediction_workload
+    oracle = system.predict(X, compiled=False)
+    fast = system.predict(X, compiled=True)
+    _assert_batches_equal(oracle, fast)
+    assert 0.85 <= oracle.coverage <= 1.0  # paper-like operating point
+
+    timings = {}
+    for compiled in (False, True):
+        system.predict(X[:512], compiled=compiled)  # warm (and compile)
+        start = time.perf_counter()
+        reps = 5 if compiled else 3
+        for _ in range(reps):
+            system.predict(X, compiled=compiled)
+        timings[compiled] = (time.perf_counter() - start) / reps
+    speedup = timings[False] / timings[True]
+    print(
+        f"\nbatch predictions/sec  loop={X.shape[0]/timings[False]:,.0f}  "
+        f"compiled={X.shape[0]/timings[True]:,.0f}  speedup={speedup:.1f}x"
+    )
+    assert speedup >= 1.2, f"compiled batch path only {speedup:.2f}x"
+
+
+def test_serving_throughput_compiled_vs_loop(prediction_workload):
+    """Per-event serving (the ROADMAP's heavy-traffic regime): >= 10x.
+
+    Patterns arrive one at a time, as in
+    :class:`repro.serve.StreamingForecaster`.  The per-rule loop pays
+    ~R python/numpy round-trips per event regardless of batch size; the
+    compiled single-pattern path is a handful of whole-pool array
+    operations.  The loop rate is measured on a slice of the stream
+    (its per-step cost is constant), the compiled rate on the full
+    stream; both paths are asserted bitwise-equal step by step on the
+    sampled slice.
+    """
+    system, X, series = prediction_workload
+    compiled = system.compile()
+
+    # Bitwise equality on the sampled slice, one window at a time.
+    for i in range(0, SERVE_LOOP_STEPS, 7):
+        _assert_batches_equal(
+            system.predict(X[i : i + 1], compiled=False),
+            compiled.predict(X[i : i + 1]),
+        )
+
+    sample = X[:SERVE_LOOP_STEPS]
+    system.predict(sample[:1], compiled=False)  # warm
+    start = time.perf_counter()
+    for i in range(SERVE_LOOP_STEPS):
+        system.predict(sample[i : i + 1], compiled=False)
+    loop_rate = SERVE_LOOP_STEPS / (time.perf_counter() - start)
+
+    forecaster = StreamingForecaster(system)
+    start = time.perf_counter()
+    for value in series:
+        forecaster.update(value)
+    compiled_rate = forecaster.n_steps / (time.perf_counter() - start)
+
+    speedup = compiled_rate / loop_rate
+    print(
+        f"\nserving predictions/sec  loop={loop_rate:,.0f}  "
+        f"compiled={compiled_rate:,.0f}  speedup={speedup:.1f}x  "
+        f"(pool={PRED_RULES} rules, stream={forecaster.n_steps} windows, "
+        f"coverage={forecaster.coverage:.2f})"
+    )
+    assert speedup >= 10.0, f"compiled serving path only {speedup:.2f}x"
+
+
 # -- generations/second: incremental state vs full recomputation -------------
 
-GA_GENERATIONS = 200
+GA_GENERATIONS = 40 if TINY else 200
 
 
 @pytest.fixture(scope="module")

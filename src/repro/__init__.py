@@ -19,6 +19,7 @@ Quickstart::
 
 from . import core, metrics, parallel, series
 from .core import (
+    CompiledRuleSystem,
     EvolutionConfig,
     FitnessParams,
     Interval,
@@ -28,6 +29,7 @@ from .core import (
     multirun,
 )
 from .forecast import ForecastResult, quick_forecast
+from .serve import StreamingForecaster, StreamStep
 
 __version__ = "1.0.0"
 
@@ -41,6 +43,9 @@ __all__ = [
     "Interval",
     "Rule",
     "RuleSystem",
+    "CompiledRuleSystem",
+    "StreamingForecaster",
+    "StreamStep",
     "evolve",
     "multirun",
     "quick_forecast",

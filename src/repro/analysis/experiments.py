@@ -119,8 +119,14 @@ def _rs_predict(
     max_executions: int,
     root_seed: Optional[int],
     backend: Optional[Backend],
+    compiled: bool = True,
 ):
-    """Train the pooled rule system and predict the validation windows."""
+    """Train the pooled rule system and predict the validation windows.
+
+    ``compiled`` selects the batch-scoring path (compiled stacked
+    arrays vs the per-rule reference loop); results are bitwise
+    identical either way.
+    """
     train_ds, val_ds = data.windows(config.d, config.horizon)
     result = multirun(
         train_ds,
@@ -130,7 +136,7 @@ def _rs_predict(
         root_seed=root_seed,
         backend=backend,
     )
-    batch = result.system.predict(val_ds.X)
+    batch = result.system.predict(val_ds.X, compiled=compiled)
     return result, batch, train_ds, val_ds
 
 
@@ -145,6 +151,7 @@ def run_table1(
     max_executions: int = 3,
     mlp_epochs: int = 60,
     incremental: bool = True,
+    compiled: bool = True,
 ) -> List[Table1Row]:
     """Venice Lagoon comparison (§4.1): RS vs feedforward NN, RMSE in cm."""
     data = load_venice(scale=scale)
@@ -154,7 +161,8 @@ def run_table1(
             incremental=incremental
         )
         result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.95, max_executions, seed + 1000 * i, backend
+            data, config, 0.95, max_executions, seed + 1000 * i, backend,
+            compiled=compiled,
         )
         rs_score = score_table1(val_ds.y, batch.values, batch.predicted)
 
@@ -177,6 +185,7 @@ def run_table2(
     backend: Optional[Backend] = None,
     max_executions: int = 3,
     incremental: bool = True,
+    compiled: bool = True,
 ) -> List[Table2Row]:
     """Mackey-Glass comparison (§4.2): RS vs MRAN vs RAN, NMSE."""
     data = load_mackey_glass()
@@ -186,7 +195,8 @@ def run_table2(
             incremental=incremental
         )
         result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.90, max_executions, seed + 1000 * i, backend
+            data, config, 0.90, max_executions, seed + 1000 * i, backend,
+            compiled=compiled,
         )
         rs_score = score_table2(val_ds.y, batch.values, batch.predicted)
 
@@ -216,6 +226,7 @@ def run_table3(
     max_executions: int = 3,
     nn_epochs: int = 80,
     incremental: bool = True,
+    compiled: bool = True,
 ) -> List[Table3Row]:
     """Sunspot comparison (§4.3): RS vs feedforward vs recurrent NN."""
     data = load_sunspot(scale=scale)
@@ -225,7 +236,8 @@ def run_table3(
             incremental=incremental
         )
         result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.95, max_executions, seed + 1000 * i, backend
+            data, config, 0.95, max_executions, seed + 1000 * i, backend,
+            compiled=compiled,
         )
         rs_score = score_table3(val_ds.y, batch.values, horizon, batch.predicted)
 
@@ -278,6 +290,7 @@ def run_figure2(
     backend: Optional[Backend] = None,
     max_executions: int = 3,
     incremental: bool = True,
+    compiled: bool = True,
 ) -> Figure2Result:
     """Figure 2 (§4.1): horizon-1 prediction around an unusual high tide.
 
@@ -290,7 +303,7 @@ def run_figure2(
         incremental=incremental
     )
     result, batch, train_ds, val_ds = _rs_predict(
-        data, config, 0.95, max_executions, seed, backend
+        data, config, 0.95, max_executions, seed, backend, compiled=compiled
     )
     peak_idx = int(np.argmax(val_ds.y))
     start = max(0, peak_idx - window_halfwidth)
@@ -333,6 +346,7 @@ def _mackey_variant(
     init: str = "stratified",
     coverage_target: float = 0.90,
     max_executions: int = 3,
+    compiled: bool = True,
 ):
     """(score, rule system) for one ablation variant on Mackey-Glass."""
     data = load_mackey_glass()
@@ -345,7 +359,7 @@ def _mackey_variant(
         root_seed=seed,
         init=init,
     )
-    batch = result.system.predict(val_ds.X)
+    batch = result.system.predict(val_ds.X, compiled=compiled)
     return score_table2(val_ds.y, batch.values, batch.predicted), result.system
 
 
@@ -359,7 +373,8 @@ def _prediction_span(system) -> float:
 
 
 def run_ablation_init(
-    scale: str = "bench", seed: int = 10, incremental: bool = True
+    scale: str = "bench", seed: int = 10, incremental: bool = True,
+    compiled: bool = True,
 ) -> List[AblationRow]:
     """A1: §3.2 stratified initialization vs random boxes (Mackey-Glass).
 
@@ -371,7 +386,7 @@ def run_ablation_init(
     )
     rows = []
     for init in ("stratified", "random"):
-        score, system = _mackey_variant(config, seed, init=init)
+        score, system = _mackey_variant(config, seed, init=init, compiled=compiled)
         rows.append(
             AblationRow(
                 variant=f"init={init}",
@@ -383,7 +398,8 @@ def run_ablation_init(
 
 
 def run_ablation_replacement(
-    scale: str = "bench", seed: int = 11, incremental: bool = True
+    scale: str = "bench", seed: int = 11, incremental: bool = True,
+    compiled: bool = True,
 ) -> List[AblationRow]:
     """A2: crowding (jaccard) vs prediction-distance vs random vs worst."""
     rows = []
@@ -391,7 +407,7 @@ def run_ablation_replacement(
         config = mackey_config(horizon=50, scale=scale).replace(
             crowding=mode, incremental=incremental
         )
-        score, _system = _mackey_variant(config, seed)
+        score, _system = _mackey_variant(config, seed, compiled=compiled)
         rows.append(AblationRow(variant=f"crowding={mode}", score=score))
     return rows
 
@@ -401,6 +417,7 @@ def run_ablation_emax(
     seed: int = 12,
     e_max_values: Sequence[float] = (5.0, 10.0, 25.0, 50.0, 100.0),
     incremental: bool = True,
+    compiled: bool = True,
 ) -> List[AblationRow]:
     """A3: EMAX sweep on Venice — the §5 coverage/accuracy trade-off."""
     data = load_venice(scale=scale)
@@ -415,7 +432,7 @@ def run_ablation_emax(
         result = multirun(
             train_ds, config, coverage_target=0.99, max_executions=3, root_seed=seed
         )
-        batch = result.system.predict(val_ds.X)
+        batch = result.system.predict(val_ds.X, compiled=compiled)
         score = score_table1(val_ds.y, batch.values, batch.predicted)
         rows.append(
             AblationRow(
@@ -428,7 +445,8 @@ def run_ablation_emax(
 
 
 def run_ablation_predicting_mode(
-    scale: str = "bench", seed: int = 14, incremental: bool = True
+    scale: str = "bench", seed: int = 14, incremental: bool = True,
+    compiled: bool = True,
 ) -> List[AblationRow]:
     """A5: §3.1 linear-regression predicting part vs constant mean.
 
@@ -441,7 +459,7 @@ def run_ablation_predicting_mode(
         config = mackey_config(horizon=50, scale=scale).replace(
             predicting_mode=mode, incremental=incremental
         )
-        score, system = _mackey_variant(config, seed)
+        score, system = _mackey_variant(config, seed, compiled=compiled)
         rows.append(
             AblationRow(
                 variant=f"predicting={mode}",
@@ -453,7 +471,8 @@ def run_ablation_predicting_mode(
 
 
 def run_ablation_pooling(
-    scale: str = "bench", seed: int = 13, incremental: bool = True
+    scale: str = "bench", seed: int = 13, incremental: bool = True,
+    compiled: bool = True,
 ) -> List[AblationRow]:
     """A4: pooled executions vs a single execution (sunspots, h=4)."""
     data = load_sunspot(scale=scale)
@@ -470,7 +489,7 @@ def run_ablation_pooling(
             max_executions=n_exec,
             root_seed=seed,
         )
-        batch = result.system.predict(val_ds.X)
+        batch = result.system.predict(val_ds.X, compiled=compiled)
         score = score_table3(val_ds.y, batch.values, config.horizon, batch.predicted)
         rows.append(
             AblationRow(

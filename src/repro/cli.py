@@ -64,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the engine's incremental population "
                             "state (full per-generation recomputation; "
                             "A/B baseline, identical results)")
+        p.add_argument("--no-compiled", action="store_true",
+                       help="score predictions through the per-rule "
+                            "reference loop instead of the compiled "
+                            "batch path (A/B baseline, identical results)")
 
     p1 = sub.add_parser("table1", help="Venice Lagoon (Table 1)")
     common(p1)
@@ -101,11 +105,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     backend = _backend(args.jobs)
     incremental = not args.no_incremental
+    compiled = not args.no_compiled
     try:
         if args.command == "table1":
             rows = run_table1(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend, incremental=incremental,
+                backend=backend, incremental=incremental, compiled=compiled,
             )
             _print(format_table(
                 ["Horizon", "% pred", "Error RS", "Error NN"],
@@ -122,7 +127,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "table2":
             rows = run_table2(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend, incremental=incremental,
+                backend=backend, incremental=incremental, compiled=compiled,
             )
             _print(format_table(
                 ["Horizon", "% pred", "RS", "MRAN", "RAN"],
@@ -139,7 +144,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "table3":
             rows = run_table3(
                 horizons=args.horizons, scale=args.scale, seed=args.seed,
-                backend=backend, incremental=incremental,
+                backend=backend, incremental=incremental, compiled=compiled,
             )
             _print(format_table(
                 ["Horizon", "% pred", "RS", "Feedfw NN", "Recurr NN"],
@@ -156,7 +161,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "figure2":
             result = run_figure2(
                 scale=args.scale, seed=args.seed, backend=backend,
-                incremental=incremental,
+                incremental=incremental, compiled=compiled,
             )
             _print(overlay_plot(
                 {"real": result.real, "pred": result.predicted},
@@ -173,7 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "ablation-pooling": (run_ablation_pooling, "Galvan error"),
             }[args.command]
             rows = runner[0](
-                scale=args.scale, seed=args.seed, incremental=incremental
+                scale=args.scale, seed=args.seed, incremental=incremental,
+                compiled=compiled,
             )
             _print(format_table(
                 ["Variant", runner[1], "% pred", "detail"],

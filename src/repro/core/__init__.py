@@ -12,8 +12,12 @@ Public surface:
   vector, coverage counts).
 * :func:`~repro.core.multirun.multirun` — pooled executions (§3.4).
 * :class:`~repro.core.predictor.RuleSystem` — the final forecaster.
+* :class:`~repro.core.compiled.CompiledRuleSystem` — the pool packed
+  into stacked arrays for batch/streaming serving (bitwise identical
+  to the per-rule loop).
 """
 
+from .compiled import CompiledRuleSystem
 from .config import EvolutionConfig, MutationParams, mackey_config, sunspot_config, venice_config
 from .diagnostics import (
     PoolSummary,
@@ -53,6 +57,7 @@ __all__ = [
     "multirun",
     "MultiRunResult",
     "RuleSystem",
+    "CompiledRuleSystem",
     "PredictionBatch",
     "venice_config",
     "mackey_config",

@@ -1,0 +1,329 @@
+"""Compiled batch prediction: the whole rule pool as stacked arrays.
+
+:class:`~repro.core.predictor.RuleSystem.predict`'s reference
+implementation loops over rules — one
+:func:`~repro.core.matching.match_mask` call, one fancy-indexed output
+and one scatter-add per rule.  That is fine for analysis but is the
+serving hot path (ROADMAP: "heavy traffic"), where per-rule Python and
+numpy-call overhead dominates: a 240-rule pool costs ~2 ms *per
+pattern* when patterns arrive one at a time.
+
+:class:`CompiledRuleSystem` compiles the pool once into packed arrays —
+effective lo/hi bounds stacked ``(R, D)`` exactly like
+:func:`~repro.core.matching.population_match_matrix_stacked` stacks
+them, and the predicting parts as an ``(R, D+1)`` coefficient block
+(constant rules become zero coefficients plus intercept ``p_R``) — and
+scores a whole batch with a fixed, batch-size-independent number of
+vectorized operations:
+
+1. **candidate generation** on the most selective lag: sort the batch's
+   column once, then one ``searchsorted`` per bound turns every rule's
+   interval into a contiguous index range — candidate (rule, pattern)
+   pairs are materialized without touching the other ``D-1`` lags;
+2. **compaction** of the pair list over the remaining lags (most
+   selective first, consecutive lags de-correlated by index spacing),
+   falling back to the dense stacked-bounds kernel shape when the
+   candidate set would be bigger than the dense matrix is worth;
+3. **masked mean**: per-lag multiply-add of the coefficient block over
+   the surviving pairs, then ``bincount`` reductions into per-pattern
+   totals and counts.
+
+**Bitwise contract.**  Every floating-point operation mirrors the
+per-rule loop exactly: rule outputs accumulate intercept-first then lag
+``0 … D-1`` (:meth:`~repro.core.rule.Rule.output`'s documented scalar
+contract), and per-pattern totals add matching rules in ascending rule
+order (pairs are rule-major; ``bincount`` and the loop's scatter-add
+are both strictly sequential).  Matching itself is exact interval
+arithmetic, so any evaluation order gives the same booleans.  The
+per-rule loop therefore remains the property-test oracle —
+``tests/property/test_compiled_predictor.py`` holds the two paths
+bitwise equal — and ``RuleSystem.predict(compiled=False)`` stays
+available as the A/B escape hatch.
+
+Patterns must be finite: the compiled path validates and raises on
+NaN/inf inputs.  (The lazy per-rule oracle skips wildcard lags without
+comparing them, so a NaN at a wildcard lag would match there but fail
+the compiled ``±inf`` bound comparison — rejecting non-finite input
+keeps the bitwise contract meaningful and protects live streams from
+silently flipped abstentions.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .matching import stack_effective_bounds
+from .predictor import PredictionBatch
+from .rule import Rule
+
+__all__ = ["CompiledRuleSystem"]
+
+
+class CompiledRuleSystem:
+    """An immutable, array-packed compilation of a rule pool.
+
+    Parameters
+    ----------
+    rules:
+        Evaluated rules sharing one arity ``D`` (same contract as
+        :class:`~repro.core.predictor.RuleSystem`); must be non-empty —
+        the empty pool is handled by ``RuleSystem.predict`` directly.
+    block_size:
+        Patterns processed per internal block.  Blocks bound the
+        temporaries (candidate pairs, dense fallback matrix) so peak
+        memory is independent of the batch size; the default keeps the
+        per-lag gather working set L2-resident.
+
+    Attributes
+    ----------
+    lo, hi:
+        ``(R, D)`` effective bounds (wildcards widened to ``±inf``) —
+        the same stack :func:`population_match_matrix_stacked` builds.
+    coeffs:
+        ``(R, D+1)`` predicting parts, intercept last.  Constant rules
+        hold zero weights and ``p_R`` as intercept.
+    """
+
+    #: Candidate pairs above this fraction of the dense matrix switch the
+    #: block to the dense stacked-bounds kernel (general, wildcard-heavy
+    #: pools produce near-dense candidate sets anyway).
+    SPARSE_FRACTION = 0.25
+    #: Once ``remaining_lags * n_pairs`` falls under this, the per-lag
+    #: compaction stops and the remaining lags are verified in one
+    #: gathered vectorized check.
+    FULL_CHECK_BUDGET = 2_000_000
+
+    def __init__(self, rules: Iterable[Rule], block_size: int = 4096) -> None:
+        pool: List[Rule] = list(rules)
+        if not pool:
+            raise ValueError("CompiledRuleSystem requires at least one rule")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        d = pool[0].n_lags
+        for rule in pool:
+            if not np.isfinite(rule.prediction) and rule.coeffs is None:
+                raise ValueError(
+                    "CompiledRuleSystem requires evaluated rules; got one "
+                    "with no predicting part"
+                )
+        R = len(pool)
+        self.n_rules = R
+        self.n_lags = d
+        self.block_size = int(block_size)
+        # One shared bounds layout with the training-side stacked kernel.
+        self.lo, self.hi = stack_effective_bounds(pool)
+        self.coeffs = np.zeros((R, d + 1), dtype=np.float64)
+        self.is_linear = np.zeros(R, dtype=bool)
+        for i, rule in enumerate(pool):
+            if rule.coeffs is not None:
+                self.coeffs[i] = rule.coeffs
+                self.is_linear[i] = True
+            else:
+                self.coeffs[i, -1] = rule.prediction
+        self.has_linear = bool(self.is_linear.any())
+        # Transposed contiguous copies: the kernels walk lag-major.
+        self._loT = np.ascontiguousarray(self.lo.T)
+        self._hiT = np.ascontiguousarray(self.hi.T)
+        self._weightsT = np.ascontiguousarray(self.coeffs[:, :d].T)
+        self._intercept = np.ascontiguousarray(self.coeffs[:, d])
+        self._lag_order = self._plan_lag_order()
+
+    def __len__(self) -> int:
+        return self.n_rules
+
+    # -- compilation --------------------------------------------------------
+
+    def _plan_lag_order(self) -> np.ndarray:
+        """Evaluation order over lags: selective first, index-spaced.
+
+        Selectivity is estimated from the summed finite interval widths
+        (wildcards rank last).  Consecutive picks are kept ``>= D // 4``
+        apart in lag index when possible: windows of a smooth series are
+        strongly autocorrelated, so adjacent lags filter almost nothing
+        once one of them has been applied, while distant lags
+        de-correlate and shrink the candidate set geometrically.
+        """
+        d = self.n_lags
+        width = self.hi - self.lo
+        finite = np.isfinite(width)
+        score = np.where(finite, width, 0.0).sum(axis=0)
+        score += (~finite).sum(axis=0) * (np.abs(score).max() + 1.0) * d
+        ranked = list(np.argsort(score, kind="stable"))
+        picked: List[int] = []
+        min_gap = max(1, d // 4)
+        while ranked:
+            gap = min_gap
+            choice: Optional[int] = None
+            while choice is None:
+                for j in ranked:
+                    if all(abs(j - p) >= gap for p in picked):
+                        choice = j
+                        break
+                gap -= 1
+            picked.append(choice)
+            ranked.remove(choice)
+        return np.asarray(picked, dtype=np.intp)
+
+    # -- matching -----------------------------------------------------------
+
+    def _dense_pairs(self, blkT: np.ndarray, n_block: int):
+        """(rule, pattern) pairs via the dense stacked-bounds kernel.
+
+        Same shape as :func:`population_match_matrix_stacked`, walked
+        lag-major so the working set is one ``(R, B)`` boolean matrix.
+        """
+        M = np.ones((self.n_rules, n_block), dtype=bool)
+        for j in self._lag_order:
+            col = blkT[j]
+            np.logical_and(M, col >= self._loT[j][:, None], out=M)
+            np.logical_and(M, col <= self._hiT[j][:, None], out=M)
+        return np.nonzero(M)
+
+    def _match_pairs(self, blkT: np.ndarray, n_block: int):
+        """All matching (rule, pattern) pairs of one block, rule-major."""
+        R, d = self.n_rules, self.n_lags
+        order = self._lag_order
+        j0 = order[0]
+        col = blkT[j0]
+        perm = np.argsort(col, kind="stable")
+        sorted_col = col[perm]
+        first = np.searchsorted(sorted_col, self._loT[j0], side="left")
+        last = np.searchsorted(sorted_col, self._hiT[j0], side="right")
+        sizes = last - first
+        total = int(sizes.sum())
+        if total > self.SPARSE_FRACTION * R * n_block:
+            return self._dense_pairs(blkT, n_block)
+        r_idx = np.repeat(np.arange(R, dtype=np.intp), sizes)
+        pos = np.arange(total, dtype=np.intp)
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        pos -= np.repeat(starts - first, sizes)
+        i_idx = perm[pos]
+        checked = 1
+        for j in order[1:]:
+            if r_idx.size == 0:
+                return r_idx, i_idx
+            if (d - checked) * r_idx.size <= self.FULL_CHECK_BUDGET:
+                break
+            vals = blkT[j][i_idx]
+            keep = (vals >= self.lo[r_idx, j]) & (vals <= self.hi[r_idx, j])
+            r_idx = r_idx[keep]
+            i_idx = i_idx[keep]
+            checked += 1
+        if checked < d and r_idx.size:
+            rest = order[checked:]
+            gathered = blkT[rest][:, i_idx]
+            ok = (
+                (gathered >= self._loT[rest][:, r_idx])
+                & (gathered <= self._hiT[rest][:, r_idx])
+            ).all(axis=0)
+            r_idx = r_idx[ok]
+            i_idx = i_idx[ok]
+        return r_idx, i_idx
+
+    # -- prediction ---------------------------------------------------------
+
+    def _pair_outputs(self, blkT: np.ndarray, r_idx, i_idx) -> np.ndarray:
+        """Rule outputs for each (rule, pattern) pair — oracle order."""
+        out = self._intercept[r_idx]
+        if self.has_linear and r_idx.size:
+            lin = self.is_linear[r_idx]
+            if lin.any():
+                rl = r_idx[lin]
+                il = i_idx[lin]
+                acc = out[lin]
+                for j in range(self.n_lags):
+                    acc += blkT[j][il] * self._weightsT[j][rl]
+                out[lin] = acc
+        return out
+
+    def predict(self, patterns: np.ndarray) -> PredictionBatch:
+        """Mean-of-matching-rules prediction for ``(n, D)`` patterns.
+
+        Bitwise identical to the per-rule reference loop
+        (``RuleSystem.predict(..., compiled=False)``).
+        """
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+        n = patterns.shape[0]
+        if patterns.shape[1] != self.n_lags:
+            raise ValueError(
+                f"patterns have {patterns.shape[1]} lags, rules expect "
+                f"{self.n_lags}"
+            )
+        if n == 1:
+            return self._predict_single(patterns[0])
+        if not np.isfinite(patterns).all():
+            raise ValueError(
+                "compiled prediction requires finite patterns (no NaN/inf); "
+                "clean the input or use predict(..., compiled=False)"
+            )
+        totals = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.int64)
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            blkT = np.ascontiguousarray(patterns[start:stop].T)
+            r_idx, i_idx = self._match_pairs(blkT, stop - start)
+            outputs = self._pair_outputs(blkT, r_idx, i_idx)
+            totals[start:stop] = np.bincount(
+                i_idx, weights=outputs, minlength=stop - start
+            )
+            counts[start:stop] = np.bincount(i_idx, minlength=stop - start)
+        predicted = counts > 0
+        values = np.full(n, np.nan)
+        values[predicted] = totals[predicted] / counts[predicted]
+        return PredictionBatch(
+            values=values, predicted=predicted, n_rules_used=counts
+        )
+
+    def _predict_single(self, pattern: np.ndarray) -> PredictionBatch:
+        """One-pattern fast path: the streaming/serving step.
+
+        A handful of whole-pool operations instead of the batch
+        machinery — ~40x fewer numpy calls than the per-rule loop at
+        batch size 1, which is what
+        :class:`repro.serve.StreamingForecaster` rides on.
+        """
+        if not np.isfinite(pattern).all():
+            raise ValueError(
+                "compiled prediction requires finite patterns (no NaN/inf)"
+            )
+        matched = ((pattern >= self.lo) & (pattern <= self.hi)).all(axis=1)
+        idx = np.nonzero(matched)[0]
+        k = idx.size
+        if k == 0:
+            return PredictionBatch(
+                values=np.full(1, np.nan),
+                predicted=np.zeros(1, dtype=bool),
+                n_rules_used=np.zeros(1, dtype=np.int64),
+            )
+        outputs = self._intercept[idx].copy()
+        lin = self.is_linear[idx]
+        if lin.any():
+            li = idx[lin]
+            acc = outputs[lin]
+            for j in range(self.n_lags):
+                acc += pattern[j] * self._weightsT[j][li]
+            outputs[lin] = acc
+        # bincount is a strictly sequential reduction — same addition
+        # order as the oracle's per-rule scatter-add (np.sum is not:
+        # it unrolls 8-wide above a handful of elements).
+        total = np.bincount(np.zeros(k, dtype=np.intp), weights=outputs)[0]
+        return PredictionBatch(
+            values=np.array([total / k]),
+            predicted=np.ones(1, dtype=bool),
+            n_rules_used=np.array([k], dtype=np.int64),
+        )
+
+    def predict_one(self, pattern: np.ndarray) -> Optional[float]:
+        """Single-pattern convenience; ``None`` when the system abstains."""
+        pattern = np.asarray(pattern, dtype=np.float64)
+        if pattern.ndim != 1 or pattern.shape[0] != self.n_lags:
+            raise ValueError(
+                f"pattern shape {pattern.shape} incompatible with arity "
+                f"{self.n_lags}"
+            )
+        batch = self._predict_single(pattern)
+        if not batch.predicted[0]:
+            return None
+        return float(batch.values[0])

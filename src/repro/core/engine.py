@@ -73,10 +73,16 @@ class EvolutionResult:
 
     @property
     def valid_rules(self) -> List[Rule]:
-        """Rules with a real predicting part (fitness above ``f_min``)."""
-        if self.config is None:
-            return [r for r in self.rules if np.isfinite(r.error)]
-        f_min = self.config.fitness.f_min
+        """Rules strictly above the invalid-rule fitness floor.
+
+        The criterion is ``fitness > f_min`` in both branches.  When
+        ``config`` is missing (ad-hoc or deserialized results) the floor
+        falls back to ``0.0``: §3.1's fitness is either the flat
+        ``f_min`` (validated ``<= 0``) or ``N_R·EMAX − e_R > 0`` for a
+        valid rule, so zero separates the two regardless of the
+        particular ``f_min`` the run used.
+        """
+        f_min = 0.0 if self.config is None else self.config.fitness.f_min
         return [r for r in self.rules if r.fitness > f_min]
 
 

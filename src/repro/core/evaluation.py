@@ -48,7 +48,7 @@ def evaluate_rule(
     if mask is None:
         mask = match_mask(rule, dataset.X)
     n = int(mask.sum())
-    rule.match_mask = mask
+    rule.bind_mask(mask, dataset.X)
     rule.n_matched = n
     if n == 0:
         rule.prediction = np.nan

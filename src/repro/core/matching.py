@@ -33,11 +33,36 @@ __all__ = [
     "match_mask",
     "match_mask_dense",
     "match_counts",
+    "stack_effective_bounds",
     "population_match_matrix",
     "population_match_matrix_stacked",
     "coverage_mask",
     "coverage_fraction",
 ]
+
+
+def stack_effective_bounds(rules: Sequence[Rule]):
+    """Stack every rule's effective lo/hi bounds into ``(P, D)`` matrices.
+
+    Wildcard slots are widened to ``±inf``.  This is the single source
+    of the bounds layout shared by the batched training kernel
+    (:func:`population_match_matrix_stacked`) and the serving-side
+    :class:`~repro.core.compiled.CompiledRuleSystem`, so the two can
+    never drift apart.
+    """
+    P = len(rules)
+    if P == 0:
+        raise ValueError("cannot stack bounds of an empty rule sequence")
+    d = rules[0].n_lags
+    lo = np.empty((P, d), dtype=np.float64)
+    hi = np.empty((P, d), dtype=np.float64)
+    for i, rule in enumerate(rules):
+        if rule.n_lags != d:
+            raise ValueError(
+                f"all rules must share one arity; got {rule.n_lags} != {d}"
+            )
+        lo[i], hi[i] = effective_bounds(rule.lower, rule.upper, rule.wildcard)
+    return lo, hi
 
 
 def match_mask_dense(rule: Rule, windows: np.ndarray) -> np.ndarray:
@@ -93,14 +118,18 @@ def population_match_matrix(
     """Stack per-rule match masks into a ``(len(rules), n)`` bool matrix.
 
     Used by crowding replacement (Jaccard phenotype distances) and by
-    coverage accounting.  Rules with a cached mask of the right length
-    reuse it; others are matched fresh.
+    coverage accounting.  Rules whose cached mask was computed against
+    *this* window matrix (identity-keyed via
+    :meth:`~repro.core.rule.Rule.cached_mask_for`) reuse it; others are
+    matched fresh.  Keying on identity rather than length matters: a
+    validation set with the same row count as training must never
+    alias stale training masks.
     """
     n = windows.shape[0]
     out = np.empty((len(rules), n), dtype=bool)
     for i, rule in enumerate(rules):
-        cached = rule.match_mask
-        if cached is not None and cached.shape[0] == n:
+        cached = rule.cached_mask_for(windows)
+        if cached is not None:
             out[i] = cached
         else:
             out[i] = match_mask(rule, windows)
@@ -134,10 +163,7 @@ def population_match_matrix_stacked(
         raise ValueError(
             f"windows shape {windows.shape} incompatible with rule arity {d}"
         )
-    lo = np.empty((P, d), dtype=np.float64)
-    hi = np.empty((P, d), dtype=np.float64)
-    for i, rule in enumerate(rules):
-        lo[i], hi[i] = effective_bounds(rule.lower, rule.upper, rule.wildcard)
+    lo, hi = stack_effective_bounds(rules)
     out = np.empty((P, n), dtype=bool)
     for start in range(0, n, block_size):
         stop = min(start + block_size, n)
@@ -148,12 +174,17 @@ def population_match_matrix_stacked(
 
 
 def coverage_mask(rules: Sequence[Rule], windows: np.ndarray) -> np.ndarray:
-    """Windows matched by *at least one* rule (the predictable zone)."""
+    """Windows matched by *at least one* rule (the predictable zone).
+
+    Cached masks are reused only when they were computed against this
+    exact window matrix (identity-keyed) — equal row counts alone are
+    not sufficient provenance.
+    """
     n = windows.shape[0]
     covered = np.zeros(n, dtype=bool)
     for rule in rules:
-        cached = rule.match_mask
-        if cached is not None and cached.shape[0] == n:
+        cached = rule.cached_mask_for(windows)
+        if cached is not None:
             covered |= cached
         else:
             covered |= match_mask(rule, windows)

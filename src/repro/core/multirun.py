@@ -98,7 +98,10 @@ def multirun(
         Hard cap on executions.
     batch_size:
         Executions launched per round; defaults to the backend's
-        parallelism (1 for serial).
+        parallelism (1 for serial).  Pooling stops at the first
+        execution (in launch order) that reaches the coverage target;
+        any remaining executions of that batch are discarded, so the
+        returned pool is independent of ``batch_size`` and backend.
     backend:
         Execution backend; serial by default.
     root_seed:
@@ -140,11 +143,29 @@ def multirun(
         done = False
         for result in results:
             executions.append(result)
-            pooled.extend(result.valid_rules)
+            fresh = result.valid_rules
+            for rule in fresh:
+                # Each execution evaluated against a worker-local window
+                # matrix rebuilt from this same series/d/horizon, so the
+                # mask values hold for dataset.X too; re-bind provenance
+                # (identity-keyed) so the pooled coverage check below
+                # reuses them instead of re-matching the whole pool.
+                if (
+                    rule.match_mask is not None
+                    and rule.match_mask.shape[0] == dataset.X.shape[0]
+                ):
+                    rule.bind_mask(rule.match_mask, dataset.X)
+            pooled.extend(fresh)
             cov = coverage_fraction(pooled, dataset.X) if pooled else 0.0
             coverage_history.append(cov)
             if cov >= coverage_target:
+                # Truncate at the first execution that reaches the
+                # target: later executions of the same batch are
+                # discarded (not pooled, not recorded) so the result is
+                # identical for every batch_size/backend combination —
+                # exactly what a batch_size=1 serial run would return.
                 done = True
+                break
         if done:
             break
 

@@ -62,7 +62,11 @@ def _edit_interval(
     if op == "shrink":
         half_width = 0.5 * (hi - lo)
         s = min(step, half_width)
-        return lo + s, hi - s
+        new_lo = lo + s
+        # At full collapse `lo + s` and `hi - s` can round to values one
+        # ulp apart in the wrong order (s is itself rounded); clamp so
+        # shrinking never inverts the interval.
+        return new_lo, max(hi - s, new_lo)
     if op == "shift_up":
         return lo + step, hi + step
     if op == "shift_down":

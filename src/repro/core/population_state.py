@@ -96,11 +96,12 @@ class PopulationState:
     ) -> "PopulationState":
         """Cold-start the state for an evaluated population.
 
-        With ``use_cached=True`` (the default) rules carrying a valid
-        cached ``match_mask`` contribute it for free and only the
-        remainder is matched fresh.  With ``use_cached=False`` every
-        row is recomputed through the batched stacked-bounds kernel —
-        the full-recomputation baseline used by ``--no-incremental``
+        With ``use_cached=True`` (the default) rules carrying a cached
+        ``match_mask`` computed against *this* window matrix
+        (identity-keyed) contribute it for free and only the remainder
+        is matched fresh.  With ``use_cached=False`` every row is
+        recomputed through the batched stacked-bounds kernel — the
+        full-recomputation baseline used by ``--no-incremental``
         benchmarking.
         """
         n = windows.shape[0]
@@ -113,8 +114,8 @@ class PopulationState:
             masks = np.empty((len(rules), n), dtype=bool)
             missing = []
             for i, rule in enumerate(rules):
-                cached = rule.match_mask
-                if cached is not None and cached.shape[0] == n:
+                cached = rule.cached_mask_for(windows)
+                if cached is not None:
                     masks[i] = cached
                 else:
                     missing.append(i)

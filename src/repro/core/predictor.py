@@ -9,6 +9,20 @@ executions.  For an unseen input pattern:
 3. the system prediction is the *mean* of those outputs;
 4. if no rule matches, the system abstains — the "percentage of
    prediction" is the fraction of patterns with at least one match.
+
+Two implementations serve that contract:
+
+* the **per-rule loop** (``predict(..., compiled=False)``) — one
+  :func:`~repro.core.matching.match_mask` and one scatter-add per rule;
+  simple, and the property-test oracle;
+* the **compiled path** (default) — the pool packed once into stacked
+  bound/coefficient arrays by
+  :class:`~repro.core.compiled.CompiledRuleSystem` and scored with a
+  fixed number of vectorized operations per batch.
+
+Both are bitwise identical (see ``tests/property/
+test_compiled_predictor.py``); the compiled pack is built lazily on
+first use and cached on the system.
 """
 
 from __future__ import annotations
@@ -69,6 +83,8 @@ class RuleSystem:
                     "or evaluate_rule first); got one with no predicting part"
                 )
             self.rules.append(rule)
+        self._compiled = None  # lazy CompiledRuleSystem cache
+        self._compiled_rules = None  # strong-ref snapshot of the compiled pool
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -82,8 +98,42 @@ class RuleSystem:
 
     # -- prediction ----------------------------------------------------------
 
-    def predict(self, patterns: np.ndarray) -> PredictionBatch:
-        """Mean-of-matching-rules prediction for ``(n, D)`` patterns."""
+    def compile(self):
+        """The pool packed for batch scoring (built once, then cached).
+
+        Returns a :class:`~repro.core.compiled.CompiledRuleSystem`.  The
+        cache is keyed on the identity of every rule in the pool —
+        checked against a strong-reference snapshot, so the comparison
+        cannot be fooled by CPython id reuse after a rule is dropped
+        and garbage-collected.  Replacing, adding or removing rules in
+        ``self.rules`` therefore triggers recompilation on the next
+        call.  (Mutating a rule *object* in place — editing its bounds
+        or coefficients — is not detected; evolved rules are treated as
+        immutable once evaluated.)
+        """
+        if not self.rules:
+            raise ValueError("cannot compile an empty rule system")
+        # Rule uses identity equality, so == on the lists compares
+        # object identity element-wise; the snapshot keeps the compiled
+        # rules alive, making the identity check sound.
+        if self._compiled is None or self._compiled_rules != self.rules:
+            from .compiled import CompiledRuleSystem
+
+            self._compiled = CompiledRuleSystem(self.rules)
+            self._compiled_rules = list(self.rules)
+        return self._compiled
+
+    def predict(
+        self, patterns: np.ndarray, compiled: bool = True
+    ) -> PredictionBatch:
+        """Mean-of-matching-rules prediction for ``(n, D)`` patterns.
+
+        ``compiled=True`` (default) scores through the cached
+        :class:`~repro.core.compiled.CompiledRuleSystem`;
+        ``compiled=False`` runs the per-rule reference loop.  The two
+        are bitwise identical — the flag is an A/B escape hatch (CLI:
+        ``--no-compiled``) and the oracle for property tests.
+        """
         patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
         n = patterns.shape[0]
         if not self.rules:
@@ -97,6 +147,8 @@ class RuleSystem:
                 f"patterns have {patterns.shape[1]} lags, rules expect "
                 f"{self.n_lags}"
             )
+        if compiled:
+            return self.compile().predict(patterns)
         totals = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n, dtype=np.int64)
         for rule in self.rules:
@@ -110,16 +162,24 @@ class RuleSystem:
         values[predicted] = totals[predicted] / counts[predicted]
         return PredictionBatch(values=values, predicted=predicted, n_rules_used=counts)
 
-    def predict_one(self, pattern: np.ndarray) -> Optional[float]:
+    def predict_one(
+        self, pattern: np.ndarray, compiled: bool = True
+    ) -> Optional[float]:
         """Single-pattern convenience; ``None`` when the system abstains."""
-        batch = self.predict(np.asarray(pattern, dtype=np.float64)[None, :])
+        if compiled and self.rules:
+            return self.compile().predict_one(
+                np.asarray(pattern, dtype=np.float64)
+            )
+        batch = self.predict(
+            np.asarray(pattern, dtype=np.float64)[None, :], compiled=compiled
+        )
         if not batch.predicted[0]:
             return None
         return float(batch.values[0])
 
-    def coverage(self, patterns: np.ndarray) -> float:
+    def coverage(self, patterns: np.ndarray, compiled: bool = True) -> float:
         """Fraction of ``patterns`` matched by at least one rule."""
-        return self.predict(patterns).coverage
+        return self.predict(patterns, compiled=compiled).coverage
 
     # -- composition -----------------------------------------------------------
 

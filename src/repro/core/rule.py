@@ -19,6 +19,7 @@ HPC-guide vectorization idiom.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -80,6 +81,7 @@ class Rule:
     match_mask: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        self._mask_source: Optional["weakref.ref[np.ndarray]"] = None
         self.lower = np.asarray(self.lower, dtype=np.float64)
         self.upper = np.asarray(self.upper, dtype=np.float64)
         self.wildcard = np.asarray(self.wildcard, dtype=bool)
@@ -157,6 +159,47 @@ class Rule:
         lo, hi = effective_bounds(self.lower, self.upper, self.wildcard)
         return bool(np.all((window >= lo) & (window <= hi)))
 
+    # -- match-mask cache --------------------------------------------------
+
+    def bind_mask(self, mask: np.ndarray, windows: Optional[np.ndarray]) -> None:
+        """Cache ``mask`` as this rule's match mask over ``windows``.
+
+        The window matrix is remembered by *weak identity* so that later
+        consumers (:func:`~repro.core.matching.coverage_mask`,
+        :func:`~repro.core.matching.population_match_matrix`,
+        :class:`~repro.core.population_state.PopulationState`) reuse the
+        cache only against the exact array it was computed from — a
+        validation set that merely has the same row count never aliases
+        stale training masks.
+        """
+        self.match_mask = mask
+        self._mask_source = None if windows is None else weakref.ref(windows)
+
+    def cached_mask_for(self, windows: np.ndarray) -> Optional[np.ndarray]:
+        """The cached match mask iff it was computed against ``windows``.
+
+        Returns ``None`` when there is no cache, when the cache's source
+        array has been garbage-collected, or when it belongs to a
+        different window matrix (even one of identical shape).
+        """
+        if self.match_mask is None:
+            return None
+        source = getattr(self, "_mask_source", None)
+        if source is None or source() is not windows:
+            return None
+        return self.match_mask
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # weakrefs cannot be pickled; a rule crossing a process boundary
+        # loses its mask provenance and simply re-matches on first use.
+        state.pop("_mask_source", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mask_source = None
+
     # -- predicting --------------------------------------------------------
 
     def output(self, windows: np.ndarray) -> np.ndarray:
@@ -166,10 +209,22 @@ class Rule:
         return ``p_R`` for every row.  Callers are expected to have
         selected matching rows already (see
         :class:`repro.core.predictor.RuleSystem`).
+
+        The hyperplane is accumulated lag by lag (intercept first, then
+        ``+ x_j * a_j`` for ``j = 0 … D-1``) rather than via BLAS
+        ``windows @ coeffs``: BLAS kernels choose summation orders by
+        shape, so a batched GEMM over many rules would not be
+        bit-reproducible against a per-rule matvec.  The explicit order
+        makes this function the *scalar contract* that both the per-rule
+        loop and :class:`~repro.core.compiled.CompiledRuleSystem` honour,
+        which is what keeps the two prediction paths bitwise identical.
         """
         windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
         if self.coeffs is not None:
-            return windows @ self.coeffs[:-1] + self.coeffs[-1]
+            out = np.full(windows.shape[0], self.coeffs[-1], dtype=np.float64)
+            for j in range(windows.shape[1]):
+                out += windows[:, j] * self.coeffs[j]
+            return out
         return np.full(windows.shape[0], self.prediction, dtype=np.float64)
 
     # -- encoding ----------------------------------------------------------
@@ -205,7 +260,7 @@ class Rule:
 
     def copy(self) -> "Rule":
         """Deep copy (arrays owned by the copy; cache preserved)."""
-        return Rule(
+        dup = Rule(
             self.lower.copy(),
             self.upper.copy(),
             self.wildcard.copy(),
@@ -216,6 +271,8 @@ class Rule:
             fitness=self.fitness,
             match_mask=None if self.match_mask is None else self.match_mask.copy(),
         )
+        dup._mask_source = getattr(self, "_mask_source", None)
+        return dup
 
     def invalidate(self) -> None:
         """Drop the predicting part and caches (after genetic edits)."""
@@ -225,6 +282,7 @@ class Rule:
         self.n_matched = 0
         self.fitness = -np.inf
         self.match_mask = None
+        self._mask_source = None
 
     # -- pretty printing ----------------------------------------------------
 

@@ -59,6 +59,7 @@ def quick_forecast(
     max_executions: int = 4,
     seed: Optional[int] = None,
     backend: Optional[Backend] = None,
+    compiled: bool = True,
 ) -> ForecastResult:
     """Run the full §3 pipeline on a train/validation split.
 
@@ -81,6 +82,10 @@ def quick_forecast(
         execution count).
     backend:
         Optional parallel backend for the executions.
+    compiled:
+        Score validation windows through the compiled batch path
+        (default) or the per-rule reference loop — bitwise-identical
+        results, different speed.
     """
     train_ds, val_ds = data.windows(d, horizon)
     if e_max is None:
@@ -101,7 +106,7 @@ def quick_forecast(
         backend=backend,
         root_seed=seed,
     )
-    batch = result.system.predict(val_ds.X)
+    batch = result.system.predict(val_ds.X, compiled=compiled)
     score = score_with_coverage(val_ds.y, batch.values, batch.predicted)
     return ForecastResult(
         system=result.system,

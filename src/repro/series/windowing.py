@@ -50,6 +50,12 @@ def make_windows(
     series = np.ascontiguousarray(series, dtype=np.float64)
     if series.ndim != 1:
         raise ValueError("series must be 1-D")
+    if not np.isfinite(series).all():
+        # Fail fast: the matching kernels (lazy, dense, stacked,
+        # compiled) have subtly different NaN-comparison semantics at
+        # wildcard lags, so non-finite values must never reach them.
+        # Fill or drop sensor gaps before windowing.
+        raise ValueError("series contains non-finite values (NaN/inf)")
     if d < 1:
         raise ValueError(f"window width D must be >= 1, got {d}")
     if horizon < 1:

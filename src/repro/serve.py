@@ -1,0 +1,199 @@
+"""Streaming serving: one-point-at-a-time forecasting over a rule pool.
+
+The batch API (:meth:`~repro.core.predictor.RuleSystem.predict`) scores
+a whole window matrix; online workloads instead see the series one
+observation at a time — a tide gauge posting hourly levels, a sensor
+stream — and want a forecast (or an honest abstention) after every
+observation.  :class:`StreamingForecaster` is that surface:
+
+* a ring buffer holds the last ``D`` observations with O(1) ingest and
+  a zero-copy contiguous window view (double-write trick: each value is
+  stored twice, ``buf[i]`` and ``buf[i + D]``, so the most recent ``D``
+  values are always one contiguous slice);
+* each step scores the current window through
+  :class:`~repro.core.compiled.CompiledRuleSystem`'s single-pattern
+  fast path — a handful of whole-pool numpy operations instead of a
+  per-rule Python loop, which is what makes per-event serving viable
+  (see ``benchmarks/bench_kernels.py``'s serving benchmark);
+* running coverage statistics mirror the paper's "percentage of
+  prediction" for the stream.
+
+Example
+-------
+>>> forecaster = StreamingForecaster(result.system, horizon=1)
+>>> for level in live_feed:
+...     step = forecaster.update(level)
+...     if step.predicted and step.value > ALERT_LEVEL:
+...         alert(step.value)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from .core.compiled import CompiledRuleSystem
+from .core.predictor import RuleSystem
+
+__all__ = ["StreamStep", "StreamingForecaster"]
+
+
+@dataclass(frozen=True)
+class StreamStep:
+    """Outcome of ingesting one observation.
+
+    Attributes
+    ----------
+    t:
+        0-based index of the ingested observation.
+    value:
+        Forecast for ``horizon`` steps ahead; ``NaN`` while the window
+        is still filling or when the system abstains.
+    predicted:
+        True when at least one rule matched the current window.
+    n_rules_used:
+        Number of rules that contributed to the forecast.
+    ready:
+        True once the buffer holds a full window (``t >= D - 1``).
+    """
+
+    t: int
+    value: float
+    predicted: bool
+    n_rules_used: int
+    ready: bool
+
+
+class StreamingForecaster:
+    """Ring-buffer wrapper turning a rule pool into a stream scorer.
+
+    Parameters
+    ----------
+    system:
+        A :class:`~repro.core.predictor.RuleSystem` (compiled lazily) or
+        an already-built :class:`~repro.core.compiled.CompiledRuleSystem`.
+    horizon:
+        Informational: the horizon the pool was trained for.  Each
+        prediction targets ``horizon`` steps after the latest ingested
+        observation.
+    """
+
+    def __init__(
+        self,
+        system: Union[RuleSystem, CompiledRuleSystem],
+        horizon: int = 1,
+    ) -> None:
+        if isinstance(system, RuleSystem):
+            if not len(system):
+                raise ValueError("cannot stream over an empty rule system")
+            self._compiled = system.compile()
+        else:
+            self._compiled = system
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        d = self._compiled.n_lags
+        self._d = d
+        # Double-write ring buffer: value t lands at positions
+        # (t mod D) and (t mod D) + D, so buf[pos+1 : pos+1+D] is always
+        # the latest window, oldest first, as one contiguous slice.
+        self._buf = np.empty(2 * d, dtype=np.float64)
+        self._count = 0
+        self.n_steps = 0
+        self.n_predicted = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        """Window width ``D`` expected by the pool."""
+        return self._d
+
+    @property
+    def ready(self) -> bool:
+        """True once a full window has been ingested."""
+        return self._count >= self._d
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of ready steps that produced a prediction."""
+        if self.n_steps == 0:
+            return 0.0
+        return self.n_predicted / self.n_steps
+
+    def window(self) -> Optional[np.ndarray]:
+        """The current ``(D,)`` window (oldest first), or ``None``."""
+        if not self.ready:
+            return None
+        pos = (self._count - 1) % self._d
+        return self._buf[pos + 1 : pos + 1 + self._d]
+
+    def reset(self) -> None:
+        """Forget all ingested observations and statistics."""
+        self._count = 0
+        self.n_steps = 0
+        self.n_predicted = 0
+
+    # -- streaming -----------------------------------------------------------
+
+    def update(self, value: float) -> StreamStep:
+        """Ingest one observation and forecast ``horizon`` steps ahead.
+
+        Raises ``ValueError`` on a non-finite observation *before*
+        buffering it: a silently ingested NaN would poison the next
+        ``D`` windows, so sensor gaps must be handled upstream.
+        """
+        t = self._count
+        pos = t % self._d
+        v = float(value)
+        if not np.isfinite(v):
+            raise ValueError(
+                f"non-finite observation {value!r} at step {t}; fill or "
+                "drop sensor gaps before streaming"
+            )
+        self._buf[pos] = v
+        self._buf[pos + self._d] = v
+        self._count += 1
+        if not self.ready:
+            return StreamStep(
+                t=t, value=np.nan, predicted=False, n_rules_used=0, ready=False
+            )
+        batch = self._compiled._predict_single(self.window())
+        predicted = bool(batch.predicted[0])
+        self.n_steps += 1
+        if predicted:
+            self.n_predicted += 1
+        return StreamStep(
+            t=t,
+            value=float(batch.values[0]),
+            predicted=predicted,
+            n_rules_used=int(batch.n_rules_used[0]),
+            ready=True,
+        )
+
+    def extend(self, values: Iterable[float]) -> List[StreamStep]:
+        """Ingest several observations; one :class:`StreamStep` each."""
+        return [self.update(v) for v in values]
+
+    def replay(self, series: np.ndarray) -> np.ndarray:
+        """Batch backtest of a whole series through the compiled path.
+
+        Equivalent to streaming every value through :meth:`update` and
+        collecting the forecasts, but scored as one batched call —
+        returns an array of length ``len(series)`` whose entry ``t`` is
+        the forecast made after observing ``series[t]`` (``NaN`` while
+        filling or abstaining).  Does not touch the live buffer or the
+        running statistics.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 1:
+            raise ValueError("replay expects a 1-D series")
+        out = np.full(series.shape[0], np.nan)
+        if series.shape[0] < self._d:
+            return out
+        windows = np.lib.stride_tricks.sliding_window_view(series, self._d)
+        batch = self._compiled.predict(windows)
+        out[self._d - 1 :] = batch.values
+        return out

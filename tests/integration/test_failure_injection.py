@@ -72,15 +72,17 @@ class TestDegenerateRules:
         assert rule.n_matched == 0
         assert rule.fitness == tiny_cfg(3).fitness.f_min
 
-    def test_nan_series_rejected_downstream(self):
+    def test_nan_series_rejected_at_construction(self):
+        # Non-finite values must never reach the matching kernels (their
+        # NaN-comparison semantics differ at wildcard lags), so the
+        # dataset boundary rejects them outright.
         series = np.ones(50)
         series[25] = np.nan
-        ds = WindowDataset.from_series(series, 3, 1)
-        rule = Rule.from_box(np.zeros(3), np.full(3, 2.0))
-        cfg = tiny_cfg(3)
-        evaluate_rule(rule, ds, cfg)
-        # NaN windows never match (comparisons are False) — no poisoning.
-        assert np.isfinite(rule.error) or rule.fitness == cfg.fitness.f_min
+        with pytest.raises(ValueError, match="non-finite"):
+            WindowDataset.from_series(series, 3, 1)
+        series[25] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            WindowDataset.from_series(series, 3, 1)
 
 
 class TestHorizonEdges:

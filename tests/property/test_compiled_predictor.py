@@ -1,0 +1,184 @@
+"""Property tests: the compiled prediction path vs the per-rule oracle.
+
+``RuleSystem.predict(compiled=False)`` — one
+:func:`~repro.core.matching.match_mask` and one scatter-add per rule —
+is the ground truth.  :class:`~repro.core.compiled.CompiledRuleSystem`
+must reproduce it **bitwise** (``np.array_equal`` with NaN equality)
+over random pools mixing wildcards, constant and hyperplane rules,
+including empty pools, all-abstain batches and block-boundary shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import CompiledRuleSystem
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+
+
+def random_pool(rng, n_rules, d, p_wildcard=0.3, p_linear=0.5, width=0.3):
+    """A plausible evolved pool: boxes in [0, 1]^d, mixed rule kinds."""
+    rules = []
+    for _ in range(n_rules):
+        lo = rng.uniform(0, 1 - width, size=d)
+        hi = lo + rng.uniform(0.05, width, size=d)
+        rule = Rule.from_box(lo, hi, prediction=float(rng.normal()))
+        rule.wildcard = rng.random(d) < p_wildcard
+        rule.error = float(rng.uniform(0.01, 1.0))
+        if rng.random() < p_linear:
+            rule.coeffs = np.concatenate(
+                [rng.normal(scale=0.5, size=d), [float(rng.normal())]]
+            )
+        rules.append(rule)
+    return rules
+
+
+def assert_batches_bitwise_equal(a, b):
+    assert np.array_equal(a.values, b.values, equal_nan=True)
+    assert np.array_equal(a.predicted, b.predicted)
+    assert np.array_equal(a.n_rules_used, b.n_rules_used)
+
+
+class TestCompiledBitwiseEquality:
+    @given(
+        st.integers(1, 8),       # d
+        st.integers(1, 40),      # rules
+        st.integers(0, 200),     # patterns
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_pools(self, d, n_rules, n_patterns, seed):
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, n_rules, d)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(-0.2, 1.2, size=(n_patterns, d))
+        oracle = system.predict(patterns, compiled=False)
+        fast = system.predict(patterns, compiled=True)
+        assert_batches_bitwise_equal(oracle, fast)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_block_boundaries(self, seed):
+        """Batch sizes straddling the internal block size stay exact."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 15, 4)
+        system = RuleSystem(rules)
+        compiled = CompiledRuleSystem(rules, block_size=7)
+        for n in (1, 6, 7, 8, 13, 14, 15, 50):
+            patterns = rng.uniform(0, 1, size=(n, 4))
+            oracle = system.predict(patterns, compiled=False)
+            fast = compiled.predict(patterns)
+            assert_batches_bitwise_equal(oracle, fast)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_all_abstain_batch(self, seed):
+        """Patterns far outside every box: NaN everywhere, zero counts."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 10, 3, p_wildcard=0.0)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(5.0, 6.0, size=(30, 3))
+        fast = system.predict(patterns, compiled=True)
+        assert not fast.predicted.any()
+        assert np.isnan(fast.values).all()
+        assert_batches_bitwise_equal(
+            system.predict(patterns, compiled=False), fast
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_wildcard_heavy_pools_hit_dense_fallback(self, seed):
+        """Near-universal rules force the dense kernel branch."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 12, 3, p_wildcard=0.9, width=0.9)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(0, 1, size=(120, 3))
+        assert_batches_bitwise_equal(
+            system.predict(patterns, compiled=False),
+            system.predict(patterns, compiled=True),
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_only_and_linear_only_pools(self, seed):
+        rng = np.random.default_rng(seed)
+        patterns = rng.uniform(0, 1, size=(40, 5))
+        for p_linear in (0.0, 1.0):
+            rules = random_pool(rng, 8, 5, p_linear=p_linear)
+            system = RuleSystem(rules)
+            assert_batches_bitwise_equal(
+                system.predict(patterns, compiled=False),
+                system.predict(patterns, compiled=True),
+            )
+
+    def test_empty_pool(self):
+        system = RuleSystem([])
+        batch = system.predict(np.zeros((4, 3)), compiled=True)
+        assert not batch.predicted.any()
+        assert np.isnan(batch.values).all()
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(0)
+        system = RuleSystem(random_pool(rng, 5, 3))
+        for compiled in (False, True):
+            batch = system.predict(np.empty((0, 3)), compiled=compiled)
+            assert batch.values.shape == (0,)
+            assert batch.coverage == 0.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_single_pattern_fast_path(self, seed):
+        """The streaming step (n=1) equals the oracle exactly."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 25, 4)
+        system = RuleSystem(rules)
+        for _ in range(10):
+            x = rng.uniform(0, 1, size=4)
+            oracle = system.predict(x[None, :], compiled=False)
+            fast = system.predict(x[None, :], compiled=True)
+            assert_batches_bitwise_equal(oracle, fast)
+            one = system.compile().predict_one(x)
+            if oracle.predicted[0]:
+                assert one == oracle.values[0]
+            else:
+                assert one is None
+
+
+class TestCompiledConstruction:
+    def test_rejects_empty(self):
+        try:
+            CompiledRuleSystem([])
+        except ValueError as err:
+            assert "at least one" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("empty pool must be rejected")
+
+    def test_rejects_unevaluated(self):
+        raw = Rule.from_box(np.zeros(3), np.ones(3))  # prediction NaN
+        try:
+            CompiledRuleSystem([raw])
+        except ValueError as err:
+            assert "predicting part" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("unevaluated rule must be rejected")
+
+    def test_coefficient_block_shape(self):
+        rng = np.random.default_rng(1)
+        rules = random_pool(rng, 7, 4)
+        compiled = CompiledRuleSystem(rules)
+        assert compiled.lo.shape == (7, 4)
+        assert compiled.hi.shape == (7, 4)
+        assert compiled.coeffs.shape == (7, 5)
+        # Constant rules: zero weights, p_R as intercept.
+        for i, rule in enumerate(rules):
+            if rule.coeffs is None:
+                assert not compiled.coeffs[i, :4].any()
+                assert compiled.coeffs[i, 4] == rule.prediction
+
+    def test_system_caches_compiled_pack(self):
+        rng = np.random.default_rng(2)
+        system = RuleSystem(random_pool(rng, 5, 3))
+        assert system.compile() is system.compile()
+        merged = system.merged_with(system)
+        assert len(merged.compile()) == 10

@@ -36,6 +36,15 @@ class TestParser:
         args = build_parser().parse_args(["figure2", "--markdown"])
         assert args.markdown
 
+    def test_ab_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert not args.no_incremental
+        assert not args.no_compiled
+
+    def test_no_compiled_flag(self):
+        args = build_parser().parse_args(["table2", "--no-compiled"])
+        assert args.no_compiled
+
 
 class TestMainSmoke:
     def test_table2_single_horizon_runs(self, capsys, monkeypatch):

@@ -96,6 +96,33 @@ class TestEvolution:
         f_min = tiny_config.fitness.f_min
         assert all(r.fitness > f_min for r in res.valid_rules)
 
+    def test_valid_rules_same_criterion_without_config(
+        self, sine_dataset, tiny_config
+    ):
+        """Both branches of ``valid_rules`` use the fitness criterion.
+
+        Regression: the ``config is None`` branch used to filter by
+        ``isfinite(error)`` instead, so the same rule list produced a
+        different "valid" subset depending on whether the result still
+        carried its config.  Valid fitness is always positive and the
+        invalid floor is always ``<= 0``, so the documented ``0.0``
+        fallback selects the identical subset.
+        """
+        from repro.core.engine import EvolutionResult
+
+        res = evolve(sine_dataset, tiny_config)
+        bare = EvolutionResult(rules=res.rules, config=None)
+        assert [id(r) for r in bare.valid_rules] == [
+            id(r) for r in res.valid_rules
+        ]
+        # An evaluated-but-invalid rule (fitness == f_min <= 0, error
+        # finite or not) is excluded by both branches.
+        floor = tiny_config.fitness.f_min
+        assert all(r.fitness > 0.0 for r in bare.valid_rules)
+        invalid = [r for r in res.rules if r.fitness == floor]
+        for rule in invalid:
+            assert rule not in bare.valid_rules
+
     def test_evolution_improves_over_init(self, sine_dataset, tiny_config):
         eng = SteadyStateEngine(sine_dataset, tiny_config)
         eng.initialize()

@@ -30,6 +30,19 @@ class TestQuickForecast:
         assert res.score.error < 0.3
         assert res.batch.values.shape == (len(res.validation),)
 
+    def test_compiled_flag_is_bitwise_identical(self, sine_split):
+        kwargs = dict(
+            d=6, horizon=1, generations=100, population_size=10,
+            max_executions=1, seed=0,
+        )
+        fast = quick_forecast(sine_split, compiled=True, **kwargs)
+        loop = quick_forecast(sine_split, compiled=False, **kwargs)
+        assert np.array_equal(
+            fast.batch.values, loop.batch.values, equal_nan=True
+        )
+        assert np.array_equal(fast.batch.predicted, loop.batch.predicted)
+        assert fast.score.error == loop.score.error
+
     def test_default_emax_from_output_range(self, sine_split):
         res = quick_forecast(
             sine_split, d=6, horizon=1,

@@ -68,18 +68,46 @@ class TestAggregates:
         counts = match_counts(rules, windows)
         assert counts[0] == 800 and counts[1] == 0
 
-    def test_population_match_matrix_uses_cache(self, windows):
+    def test_population_match_matrix_uses_bound_cache(self, windows):
         rule = box_rule(0, 1)
-        rule.match_mask = np.zeros(800, dtype=bool)  # poisoned cache
+        # Poisoned cache *bound to this window matrix* is trusted verbatim.
+        rule.bind_mask(np.zeros(800, dtype=bool), windows)
         mat = population_match_matrix([rule], windows)
-        # cache had the right length so it is reused verbatim
         assert not mat.any()
 
     def test_population_match_matrix_ignores_stale_cache(self, windows):
         rule = box_rule(0, 1)
-        rule.match_mask = np.zeros(10, dtype=bool)  # wrong length
+        rule.match_mask = np.zeros(10, dtype=bool)  # no provenance at all
         mat = population_match_matrix([rule], windows)
         assert mat.all()
+
+    def test_population_match_matrix_ignores_equal_sized_foreign_cache(
+        self, windows, rng
+    ):
+        """Same row count as training must not alias stale masks.
+
+        Regression: the cache used to be keyed on mask *length* alone,
+        so a validation set with exactly as many rows as training
+        silently reused training masks.
+        """
+        rule = box_rule(0.0, 0.5)
+        train = rng.uniform(0, 0.4, size=windows.shape)  # all match
+        rule.bind_mask(match_mask(rule, train), train)
+        assert rule.match_mask.all()
+        val = np.full(windows.shape, 0.9)  # same shape, nothing matches
+        mat = population_match_matrix([rule], val)
+        assert not mat.any()
+
+    def test_coverage_mask_ignores_equal_sized_foreign_cache(self, windows, rng):
+        rule = box_rule(0.0, 0.5)
+        train = rng.uniform(0, 0.4, size=windows.shape)
+        rule.bind_mask(match_mask(rule, train), train)
+        val = np.full(windows.shape, 0.9)
+        assert not coverage_mask([rule], val).any()
+        # ... while the bound matrix itself still reuses the cache.
+        poisoned = np.zeros(train.shape[0], dtype=bool)
+        rule.bind_mask(poisoned, train)
+        assert not coverage_mask([rule], train).any()
 
     def test_coverage_mask_union(self, windows):
         low = Rule.from_box(np.zeros(5), np.full(5, 0.5))

@@ -51,6 +51,51 @@ class TestMultirun:
         for a, b in zip(r1.system.rules, r3.system.rules):
             assert np.array_equal(a.lower, b.lower)
 
+    def test_batch_size_invariant_with_reachable_target(
+        self, sine_dataset, tiny_config
+    ):
+        """Pooling truncates at the first execution reaching the target.
+
+        Regression: executions *after* the target was met inside the
+        same batch used to be pooled anyway, so the final pool depended
+        on ``batch_size``/backend.  With a target reached mid-batch, a
+        serial ``batch_size=1`` run and a ``batch_size=4`` round must
+        return identical systems, histories and execution counts.
+        """
+        cfg = tiny_config.replace(generations=100)
+        kwargs = dict(coverage_target=0.5, max_executions=4, root_seed=1)
+        r1 = multirun(sine_dataset, cfg, batch_size=1, **kwargs)
+        r4 = multirun(sine_dataset, cfg, batch_size=4, **kwargs)
+        # The target is reachable before max_executions (else the test
+        # exercises nothing) ...
+        assert r1.n_executions < 4
+        # ... and every batched quantity matches the serial run.
+        assert r4.n_executions == r1.n_executions
+        assert r4.coverage_history == r1.coverage_history
+        assert len(r4.system) == len(r1.system)
+        for a, b in zip(r1.system.rules, r4.system.rules):
+            assert np.array_equal(a.lower, b.lower)
+            assert np.array_equal(a.upper, b.upper)
+            assert a.fitness == b.fitness
+
+    def test_pooled_masks_rebound_to_pooling_dataset(
+        self, sine_dataset, tiny_config
+    ):
+        """Pooled rules' mask caches carry provenance for ``dataset.X``.
+
+        Executions evaluate against worker-local window matrices; the
+        pooling loop re-binds the (value-identical) masks to the outer
+        dataset so the identity-keyed cache makes coverage checks an
+        O(P*n) union instead of a full re-match every round.
+        """
+        res = multirun(
+            sine_dataset, tiny_config.replace(generations=60),
+            coverage_target=1.01, max_executions=2, root_seed=1,
+        )
+        assert res.system.rules
+        for rule in res.system.rules:
+            assert rule.cached_mask_for(sine_dataset.X) is not None
+
     def test_pooled_rules_are_valid_only(self, sine_dataset, tiny_config):
         res = multirun(
             sine_dataset, tiny_config.replace(generations=60),

@@ -68,6 +68,16 @@ class TestEditInterval:
         assert lo <= hi
         assert lo == pytest.approx(0.5) and hi == pytest.approx(0.5)
 
+    def test_shrink_full_collapse_rounding(self):
+        """Regression: `lo + s` vs `hi - s` can round one ulp apart.
+
+        With lo=0.05, hi=3.0 the half-width collapse used to produce
+        lower=1.5250000000000001 > upper=1.525, an inverted interval
+        that crashes Rule.copy() (and island migration) downstream.
+        """
+        lo, hi = _edit_interval(0.05, 3.0, "shrink", 2.0)
+        assert lo <= hi
+
     def test_shift(self):
         assert _edit_interval(0.0, 1.0, "shift_up", 0.25) == (0.25, 1.25)
         assert _edit_interval(0.0, 1.0, "shift_down", 0.25) == (-0.25, 0.75)

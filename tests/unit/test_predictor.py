@@ -79,6 +79,61 @@ class TestPrediction:
         assert sys.coverage(X) == pytest.approx(0.75)
 
 
+class TestCompiledRouting:
+    def test_default_path_is_compiled_and_cached(self):
+        sys = RuleSystem([const_rule(0, 1, 2.0)])
+        sys.predict(np.full((2, 3), 0.5))
+        assert sys._compiled is not None
+        assert sys.compile() is sys._compiled
+
+    def test_compiled_flag_is_bitwise_identical(self):
+        rng = np.random.default_rng(0)
+        rules = []
+        for _ in range(12):
+            lo = rng.uniform(0, 0.6, size=3)
+            r = Rule.from_box(lo, lo + 0.3, prediction=float(rng.normal()))
+            r.error = 0.1
+            if rng.random() < 0.5:
+                r.coeffs = np.concatenate([rng.normal(size=3), [0.2]])
+            rules.append(r)
+        sys = RuleSystem(rules)
+        X = rng.uniform(0, 1, size=(64, 3))
+        a = sys.predict(X, compiled=False)
+        b = sys.predict(X, compiled=True)
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+        assert np.array_equal(a.predicted, b.predicted)
+        assert np.array_equal(a.n_rules_used, b.n_rules_used)
+
+    def test_predict_one_compiled_matches_loop(self):
+        sys = RuleSystem([const_rule(0, 1, 7.0)])
+        x = np.full(3, 0.5)
+        assert sys.predict_one(x) == sys.predict_one(x, compiled=False)
+        far = np.full(3, 9.0)
+        assert sys.predict_one(far) is None
+        assert sys.predict_one(far, compiled=False) is None
+
+    def test_compile_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            RuleSystem([]).compile()
+
+    def test_cache_invalidated_by_same_length_rule_swap(self):
+        """Swapping a rule in place (same pool size) must recompile."""
+        sys = RuleSystem([const_rule(0, 1, 1.0)])
+        x = np.full((1, 3), 0.5)
+        assert sys.predict(x).values[0] == pytest.approx(1.0)
+        sys.rules[0] = const_rule(0, 1, 100.0)
+        assert sys.predict(x).values[0] == pytest.approx(100.0)
+
+    def test_compiled_rejects_non_finite_patterns(self):
+        sys = RuleSystem([const_rule(0, 1, 1.0)])
+        bad = np.array([[0.5, np.nan, 0.5], [0.5, 0.5, 0.5]])
+        with pytest.raises(ValueError, match="finite"):
+            sys.predict(bad, compiled=True)
+        single = np.array([[np.inf, 0.5, 0.5]])
+        with pytest.raises(ValueError, match="finite"):
+            sys.predict(single, compiled=True)
+
+
 class TestComposition:
     def test_merged_with(self):
         a = RuleSystem([const_rule(0, 1, 1.0)])

@@ -1,0 +1,130 @@
+"""Unit tests for repro.serve (streaming forecaster)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import CompiledRuleSystem
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.serve import StreamingForecaster
+
+
+def const_rule(lo, hi, prediction, d=3):
+    rule = Rule.from_box(np.full(d, lo), np.full(d, hi), prediction=prediction)
+    rule.error = 0.1
+    return rule
+
+
+@pytest.fixture
+def system():
+    return RuleSystem([
+        const_rule(0.0, 1.0, 2.0),
+        const_rule(0.0, 1.0, 4.0),
+        const_rule(5.0, 6.0, 100.0),
+    ])
+
+
+class TestLifecycle:
+    def test_not_ready_until_full_window(self, system):
+        fc = StreamingForecaster(system)
+        s0 = fc.update(0.5)
+        s1 = fc.update(0.5)
+        assert not s0.ready and not s1.ready
+        assert np.isnan(s0.value)
+        s2 = fc.update(0.5)
+        assert s2.ready and s2.predicted
+        assert s2.value == pytest.approx(3.0)
+        assert s2.n_rules_used == 2
+
+    def test_window_contents_oldest_first(self, system):
+        fc = StreamingForecaster(system)
+        assert fc.window() is None
+        for v in (0.1, 0.2, 0.3, 0.4):
+            fc.update(v)
+        assert np.allclose(fc.window(), [0.2, 0.3, 0.4])
+
+    def test_matches_batch_prediction(self, system):
+        """Streaming step-by-step equals one batched window prediction."""
+        rng = np.random.default_rng(0)
+        series = rng.uniform(0, 1, size=50)
+        fc = StreamingForecaster(system)
+        streamed = [step.value for step in fc.extend(series) if step.ready]
+        windows = np.lib.stride_tricks.sliding_window_view(series, 3)
+        batch = system.predict(windows)
+        assert np.array_equal(streamed, batch.values, equal_nan=True)
+
+    def test_abstention_and_coverage(self, system):
+        fc = StreamingForecaster(system)
+        for _ in range(3):
+            fc.update(9.0)  # outside every rule
+        step = fc.update(9.0)
+        assert step.ready and not step.predicted
+        assert np.isnan(step.value)
+        for _ in range(4):
+            fc.update(0.5)
+        assert 0.0 < fc.coverage < 1.0
+        assert fc.n_steps == 6  # ready steps only
+
+    def test_reset(self, system):
+        fc = StreamingForecaster(system)
+        fc.extend([0.5] * 5)
+        fc.reset()
+        assert not fc.ready
+        assert fc.n_steps == 0 and fc.coverage == 0.0
+
+    def test_accepts_precompiled_system(self, system):
+        fc = StreamingForecaster(CompiledRuleSystem(system.rules))
+        fc.extend([0.5, 0.5])
+        assert fc.update(0.5).value == pytest.approx(3.0)
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ValueError, match="empty"):
+            StreamingForecaster(RuleSystem([]))
+
+    def test_rejects_bad_horizon(self, system):
+        with pytest.raises(ValueError, match="horizon"):
+            StreamingForecaster(system, horizon=0)
+
+    def test_rejects_non_finite_observation_before_buffering(self, system):
+        fc = StreamingForecaster(system)
+        fc.extend([0.5, 0.5])
+        with pytest.raises(ValueError, match="non-finite"):
+            fc.update(float("nan"))
+        # The bad value was not ingested: the stream continues cleanly.
+        step = fc.update(0.5)
+        assert step.ready and step.value == pytest.approx(3.0)
+
+
+class TestReplay:
+    def test_replay_equals_streaming(self, system):
+        rng = np.random.default_rng(1)
+        series = rng.uniform(0, 1, size=80)
+        fc = StreamingForecaster(system)
+        streamed = np.array([s.value for s in fc.extend(series)])
+        replayed = StreamingForecaster(system).replay(series)
+        assert np.array_equal(streamed, replayed, equal_nan=True)
+
+    def test_replay_short_series(self, system):
+        out = StreamingForecaster(system).replay(np.array([0.5, 0.5]))
+        assert np.isnan(out).all()
+
+    def test_replay_leaves_live_state_untouched(self, system):
+        fc = StreamingForecaster(system)
+        fc.replay(np.full(20, 0.5))
+        assert not fc.ready and fc.n_steps == 0
+
+    def test_replay_rejects_2d(self, system):
+        with pytest.raises(ValueError, match="1-D"):
+            StreamingForecaster(system).replay(np.zeros((4, 3)))
+
+
+class TestRingBuffer:
+    def test_long_stream_wraps_correctly(self, system):
+        """Windows stay correct far past the buffer length."""
+        rng = np.random.default_rng(2)
+        series = rng.uniform(0, 1, size=500)
+        fc = StreamingForecaster(system)
+        for t, v in enumerate(series):
+            fc.update(v)
+            if t >= 2:
+                assert np.array_equal(fc.window(), series[t - 2 : t + 1])
