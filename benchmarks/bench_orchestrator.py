@@ -1,0 +1,70 @@
+"""Orchestrator end-to-end bench: expansion, fan-out, cache, resume.
+
+Runs one scenario through the full orchestrator path into a throwaway
+state directory, then re-runs it and asserts the second pass is served
+entirely from the memo cache (zero executions).  With
+``REPRO_BENCH_TINY=1`` the built-in ``smoke`` scenario keeps the whole
+job in seconds — this is the CI smoke for the experiment layer; without
+it the bench exercises the real ``table2`` scenario at bench scale.
+"""
+
+import os
+import shutil
+import tempfile
+
+from _common import emit, run_once
+
+from repro.analysis import ExperimentOrchestrator, get_scenario
+from repro.analysis.report import scenario_report
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+SCENARIO = "smoke" if TINY else "table2"
+
+
+def test_orchestrator_cached_rerun(benchmark):
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-orch-")
+    try:
+        first = run_once(
+            benchmark,
+            lambda: ExperimentOrchestrator(state_dir=state_dir).run([SCENARIO]),
+        )
+        assert first.complete
+        assert first.n_executed == len(first.tasks)
+
+        # The paying feature: a finished sweep re-runs for free.
+        again = ExperimentOrchestrator(state_dir=state_dir).run([SCENARIO])
+        assert again.complete
+        assert again.n_executed == 0, "cached re-run must skip execution"
+        assert again.n_cached == len(again.tasks)
+        for task in first.tasks:
+            assert (
+                again.results[task.task_id].payload
+                == first.results[task.task_id].payload
+            )
+
+        # And a kill/resume cycle converges to the same results.
+        resume_state = tempfile.mkdtemp(prefix="repro-bench-orch-resume-")
+        try:
+            partial = ExperimentOrchestrator(state_dir=resume_state).run(
+                [SCENARIO], max_tasks=1
+            )
+            assert not partial.complete
+            resumed = ExperimentOrchestrator(state_dir=resume_state).resume()
+            assert resumed.complete
+            for task in first.tasks:
+                assert (
+                    resumed.results[task.task_id].payload
+                    == first.results[task.task_id].payload
+                )
+        finally:
+            shutil.rmtree(resume_state, ignore_errors=True)
+
+        spec = get_scenario(SCENARIO)
+        emit(
+            "orchestrator_smoke",
+            scenario_report(spec, first.payloads(SCENARIO))
+            + f"\n\nfirst run: {first.n_executed} executed; "
+            f"re-run: {again.n_executed} executed / {again.n_cached} cached",
+        )
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)

@@ -1,4 +1,19 @@
-"""Experiment harness: runners, table formatting, ASCII plots, reports."""
+"""Experiment harness: scenario registry, orchestrator, runners, reports.
+
+The package is layered:
+
+* :mod:`~repro.analysis.scenarios` — every experiment as a declarative
+  :class:`~repro.analysis.scenarios.ScenarioSpec` in one registry.
+* :mod:`~repro.analysis.orchestrator` — expands specs into tasks, fans
+  them out over a backend, memoizes and checkpoints (resumable sweeps).
+* :mod:`~repro.analysis.experiments` — the classic ``run_table1``-style
+  entry points, now thin shims over the registry.
+* :mod:`~repro.analysis.tables` / :mod:`~repro.analysis.report` /
+  :mod:`~repro.analysis.ascii_plot` — formatting and paper-vs-measured
+  report blocks.
+* :mod:`~repro.analysis.stats` / :mod:`~repro.analysis.profiling` —
+  bootstrap/paired statistics and timing instrumentation.
+"""
 
 from .ascii_plot import line_plot, overlay_plot, render_rule
 from .experiments import (
@@ -16,9 +31,18 @@ from .experiments import (
     run_ablation_predicting_mode,
     run_ablation_replacement,
     run_figure2,
+    run_scenario,
     run_table1,
     run_table2,
     run_table3,
+)
+from .orchestrator import (
+    ExperimentOrchestrator,
+    ExperimentRun,
+    ExperimentTask,
+    ScenarioRow,
+    TaskResult,
+    execute_task,
 )
 from .profiling import SectionTimer, engine_throughput, profile_run
 from .report import (
@@ -28,10 +52,22 @@ from .report import (
     table2_markdown,
     table3_markdown,
 )
+from .scenarios import (
+    BaselineSpec,
+    DatasetSpec,
+    GridPoint,
+    ScenarioSpec,
+    all_scenarios,
+    catalog_markdown,
+    get_scenario,
+    register,
+    scenario_names,
+)
 from .stats import BootstrapCI, PairedResult, bootstrap_metric, paired_comparison
 from .tables import format_float, format_table
 
 __all__ = [
+    "run_scenario",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -49,6 +85,21 @@ __all__ = [
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
+    "ScenarioSpec",
+    "GridPoint",
+    "DatasetSpec",
+    "BaselineSpec",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "catalog_markdown",
+    "ExperimentOrchestrator",
+    "ExperimentRun",
+    "ExperimentTask",
+    "TaskResult",
+    "ScenarioRow",
+    "execute_task",
     "format_table",
     "format_float",
     "line_plot",

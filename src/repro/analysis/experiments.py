@@ -1,43 +1,56 @@
-"""Experiment runners — one per paper table/figure plus ablations.
+"""Experiment runners — thin shims over the scenario registry.
 
-Every runner is pure given its arguments (scale, horizons, seed) and
-returns structured row objects; the benchmark harness times them and
-prints them through :mod:`repro.analysis.tables`.  Paper reference
-numbers are embedded so reports can juxtapose paper vs measured.
+Every classic entry point (``run_table1`` … ``run_ablation_*``) now
+expands its registered :class:`~repro.analysis.scenarios.ScenarioSpec`
+through the :class:`~repro.analysis.orchestrator.ExperimentOrchestrator`
+and repackages the generic payload rows into the historical row types.
+The signatures, defaults, seed discipline and results are unchanged —
+bitwise — from the original hand-rolled loops (the parity suite in
+``tests/integration/test_orchestrator_parity.py`` pins this).
+
+The config factories (``venice_config`` etc.) are re-exported here and
+resolved *through this module* at execution time, preserving the
+long-standing test idiom of monkeypatching them with tiny presets.
+
+Paper reference numbers live in :mod:`~repro.analysis.scenarios`
+(``PAPER_TABLE1/2/3``) and are re-exported for report juxtaposition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..baselines import (
-    ElmanForecaster,
-    ElmanParams,
-    MLPForecaster,
-    MLPParams,
-    MRANForecaster,
-    RANForecaster,
+from ..core.config import (  # noqa: F401  (resolved by name at run time)
+    EvolutionConfig,
+    lorenz_config,
+    mackey_config,
+    sunspot_config,
+    venice_config,
 )
-from ..core.config import EvolutionConfig, mackey_config, sunspot_config, venice_config
-from ..core.multirun import multirun
-from ..metrics.coverage import CoverageScore, score_table1, score_table2, score_table3
+from ..metrics.coverage import CoverageScore
 from ..parallel.backends import Backend
-from ..series.datasets import SplitSeries, load_mackey_glass, load_sunspot, load_venice
-from ..series.windowing import WindowDataset
+from .orchestrator import ExperimentOrchestrator, Figure2Result, ScenarioRow
+from .scenarios import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    GridPoint,
+    get_scenario,
+)
 
 __all__ = [
     "TableRow",
     "Table1Row",
     "Table2Row",
     "Table3Row",
+    "run_scenario",
     "run_table1",
     "run_table2",
     "run_table3",
     "run_figure2",
     "Figure2Result",
+    "AblationRow",
     "run_ablation_init",
     "run_ablation_replacement",
     "run_ablation_emax",
@@ -48,34 +61,8 @@ __all__ = [
     "PAPER_TABLE3",
 ]
 
-# -- paper reference numbers (for report juxtaposition) ----------------------
 
-#: Table 1 (Venice): horizon -> (percentage of prediction, RMSE RS, RMSE NN).
-PAPER_TABLE1: Dict[int, tuple] = {
-    1: (91.3, 3.37, 3.30),
-    4: (99.1, 8.26, 9.55),
-    12: (98.0, 8.46, 11.38),
-    24: (99.3, 8.70, 11.64),
-    28: (98.8, 11.62, 15.74),
-    48: (97.8, 11.28, None),
-    72: (99.7, 14.45, None),
-    96: (99.5, 16.04, None),
-}
-
-#: Table 2 (Mackey-Glass): horizon -> (percentage, RS NMSE, MRAN, RAN).
-PAPER_TABLE2: Dict[int, tuple] = {
-    50: (78.9, 0.025, 0.040, None),
-    85: (78.2, 0.046, None, 0.050),
-}
-
-#: Table 3 (sunspots): horizon -> (percentage, RS, feedforward NN, recurrent NN).
-PAPER_TABLE3: Dict[int, tuple] = {
-    1: (100.0, 0.00228, 0.00511, 0.00511),
-    4: (97.6, 0.00351, 0.00965, 0.00838),
-    8: (95.2, 0.00377, 0.01177, 0.00781),
-    12: (100.0, 0.00642, 0.01587, 0.01080),
-    18: (99.8, 0.01021, 0.02570, 0.01464),
-}
+# -- row types ----------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -109,38 +96,62 @@ class Table3Row(TableRow):
     rec_error: float
 
 
-# -- shared helpers -----------------------------------------------------------
+@dataclass(frozen=True)
+class AblationRow:
+    """One ablation variant's score."""
+
+    variant: str
+    score: CoverageScore
+    detail: str = ""
 
 
-def _rs_predict(
-    data: SplitSeries,
-    config: EvolutionConfig,
-    coverage_target: float,
-    max_executions: int,
-    root_seed: Optional[int],
-    backend: Optional[Backend],
+# -- the generic entry point --------------------------------------------------
+
+
+def run_scenario(
+    name: str,
+    scale: str = "bench",
+    seed: Optional[int] = None,
+    backend: Optional[Backend] = None,
+    max_executions: Optional[int] = None,
+    incremental: bool = True,
     compiled: bool = True,
-):
-    """Train the pooled rule system and predict the validation windows.
+    horizons: Optional[Sequence[int]] = None,
+    options: Tuple[Tuple[str, object], ...] = (),
+) -> List[object]:
+    """Run one registered scenario and return its payloads in grid order.
 
-    ``compiled`` selects the batch-scoring path (compiled stacked
-    arrays vs the per-rule reference loop); results are bitwise
-    identical either way.
+    This is the pure in-memory path (no cache, no checkpoint) the
+    classic runners are built on; use
+    :class:`~repro.analysis.orchestrator.ExperimentOrchestrator`
+    directly — or ``repro experiment run`` — for memoized, resumable
+    sweeps.  ``horizons`` substitutes an ``h{n}``-labelled grid;
+    ``seed``/``max_executions`` default to the spec's values.
     """
-    train_ds, val_ds = data.windows(config.d, config.horizon)
-    result = multirun(
-        train_ds,
-        config,
-        coverage_target=coverage_target,
+    grid_overrides = None
+    if horizons is not None:
+        grid_overrides = {
+            name: tuple(GridPoint(label=f"h{h}", horizon=h) for h in horizons)
+        }
+    orchestrator = ExperimentOrchestrator(backend=backend)
+    run = orchestrator.run(
+        [name],
+        scale=scale,
+        seed=seed,
         max_executions=max_executions,
-        root_seed=root_seed,
-        backend=backend,
+        incremental=incremental,
+        compiled=compiled,
+        options=options,
+        grid_overrides=grid_overrides,
     )
-    batch = result.system.predict(val_ds.X, compiled=compiled)
-    return result, batch, train_ds, val_ds
+    return run.payloads(name)
 
 
-# -- Table 1: Venice Lagoon ----------------------------------------------------
+def _grid_override(spec_name: str, grid) -> Dict:
+    return {spec_name: tuple(grid)}
+
+
+# -- Tables 1–3 ---------------------------------------------------------------
 
 
 def run_table1(
@@ -154,28 +165,17 @@ def run_table1(
     compiled: bool = True,
 ) -> List[Table1Row]:
     """Venice Lagoon comparison (§4.1): RS vs feedforward NN, RMSE in cm."""
-    data = load_venice(scale=scale)
-    rows: List[Table1Row] = []
-    for i, horizon in enumerate(horizons):
-        config = venice_config(horizon=horizon, scale=scale).replace(
-            incremental=incremental
-        )
-        result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.95, max_executions, seed + 1000 * i, backend,
-            compiled=compiled,
-        )
-        rs_score = score_table1(val_ds.y, batch.values, batch.predicted)
-
-        mlp = MLPForecaster(MLPParams(hidden=24, epochs=mlp_epochs, seed=seed + i))
-        mlp.fit(train_ds.X, train_ds.y)
-        nn_score = score_table1(val_ds.y, mlp.predict(val_ds.X))
-        rows.append(
-            Table1Row(horizon=horizon, rs=rs_score, nn_error=nn_score.error)
-        )
-    return rows
-
-
-# -- Table 2: Mackey-Glass -------------------------------------------------------
+    payloads = run_scenario(
+        "table1", scale=scale, seed=seed, backend=backend,
+        max_executions=max_executions, incremental=incremental,
+        compiled=compiled, horizons=horizons,
+        options=(("mlp_epochs", mlp_epochs),),
+    )
+    return [
+        Table1Row(horizon=p.horizon, rs=p.score,
+                  nn_error=p.baseline_error("mlp24"))
+        for p in payloads
+    ]
 
 
 def run_table2(
@@ -188,34 +188,17 @@ def run_table2(
     compiled: bool = True,
 ) -> List[Table2Row]:
     """Mackey-Glass comparison (§4.2): RS vs MRAN vs RAN, NMSE."""
-    data = load_mackey_glass()
-    rows: List[Table2Row] = []
-    for i, horizon in enumerate(horizons):
-        config = mackey_config(horizon=horizon, scale=scale).replace(
-            incremental=incremental
-        )
-        result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.90, max_executions, seed + 1000 * i, backend,
-            compiled=compiled,
-        )
-        rs_score = score_table2(val_ds.y, batch.values, batch.predicted)
-
-        ran = RANForecaster().fit(train_ds.X, train_ds.y)
-        ran_score = score_table2(val_ds.y, ran.predict(val_ds.X))
-        mran = MRANForecaster().fit(train_ds.X, train_ds.y)
-        mran_score = score_table2(val_ds.y, mran.predict(val_ds.X))
-        rows.append(
-            Table2Row(
-                horizon=horizon,
-                rs=rs_score,
-                mran_error=mran_score.error,
-                ran_error=ran_score.error,
-            )
-        )
-    return rows
-
-
-# -- Table 3: sunspots --------------------------------------------------------------
+    payloads = run_scenario(
+        "table2", scale=scale, seed=seed, backend=backend,
+        max_executions=max_executions, incremental=incremental,
+        compiled=compiled, horizons=horizons,
+    )
+    return [
+        Table2Row(horizon=p.horizon, rs=p.score,
+                  mran_error=p.baseline_error("mran"),
+                  ran_error=p.baseline_error("ran"))
+        for p in payloads
+    ]
 
 
 def run_table3(
@@ -229,58 +212,21 @@ def run_table3(
     compiled: bool = True,
 ) -> List[Table3Row]:
     """Sunspot comparison (§4.3): RS vs feedforward vs recurrent NN."""
-    data = load_sunspot(scale=scale)
-    rows: List[Table3Row] = []
-    for i, horizon in enumerate(horizons):
-        config = sunspot_config(horizon=horizon, scale=scale).replace(
-            incremental=incremental
-        )
-        result, batch, train_ds, val_ds = _rs_predict(
-            data, config, 0.95, max_executions, seed + 1000 * i, backend,
-            compiled=compiled,
-        )
-        rs_score = score_table3(val_ds.y, batch.values, horizon, batch.predicted)
-
-        mlp = MLPForecaster(
-            MLPParams(hidden=16, epochs=nn_epochs, seed=seed + i)
-        ).fit(train_ds.X, train_ds.y)
-        ff_score = score_table3(val_ds.y, mlp.predict(val_ds.X), horizon)
-
-        elman = ElmanForecaster(
-            ElmanParams(hidden=10, epochs=max(20, nn_epochs // 2), seed=seed + i)
-        ).fit(train_ds.X, train_ds.y)
-        rec_score = score_table3(val_ds.y, elman.predict(val_ds.X), horizon)
-
-        rows.append(
-            Table3Row(
-                horizon=horizon,
-                rs=rs_score,
-                ff_error=ff_score.error,
-                rec_error=rec_score.error,
-            )
-        )
-    return rows
+    payloads = run_scenario(
+        "table3", scale=scale, seed=seed, backend=backend,
+        max_executions=max_executions, incremental=incremental,
+        compiled=compiled, horizons=horizons,
+        options=(("nn_epochs", nn_epochs),),
+    )
+    return [
+        Table3Row(horizon=p.horizon, rs=p.score,
+                  ff_error=p.baseline_error("mlp16"),
+                  rec_error=p.baseline_error("elman10"))
+        for p in payloads
+    ]
 
 
-# -- Figure 2: unusual high tide ---------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Figure2Result:
-    """Data behind Figure 2: real vs predicted around the highest tide.
-
-    ``start``/``stop`` index the validation *window targets*; ``real``
-    and ``predicted`` are aligned segments (NaN where the system
-    abstained).
-    """
-
-    start: int
-    stop: int
-    real: np.ndarray
-    predicted: np.ndarray
-    peak_level: float
-    peak_error: float
-    coverage: float
+# -- Figure 2 -----------------------------------------------------------------
 
 
 def run_figure2(
@@ -298,78 +244,23 @@ def run_figure2(
     ``±window_halfwidth`` hours around it, and returns real vs predicted
     segments for plotting.
     """
-    data = load_venice(scale=scale)
-    config = venice_config(horizon=1, scale=scale).replace(
-        incremental=incremental
+    payloads = run_scenario(
+        "figure2", scale=scale, seed=seed, backend=backend,
+        max_executions=max_executions, incremental=incremental,
+        compiled=compiled,
+        options=(("window_halfwidth", window_halfwidth),),
     )
-    result, batch, train_ds, val_ds = _rs_predict(
-        data, config, 0.95, max_executions, seed, backend, compiled=compiled
-    )
-    peak_idx = int(np.argmax(val_ds.y))
-    start = max(0, peak_idx - window_halfwidth)
-    stop = min(len(val_ds), peak_idx + window_halfwidth)
-    real = val_ds.y[start:stop]
-    predicted = batch.values[start:stop]
-    peak_pred = batch.values[peak_idx]
-    peak_error = (
-        float(abs(peak_pred - val_ds.y[peak_idx]))
-        if np.isfinite(peak_pred)
-        else np.nan
-    )
-    seg_mask = np.isfinite(predicted)
-    return Figure2Result(
-        start=start,
-        stop=stop,
-        real=real,
-        predicted=predicted,
-        peak_level=float(val_ds.y[peak_idx]),
-        peak_error=peak_error,
-        coverage=float(seg_mask.mean()) if seg_mask.size else 0.0,
-    )
+    return payloads[0]
 
 
-# -- Ablations ---------------------------------------------------------------------
+# -- Ablations ----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class AblationRow:
-    """One ablation variant's score."""
-
-    variant: str
-    score: CoverageScore
-    detail: str = ""
-
-
-def _mackey_variant(
-    config: EvolutionConfig,
-    seed: int,
-    init: str = "stratified",
-    coverage_target: float = 0.90,
-    max_executions: int = 3,
-    compiled: bool = True,
-):
-    """(score, rule system) for one ablation variant on Mackey-Glass."""
-    data = load_mackey_glass()
-    train_ds, val_ds = data.windows(config.d, config.horizon)
-    result = multirun(
-        train_ds,
-        config,
-        coverage_target=coverage_target,
-        max_executions=max_executions,
-        root_seed=seed,
-        init=init,
-    )
-    batch = result.system.predict(val_ds.X, compiled=compiled)
-    return score_table2(val_ds.y, batch.values, batch.predicted), result.system
-
-
-def _prediction_span(system) -> float:
-    """Range of the pool's predicting parts — §3.2's diversity measure."""
-    preds = np.array([r.prediction for r in system.rules], dtype=np.float64)
-    preds = preds[np.isfinite(preds)]
-    if preds.size == 0:
-        return 0.0
-    return float(preds.max() - preds.min())
+def _ablation_rows(payloads: List[ScenarioRow]) -> List[AblationRow]:
+    return [
+        AblationRow(variant=p.variant, score=p.score, detail=p.detail)
+        for p in payloads
+    ]
 
 
 def run_ablation_init(
@@ -381,20 +272,10 @@ def run_ablation_init(
     ``detail`` records the span of the final rule pool's predictions —
     the output-space diversity §3.2 is designed to guarantee.
     """
-    config = mackey_config(horizon=50, scale=scale).replace(
-        incremental=incremental
-    )
-    rows = []
-    for init in ("stratified", "random"):
-        score, system = _mackey_variant(config, seed, init=init, compiled=compiled)
-        rows.append(
-            AblationRow(
-                variant=f"init={init}",
-                score=score,
-                detail=f"pred span {_prediction_span(system):.3f}",
-            )
-        )
-    return rows
+    return _ablation_rows(run_scenario(
+        "ablation-init", scale=scale, seed=seed,
+        incremental=incremental, compiled=compiled,
+    ))
 
 
 def run_ablation_replacement(
@@ -402,14 +283,10 @@ def run_ablation_replacement(
     compiled: bool = True,
 ) -> List[AblationRow]:
     """A2: crowding (jaccard) vs prediction-distance vs random vs worst."""
-    rows = []
-    for mode in ("jaccard", "prediction", "random", "worst"):
-        config = mackey_config(horizon=50, scale=scale).replace(
-            crowding=mode, incremental=incremental
-        )
-        score, _system = _mackey_variant(config, seed, compiled=compiled)
-        rows.append(AblationRow(variant=f"crowding={mode}", score=score))
-    return rows
+    return _ablation_rows(run_scenario(
+        "ablation-replacement", scale=scale, seed=seed,
+        incremental=incremental, compiled=compiled,
+    ))
 
 
 def run_ablation_emax(
@@ -420,28 +297,31 @@ def run_ablation_emax(
     compiled: bool = True,
 ) -> List[AblationRow]:
     """A3: EMAX sweep on Venice — the §5 coverage/accuracy trade-off."""
-    data = load_venice(scale=scale)
-    rows = []
-    for e_max in e_max_values:
-        config = venice_config(horizon=1, scale=scale)
-        config = config.replace(
-            fitness=config.fitness.__class__(e_max=float(e_max)),
-            incremental=incremental,
+    spec = get_scenario("ablation-emax")
+    grid = tuple(
+        GridPoint(
+            label=f"EMAX={e:g}", horizon=1, variant=f"EMAX={e:g}",
+            config_overrides=(("fitness.e_max", float(e)),),
         )
-        train_ds, val_ds = data.windows(config.d, config.horizon)
-        result = multirun(
-            train_ds, config, coverage_target=0.99, max_executions=3, root_seed=seed
-        )
-        batch = result.system.predict(val_ds.X, compiled=compiled)
-        score = score_table1(val_ds.y, batch.values, batch.predicted)
-        rows.append(
-            AblationRow(
-                variant=f"EMAX={e_max:g}",
-                score=score,
-                detail=f"{len(result.system)} rules",
-            )
-        )
-    return rows
+        for e in e_max_values
+    )
+    orchestrator = ExperimentOrchestrator()
+    run = orchestrator.run(
+        [spec.name], scale=scale, seed=seed, incremental=incremental,
+        compiled=compiled, grid_overrides=_grid_override(spec.name, grid),
+    )
+    return _ablation_rows(run.payloads(spec.name))
+
+
+def run_ablation_pooling(
+    scale: str = "bench", seed: int = 13, incremental: bool = True,
+    compiled: bool = True,
+) -> List[AblationRow]:
+    """A4: pooled executions vs a single execution (sunspots, h=4)."""
+    return _ablation_rows(run_scenario(
+        "ablation-pooling", scale=scale, seed=seed,
+        incremental=incremental, compiled=compiled,
+    ))
 
 
 def run_ablation_predicting_mode(
@@ -454,48 +334,7 @@ def run_ablation_predicting_mode(
     while the procedure specifies a regression hyperplane; this ablation
     measures what the hyperplane buys (Mackey-Glass, h=50).
     """
-    rows = []
-    for mode in ("linear", "constant"):
-        config = mackey_config(horizon=50, scale=scale).replace(
-            predicting_mode=mode, incremental=incremental
-        )
-        score, system = _mackey_variant(config, seed, compiled=compiled)
-        rows.append(
-            AblationRow(
-                variant=f"predicting={mode}",
-                score=score,
-                detail=f"{len(system)} rules",
-            )
-        )
-    return rows
-
-
-def run_ablation_pooling(
-    scale: str = "bench", seed: int = 13, incremental: bool = True,
-    compiled: bool = True,
-) -> List[AblationRow]:
-    """A4: pooled executions vs a single execution (sunspots, h=4)."""
-    data = load_sunspot(scale=scale)
-    config = sunspot_config(horizon=4, scale=scale).replace(
-        incremental=incremental
-    )
-    train_ds, val_ds = data.windows(config.d, config.horizon)
-    rows = []
-    for n_exec in (1, 2, 4):
-        result = multirun(
-            train_ds,
-            config,
-            coverage_target=1.01,  # never early-stop: fixed execution count
-            max_executions=n_exec,
-            root_seed=seed,
-        )
-        batch = result.system.predict(val_ds.X, compiled=compiled)
-        score = score_table3(val_ds.y, batch.values, config.horizon, batch.predicted)
-        rows.append(
-            AblationRow(
-                variant=f"executions={n_exec}",
-                score=score,
-                detail=f"{len(result.system)} rules",
-            )
-        )
-    return rows
+    return _ablation_rows(run_scenario(
+        "ablation-predicting", scale=scale, seed=seed,
+        incremental=incremental, compiled=compiled,
+    ))

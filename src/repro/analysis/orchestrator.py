@@ -1,0 +1,708 @@
+"""Resumable experiment orchestrator over the scenario registry.
+
+:class:`ExperimentOrchestrator` turns registered
+:class:`~repro.analysis.scenarios.ScenarioSpec` values into runnable
+work:
+
+1. **Expansion** — each scenario's grid becomes a list of
+   :class:`ExperimentTask` nodes (a small DAG: tasks may name
+   prerequisites via ``requires``; today's scenarios are embarrassingly
+   parallel, so the graph is flat).
+2. **Fan-out** — ready tasks run through any
+   :class:`~repro.parallel.backends.Backend` (serial or process pool).
+   Results are bitwise identical across backends because every task
+   derives its RNG stream from its own root seed.
+3. **Memoization** — finished tasks are stored in a
+   :class:`~repro.io.cache.ResultCache` keyed on
+   ``spec_hash({scenario spec, task, code version})``: re-running the
+   same sweep skips execution entirely, and any change to the spec, the
+   seed, the scale or the code version misses cleanly.
+4. **Checkpointing** — a state directory holds the pickled plan plus a
+   JSON manifest updated after every completed batch, so a killed sweep
+   resumes (``repro experiment resume``) instead of restarting.
+
+The classic ``run_table1``-style functions in
+:mod:`~repro.analysis.experiments` are shims over :func:`execute_task`
+with no cache and no state directory — pure in-memory runs, bitwise
+identical to the original hand-rolled loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.multirun import multirun
+from ..io.cache import ResultCache, spec_hash
+from ..metrics.coverage import (
+    CoverageScore,
+    score_table1,
+    score_table2,
+    score_table3,
+)
+from ..parallel.backends import Backend, SerialBackend
+from .scenarios import (
+    GridPoint,
+    ScenarioSpec,
+    build_baseline,
+    build_dataset,
+    get_scenario,
+    resolve_config_factory,
+)
+
+__all__ = [
+    "ExperimentTask",
+    "TaskResult",
+    "ScenarioRow",
+    "Figure2Result",
+    "ExperimentRun",
+    "ExperimentOrchestrator",
+    "execute_task",
+]
+
+
+def _code_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+# -- task + result values -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One grid point of one scenario, with its resolved run options.
+
+    The task carries its full :class:`ScenarioSpec` (``spec``), making
+    it self-contained: process-pool workers and cross-process resumes
+    never re-resolve the scenario from their own (process-local)
+    registry, so runtime-registered scenarios fan out and resume like
+    built-ins.  Everything that determines the result is on the task
+    (the spec included), and the memo key hashes all of it plus the
+    code version — two tasks differing in any knob, even a noise level
+    buried in ``point.dataset_params``, never collide.
+    """
+
+    scenario: str
+    spec: ScenarioSpec
+    index: int
+    point: GridPoint
+    scale: str = "bench"
+    seed: int = 0
+    max_executions: int = 3
+    incremental: bool = True
+    compiled: bool = True
+    options: Tuple[Tuple[str, object], ...] = ()
+    requires: Tuple[str, ...] = ()
+
+    @property
+    def task_id(self) -> str:
+        """Stable human-readable identifier (``scenario[label]``)."""
+        return f"{self.scenario}[{self.point.label}]"
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One scored grid point — the payload of table/ablation/stream tasks.
+
+    ``baselines`` holds ``(baseline name, error)`` pairs in spec order;
+    ``events_per_sec`` is wall-clock throughput for stream scenarios
+    and is excluded from equality (timing is the one non-deterministic
+    output, and bitwise-identity checks must not depend on it).
+    """
+
+    scenario: str
+    label: str
+    horizon: int
+    score: CoverageScore
+    variant: str = ""
+    baselines: Tuple[Tuple[str, float], ...] = ()
+    detail: str = ""
+    events_per_sec: float = field(default=0.0, compare=False)
+
+    def baseline_error(self, name: str) -> float:
+        """The error of the named baseline comparator."""
+        return dict(self.baselines)[name]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Data behind Figure 2: real vs predicted around the highest tide.
+
+    ``start``/``stop`` index the validation *window targets*; ``real``
+    and ``predicted`` are aligned segments (NaN where the system
+    abstained).
+    """
+
+    start: int
+    stop: int
+    real: np.ndarray
+    predicted: np.ndarray
+    peak_level: float
+    peak_error: float
+    coverage: float
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """A finished task: its payload plus execution metadata.
+
+    ``cached`` and ``seconds`` are bookkeeping, excluded from equality
+    — a memoized result *is* the result.
+    """
+
+    task_id: str
+    scenario: str
+    label: str
+    payload: object
+    cached: bool = field(default=False, compare=False)
+    seconds: float = field(default=0.0, compare=False)
+
+
+# -- task execution (module-level: process pools pickle the function) ---------
+
+
+def _apply_config_overrides(config, overrides: Tuple[Tuple[str, object], ...]):
+    for key, value in overrides:
+        if key == "fitness.e_max":
+            # Historical EMAX-ablation semantics, pinned by the parity
+            # suite: rebuild the fitness params from scratch (defaults
+            # for every other field), exactly what the ablation always
+            # did.  Use e.g. "fitness.f_min" for a field-preserving
+            # nested override.
+            config = config.replace(
+                fitness=config.fitness.__class__(e_max=float(value))
+            )
+        elif "." in key:
+            # Nested override: replace one field of a sub-dataclass,
+            # preserving its other fields.
+            parent_name, field_name = key.split(".", 1)
+            parent = getattr(config, parent_name)
+            config = config.replace(
+                **{parent_name: dataclasses.replace(parent, **{field_name: value})}
+            )
+        else:
+            config = config.replace(**{key: value})
+    return config
+
+
+def _score(metric: str, horizon: int, y_true, y_pred, predicted=None) -> CoverageScore:
+    if metric == "rmse":
+        return score_table1(y_true, y_pred, predicted)
+    if metric == "nmse":
+        return score_table2(y_true, y_pred, predicted)
+    if metric == "galvan":
+        return score_table3(y_true, y_pred, horizon, predicted)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def _prediction_span(system) -> float:
+    """Range of the pool's predicting parts — §3.2's diversity measure."""
+    preds = np.array([r.prediction for r in system.rules], dtype=np.float64)
+    preds = preds[np.isfinite(preds)]
+    if preds.size == 0:
+        return 0.0
+    return float(preds.max() - preds.min())
+
+
+def _detail(kind: str, result) -> str:
+    if kind == "n_rules":
+        return f"{len(result.system)} rules"
+    if kind == "pred_span":
+        return f"pred span {_prediction_span(result.system):.3f}"
+    return ""
+
+
+def _train_and_predict(
+    spec: ScenarioSpec,
+    task: ExperimentTask,
+    backend: Optional[Backend] = None,
+    predict: bool = True,
+):
+    """The shared pooled-training body every scenario kind starts from.
+
+    ``backend`` parallelizes the pooled GA executions *inside* this
+    task; results are backend-invariant (root-seeded), so it only
+    changes wall-clock.  The orchestrator supplies it when a batch has
+    a single task and workers would otherwise idle.  ``predict=False``
+    skips the batch scoring of the validation windows (``batch`` is
+    ``None``) for executors that score another way, e.g. streaming
+    replay.
+    """
+    point = task.point
+    data = build_dataset(spec.dataset, task.scale, point.dataset_params)
+    config = resolve_config_factory(spec.config_factory)(
+        horizon=point.horizon, scale=task.scale
+    )
+    config = config.replace(incremental=task.incremental)
+    config = _apply_config_overrides(config, point.config_overrides)
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+    max_exec = (
+        point.max_executions
+        if point.max_executions is not None
+        else task.max_executions
+    )
+    result = multirun(
+        train_ds,
+        config,
+        coverage_target=spec.coverage_target,
+        max_executions=max_exec,
+        backend=backend,
+        root_seed=task.seed + spec.seed_stride * task.index,
+        init=point.init if point.init is not None else spec.init,
+    )
+    batch = (
+        result.system.predict(val_ds.X, compiled=task.compiled)
+        if predict
+        else None
+    )
+    return data, config, result, batch, train_ds, val_ds
+
+
+def _options(spec: ScenarioSpec, task: ExperimentTask) -> Dict[str, object]:
+    merged = dict(spec.options)
+    merged.update(dict(task.options))
+    return merged
+
+
+def _scored_row(
+    spec: ScenarioSpec, task: ExperimentTask, backend: Optional[Backend] = None
+) -> ScenarioRow:
+    """Executor for ``table`` and ``ablation`` scenarios."""
+    _data, config, result, batch, train_ds, val_ds = _train_and_predict(
+        spec, task, backend
+    )
+    score = _score(
+        spec.metric, config.horizon, val_ds.y, batch.values, batch.predicted
+    )
+    options = _options(spec, task)
+    baselines: List[Tuple[str, float]] = []
+    for baseline in spec.baselines:
+        model = build_baseline(baseline.name, options, task.seed + task.index)
+        model.fit(train_ds.X, train_ds.y)
+        b_score = _score(
+            spec.metric, config.horizon, val_ds.y, model.predict(val_ds.X)
+        )
+        baselines.append((baseline.name, float(b_score.error)))
+    return ScenarioRow(
+        scenario=spec.name,
+        label=task.point.label,
+        horizon=config.horizon,
+        variant=task.point.variant,
+        score=score,
+        baselines=tuple(baselines),
+        detail=_detail(spec.detail, result),
+    )
+
+
+def _figure_row(
+    spec: ScenarioSpec, task: ExperimentTask, backend: Optional[Backend] = None
+) -> Figure2Result:
+    """Executor for ``figure`` scenarios (the Figure 2 segment)."""
+    _data, _config, _result, batch, _train_ds, val_ds = _train_and_predict(
+        spec, task, backend
+    )
+    halfwidth = int(_options(spec, task).get("window_halfwidth", 48))
+    peak_idx = int(np.argmax(val_ds.y))
+    start = max(0, peak_idx - halfwidth)
+    stop = min(len(val_ds), peak_idx + halfwidth)
+    real = val_ds.y[start:stop]
+    predicted = batch.values[start:stop]
+    peak_pred = batch.values[peak_idx]
+    peak_error = (
+        float(abs(peak_pred - val_ds.y[peak_idx]))
+        if np.isfinite(peak_pred)
+        else np.nan
+    )
+    seg_mask = np.isfinite(predicted)
+    return Figure2Result(
+        start=start,
+        stop=stop,
+        real=real,
+        predicted=predicted,
+        peak_level=float(val_ds.y[peak_idx]),
+        peak_error=peak_error,
+        coverage=float(seg_mask.mean()) if seg_mask.size else 0.0,
+    )
+
+
+def _stream_row(
+    spec: ScenarioSpec, task: ExperimentTask, backend: Optional[Backend] = None
+) -> ScenarioRow:
+    """Executor for ``stream`` scenarios: per-event replay + throughput."""
+    from ..serve import StreamingForecaster
+
+    data, config, result, _batch, _train_ds, _val_ds = _train_and_predict(
+        spec, task, backend, predict=False
+    )
+    series = data.validation
+    forecaster = StreamingForecaster(result.system, horizon=config.horizon)
+    t0 = time.perf_counter()
+    steps = [forecaster.update(v) for v in series]
+    elapsed = time.perf_counter() - t0
+    values = np.array([s.value for s in steps], dtype=np.float64)
+    h = config.horizon
+    if series.shape[0] <= h:
+        raise ValueError(
+            f"validation series too short ({series.shape[0]}) for "
+            f"streaming horizon {h}"
+        )
+    # The forecast made after observing series[t] targets series[t+h].
+    score = _score(spec.metric, h, series[h:], values[:-h])
+    return ScenarioRow(
+        scenario=spec.name,
+        label=task.point.label,
+        horizon=h,
+        variant=task.point.variant,
+        score=score,
+        detail=f"{series.shape[0]} events, {len(result.system)} rules",
+        events_per_sec=series.shape[0] / elapsed if elapsed > 0 else 0.0,
+    )
+
+
+_EXECUTORS = {
+    "table": _scored_row,
+    "ablation": _scored_row,
+    "figure": _figure_row,
+    "stream": _stream_row,
+}
+
+
+def execute_task(
+    task: ExperimentTask, backend: Optional[Backend] = None
+) -> TaskResult:
+    """Run one task to completion (picklable: process-pool safe).
+
+    ``backend`` optionally parallelizes the pooled executions inside
+    the task; it is only supplied for in-process execution (a live
+    process pool cannot be shipped to a worker).
+    """
+    spec = task.spec
+    t0 = time.perf_counter()
+    payload = _EXECUTORS[spec.kind](spec, task, backend)
+    return TaskResult(
+        task_id=task.task_id,
+        scenario=task.scenario,
+        label=task.point.label,
+        payload=payload,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+# -- run state ----------------------------------------------------------------
+
+
+@dataclass
+class ExperimentRun:
+    """The (possibly partial) outcome of an orchestrated sweep."""
+
+    tasks: List[ExperimentTask]
+    results: Dict[str, TaskResult]
+
+    @property
+    def complete(self) -> bool:
+        """True when every planned task has a result."""
+        return all(t.task_id in self.results for t in self.tasks)
+
+    @property
+    def n_executed(self) -> int:
+        """Tasks actually executed in this invocation (cache misses)."""
+        return sum(1 for r in self.results.values() if not r.cached)
+
+    @property
+    def n_cached(self) -> int:
+        """Tasks satisfied from the memo cache or a prior checkpoint."""
+        return sum(1 for r in self.results.values() if r.cached)
+
+    def payloads(self, scenario: str) -> List[object]:
+        """Finished payloads of one scenario, in grid order."""
+        return [
+            self.results[t.task_id].payload
+            for t in self.tasks
+            if t.scenario == scenario and t.task_id in self.results
+        ]
+
+    def scenarios(self) -> List[str]:
+        """Scenario names in plan order (unique)."""
+        seen: List[str] = []
+        for t in self.tasks:
+            if t.scenario not in seen:
+                seen.append(t.scenario)
+        return seen
+
+
+def _ready_wave(
+    pending: Sequence[ExperimentTask], done: Sequence[str]
+) -> List[ExperimentTask]:
+    """Tasks whose prerequisites are all satisfied (pure; unit-tested)."""
+    done_set = set(done)
+    return [t for t in pending if all(r in done_set for r in t.requires)]
+
+
+class ExperimentOrchestrator:
+    """Plans, runs, memoizes and resumes scenario sweeps.
+
+    Parameters
+    ----------
+    backend:
+        Task fan-out backend (serial by default).  Results are
+        backend-invariant; only wall-clock changes.
+    cache_dir:
+        Memo store for finished tasks.  ``None`` disables memoization
+        (the shims use this: pure in-memory runs with no side effects).
+    state_dir:
+        Checkpoint directory (pickled plan + JSON manifest).  ``None``
+        disables checkpointing.  When a state dir is given without a
+        cache dir, the cache lives inside it (``<state_dir>/cache``).
+    code_version:
+        Partitions the memo space; defaults to ``repro.__version__``.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        state_dir: Optional[Union[str, Path]] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if cache_dir is None and self.state_dir is not None:
+            cache_dir = self.state_dir / "cache"
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.code_version = (
+            code_version if code_version is not None else _code_version()
+        )
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(
+        self,
+        scenarios: Sequence[str],
+        scale: str = "bench",
+        seed: Optional[int] = None,
+        max_executions: Optional[int] = None,
+        incremental: bool = True,
+        compiled: bool = True,
+        options: Tuple[Tuple[str, object], ...] = (),
+        grid_overrides: Optional[Dict[str, Tuple[GridPoint, ...]]] = None,
+    ) -> List[ExperimentTask]:
+        """Expand scenario names into the full task list.
+
+        ``seed``/``max_executions`` override every spec's defaults when
+        given; ``grid_overrides`` substitutes a custom grid for a named
+        scenario (how the shims honour a caller's ``horizons``).
+        """
+        tasks: List[ExperimentTask] = []
+        for name in scenarios:
+            spec = get_scenario(name)
+            grid = (grid_overrides or {}).get(name, spec.grid)
+            for i, point in enumerate(grid):
+                tasks.append(
+                    ExperimentTask(
+                        scenario=name,
+                        spec=spec,
+                        index=i,
+                        point=point,
+                        scale=scale,
+                        seed=spec.seed if seed is None else seed,
+                        max_executions=(
+                            spec.max_executions
+                            if max_executions is None
+                            else max_executions
+                        ),
+                        incremental=incremental,
+                        compiled=compiled,
+                        options=options,
+                    )
+                )
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate task ids in plan: {sorted(ids)}")
+        return tasks
+
+    def task_key(self, task: ExperimentTask) -> str:
+        """The memo key: the full task (spec embedded) + code version."""
+        return spec_hash({"task": task, "code": self.code_version})
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _plan_fingerprint(self, tasks: Sequence[ExperimentTask]) -> str:
+        return spec_hash({"tasks": tuple(tasks), "code": self.code_version})
+
+    def _write_plan(self, tasks: Sequence[ExperimentTask]) -> None:
+        assert self.state_dir is not None
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.state_dir / "plan.pkl.tmp"
+        with tmp.open("wb") as fh:
+            pickle.dump(list(tasks), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(self.state_dir / "plan.pkl")
+
+    def _load_plan(self) -> List[ExperimentTask]:
+        assert self.state_dir is not None
+        path = self.state_dir / "plan.pkl"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no checkpointed plan in {self.state_dir} — run "
+                "'repro experiment run' with --state-dir first"
+            )
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+
+    def _manifest_path(self) -> Path:
+        assert self.state_dir is not None
+        return self.state_dir / "manifest.json"
+
+    def _write_manifest(
+        self,
+        tasks: Sequence[ExperimentTask],
+        completed: Dict[str, str],
+    ) -> None:
+        if self.state_dir is None:
+            return
+        manifest = {
+            "code_version": self.code_version,
+            "plan_fingerprint": self._plan_fingerprint(tasks),
+            "n_tasks": len(tasks),
+            "scenarios": sorted({t.scenario for t in tasks}),
+            "completed": completed,
+        }
+        tmp = self._manifest_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        tmp.replace(self._manifest_path())
+
+    def _read_manifest(self) -> Optional[Dict]:
+        if self.state_dir is None or not self._manifest_path().exists():
+            return None
+        try:
+            return json.loads(self._manifest_path().read_text())
+        except (ValueError, OSError):
+            return None
+
+    # -- running -------------------------------------------------------------
+
+    def run(
+        self,
+        scenarios: Sequence[str],
+        max_tasks: Optional[int] = None,
+        **plan_kwargs,
+    ) -> ExperimentRun:
+        """Plan and run scenarios (continuing a matching checkpoint).
+
+        If the state dir already holds a checkpoint for the *same* plan
+        (same tasks, same code version), completed work is kept;
+        otherwise the checkpoint is reset to the new plan.
+        ``max_tasks`` caps the number of tasks *executed* in this
+        invocation — the sweep stops at a consistent checkpoint and can
+        be finished later with :meth:`resume` (this is also how the
+        kill/resume property tests simulate interruption at every
+        boundary).
+        """
+        tasks = self.plan(scenarios, **plan_kwargs)
+        if self.state_dir is not None:
+            manifest = self._read_manifest()
+            fresh = (
+                manifest is None
+                or manifest.get("plan_fingerprint")
+                != self._plan_fingerprint(tasks)
+            )
+            self._write_plan(tasks)
+            if fresh:
+                self._write_manifest(tasks, {})
+        return self._run_tasks(tasks, max_tasks=max_tasks)
+
+    def resume(self, max_tasks: Optional[int] = None) -> ExperimentRun:
+        """Continue the checkpointed sweep in ``state_dir``."""
+        if self.state_dir is None:
+            raise ValueError("resume() requires a state_dir")
+        return self._run_tasks(self._load_plan(), max_tasks=max_tasks)
+
+    def _run_tasks(
+        self,
+        tasks: List[ExperimentTask],
+        max_tasks: Optional[int] = None,
+    ) -> ExperimentRun:
+        results: Dict[str, TaskResult] = {}
+        completed_keys: Dict[str, str] = {}
+        manifest = self._read_manifest()
+        if manifest is not None and manifest.get(
+            "plan_fingerprint"
+        ) == self._plan_fingerprint(tasks):
+            completed_keys = dict(manifest.get("completed", {}))
+
+        by_id = {t.task_id: t for t in tasks}
+        # Rehydrate checkpointed results from the cache; a missing or
+        # corrupt cache entry simply re-runs the task.
+        for task_id, key in list(completed_keys.items()):
+            task = by_id.get(task_id)
+            if task is None:
+                completed_keys.pop(task_id)
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is None:
+                completed_keys.pop(task_id)
+            else:
+                results[task_id] = dataclasses.replace(cached, cached=True)
+
+        pending = [t for t in tasks if t.task_id not in results]
+        executed = 0
+        workers = max(1, getattr(self.backend, "workers", 1))
+
+        while pending:
+            wave = _ready_wave(pending, list(results))
+            if not wave:
+                unmet = {t.task_id: t.requires for t in pending}
+                raise RuntimeError(
+                    f"no runnable tasks (cycle or unmet requires): {unmet}"
+                )
+            # Memo hits first — they cost nothing and never count
+            # against max_tasks.
+            to_run: List[ExperimentTask] = []
+            for task in wave:
+                key = self.task_key(task)
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    results[task.task_id] = dataclasses.replace(hit, cached=True)
+                    completed_keys[task.task_id] = key
+                else:
+                    to_run.append(task)
+            if results:
+                self._write_manifest(tasks, completed_keys)
+            pending = [t for t in pending if t.task_id not in results]
+            if not to_run:
+                continue
+
+            # Execute in backend-sized batches; every batch boundary is
+            # a checkpoint a killed run can resume from.
+            for start in range(0, len(to_run), workers):
+                if max_tasks is not None and executed >= max_tasks:
+                    return ExperimentRun(tasks=tasks, results=results)
+                batch = to_run[start : start + workers]
+                if max_tasks is not None:
+                    batch = batch[: max_tasks - executed]
+                if len(batch) == 1 and workers > 1:
+                    # A lone task would leave workers idle; run it
+                    # in-process and parallelize its pooled executions
+                    # instead (backend-invariant, so bitwise identical).
+                    batch_results = [execute_task(batch[0], self.backend)]
+                else:
+                    batch_results = self.backend.map(execute_task, batch)
+                for task, result in zip(batch, batch_results):
+                    results[task.task_id] = result
+                    if self.cache is not None:
+                        key = self.task_key(task)
+                        self.cache.put(key, result)
+                        completed_keys[task.task_id] = key
+                executed += len(batch)
+                self._write_manifest(tasks, completed_keys)
+            pending = [t for t in pending if t.task_id not in results]
+
+        return ExperimentRun(tasks=tasks, results=results)

@@ -26,6 +26,7 @@ __all__ = [
     "table3_markdown",
     "figure2_markdown",
     "ablation_markdown",
+    "scenario_report",
 ]
 
 
@@ -93,6 +94,54 @@ def figure2_markdown(result: Figure2Result) -> str:
             f"segment: {100 * result.coverage:.1f}%",
         ]
     )
+
+
+_METRIC_NAMES = {"rmse": "RMSE", "nmse": "NMSE", "galvan": "Galvan error"}
+_METRIC_DIGITS = {"rmse": 2, "nmse": 5, "galvan": 5}
+
+
+def scenario_report(spec, payloads: Sequence) -> str:
+    """Render any scenario's payloads as the paper-layout text block.
+
+    Dispatches on the spec's kind: tables/ablations/streams become a
+    :func:`~repro.analysis.tables.format_table` grid with one column
+    per baseline; figure scenarios become the real-vs-predicted ASCII
+    overlay plus the Figure 2 summary lines.  Used by
+    ``repro experiment run`` and the orchestrator bench.
+    """
+    from .ascii_plot import overlay_plot
+    from .tables import format_table
+
+    title = f"{spec.name} — {spec.title}"
+    if spec.kind == "figure":
+        result = payloads[0]
+        plot = overlay_plot(
+            {"real": result.real, "pred": result.predicted}, title=title
+        )
+        return plot + "\n\n" + figure2_markdown(result)
+
+    digits = _METRIC_DIGITS[spec.metric]
+    headers = ["Point", "% pred", f"RS {_METRIC_NAMES[spec.metric]}"]
+    headers += [b.column for b in spec.baselines]
+    if spec.kind == "stream":
+        headers.append("events/s")
+    headers.append("detail")
+    body = []
+    for row in payloads:
+        cells = [
+            row.variant or row.label,
+            f"{row.score.percentage:.1f}",
+            format_float(row.score.error, digits),
+        ]
+        errors = dict(row.baselines)
+        cells += [
+            format_float(errors.get(b.name), digits) for b in spec.baselines
+        ]
+        if spec.kind == "stream":
+            cells.append(f"{row.events_per_sec:.0f}")
+        cells.append(row.detail)
+        body.append(cells)
+    return format_table(headers, body, title=title)
 
 
 def ablation_markdown(rows: Sequence[AblationRow], metric_name: str) -> str:

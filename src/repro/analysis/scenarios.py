@@ -1,0 +1,841 @@
+"""Declarative scenario registry — every experiment as one data value.
+
+The paper's evaluation is a grid of scenarios (Venice Lagoon,
+Mackey-Glass, sunspots, plus ablations over horizons, operators and
+pooling).  Historically each lived in a hand-rolled ``run_*`` function
+and a separate bench script; this module replaces that with *data*: a
+:class:`ScenarioSpec` names a dataset factory, a GA config factory, a
+grid of points (horizons or ablation variants, each with optional
+config/dataset overrides), the metric, the baselines to compare and the
+paper's reference numbers where known.
+
+The :mod:`~repro.analysis.orchestrator` expands registered specs into
+tasks, runs them over any :mod:`~repro.parallel.backends` backend,
+memoizes finished tasks and checkpoints progress; the classic
+``run_table1``-style entry points in :mod:`~repro.analysis.experiments`
+are thin shims over the same specs, bitwise identical to the original
+hand-rolled loops.
+
+Adding a workload is one :func:`register` call (see
+``examples/experiment_sweep.py``); the scenario catalog in
+``docs/scenarios.md`` is generated from this registry via
+``repro experiment list --markdown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..series.datasets import (
+    SplitSeries,
+    load_mackey_glass,
+    load_sunspot,
+    load_venice,
+)
+from ..series.lorenz import lorenz_series
+from ..series.noise import white_noise
+from ..series.windowing import MinMaxScaler, train_test_split_series
+
+__all__ = [
+    "DatasetSpec",
+    "GridPoint",
+    "BaselineSpec",
+    "ScenarioSpec",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "build_dataset",
+    "resolve_config_factory",
+    "build_baseline",
+    "catalog_markdown",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+]
+
+# -- paper reference numbers (for report juxtaposition) ----------------------
+
+#: Table 1 (Venice): horizon -> (percentage of prediction, RMSE RS, RMSE NN).
+PAPER_TABLE1: Dict[int, tuple] = {
+    1: (91.3, 3.37, 3.30),
+    4: (99.1, 8.26, 9.55),
+    12: (98.0, 8.46, 11.38),
+    24: (99.3, 8.70, 11.64),
+    28: (98.8, 11.62, 15.74),
+    48: (97.8, 11.28, None),
+    72: (99.7, 14.45, None),
+    96: (99.5, 16.04, None),
+}
+
+#: Table 2 (Mackey-Glass): horizon -> (percentage, RS NMSE, MRAN, RAN).
+PAPER_TABLE2: Dict[int, tuple] = {
+    50: (78.9, 0.025, 0.040, None),
+    85: (78.2, 0.046, None, 0.050),
+}
+
+#: Table 3 (sunspots): horizon -> (percentage, RS, feedforward NN, recurrent NN).
+PAPER_TABLE3: Dict[int, tuple] = {
+    1: (100.0, 0.00228, 0.00511, 0.00511),
+    4: (97.6, 0.00351, 0.00965, 0.00838),
+    8: (95.2, 0.00377, 0.01177, 0.00781),
+    12: (100.0, 0.00642, 0.01587, 0.01080),
+    18: (99.8, 0.01021, 0.02570, 0.01464),
+}
+
+
+# -- spec building blocks -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset factory name plus construction kwargs.
+
+    ``params`` is a tuple of ``(key, value)`` pairs (not a dict) so the
+    spec is hashable, picklable and canonically ordered for
+    :func:`repro.io.cache.spec_hash`.
+    """
+
+    factory: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of a scenario's evaluation grid.
+
+    A point is a horizon plus optional overrides: extra dataset kwargs
+    (e.g. a noise level), :class:`~repro.core.config.EvolutionConfig`
+    field overrides (``"fitness.e_max"`` rebuilds the fitness params
+    the way the EMAX ablation always did), a per-point execution cap
+    (the pooling ablation) and a per-point initialization mode.
+    ``variant`` is the display name ablation rows carry.
+    """
+
+    label: str
+    horizon: int
+    variant: str = ""
+    dataset_params: Tuple[Tuple[str, object], ...] = ()
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+    max_executions: Optional[int] = None
+    init: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """A registered baseline comparator and its report column name."""
+
+    name: str
+    column: str
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, declarative experiment description.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro experiment run <name>``).
+    title / section / description:
+        Catalog prose; ``section`` cites the paper section or marks the
+        scenario as an extension.
+    kind:
+        ``"table"`` (score vs baselines per horizon), ``"figure"``
+        (real-vs-predicted segment), ``"ablation"`` (score per
+        variant) or ``"stream"`` (per-event serving replay).
+    dataset:
+        :class:`DatasetSpec` resolved through :func:`build_dataset`.
+    config_factory:
+        Name resolved to ``<name>_config`` on
+        :mod:`repro.analysis.experiments` at execution time (so tests
+        that monkeypatch the factories keep working).
+    grid:
+        The evaluation points.
+    metric:
+        ``"rmse"`` / ``"nmse"`` / ``"galvan"``.
+    coverage_target / max_executions / init:
+        Pooling parameters forwarded to
+        :func:`~repro.core.multirun.multirun`.
+    baselines:
+        Comparators built by :func:`build_baseline`.
+    seed:
+        Default root seed.
+    seed_stride:
+        Per-point seed spacing: point ``i`` runs with root seed
+        ``seed + seed_stride * i`` (tables use 1000, matching the
+        original runners; ablations use 0 — every variant shares one
+        seed so the comparison is paired).
+    options:
+        Free-form executor knobs (``mlp_epochs``, ``nn_epochs``,
+        ``window_halfwidth``) as ``(key, value)`` pairs.
+    detail:
+        Which per-point diagnostic the result rows carry (``""``,
+        ``"n_rules"`` or ``"pred_span"``).
+    paper_values:
+        ``(grid label, display string)`` pairs of published numbers.
+    """
+
+    name: str
+    title: str
+    section: str
+    kind: str
+    dataset: DatasetSpec
+    config_factory: str
+    grid: Tuple[GridPoint, ...]
+    metric: str
+    coverage_target: float
+    max_executions: int
+    description: str = ""
+    baselines: Tuple[BaselineSpec, ...] = ()
+    seed: int = 1
+    seed_stride: int = 1000
+    init: str = "stratified"
+    options: Tuple[Tuple[str, object], ...] = ()
+    detail: str = ""
+    paper_values: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("table", "figure", "ablation", "stream"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.metric not in ("rmse", "nmse", "galvan"):
+            raise ValueError(f"unknown metric {self.metric!r}")
+        if not self.grid:
+            raise ValueError(f"scenario {self.name!r} has an empty grid")
+        labels = [p.label for p in self.grid]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"scenario {self.name!r} has duplicate grid labels")
+
+    def options_dict(self) -> Dict[str, object]:
+        """The executor options as a plain dict."""
+        return dict(self.options)
+
+
+# -- registries ---------------------------------------------------------------
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+#: Dataset factories: name -> callable(scale, **params) -> SplitSeries.
+_DATASET_FACTORIES: Dict[str, Callable[..., SplitSeries]] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if spec.name in _SCENARIOS and not replace:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    if spec.dataset.factory not in _DATASET_FACTORIES:
+        raise ValueError(f"unknown dataset factory {spec.dataset.factory!r}")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_SCENARIOS)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """Registered specs, in registration order."""
+    return list(_SCENARIOS.values())
+
+
+def dataset_factory(name: str) -> Callable[..., SplitSeries]:
+    """The dataset factory registered under ``name``."""
+    try:
+        return _DATASET_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DATASET_FACTORIES))
+        raise KeyError(f"unknown dataset factory {name!r} (known: {known})") from None
+
+
+@lru_cache(maxsize=16)
+def _cached_dataset(
+    factory: str, scale: str, params: Tuple[Tuple[str, object], ...]
+) -> SplitSeries:
+    return dataset_factory(factory)(scale=scale, **dict(params))
+
+
+def build_dataset(
+    spec: DatasetSpec,
+    scale: str,
+    extra: Tuple[Tuple[str, object], ...] = (),
+) -> SplitSeries:
+    """Materialize a dataset spec (grid-point ``extra`` params win).
+
+    Construction is memoized per process, so a multi-horizon sweep
+    generates each series once (the old table runners loaded the data
+    once per table; the task-per-point orchestrator would otherwise
+    regenerate it per task).  Callers must treat the returned segments
+    as read-only — every consumer in this package does.
+    """
+    params = dict(spec.params)
+    params.update(dict(extra))
+    canonical = tuple(sorted(params.items()))
+    try:
+        hash(canonical)
+    except TypeError:  # unhashable param value: build uncached
+        return dataset_factory(spec.factory)(scale=scale, **params)
+    return _cached_dataset(spec.factory, scale, canonical)
+
+
+def resolve_config_factory(name: str) -> Callable:
+    """``<name>_config`` looked up on the experiments module *now*.
+
+    Resolution is deliberately late and goes through
+    :mod:`repro.analysis.experiments` attributes so the long-standing
+    test idiom of monkeypatching ``experiments.venice_config`` with a
+    tiny preset keeps shrinking scenario runs too.
+    """
+    from . import experiments
+
+    return getattr(experiments, f"{name}_config")
+
+
+def build_baseline(name: str, options: Dict[str, object], seed: int):
+    """Construct a baseline forecaster by registry name.
+
+    The builders mirror the exact constructions of the original table
+    runners (hidden sizes, epoch defaults, the Elman half-epoch rule),
+    so routing through the registry stays bitwise faithful.
+    """
+    from ..baselines import (
+        ARForecaster,
+        ElmanForecaster,
+        ElmanParams,
+        MLPForecaster,
+        MLPParams,
+        MRANForecaster,
+        RANForecaster,
+    )
+
+    if name == "mlp24":
+        return MLPForecaster(
+            MLPParams(hidden=24, epochs=int(options.get("mlp_epochs", 60)), seed=seed)
+        )
+    if name == "mlp16":
+        return MLPForecaster(
+            MLPParams(hidden=16, epochs=int(options.get("nn_epochs", 80)), seed=seed)
+        )
+    if name == "elman10":
+        epochs = max(20, int(options.get("nn_epochs", 80)) // 2)
+        return ElmanForecaster(ElmanParams(hidden=10, epochs=epochs, seed=seed))
+    if name == "ran":
+        return RANForecaster()
+    if name == "mran":
+        return MRANForecaster()
+    if name == "ar":
+        return ARForecaster()
+    raise KeyError(f"unknown baseline {name!r}")
+
+
+# -- dataset factories --------------------------------------------------------
+
+
+def _dataset(name: str) -> Callable:
+    def deco(fn: Callable[..., SplitSeries]) -> Callable[..., SplitSeries]:
+        _DATASET_FACTORIES[name] = fn
+        return fn
+
+    return deco
+
+
+@_dataset("venice")
+def _venice_dataset(scale: str = "bench") -> SplitSeries:
+    return load_venice(scale=scale)
+
+
+@_dataset("mackey_glass")
+def _mackey_dataset(scale: str = "bench") -> SplitSeries:
+    # The Mackey-Glass split is scale-invariant (the series is cheap);
+    # the original runners always used the default split.
+    return load_mackey_glass()
+
+
+@_dataset("sunspot")
+def _sunspot_dataset(scale: str = "bench") -> SplitSeries:
+    return load_sunspot(scale=scale)
+
+
+@_dataset("lorenz")
+def _lorenz_dataset(
+    scale: str = "bench",
+    n_samples: int = 2600,
+    n_train: int = 2000,
+    seed: int = 3,
+) -> SplitSeries:
+    """Lorenz-63 x-component, min-max scaled on the training block."""
+    series = lorenz_series(n_samples, seed=seed)
+    train_raw, val_raw = train_test_split_series(series, n_train)
+    scaler = MinMaxScaler().fit(train_raw)
+    return SplitSeries(
+        name="lorenz",
+        train=scaler.transform(train_raw),
+        validation=scaler.transform(val_raw),
+        scaler=scaler,
+    )
+
+
+@_dataset("noisy_mackey")
+def _noisy_mackey_dataset(
+    scale: str = "bench",
+    sigma: float = 0.0,
+    noise_seed: int = 977,
+) -> SplitSeries:
+    """Mackey-Glass with additive Gaussian noise on the scaled series.
+
+    Both segments are corrupted (one rng stream, train first) so the
+    rule system trains *and* is scored on the noisy process — the
+    robustness question is whether the coverage/error contract
+    degrades gracefully as ``sigma`` grows.
+    """
+    clean = load_mackey_glass()
+    if sigma <= 0.0:
+        return clean
+    noise = white_noise(
+        clean.train.shape[0] + clean.validation.shape[0],
+        sigma=float(sigma),
+        seed=noise_seed,
+    )
+    n_train = clean.train.shape[0]
+    return SplitSeries(
+        name="noisy_mackey",
+        train=clean.train + noise[:n_train],
+        validation=clean.validation + noise[n_train:],
+        scaler=clean.scaler,
+    )
+
+
+# -- scenario registrations ---------------------------------------------------
+
+
+def _horizon_grid(horizons, **overrides) -> Tuple[GridPoint, ...]:
+    """``h{h}``-labelled points, one per horizon."""
+    return tuple(GridPoint(label=f"h{h}", horizon=h, **overrides) for h in horizons)
+
+
+def _paper_rows(table: Dict[int, tuple], fmt: Callable[[tuple], str]) -> Tuple:
+    return tuple((f"h{h}", fmt(vals)) for h, vals in table.items())
+
+
+def _fmt_or_dash(v, spec: str = "g") -> str:
+    return "—" if v is None else format(v, spec)
+
+
+register(ScenarioSpec(
+    name="table1",
+    title="Venice Lagoon — RS vs feedforward NN",
+    section="§4.1 / Table 1",
+    kind="table",
+    description=(
+        "Hourly lagoon levels in raw centimetres; eight horizons from "
+        "1 h to 96 h.  The rule system is compared against a "
+        "feedforward NN on RMSE over the predicted subset."
+    ),
+    dataset=DatasetSpec("venice"),
+    config_factory="venice",
+    grid=_horizon_grid((1, 4, 12, 24, 28, 48, 72, 96)),
+    metric="rmse",
+    coverage_target=0.95,
+    max_executions=3,
+    baselines=(BaselineSpec("mlp24", "Error NN"),),
+    seed=1,
+    options=(("mlp_epochs", 60),),
+    paper_values=_paper_rows(
+        PAPER_TABLE1,
+        lambda v: f"{v[0]:.1f}% pred, RS {v[1]:.2f}, NN {_fmt_or_dash(v[2], '.2f')}",
+    ),
+))
+
+register(ScenarioSpec(
+    name="table2",
+    title="Mackey-Glass — RS vs MRAN vs RAN",
+    section="§4.2 / Table 2",
+    kind="table",
+    description=(
+        "The canonical chaotic benchmark, normalized to [0, 1]; "
+        "horizons 50 and 85.  NMSE against Platt-family growing RBF "
+        "networks."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=_horizon_grid((50, 85)),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    baselines=(BaselineSpec("mran", "MRAN"), BaselineSpec("ran", "RAN")),
+    seed=2,
+    paper_values=_paper_rows(
+        PAPER_TABLE2,
+        lambda v: (
+            f"{v[0]:.1f}% pred, RS {v[1]:g}, MRAN {_fmt_or_dash(v[2])}, "
+            f"RAN {_fmt_or_dash(v[3])}"
+        ),
+    ),
+))
+
+register(ScenarioSpec(
+    name="table3",
+    title="Sunspots — RS vs feedforward vs recurrent NN",
+    section="§4.3 / Table 3",
+    kind="table",
+    description=(
+        "Monthly sunspot numbers standardized to [0, 1] with the "
+        "paper's 1920–1928 validation gap; five horizons, Galván "
+        "error against both NN families."
+    ),
+    dataset=DatasetSpec("sunspot"),
+    config_factory="sunspot",
+    grid=_horizon_grid((1, 4, 8, 12, 18)),
+    metric="galvan",
+    coverage_target=0.95,
+    max_executions=3,
+    baselines=(
+        BaselineSpec("mlp16", "Feedfw NN"),
+        BaselineSpec("elman10", "Recurr NN"),
+    ),
+    seed=3,
+    options=(("nn_epochs", 80),),
+    paper_values=_paper_rows(
+        PAPER_TABLE3,
+        lambda v: (
+            f"{v[0]:.1f}% pred, RS {v[1]:g}, FF {_fmt_or_dash(v[2])}, "
+            f"REC {_fmt_or_dash(v[3])}"
+        ),
+    ),
+))
+
+register(ScenarioSpec(
+    name="figure2",
+    title="Unusual high tide — real vs predicted segment",
+    section="§4.1 / Figure 2",
+    kind="figure",
+    description=(
+        "Finds the acqua-alta peak in the Venice validation block and "
+        "returns aligned real/predicted segments around it (horizon "
+        "1), reproducing the paper's overlay figure."
+    ),
+    dataset=DatasetSpec("venice"),
+    config_factory="venice",
+    grid=(GridPoint(label="h1", horizon=1),),
+    metric="rmse",
+    coverage_target=0.95,
+    max_executions=3,
+    seed=4,
+    seed_stride=0,
+    options=(("window_halfwidth", 48),),
+))
+
+register(ScenarioSpec(
+    name="ablation-init",
+    title="Stratified vs random initialization",
+    section="§3.2 / ablation A1",
+    kind="ablation",
+    description=(
+        "Output-space-stratified initial boxes vs uniform random "
+        "boxes on Mackey-Glass h=50; rows record the prediction span "
+        "of the final pool (the diversity §3.2 guarantees)."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=tuple(
+        GridPoint(label=init, horizon=50, variant=f"init={init}", init=init)
+        for init in ("stratified", "random")
+    ),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    seed=10,
+    seed_stride=0,
+    detail="pred_span",
+))
+
+register(ScenarioSpec(
+    name="ablation-replacement",
+    title="Crowding replacement vs alternatives",
+    section="§3.3 / ablation A2",
+    kind="ablation",
+    description=(
+        "Jaccard-phenotype crowding vs prediction-distance, random "
+        "and worst-fitness replacement on Mackey-Glass h=50."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=tuple(
+        GridPoint(
+            label=mode, horizon=50, variant=f"crowding={mode}",
+            config_overrides=(("crowding", mode),),
+        )
+        for mode in ("jaccard", "prediction", "random", "worst")
+    ),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    seed=11,
+    seed_stride=0,
+))
+
+register(ScenarioSpec(
+    name="ablation-emax",
+    title="EMAX sweep — the coverage/accuracy dial",
+    section="§5 / ablation A3",
+    kind="ablation",
+    description=(
+        "Venice h=1 with the fitness tolerance EMAX swept over five "
+        "values: small EMAX buys accuracy at the cost of coverage."
+    ),
+    dataset=DatasetSpec("venice"),
+    config_factory="venice",
+    grid=tuple(
+        GridPoint(
+            label=f"EMAX={e:g}", horizon=1, variant=f"EMAX={e:g}",
+            config_overrides=(("fitness.e_max", e),),
+        )
+        for e in (5.0, 10.0, 25.0, 50.0, 100.0)
+    ),
+    metric="rmse",
+    coverage_target=0.99,
+    max_executions=3,
+    seed=12,
+    seed_stride=0,
+    detail="n_rules",
+))
+
+register(ScenarioSpec(
+    name="ablation-pooling",
+    title="Multi-execution pooling vs a single execution",
+    section="§3.4 / ablation A4",
+    kind="ablation",
+    description=(
+        "Sunspots h=4 with 1, 2 and 4 pooled executions (no early "
+        "stop): pooling buys coverage without losing accuracy."
+    ),
+    dataset=DatasetSpec("sunspot"),
+    config_factory="sunspot",
+    grid=tuple(
+        GridPoint(
+            label=f"x{n}", horizon=4, variant=f"executions={n}",
+            max_executions=n,
+        )
+        for n in (1, 2, 4)
+    ),
+    metric="galvan",
+    coverage_target=1.01,
+    max_executions=4,
+    seed=13,
+    seed_stride=0,
+    detail="n_rules",
+))
+
+register(ScenarioSpec(
+    name="ablation-predicting",
+    title="Linear-regression predicting part vs constant mean",
+    section="§3.1 / ablation A5",
+    kind="ablation",
+    description=(
+        "The paper's narrative example predicts a constant while the "
+        "procedure specifies a regression hyperplane; this measures "
+        "what the hyperplane buys on Mackey-Glass h=50."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=tuple(
+        GridPoint(
+            label=mode, horizon=50, variant=f"predicting={mode}",
+            config_overrides=(("predicting_mode", mode),),
+        )
+        for mode in ("linear", "constant")
+    ),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    seed=14,
+    seed_stride=0,
+    detail="n_rules",
+))
+
+register(ScenarioSpec(
+    name="lorenz",
+    title="Lorenz-63 multi-horizon generality table",
+    section="extension (§5 generality claim)",
+    kind="table",
+    description=(
+        "A second chaotic flow the paper never saw: the Lorenz-63 "
+        "x-component over three horizons, NMSE against a global AR "
+        "least-squares baseline."
+    ),
+    dataset=DatasetSpec("lorenz"),
+    config_factory="lorenz",
+    grid=_horizon_grid((1, 5, 10)),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    baselines=(BaselineSpec("ar", "AR"),),
+    seed=8,
+))
+
+register(ScenarioSpec(
+    name="noise-robustness",
+    title="Noise-robustness sweep on Mackey-Glass",
+    section="extension (robustness)",
+    kind="ablation",
+    description=(
+        "Additive Gaussian noise at four levels on the normalized "
+        "Mackey-Glass series (train and validation both corrupted): "
+        "the coverage/error contract should degrade gracefully, not "
+        "collapse."
+    ),
+    dataset=DatasetSpec("noisy_mackey"),
+    config_factory="mackey",
+    grid=tuple(
+        GridPoint(
+            label=f"sigma={s:g}", horizon=50, variant=f"sigma={s:g}",
+            dataset_params=(("sigma", s),),
+        )
+        for s in (0.0, 0.02, 0.05, 0.10)
+    ),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=3,
+    seed=21,
+    seed_stride=0,
+    detail="n_rules",
+))
+
+register(ScenarioSpec(
+    name="streaming-replay",
+    title="Streaming replay — per-event serving latency",
+    section="extension (serving)",
+    kind="stream",
+    description=(
+        "Trains a Mackey-Glass pool, then replays the validation "
+        "series one observation at a time through "
+        "serve.StreamingForecaster, reporting stream coverage, NMSE "
+        "of the realized forecasts and per-event throughput."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=_horizon_grid((1, 50)),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=2,
+    seed=31,
+))
+
+register(ScenarioSpec(
+    name="smoke",
+    title="Tiny end-to-end smoke scenario",
+    section="infrastructure",
+    kind="table",
+    description=(
+        "A deliberately tiny Mackey-Glass grid (shrunken population "
+        "and budget via config overrides) that exercises the full "
+        "orchestrator path — expansion, execution, caching, resume — "
+        "in seconds.  Used by CI and the determinism property tests."
+    ),
+    dataset=DatasetSpec("mackey_glass"),
+    config_factory="mackey",
+    grid=_horizon_grid(
+        (10, 30, 50),
+        config_overrides=(
+            ("d", 6), ("population_size", 15), ("generations", 150),
+        ),
+    ),
+    metric="nmse",
+    coverage_target=0.90,
+    max_executions=1,
+    baselines=(BaselineSpec("ran", "RAN"),),
+    seed=5,
+))
+
+
+# -- catalog ------------------------------------------------------------------
+
+_CATALOG_HEADER = """\
+# Scenario catalog
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  PYTHONPATH=src python -m repro.cli experiment list --markdown > docs/scenarios.md
+     CI checks that this file matches the registry. -->
+
+Every experiment in this repository is a declarative
+`ScenarioSpec` registered in `src/repro/analysis/scenarios.py`; the
+orchestrator (`repro experiment run <name> …`) expands each spec into
+cacheable tasks.  This catalog is generated from that registry.
+"""
+
+
+def catalog_markdown() -> str:
+    """The full scenario catalog as deterministic markdown."""
+    lines: List[str] = [_CATALOG_HEADER]
+    lines.append("## Index\n")
+    lines.append("| Scenario | Kind | Dataset | Grid | Metric | Source |")
+    lines.append("|---|---|---|---|---|---|")
+    for spec in all_scenarios():
+        lines.append(
+            f"| [`{spec.name}`](#scenario-{spec.name}) | {spec.kind} "
+            f"| `{spec.dataset.factory}` "
+            f"| {len(spec.grid)} point{'s' if len(spec.grid) != 1 else ''} "
+            f"| {spec.metric} | {spec.section} |"
+        )
+    lines.append("")
+    for spec in all_scenarios():
+        lines.append(f'<a id="scenario-{spec.name}"></a>')
+        lines.append(f"## `{spec.name}` — {spec.title}\n")
+        if spec.description:
+            lines.append(spec.description + "\n")
+        ds_params = ", ".join(f"{k}={v!r}" for k, v in spec.dataset.params)
+        lines.append("| Field | Value |")
+        lines.append("|---|---|")
+        lines.append(f"| Kind | {spec.kind} |")
+        lines.append(f"| Source | {spec.section} |")
+        lines.append(
+            f"| Dataset | `{spec.dataset.factory}`"
+            + (f" ({ds_params})" if ds_params else "")
+            + " |"
+        )
+        lines.append(f"| Config factory | `{spec.config_factory}_config` |")
+        lines.append(f"| Metric | {spec.metric} |")
+        lines.append(f"| Coverage target | {spec.coverage_target:g} |")
+        lines.append(f"| Max executions | {spec.max_executions} |")
+        if spec.baselines:
+            names = ", ".join(f"`{b.name}`" for b in spec.baselines)
+            lines.append(f"| Baselines | {names} |")
+        lines.append(f"| Root seed | {spec.seed} (stride {spec.seed_stride}) |")
+        if spec.options:
+            opts = ", ".join(f"{k}={v!r}" for k, v in spec.options)
+            lines.append(f"| Options | {opts} |")
+        lines.append("")
+        lines.append("Grid points:\n")
+        lines.append("| Label | Horizon | Overrides |")
+        lines.append("|---|---|---|")
+        for p in spec.grid:
+            over: List[str] = []
+            if p.variant:
+                over.append(p.variant)
+            over.extend(f"{k}={v!r}" for k, v in p.dataset_params)
+            over.extend(f"{k}={v!r}" for k, v in p.config_overrides)
+            if p.max_executions is not None:
+                over.append(f"max_executions={p.max_executions}")
+            if p.init is not None:
+                over.append(f"init={p.init}")
+            lines.append(f"| `{p.label}` | {p.horizon} | {'; '.join(over) or '—'} |")
+        lines.append("")
+        if spec.paper_values:
+            lines.append("Paper reference values:\n")
+            lines.append("| Point | Published |")
+            lines.append("|---|---|")
+            for label, text in spec.paper_values:
+                lines.append(f"| `{label}` | {text} |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -8,7 +8,20 @@ Runs any paper experiment from the shell::
     repro figure2
     repro ablation-emax
 
-Each command prints the paper-layout table (see
+and any *registered scenario* — including resumable multi-scenario
+sweeps — through the orchestrator::
+
+    repro experiment list                 # registry summary
+    repro experiment list --markdown      # docs/scenarios.md catalog
+    repro experiment run table1 table2 table3 --jobs 4
+    repro experiment run lorenz noise-robustness --state-dir .repro/sweep
+    repro experiment resume --state-dir .repro/sweep
+
+``experiment run`` memoizes finished tasks on disk (keyed on the full
+spec hash, seed and code version) and checkpoints after every batch, so
+a killed sweep resumes where it stopped instead of restarting.
+
+Each classic command prints the paper-layout table (see
 :mod:`repro.analysis.tables`) and, with ``--markdown``, the
 paper-vs-measured markdown block used in EXPERIMENTS.md.
 """
@@ -17,10 +30,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import (
+    ExperimentOrchestrator,
     ablation_markdown,
+    catalog_markdown,
     figure2_markdown,
     format_table,
     overlay_plot,
@@ -32,13 +47,19 @@ from .analysis import (
     run_table1,
     run_table2,
     run_table3,
+    scenario_names,
     table1_markdown,
     table2_markdown,
     table3_markdown,
 )
+from .analysis import all_scenarios
+from .analysis.report import scenario_report
 from .parallel.backends import Backend, ProcessPoolBackend, SerialBackend
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_STATE_DIR"]
+
+#: Where ``experiment run``/``resume`` checkpoint when --state-dir is omitted.
+DEFAULT_STATE_DIR = ".repro/experiments/default"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +110,49 @@ def build_parser() -> argparse.ArgumentParser:
                  "ablation-pooling"):
         pa = sub.add_parser(name, help=f"{name} study")
         common(pa)
+
+    # -- the orchestrator surface --------------------------------------------
+
+    pe = sub.add_parser(
+        "experiment",
+        help="scenario registry: list, run and resume orchestrated sweeps",
+    )
+    esub = pe.add_subparsers(dest="exp_command", required=True)
+
+    el = esub.add_parser("list", help="show registered scenarios")
+    el.add_argument("--markdown", action="store_true",
+                    help="emit the full generated catalog "
+                         "(docs/scenarios.md is this output)")
+
+    er = esub.add_parser(
+        "run", help="run one or more scenarios through the orchestrator"
+    )
+    er.add_argument("scenarios", nargs="+", metavar="SCENARIO",
+                    help="registered scenario names (see 'experiment list')")
+    er.add_argument("--scale", choices=("bench", "paper"), default="bench")
+    er.add_argument("--seed", type=int, default=None,
+                    help="root seed override (default: each spec's seed)")
+    er.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for task fan-out")
+    er.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                    help="checkpoint directory (plan + manifest + cache); "
+                         f"default {DEFAULT_STATE_DIR}")
+    er.add_argument("--cache-dir", default=None,
+                    help="memo cache directory (default: <state-dir>/cache)")
+    er.add_argument("--no-state", action="store_true",
+                    help="no checkpoint; no memo cache either unless "
+                         "--cache-dir is given explicitly")
+    er.add_argument("--max-tasks", type=int, default=None,
+                    help="execute at most N tasks then stop at a "
+                         "checkpoint (finish later with 'resume')")
+    er.add_argument("--no-incremental", action="store_true")
+    er.add_argument("--no-compiled", action="store_true")
+
+    es = esub.add_parser("resume", help="continue a checkpointed sweep")
+    es.add_argument("--state-dir", default=DEFAULT_STATE_DIR)
+    es.add_argument("--cache-dir", default=None)
+    es.add_argument("--jobs", type=int, default=1)
+    es.add_argument("--max-tasks", type=int, default=None)
     return parser
 
 
@@ -100,9 +164,94 @@ def _print(text: str) -> None:
     sys.stdout.write(text + "\n")
 
 
+def _print_run(run, resumable: bool = True) -> None:
+    """Report an orchestrated run: per-scenario tables plus a summary."""
+    for name in run.scenarios():
+        spec = next(t.spec for t in run.tasks if t.scenario == name)
+        payloads = run.payloads(name)
+        planned = sum(1 for t in run.tasks if t.scenario == name)
+        if not payloads:
+            _print(f"{name}: 0/{planned} tasks finished")
+            continue
+        _print(scenario_report(spec, payloads))
+        if len(payloads) < planned:
+            hint = ("'repro experiment resume' completes the sweep"
+                    if resumable else "no checkpoint (--no-state)")
+            _print(f"({len(payloads)}/{planned} tasks finished — {hint})")
+        _print("")
+    _print(
+        f"tasks: {run.n_executed} executed, {run.n_cached} cached, "
+        f"{len(run.tasks)} planned"
+        + ("" if run.complete else " (sweep incomplete)")
+    )
+
+
+def _experiment_main(args: argparse.Namespace) -> int:
+    if args.exp_command == "list":
+        if args.markdown:
+            sys.stdout.write(catalog_markdown())
+            return 0
+        rows = [
+            [s.name, s.kind, s.dataset.factory, len(s.grid), s.metric,
+             s.section]
+            for s in all_scenarios()
+        ]
+        _print(format_table(
+            ["Scenario", "Kind", "Dataset", "Points", "Metric", "Source"],
+            rows, title="Registered scenarios",
+        ))
+        return 0
+
+    backend = _backend(args.jobs)
+    try:
+        if args.exp_command == "run":
+            # Dedupe, order-preserving: 'run smoke smoke' means one sweep.
+            args.scenarios = list(dict.fromkeys(args.scenarios))
+            unknown = [s for s in args.scenarios if s not in scenario_names()]
+            if unknown:
+                _print(f"unknown scenario(s): {', '.join(unknown)} "
+                       f"(known: {', '.join(scenario_names())})")
+                return 2
+            if args.no_state and args.max_tasks is not None:
+                _print("--max-tasks stops at a checkpoint to finish later; "
+                       "it needs one — drop --no-state")
+                return 2
+            # --cache-dir with --no-state still memoizes (no checkpoint).
+            orchestrator = ExperimentOrchestrator(
+                backend=backend,
+                state_dir=None if args.no_state else args.state_dir,
+                cache_dir=args.cache_dir,
+            )
+            run = orchestrator.run(
+                args.scenarios,
+                scale=args.scale,
+                seed=args.seed,
+                incremental=not args.no_incremental,
+                compiled=not args.no_compiled,
+                max_tasks=args.max_tasks,
+            )
+        else:  # resume
+            orchestrator = ExperimentOrchestrator(
+                backend=backend,
+                state_dir=args.state_dir,
+                cache_dir=args.cache_dir,
+            )
+            try:
+                run = orchestrator.resume(max_tasks=args.max_tasks)
+            except FileNotFoundError as exc:
+                _print(str(exc))
+                return 2
+        _print_run(run, resumable=orchestrator.state_dir is not None)
+        return 0 if run.complete else 3
+    finally:
+        backend.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _experiment_main(args)
     backend = _backend(args.jobs)
     incremental = not args.no_incremental
     compiled = not args.no_compiled

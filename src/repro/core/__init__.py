@@ -18,7 +18,14 @@ Public surface:
 """
 
 from .compiled import CompiledRuleSystem
-from .config import EvolutionConfig, MutationParams, mackey_config, sunspot_config, venice_config
+from .config import (
+    EvolutionConfig,
+    MutationParams,
+    lorenz_config,
+    mackey_config,
+    sunspot_config,
+    venice_config,
+)
 from .diagnostics import (
     PoolSummary,
     overlap_matrix,
@@ -62,6 +69,7 @@ __all__ = [
     "venice_config",
     "mackey_config",
     "sunspot_config",
+    "lorenz_config",
     "RuleRegressor",
     "TabularDataset",
     "PoolSummary",

@@ -20,7 +20,14 @@ from typing import Optional
 
 from .fitness import FitnessParams
 
-__all__ = ["MutationParams", "EvolutionConfig", "venice_config", "mackey_config", "sunspot_config"]
+__all__ = [
+    "MutationParams",
+    "EvolutionConfig",
+    "venice_config",
+    "mackey_config",
+    "sunspot_config",
+    "lorenz_config",
+]
 
 
 @dataclass(frozen=True)
@@ -177,6 +184,27 @@ def mackey_config(horizon: int = 50, scale: str = "bench", seed: Optional[int] =
     if scale == "bench":
         return EvolutionConfig(
             d=12, horizon=horizon, population_size=50, generations=2_500,
+            fitness=fitness, seed=seed,
+        )
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def lorenz_config(horizon: int = 1, scale: str = "bench", seed: Optional[int] = None) -> EvolutionConfig:
+    """Lorenz-63 preset (extension domain): series min-max scaled to [0, 1].
+
+    Mirrors the generality bench: a shorter window (D=8) suits the
+    fast two-lobe dynamics, and ``EMAX`` is tuned to keep coverage
+    high without flattening the attractor's switching behaviour.
+    """
+    fitness = FitnessParams(e_max=0.12, f_min=-1.0)
+    if scale == "paper":
+        return EvolutionConfig(
+            d=8, horizon=horizon, population_size=100, generations=75_000,
+            fitness=fitness, seed=seed,
+        )
+    if scale == "bench":
+        return EvolutionConfig(
+            d=8, horizon=horizon, population_size=40, generations=2_500,
             fitness=fitness, seed=seed,
         )
     raise ValueError(f"unknown scale {scale!r}")

@@ -1,11 +1,14 @@
-"""Persistence: rule-system JSON snapshots and series caching."""
+"""Persistence: rule-system JSON snapshots, series and result caching."""
 
-from .cache import SeriesCache
+from .cache import ResultCache, SeriesCache, canonical_spec, spec_hash
 from .csv_io import read_series_csv, write_series_csv
 from .serialize import load_rule_system, rule_from_dict, rule_to_dict, save_rule_system
 
 __all__ = [
     "SeriesCache",
+    "ResultCache",
+    "canonical_spec",
+    "spec_hash",
     "save_rule_system",
     "load_rule_system",
     "rule_to_dict",

@@ -1,21 +1,105 @@
-"""On-disk caching of generated series (npy files keyed by parameters).
+"""On-disk caching: generated series and memoized experiment results.
 
-Paper-scale series (55 000 Venice hours) are cheap but not free; the
-cache lets examples and benches share one deterministic copy.  Keys are
-derived from the generator name, parameters and seed, so a parameter
-change never aliases a stale file.
+Two caches share one canonical key scheme:
+
+* :class:`SeriesCache` — npy files for generated series (55 000 Venice
+  hours are cheap but not free; examples and benches share one
+  deterministic copy).
+* :class:`ResultCache` — pickled experiment-task results, used by
+  :class:`~repro.analysis.orchestrator.ExperimentOrchestrator` to skip
+  finished work on re-runs and resumes.
+
+Keys are produced by :func:`spec_hash`, a canonical recursive encoding
+of the full parameter spec (dataclasses, dicts, tuples, numpy arrays
+and scalars all hash by *value*).  Earlier versions keyed on
+``json.dumps(params, default=str)``; ``str()`` of a large numpy array
+is elided (``[0. 0. 0. ... 0. 0. 0.]``), so two specs differing only in
+interior values — e.g. two noise realisations, or two scenarios
+differing only in noise level buried in a nested dataset spec —
+collided onto one cache file.  ``spec_hash`` closes that hole by
+hashing the raw bytes of every array and recursing into every
+container, so a parameter change never aliases a stale file.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import os
+import pickle
+import tempfile
 from pathlib import Path
-from typing import Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
-__all__ = ["SeriesCache"]
+__all__ = ["SeriesCache", "ResultCache", "canonical_spec", "spec_hash"]
+
+
+def canonical_spec(obj: Any) -> Any:
+    """A JSON-serializable canonical form of an arbitrary parameter spec.
+
+    Every distinct value maps to a distinct structure: containers are
+    type-tagged (so ``(1, 2)`` and ``[1, 2]`` differ), floats carry
+    their full ``repr`` (no precision loss, NaN/inf safe), numpy arrays
+    hash their raw bytes (never the elided ``str()`` form), and
+    dataclasses include their qualified class name plus every field.
+    """
+    # numpy scalars first: np.float64 subclasses float but reprs
+    # differently across numpy versions; .item() makes them portable.
+    if isinstance(obj, np.generic):
+        return canonical_spec(obj.item())
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["__float__", repr(obj)]
+    if isinstance(obj, bytes):
+        return ["__bytes__", hashlib.sha256(obj).hexdigest()]
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return [
+            "__ndarray__",
+            str(data.dtype),
+            list(data.shape),
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        ]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = {
+            f.name: canonical_spec(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return ["__dataclass__", f"{cls.__module__}.{cls.__qualname__}", fields]
+    if isinstance(obj, tuple):
+        return ["__tuple__", [canonical_spec(v) for v in obj]]
+    if isinstance(obj, list):
+        return ["__list__", [canonical_spec(v) for v in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = sorted(json.dumps(canonical_spec(v), sort_keys=True) for v in obj)
+        return ["__set__", items]
+    if isinstance(obj, dict):
+        items = sorted(
+            (json.dumps(canonical_spec(k), sort_keys=True), canonical_spec(v))
+            for k, v in obj.items()
+        )
+        return ["__dict__", [[k, v] for k, v in items]]
+    if isinstance(obj, Path):
+        return ["__path__", str(obj)]
+    # No silent fallback: the default repr of functions/objects embeds
+    # a memory address, which would make keys unique per process and
+    # quietly disable memoization and checkpoint resume.
+    raise TypeError(
+        f"cannot canonically hash {type(obj).__qualname__!r}; pass plain "
+        "values (numbers, strings, tuples, dicts, numpy arrays, "
+        "dataclasses) in specs — not functions or stateful objects"
+    )
+
+
+def spec_hash(obj: Any) -> str:
+    """Hex digest of the canonical form of ``obj`` — the cache key."""
+    canon = json.dumps(canonical_spec(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 class SeriesCache:
@@ -26,8 +110,7 @@ class SeriesCache:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _key(self, name: str, params: Dict) -> str:
-        canon = json.dumps(params, sort_keys=True, default=str)
-        digest = hashlib.sha256(f"{name}:{canon}".encode()).hexdigest()[:20]
+        digest = spec_hash({"name": name, "params": params})[:20]
         return f"{name}-{digest}"
 
     def path_for(self, name: str, params: Dict) -> Path:
@@ -69,6 +152,68 @@ class SeriesCache:
         """Delete every cache file; returns the number removed."""
         n = 0
         for path in self.root.glob("*.npy"):
+            path.unlink()
+            n += 1
+        return n
+
+
+class ResultCache:
+    """Pickle-based memo store for finished experiment tasks.
+
+    Keys are :func:`spec_hash` digests computed by the caller (the
+    orchestrator hashes the full task spec, seed and code version), so
+    a hit is only possible when *everything* that determines the result
+    is unchanged.  Writes are atomic (tmp + rename); corrupt or
+    unreadable entries behave as misses and are removed.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """The pickle path a key maps to."""
+        return self.root / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached value, or ``None`` on a miss (or corrupt entry)."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, value: Any) -> Path:
+        """Store a value; returns the file path.
+
+        The tmp name is unique per write (not just per key), so two
+        processes sharing a cache dir cannot interleave writes to one
+        tmp file and rename a corrupt entry.
+        """
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            Path(tmp_name).replace(path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        n = 0
+        for path in self.root.glob("*.pkl"):
             path.unlink()
             n += 1
         return n

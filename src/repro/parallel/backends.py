@@ -63,6 +63,7 @@ class SerialBackend(Backend):
     """In-process execution — the reference backend."""
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` sequentially in the calling process."""
         return [fn(item) for item in items]
 
 
@@ -92,6 +93,7 @@ class ProcessPoolBackend(Backend):
         return self._pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` over the pool, preserving input order."""
         items = list(items)
         if not items:
             return []
@@ -105,6 +107,7 @@ class ProcessPoolBackend(Backend):
         return pool.map(fn, items, chunksize=chunksize)
 
     def close(self) -> None:
+        """Shut the pool down and join its workers (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool.join()

@@ -1,0 +1,294 @@
+"""Shim parity: registry-routed runners vs the original hand-rolled loops.
+
+``run_table1`` … ``run_ablation_*`` were rewritten as thin shims over
+the scenario registry + orchestrator.  These tests keep verbatim copies
+of the *pre-refactor* loop bodies (same seed discipline, same baseline
+constructions, same scoring calls) and assert the shims reproduce them
+**bitwise** at tiny monkeypatched scale — the acceptance criterion for
+routing every experiment through the registry.
+"""
+
+import numpy as np
+import pytest
+
+import repro.analysis.experiments as exp
+from repro.analysis.experiments import (
+    AblationRow,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+)
+from repro.baselines import (
+    ElmanForecaster,
+    ElmanParams,
+    MLPForecaster,
+    MLPParams,
+    MRANForecaster,
+    RANForecaster,
+)
+from repro.core.config import EvolutionConfig, FitnessParams
+from repro.core.multirun import multirun
+from repro.metrics.coverage import score_table1, score_table2, score_table3
+from repro.series.datasets import load_mackey_glass, load_sunspot, load_venice
+
+
+@pytest.fixture(autouse=True)
+def tiny_configs(monkeypatch):
+    """Shrink every domain preset to a toy GA (same as the smoke suite)."""
+
+    def mini(d, horizon, e_max):
+        return EvolutionConfig(
+            d=d, horizon=horizon, population_size=12, generations=120,
+            fitness=FitnessParams(e_max=e_max),
+        )
+
+    monkeypatch.setattr(
+        exp, "venice_config",
+        lambda horizon=1, scale="bench", seed=None: mini(12, horizon, 25.0),
+    )
+    monkeypatch.setattr(
+        exp, "mackey_config",
+        lambda horizon=50, scale="bench", seed=None: mini(8, horizon, 0.15),
+    )
+    monkeypatch.setattr(
+        exp, "sunspot_config",
+        lambda horizon=1, scale="bench", seed=None: mini(12, horizon, 0.2),
+    )
+
+
+# -- verbatim pre-refactor loop bodies ----------------------------------------
+
+
+def _ref_rs_predict(data, config, coverage_target, max_executions, root_seed):
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+    result = multirun(
+        train_ds,
+        config,
+        coverage_target=coverage_target,
+        max_executions=max_executions,
+        root_seed=root_seed,
+    )
+    batch = result.system.predict(val_ds.X, compiled=True)
+    return result, batch, train_ds, val_ds
+
+
+def _ref_table1(horizons, seed, max_executions, mlp_epochs):
+    data = load_venice(scale="bench")
+    rows = []
+    for i, horizon in enumerate(horizons):
+        config = exp.venice_config(horizon=horizon, scale="bench").replace(
+            incremental=True
+        )
+        result, batch, train_ds, val_ds = _ref_rs_predict(
+            data, config, 0.95, max_executions, seed + 1000 * i
+        )
+        rs_score = score_table1(val_ds.y, batch.values, batch.predicted)
+        mlp = MLPForecaster(MLPParams(hidden=24, epochs=mlp_epochs, seed=seed + i))
+        mlp.fit(train_ds.X, train_ds.y)
+        nn_score = score_table1(val_ds.y, mlp.predict(val_ds.X))
+        rows.append(Table1Row(horizon=horizon, rs=rs_score, nn_error=nn_score.error))
+    return rows
+
+
+def _ref_table2(horizons, seed, max_executions):
+    data = load_mackey_glass()
+    rows = []
+    for i, horizon in enumerate(horizons):
+        config = exp.mackey_config(horizon=horizon, scale="bench").replace(
+            incremental=True
+        )
+        result, batch, train_ds, val_ds = _ref_rs_predict(
+            data, config, 0.90, max_executions, seed + 1000 * i
+        )
+        rs_score = score_table2(val_ds.y, batch.values, batch.predicted)
+        ran = RANForecaster().fit(train_ds.X, train_ds.y)
+        ran_score = score_table2(val_ds.y, ran.predict(val_ds.X))
+        mran = MRANForecaster().fit(train_ds.X, train_ds.y)
+        mran_score = score_table2(val_ds.y, mran.predict(val_ds.X))
+        rows.append(Table2Row(
+            horizon=horizon, rs=rs_score,
+            mran_error=mran_score.error, ran_error=ran_score.error,
+        ))
+    return rows
+
+
+def _ref_table3(horizons, seed, max_executions, nn_epochs):
+    data = load_sunspot(scale="bench")
+    rows = []
+    for i, horizon in enumerate(horizons):
+        config = exp.sunspot_config(horizon=horizon, scale="bench").replace(
+            incremental=True
+        )
+        result, batch, train_ds, val_ds = _ref_rs_predict(
+            data, config, 0.95, max_executions, seed + 1000 * i
+        )
+        rs_score = score_table3(val_ds.y, batch.values, horizon, batch.predicted)
+        mlp = MLPForecaster(
+            MLPParams(hidden=16, epochs=nn_epochs, seed=seed + i)
+        ).fit(train_ds.X, train_ds.y)
+        ff_score = score_table3(val_ds.y, mlp.predict(val_ds.X), horizon)
+        elman = ElmanForecaster(
+            ElmanParams(hidden=10, epochs=max(20, nn_epochs // 2), seed=seed + i)
+        ).fit(train_ds.X, train_ds.y)
+        rec_score = score_table3(val_ds.y, elman.predict(val_ds.X), horizon)
+        rows.append(Table3Row(
+            horizon=horizon, rs=rs_score,
+            ff_error=ff_score.error, rec_error=rec_score.error,
+        ))
+    return rows
+
+
+def _ref_figure2(seed, window_halfwidth, max_executions):
+    data = load_venice(scale="bench")
+    config = exp.venice_config(horizon=1, scale="bench").replace(incremental=True)
+    result, batch, train_ds, val_ds = _ref_rs_predict(
+        data, config, 0.95, max_executions, seed
+    )
+    peak_idx = int(np.argmax(val_ds.y))
+    start = max(0, peak_idx - window_halfwidth)
+    stop = min(len(val_ds), peak_idx + window_halfwidth)
+    return (
+        start, stop, val_ds.y[start:stop], batch.values[start:stop],
+        float(val_ds.y[peak_idx]),
+    )
+
+
+def _ref_mackey_variant(config, seed, init="stratified", coverage_target=0.90,
+                        max_executions=3):
+    data = load_mackey_glass()
+    train_ds, val_ds = data.windows(config.d, config.horizon)
+    result = multirun(
+        train_ds, config, coverage_target=coverage_target,
+        max_executions=max_executions, root_seed=seed, init=init,
+    )
+    batch = result.system.predict(val_ds.X, compiled=True)
+    return score_table2(val_ds.y, batch.values, batch.predicted), result.system
+
+
+def _ref_prediction_span(system):
+    preds = np.array([r.prediction for r in system.rules], dtype=np.float64)
+    preds = preds[np.isfinite(preds)]
+    if preds.size == 0:
+        return 0.0
+    return float(preds.max() - preds.min())
+
+
+# -- parity assertions --------------------------------------------------------
+
+
+class TestTableParity:
+    def test_table1_bitwise(self):
+        ref = _ref_table1((1, 4), seed=1, max_executions=1, mlp_epochs=5)
+        new = exp.run_table1(horizons=(1, 4), seed=1, max_executions=1,
+                             mlp_epochs=5)
+        assert new == ref
+
+    def test_table2_bitwise(self):
+        ref = _ref_table2((50,), seed=2, max_executions=1)
+        new = exp.run_table2(horizons=(50,), seed=2, max_executions=1)
+        assert new == ref
+
+    def test_table3_bitwise(self):
+        ref = _ref_table3((1, 4), seed=3, max_executions=1, nn_epochs=5)
+        new = exp.run_table3(horizons=(1, 4), seed=3, max_executions=1,
+                             nn_epochs=5)
+        assert new == ref
+
+    def test_nondefault_seed_and_executions(self):
+        ref = _ref_table2((50,), seed=77, max_executions=2)
+        new = exp.run_table2(horizons=(50,), seed=77, max_executions=2)
+        assert new == ref
+
+
+class TestFigureParity:
+    def test_figure2_bitwise(self):
+        start, stop, real, predicted, peak = _ref_figure2(
+            seed=4, window_halfwidth=24, max_executions=1
+        )
+        new = exp.run_figure2(seed=4, window_halfwidth=24, max_executions=1)
+        assert new.start == start and new.stop == stop
+        assert np.array_equal(new.real, real)
+        assert np.array_equal(new.predicted, predicted, equal_nan=True)
+        assert new.peak_level == peak
+
+
+class TestAblationParity:
+    def test_init_bitwise(self):
+        config = exp.mackey_config(horizon=50, scale="bench").replace(
+            incremental=True
+        )
+        ref = []
+        for init in ("stratified", "random"):
+            score, system = _ref_mackey_variant(config, 5, init=init)
+            ref.append(AblationRow(
+                variant=f"init={init}", score=score,
+                detail=f"pred span {_ref_prediction_span(system):.3f}",
+            ))
+        assert exp.run_ablation_init(seed=5) == ref
+
+    def test_replacement_bitwise(self):
+        ref = []
+        for mode in ("jaccard", "prediction", "random", "worst"):
+            config = exp.mackey_config(horizon=50, scale="bench").replace(
+                crowding=mode, incremental=True
+            )
+            score, _system = _ref_mackey_variant(config, 6)
+            ref.append(AblationRow(variant=f"crowding={mode}", score=score))
+        assert exp.run_ablation_replacement(seed=6) == ref
+
+    def test_emax_bitwise(self):
+        data = load_venice(scale="bench")
+        ref = []
+        for e_max in (10.0, 50.0):
+            config = exp.venice_config(horizon=1, scale="bench")
+            config = config.replace(
+                fitness=config.fitness.__class__(e_max=float(e_max)),
+                incremental=True,
+            )
+            train_ds, val_ds = data.windows(config.d, config.horizon)
+            result = multirun(
+                train_ds, config, coverage_target=0.99, max_executions=3,
+                root_seed=7,
+            )
+            batch = result.system.predict(val_ds.X, compiled=True)
+            score = score_table1(val_ds.y, batch.values, batch.predicted)
+            ref.append(AblationRow(
+                variant=f"EMAX={e_max:g}", score=score,
+                detail=f"{len(result.system)} rules",
+            ))
+        assert exp.run_ablation_emax(seed=7, e_max_values=(10.0, 50.0)) == ref
+
+    def test_pooling_bitwise(self):
+        data = load_sunspot(scale="bench")
+        config = exp.sunspot_config(horizon=4, scale="bench").replace(
+            incremental=True
+        )
+        train_ds, val_ds = data.windows(config.d, config.horizon)
+        ref = []
+        for n_exec in (1, 2, 4):
+            result = multirun(
+                train_ds, config, coverage_target=1.01,
+                max_executions=n_exec, root_seed=8,
+            )
+            batch = result.system.predict(val_ds.X, compiled=True)
+            score = score_table3(
+                val_ds.y, batch.values, config.horizon, batch.predicted
+            )
+            ref.append(AblationRow(
+                variant=f"executions={n_exec}", score=score,
+                detail=f"{len(result.system)} rules",
+            ))
+        assert exp.run_ablation_pooling(seed=8) == ref
+
+    def test_predicting_mode_bitwise(self):
+        ref = []
+        for mode in ("linear", "constant"):
+            config = exp.mackey_config(horizon=50, scale="bench").replace(
+                predicting_mode=mode, incremental=True
+            )
+            score, system = _ref_mackey_variant(config, 9)
+            ref.append(AblationRow(
+                variant=f"predicting={mode}", score=score,
+                detail=f"{len(system)} rules",
+            ))
+        assert exp.run_ablation_predicting_mode(seed=9) == ref

@@ -1,0 +1,162 @@
+"""Orchestrator determinism properties.
+
+Two invariants the orchestrator must keep for results to be trustable:
+
+1. **Backend invariance** — the same plan produces bitwise-identical
+   payloads on :class:`SerialBackend` and
+   :class:`ProcessPoolBackend` (every task derives its RNG stream from
+   its own root seed, so the fan-out axis cannot leak in).
+2. **Kill/resume invariance** — interrupting a sweep at *every*
+   checkpoint boundary and resuming produces exactly the results of an
+   uninterrupted run, without re-executing finished tasks.
+
+The ``smoke`` scenario (tiny by construction, registered like any other
+scenario — no monkeypatching, so process-pool workers see it too) keeps
+each task sub-second.
+"""
+
+import pytest
+
+from repro.analysis.orchestrator import ExperimentOrchestrator
+from repro.io.cache import spec_hash
+from repro.parallel.backends import ProcessPoolBackend
+
+SCENARIO = "smoke"
+
+
+def _payload_hash(run):
+    """Canonical hash of all payloads in plan order (NaN-safe equality)."""
+    assert run.complete
+    return spec_hash([run.results[t.task_id].payload for t in run.tasks])
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    """The uninterrupted in-memory reference run."""
+    return ExperimentOrchestrator().run([SCENARIO])
+
+
+class TestBackendInvariance:
+    def test_process_pool_bitwise_identical(self, serial_run):
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            run = ExperimentOrchestrator(backend=backend).run([SCENARIO])
+        finally:
+            backend.close()
+        assert run.complete
+        for task in serial_run.tasks:
+            assert (
+                run.results[task.task_id].payload
+                == serial_run.results[task.task_id].payload
+            )
+        assert _payload_hash(run) == _payload_hash(serial_run)
+
+
+class TestRuntimeRegisteredScenarios:
+    def test_custom_scenario_fans_out_and_resumes(self, tmp_path):
+        """Specs ride on tasks, so a scenario registered at runtime works
+        under process-pool fan-out (whose spawn workers rebuild the
+        registry with built-ins only) and across a resume from a fresh
+        process that never re-registered it."""
+        from repro.analysis.scenarios import (
+            DatasetSpec,
+            GridPoint,
+            ScenarioSpec,
+            register,
+        )
+
+        register(ScenarioSpec(
+            name="custom-prop",
+            title="runtime-registered scenario",
+            section="test",
+            kind="table",
+            dataset=DatasetSpec("mackey_glass"),
+            config_factory="mackey",
+            grid=tuple(
+                GridPoint(
+                    label=f"h{h}", horizon=h,
+                    config_overrides=(
+                        ("d", 6), ("population_size", 12), ("generations", 100),
+                    ),
+                )
+                for h in (10, 30)
+            ),
+            metric="nmse",
+            coverage_target=0.90,
+            max_executions=1,
+            seed=7,
+        ), replace=True)
+
+        reference = ExperimentOrchestrator().run(["custom-prop"])
+
+        # (a) Both tasks execute inside spawn workers, whose registry
+        # only holds the built-ins.
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            pooled = ExperimentOrchestrator(backend=backend).run(
+                ["custom-prop"]
+            )
+        finally:
+            backend.close()
+        assert pooled.complete
+        assert _payload_hash(pooled) == _payload_hash(reference)
+
+        # (b) Resume after the registration is gone — exactly the state
+        # of a fresh process that never called register().
+        state = tmp_path / "state"
+        partial = ExperimentOrchestrator(state_dir=state).run(
+            ["custom-prop"], max_tasks=1
+        )
+        assert partial.n_executed == 1
+        from repro.analysis import scenarios as _scenarios
+
+        _scenarios._SCENARIOS.pop("custom-prop")
+        try:
+            resumed = ExperimentOrchestrator(state_dir=state).resume()
+        finally:
+            _scenarios._SCENARIOS.pop("custom-prop", None)
+        assert resumed.complete
+        assert _payload_hash(resumed) == _payload_hash(reference)
+
+
+class TestKillResumeInvariance:
+    def test_every_checkpoint_boundary(self, serial_run, tmp_path):
+        n = len(serial_run.tasks)
+        assert n >= 3  # the property needs interior boundaries
+        for k in range(n + 1):
+            state = tmp_path / f"boundary{k}"
+            partial = ExperimentOrchestrator(state_dir=state).run(
+                [SCENARIO], max_tasks=k
+            )
+            assert partial.n_executed == min(k, n)
+            # A fresh orchestrator = a fresh process after the kill.
+            resumed = ExperimentOrchestrator(state_dir=state).resume()
+            assert resumed.complete
+            # Checkpointed tasks are rehydrated, never re-executed.
+            assert resumed.n_cached == min(k, n)
+            assert resumed.n_executed == n - min(k, n)
+            assert _payload_hash(resumed) == _payload_hash(serial_run)
+
+    def test_finished_sweep_reruns_fully_cached(self, serial_run, tmp_path):
+        state = tmp_path / "state"
+        first = ExperimentOrchestrator(state_dir=state).run([SCENARIO])
+        assert first.complete and first.n_executed == len(first.tasks)
+        again = ExperimentOrchestrator(state_dir=state).run([SCENARIO])
+        assert again.complete
+        assert again.n_executed == 0  # cached re-run skips execution
+        assert _payload_hash(again) == _payload_hash(first)
+        assert _payload_hash(first) == _payload_hash(serial_run)
+
+    def test_changed_plan_resets_the_checkpoint(self, tmp_path):
+        state = tmp_path / "state"
+        first = ExperimentOrchestrator(state_dir=state).run(
+            [SCENARIO], max_tasks=1
+        )
+        assert first.n_executed == 1
+        # A different seed is a different plan: nothing may be reused.
+        other = ExperimentOrchestrator(state_dir=state).run(
+            [SCENARIO], seed=1234
+        )
+        assert other.complete
+        assert other.n_executed == len(other.tasks)
+        assert other.n_cached == 0

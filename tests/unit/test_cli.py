@@ -46,6 +46,90 @@ class TestParser:
         assert args.no_compiled
 
 
+class TestExperimentParser:
+    def test_list_defaults(self):
+        args = build_parser().parse_args(["experiment", "list"])
+        assert args.command == "experiment"
+        assert args.exp_command == "list"
+        assert not args.markdown
+
+    def test_run_scenarios_and_options(self):
+        args = build_parser().parse_args(
+            ["experiment", "run", "table1", "table2", "--jobs", "4",
+             "--state-dir", "/tmp/x", "--max-tasks", "2"]
+        )
+        assert args.exp_command == "run"
+        assert args.scenarios == ["table1", "table2"]
+        assert args.jobs == 4
+        assert args.state_dir == "/tmp/x"
+        assert args.max_tasks == 2
+        assert args.seed is None  # spec seeds by default
+
+    def test_resume_defaults(self):
+        from repro.cli import DEFAULT_STATE_DIR
+
+        args = build_parser().parse_args(["experiment", "resume"])
+        assert args.exp_command == "resume"
+        assert args.state_dir == DEFAULT_STATE_DIR
+
+    def test_run_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "run"])
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        rc = main(["experiment", "run", "definitely-not-registered",
+                   "--no-state"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+
+class TestExperimentMain:
+    def test_list_prints_registry(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "lorenz", "noise-robustness",
+                     "streaming-replay"):
+            assert name in out
+
+    def test_list_markdown_matches_catalog(self, capsys):
+        from repro.analysis import catalog_markdown
+
+        assert main(["experiment", "list", "--markdown"]) == 0
+        assert capsys.readouterr().out == catalog_markdown()
+
+    def test_max_tasks_rejected_without_state(self, capsys):
+        rc = main(["experiment", "run", "smoke", "--no-state",
+                   "--max-tasks", "1"])
+        assert rc == 2
+        assert "--no-state" in capsys.readouterr().out
+
+    def test_repeated_scenario_names_are_deduplicated(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        rc = main(["experiment", "run", "smoke", "smoke",
+                   "--state-dir", state])
+        assert rc == 0
+        assert "3 planned" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_is_a_clean_error(self, capsys, tmp_path):
+        rc = main(["experiment", "resume", "--state-dir",
+                   str(tmp_path / "nowhere")])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "no checkpointed plan" in out
+
+    def test_run_resume_cycle(self, capsys, tmp_path):
+        """Partial run exits 3; resume completes and reuses the cache."""
+        state = str(tmp_path / "state")
+        rc = main(["experiment", "run", "smoke", "--state-dir", state,
+                   "--max-tasks", "1"])
+        assert rc == 3
+        assert "sweep incomplete" in capsys.readouterr().out
+        rc = main(["experiment", "resume", "--state-dir", state])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 1 cached, 3 planned" in out
+
+
 class TestMainSmoke:
     def test_table2_single_horizon_runs(self, capsys, monkeypatch):
         """End-to-end CLI on the cheapest real experiment."""

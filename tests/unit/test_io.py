@@ -1,5 +1,6 @@
-"""Unit tests for repro.io (serialization + cache)."""
+"""Unit tests for repro.io (serialization + caches + spec hashing)."""
 
+import dataclasses
 import json
 
 import numpy as np
@@ -8,7 +9,7 @@ import pytest
 from repro.core.intervals import Interval
 from repro.core.predictor import RuleSystem
 from repro.core.rule import Rule
-from repro.io.cache import SeriesCache
+from repro.io.cache import ResultCache, SeriesCache, spec_hash
 from repro.io.serialize import (
     load_rule_system,
     rule_from_dict,
@@ -117,3 +118,95 @@ class TestSeriesCache:
         cache.put("b", {}, np.zeros(3))
         assert cache.clear() == 2
         assert cache.get("a", {}) is None
+
+    def test_regression_large_array_params_do_not_collide(self, tmp_path):
+        """Regression: keys once went through ``str()``, whose elided
+        form of a large array (``[0. 0. ... 0.]``) is identical for two
+        arrays differing only in interior values — a guaranteed cache
+        collision for any spec embedding a series or noise realisation.
+        """
+        a = np.zeros(10_000)
+        b = np.zeros(10_000)
+        b[5_000] = 1e-9  # invisible to the elided str() form
+        assert str(a) == str(b)  # the pre-fix key ingredient collides
+        cache = SeriesCache(tmp_path)
+        assert cache.path_for("mg", {"base": a}) != cache.path_for(
+            "mg", {"base": b}
+        )
+
+    def test_regression_nested_noise_level_changes_key(self, tmp_path):
+        """Two dataset specs differing only in a nested noise kwarg
+        must map to different cache files."""
+        cache = SeriesCache(tmp_path)
+        p1 = cache.path_for("mackey", {"dataset": {"noise_sigma": 0.02}})
+        p2 = cache.path_for("mackey", {"dataset": {"noise_sigma": 0.05}})
+        assert p1 != p2
+
+
+@dataclasses.dataclass(frozen=True)
+class _Spec:
+    sigma: float
+    n: int = 100
+
+
+class TestSpecHash:
+    def test_deterministic(self):
+        assert spec_hash({"a": 1, "b": (2.0, "x")}) == spec_hash(
+            {"b": (2.0, "x"), "a": 1}
+        )
+
+    def test_value_sensitivity(self):
+        base = spec_hash(_Spec(sigma=0.05))
+        assert spec_hash(_Spec(sigma=0.051)) != base
+        assert spec_hash(_Spec(sigma=0.05, n=101)) != base
+
+    def test_type_tagging(self):
+        assert spec_hash((1, 2)) != spec_hash([1, 2])
+        assert spec_hash(1) != spec_hash(1.0)
+        assert spec_hash("1") != spec_hash(1)
+
+    def test_numpy_scalars_hash_as_python_values(self):
+        assert spec_hash(np.float64(0.25)) == spec_hash(0.25)
+        assert spec_hash(np.int64(7)) == spec_hash(7)
+
+    def test_array_bytes_matter(self):
+        a = np.zeros(5_000)
+        b = a.copy()
+        b[2_500] = 1e-12
+        assert spec_hash(a) != spec_hash(b)
+        assert spec_hash(a) == spec_hash(np.zeros(5_000))
+
+    def test_nan_and_inf_floats_are_representable(self):
+        assert spec_hash(float("nan")) != spec_hash(float("inf"))
+        assert spec_hash(float("nan")) == spec_hash(float("nan"))
+
+    def test_unhashable_objects_are_rejected_loudly(self):
+        """Address-bearing reprs would silently vary per process and
+        defeat memoization/resume — they must raise instead."""
+        with pytest.raises(TypeError, match="canonically hash"):
+            spec_hash({"transform": lambda x: x})
+        with pytest.raises(TypeError, match="canonically hash"):
+            spec_hash(object())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = spec_hash({"task": "t1", "seed": 3})
+        assert cache.get(key) is None
+        cache.put(key, {"rows": [1, 2, 3]})
+        assert key in cache
+        assert cache.get(key) == {"rows": [1, 2, 3]}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = spec_hash("x")
+        cache.path_for(key).write_text("not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache  # corrupt file removed
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec_hash("a"), 1)
+        cache.put(spec_hash("b"), 2)
+        assert cache.clear() == 2

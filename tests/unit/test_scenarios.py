@@ -1,0 +1,237 @@
+"""Unit tests for the scenario registry and orchestrator plumbing.
+
+Fast paths only: spec invariants, planning, cache keys and the DAG
+scheduler.  No GA executions — the execution-level properties live in
+``tests/property/test_orchestrator_determinism.py`` and the parity
+suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.orchestrator import (
+    ExperimentOrchestrator,
+    ExperimentTask,
+    _apply_config_overrides,
+    _ready_wave,
+)
+from repro.analysis.scenarios import (
+    DatasetSpec,
+    GridPoint,
+    ScenarioSpec,
+    all_scenarios,
+    build_baseline,
+    build_dataset,
+    catalog_markdown,
+    get_scenario,
+    resolve_config_factory,
+    scenario_names,
+)
+from repro.core.config import EvolutionConfig
+
+
+class TestRegistryInvariants:
+    def test_known_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "table1", "table2", "table3", "figure2",
+            "ablation-init", "ablation-replacement", "ablation-emax",
+            "ablation-pooling", "ablation-predicting",
+            "lorenz", "noise-robustness", "streaming-replay", "smoke",
+        ):
+            assert expected in names
+
+    def test_every_config_factory_resolves(self):
+        for spec in all_scenarios():
+            factory = resolve_config_factory(spec.config_factory)
+            config = factory(horizon=spec.grid[0].horizon, scale="bench")
+            assert isinstance(config, EvolutionConfig)
+
+    def test_every_baseline_buildable(self):
+        for spec in all_scenarios():
+            for baseline in spec.baselines:
+                model = build_baseline(baseline.name, spec.options_dict(), 0)
+                assert hasattr(model, "fit") and hasattr(model, "predict")
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(
+                name="x", title="", section="", kind="galaxy",
+                dataset=DatasetSpec("venice"), config_factory="venice",
+                grid=(GridPoint("h1", 1),), metric="rmse",
+                coverage_target=0.9, max_executions=1,
+            )
+        with pytest.raises(ValueError, match="duplicate grid labels"):
+            ScenarioSpec(
+                name="x", title="", section="", kind="table",
+                dataset=DatasetSpec("venice"), config_factory="venice",
+                grid=(GridPoint("h1", 1), GridPoint("h1", 2)),
+                metric="rmse", coverage_target=0.9, max_executions=1,
+            )
+
+    def test_paper_values_recorded_for_tables(self):
+        for name in ("table1", "table2", "table3"):
+            assert get_scenario(name).paper_values
+
+
+class TestDatasets:
+    def test_noise_level_changes_the_data(self):
+        spec = DatasetSpec("noisy_mackey")
+        clean = build_dataset(spec, "bench", (("sigma", 0.0),))
+        noisy = build_dataset(spec, "bench", (("sigma", 0.05),))
+        assert clean.train.shape == noisy.train.shape
+        assert not np.array_equal(clean.train, noisy.train)
+        assert not np.array_equal(clean.validation, noisy.validation)
+        # Same sigma, same seed -> same realisation (cacheable).
+        again = build_dataset(spec, "bench", (("sigma", 0.05),))
+        assert np.array_equal(noisy.train, again.train)
+
+    def test_dataset_construction_is_memoized_per_process(self):
+        """A multi-task sweep must not regenerate the same series once
+        per task (the old runners loaded each dataset once per table)."""
+        spec = DatasetSpec("mackey_glass")
+        assert build_dataset(spec, "bench") is build_dataset(spec, "bench")
+        a = build_dataset(DatasetSpec("noisy_mackey"), "bench", (("sigma", 0.03),))
+        b = build_dataset(DatasetSpec("noisy_mackey"), "bench", (("sigma", 0.03),))
+        assert a is b
+
+    def test_lorenz_dataset_is_scaled_split(self):
+        data = build_dataset(DatasetSpec("lorenz"), "bench")
+        assert data.train.shape[0] == 2000
+        assert data.validation.shape[0] == 600
+        assert 0.0 <= data.train.min() and data.train.max() <= 1.0
+
+
+class TestCatalog:
+    def test_deterministic(self):
+        assert catalog_markdown() == catalog_markdown()
+
+    def test_mentions_every_scenario(self):
+        text = catalog_markdown()
+        assert text.startswith("# Scenario catalog")
+        for name in scenario_names():
+            assert f"## `{name}`" in text
+
+    def test_marks_itself_generated(self):
+        assert "GENERATED FILE" in catalog_markdown()
+
+    def test_docs_scenarios_md_in_sync(self):
+        """docs/scenarios.md is generated from the registry; a registry
+        change must be accompanied by regenerating it:
+
+            PYTHONPATH=src python -m repro.cli experiment list --markdown > docs/scenarios.md
+        """
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[2] / "docs" / "scenarios.md"
+        assert committed.exists(), "docs/scenarios.md missing"
+        assert committed.read_text() == catalog_markdown(), (
+            "docs/scenarios.md is stale — regenerate with "
+            "'repro experiment list --markdown > docs/scenarios.md'"
+        )
+
+
+class TestPlanning:
+    def test_table1_expansion(self):
+        orch = ExperimentOrchestrator()
+        tasks = orch.plan(["table1"])
+        spec = get_scenario("table1")
+        assert [t.point.horizon for t in tasks] == [1, 4, 12, 24, 28, 48, 72, 96]
+        assert all(t.seed == spec.seed for t in tasks)
+        assert [t.index for t in tasks] == list(range(8))
+        assert tasks[0].task_id == "table1[h1]"
+
+    def test_grid_override_and_seed(self):
+        orch = ExperimentOrchestrator()
+        grid = (GridPoint("h7", 7),)
+        tasks = orch.plan(
+            ["table1"], seed=99, grid_overrides={"table1": grid}
+        )
+        assert len(tasks) == 1
+        assert tasks[0].seed == 99 and tasks[0].point.horizon == 7
+
+    def test_duplicate_plan_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task ids"):
+            ExperimentOrchestrator().plan(["smoke", "smoke"])
+
+
+class TestTaskKeys:
+    def _task(self, **kwargs):
+        base = dict(
+            scenario="noise-robustness",
+            spec=get_scenario("noise-robustness"),
+            index=0,
+            point=GridPoint("sigma=0.05", 50, dataset_params=(("sigma", 0.05),)),
+            seed=21,
+        )
+        base.update(kwargs)
+        return ExperimentTask(**base)
+
+    def test_regression_noise_level_changes_key(self):
+        """The satellite bugfix, end to end: two tasks differing only in
+        a dataset-construction kwarg must not share a memo entry."""
+        orch = ExperimentOrchestrator()
+        a = self._task()
+        b = self._task(
+            point=GridPoint("sigma=0.10", 50, dataset_params=(("sigma", 0.10),))
+        )
+        assert orch.task_key(a) != orch.task_key(b)
+
+    def test_seed_and_code_version_partition_the_cache(self):
+        orch = ExperimentOrchestrator()
+        assert orch.task_key(self._task()) != orch.task_key(
+            self._task(seed=22)
+        )
+        other = ExperimentOrchestrator(code_version="v-next")
+        assert orch.task_key(self._task()) != other.task_key(self._task())
+
+    def test_identical_tasks_share_a_key(self):
+        orch = ExperimentOrchestrator()
+        assert orch.task_key(self._task()) == orch.task_key(self._task())
+
+    def test_spec_change_changes_key(self):
+        import dataclasses
+
+        orch = ExperimentOrchestrator()
+        spec = get_scenario("noise-robustness")
+        tweaked = dataclasses.replace(spec, coverage_target=0.5)
+        assert orch.task_key(self._task()) != orch.task_key(
+            self._task(spec=tweaked)
+        )
+
+
+class TestSchedulerPieces:
+    def test_ready_wave_respects_requires(self):
+        spec = get_scenario("smoke")
+        a = ExperimentTask(scenario="smoke", spec=spec, index=0,
+                           point=GridPoint("h10", 10))
+        b = ExperimentTask(
+            scenario="smoke", spec=spec, index=1, point=GridPoint("h30", 30),
+            requires=("smoke[h10]",),
+        )
+        assert _ready_wave([a, b], []) == [a]
+        assert _ready_wave([b], ["smoke[h10]"]) == [b]
+
+    def test_apply_config_overrides(self):
+        config = EvolutionConfig(d=4, horizon=1)
+        out = _apply_config_overrides(
+            config, (("population_size", 10), ("fitness.e_max", 0.5))
+        )
+        assert out.population_size == 10
+        assert out.fitness.e_max == 0.5
+        # fitness is rebuilt from defaults, as the EMAX ablation requires
+        assert out.fitness.f_min == config.fitness.__class__(e_max=0.5).f_min
+
+    def test_nested_override_preserves_sibling_fields(self):
+        config = EvolutionConfig(d=4, horizon=1)
+        out = _apply_config_overrides(
+            config, (("fitness.f_min", -0.5), ("mutation.rate", 0.3))
+        )
+        assert out.fitness.f_min == -0.5
+        assert out.fitness.e_max == config.fitness.e_max  # preserved
+        assert out.mutation.rate == 0.3
+        assert out.mutation.scale == config.mutation.scale  # preserved
