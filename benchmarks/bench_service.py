@@ -1,0 +1,215 @@
+"""Multi-stream serving gateway benchmarks + end-to-end service smoke.
+
+Two claims from ``docs/serving.md`` are enforced here, with bitwise
+checks inline (house rule: no speedup without identical results):
+
+* **micro-batching wins**: at 64 concurrent streams sharing one model,
+  :class:`repro.service.ForecastService` (one
+  ``CompiledRuleSystem.predict_windows`` call per micro-batch) must
+  serve >= 5x the events/sec of the naive one-
+  :class:`~repro.serve.StreamingForecaster`-per-stream loop, while
+  emitting bitwise-identical forecasts;
+* **the CLI path is trustworthy**: train a tiny pool, register it,
+  replay a 200-event stream through ``repro serve`` in a subprocess,
+  and the JSON-lines output must match ``RuleSystem.predict`` on the
+  same windows bit for bit (JSON floats round-trip exactly), with the
+  reported coverage stats agreeing.
+
+Setting ``REPRO_BENCH_TINY=1`` shrinks stream lengths so both double
+as the CI ``service-smoke`` job; speedup assertions are same-machine
+ratios, so they hold on slow shared runners.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.io import save_rule_system, write_series_csv
+from repro.serve import StreamingForecaster
+from repro.service import ForecastService
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+
+N_STREAMS = 64
+D = 24
+POOL_RULES = 240
+EVENTS_PER_STREAM = 120 if TINY else 500
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def serving_pool():
+    """A paper-regime pool (same recipe as ``bench_kernels.py``)."""
+    series = sine_series(6_000 + D + 1, period=480, noise_sigma=0.05, seed=5)
+    dataset = WindowDataset.from_series(series, D, 1)
+    X = np.ascontiguousarray(dataset.X)
+    span = X.max() - X.min()
+    rng = np.random.default_rng(7)
+    rules = []
+    for k in range(POOL_RULES):
+        center = X[int(rng.integers(0, X.shape[0]))]
+        width = 0.07 * span
+        rule = Rule.from_box(
+            center - width, center + width, prediction=float(rng.normal())
+        )
+        rule.wildcard = rng.random(D) < 0.2
+        rule.error = 1.0
+        if k % 2 == 0:
+            rule.coeffs = np.concatenate(
+                [rng.normal(size=D) * 0.1, [float(rng.normal())]]
+            )
+        rules.append(rule)
+    return RuleSystem(rules)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """64 independent smooth streams (phase-shifted, noise-decorated)."""
+    rng = np.random.default_rng(11)
+    out = {}
+    for s in range(N_STREAMS):
+        phase = rng.uniform(0, 480)
+        t = np.arange(EVENTS_PER_STREAM, dtype=np.float64) + phase
+        out[f"stream-{s:02d}"] = np.sin(
+            2.0 * np.pi * t / 480
+        ) + rng.normal(0, 0.05, size=EVENTS_PER_STREAM)
+    return out
+
+
+def test_micro_batched_vs_per_stream_serving(serving_pool, streams):
+    """>= 5x events/sec over one forecaster per stream, identical bits.
+
+    Both paths see the identical round-robin event order (one event per
+    stream per round — the live-gateway arrival pattern).  The naive
+    path pays one single-pattern dispatch per event; the service stacks
+    each round's 64 ready windows into one ``predict_windows`` call.
+    Each path is timed best-of-5 on fresh state after a warm-up pass,
+    so a load spike on a shared runner cannot fake (or mask) the
+    speedup.
+    """
+    names = sorted(streams)
+    total_events = N_STREAMS * EVENTS_PER_STREAM
+    serving_pool.compile()  # shared compile, not charged to either path
+
+    def run_naive():
+        forecasters = {
+            name: StreamingForecaster(serving_pool) for name in names
+        }
+        out = {name: [] for name in names}
+        start = time.perf_counter()
+        for i in range(EVENTS_PER_STREAM):
+            for name in names:
+                out[name].append(forecasters[name].update(streams[name][i]))
+        return time.perf_counter() - start, out, forecasters
+
+    def run_service():
+        service = ForecastService()
+        for name in names:
+            service.bind_system(name, serving_pool, model="bench")
+        out = {name: [] for name in names}
+        start = time.perf_counter()
+        for i in range(EVENTS_PER_STREAM):
+            round_events = [(name, streams[name][i]) for name in names]
+            for forecast in service.ingest(round_events):
+                out[forecast.stream].append(forecast)
+        return time.perf_counter() - start, out, service
+
+    run_naive(), run_service()  # warm-up (allocators, caches)
+    naive_elapsed, naive, forecasters = min(
+        (run_naive() for _ in range(5)), key=lambda r: r[0]
+    )
+    service_elapsed, batched, service = min(
+        (run_service() for _ in range(5)), key=lambda r: r[0]
+    )
+    naive_rate = total_events / naive_elapsed
+    service_rate = total_events / service_elapsed
+
+    # -- bitwise identity, every stream, every step ----------------------
+    for name in names:
+        assert len(batched[name]) == len(naive[name]) == EVENTS_PER_STREAM
+        for step, forecast in zip(naive[name], batched[name]):
+            assert forecast.t == step.t
+            assert forecast.ready == step.ready
+            assert forecast.predicted == step.predicted
+            assert forecast.n_rules_used == step.n_rules_used
+            assert np.array_equal(
+                [forecast.value], [step.value], equal_nan=True
+            )
+        assert service.stream_stats(name)["coverage"] == forecasters[
+            name
+        ].coverage
+
+    speedup = service_rate / naive_rate
+    coverage = service.stats()["coverage"]
+    print(
+        f"\nservice events/sec  per-stream={naive_rate:,.0f}  "
+        f"micro-batched={service_rate:,.0f}  speedup={speedup:.1f}x  "
+        f"({N_STREAMS} streams, pool={POOL_RULES} rules, "
+        f"coverage={coverage:.2f})"
+    )
+    assert speedup >= 5.0, f"micro-batched gateway only {speedup:.2f}x"
+
+
+def test_cli_service_smoke(tmp_path, serving_pool):
+    """Register → ``repro serve`` a 200-event replay → bitwise + stats.
+
+    The full CLI path in a subprocess: snapshot the pool, import it via
+    ``repro models register``, replay a CSV through ``repro serve``,
+    and hold the emitted JSON lines to ``RuleSystem.predict`` on the
+    same sliding windows — bit for bit, abstentions included — plus the
+    ``--stats`` coverage summary to the batch's own coverage.
+    """
+    series = sine_series(200, period=480, noise_sigma=0.05, seed=23)
+    snapshot = tmp_path / "pool.json"
+    save_rule_system(serving_pool, snapshot, metadata={"d": D, "horizon": 1})
+    csv = tmp_path / "stream.csv"
+    write_series_csv(series, csv)
+    registry = tmp_path / "registry"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+    def cli(*argv, expect=0):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+        assert proc.returncode == expect, proc.stdout + proc.stderr
+        return proc.stdout
+
+    cli("models", "register", "tide", "--registry", str(registry),
+        "--snapshot", str(snapshot), "--promote")
+    out = cli("serve", "--registry", str(registry), "--bind", "gauge=tide",
+              "--csv", str(csv), "--batch", "32", "--stats")
+
+    lines = [json.loads(line) for line in out.splitlines()]
+    events, stats = lines[:-1], lines[-1]
+    assert len(events) == len(series)
+
+    windows = np.lib.stride_tricks.sliding_window_view(series, D)
+    batch = serving_pool.predict(windows, compiled=False)  # the loop oracle
+    for event in events[: D - 1]:
+        assert not event["ready"] and event["value"] is None
+    for i, event in enumerate(events[D - 1 :]):
+        assert event["ready"] and event["model"] == "tide"
+        if event["value"] is None:
+            assert not batch.predicted[i]
+        else:
+            # json round-trips float64 reprs exactly: bitwise check.
+            assert event["value"] == batch.values[i]
+        assert event["predicted"] == bool(batch.predicted[i])
+        assert event["n_rules_used"] == int(batch.n_rules_used[i])
+
+    gauge = stats["per_stream"]["gauge"]
+    assert stats["events"] == len(series)
+    assert gauge["ready_steps"] == len(series) - D + 1
+    assert gauge["predicted_steps"] == int(batch.predicted.sum())
+    assert stats["coverage"] == pytest.approx(batch.coverage)

@@ -1,10 +1,15 @@
-"""Streaming forecasting: serve a trained rule pool one point at a time.
+"""Streaming forecasting: registry + multi-stream gateway end to end.
 
-Trains a small pooled rule system on the Mackey-Glass series, then
-replays the validation segment through a
-:class:`repro.serve.StreamingForecaster` as if the observations arrived
-live — forecast (or abstain) after every point, with running coverage —
-and cross-checks the stream against the batched compiled prediction.
+Trains a small pooled rule system on the Mackey-Glass series, registers
+it in an on-disk :class:`repro.service.ModelRegistry`, then serves
+several concurrent streams through a
+:class:`repro.service.ForecastService` — micro-batched scoring, one
+shared model, per-stream coverage — and cross-checks the gateway
+against both a per-stream :class:`repro.serve.StreamingForecaster` and
+the batched compiled prediction, bit for bit.
+
+This is the executable version of the walkthrough in
+``docs/serving.md``.
 
 Run::
 
@@ -12,12 +17,14 @@ Run::
 """
 
 import argparse
+import tempfile
 import time
 
 import numpy as np
 
 from repro import StreamingForecaster, quick_forecast
 from repro.series import load_mackey_glass
+from repro.service import ForecastService, ModelRegistry
 
 
 def main() -> None:
@@ -25,6 +32,7 @@ def main() -> None:
     parser.add_argument("--horizon", type=int, default=50)
     parser.add_argument("--generations", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--streams", type=int, default=8)
     args = parser.parse_args()
 
     data = load_mackey_glass()
@@ -43,29 +51,63 @@ def main() -> None:
         f"{result.score.percentage:.1f}% predicted"
     )
 
-    # --- live serving simulation -----------------------------------------
-    forecaster = StreamingForecaster(result.system, horizon=args.horizon)
-    stream = data.validation
-    alerts = 0
-    streamed = []
-    start = time.perf_counter()
-    for step in map(forecaster.update, stream):
-        streamed.append(step.value)
-        if step.predicted and step.value > 1.2:  # domain-specific threshold
-            alerts += 1
-    elapsed = time.perf_counter() - start
+    # --- register the trained pool (versioned, integrity-checked) ---------
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="repro-registry-"))
+    record = registry.register(
+        "mackey",
+        result.system,
+        metadata={"d": 12, "horizon": args.horizon, "dataset": "mackey_glass"},
+        lineage={"kind": "example", "script": "streaming_forecast.py",
+                 "seed": args.seed},
+        promote=True,
+    )
     print(
-        f"streamed {forecaster.n_steps} windows in {elapsed:.2f}s "
-        f"({forecaster.n_steps / elapsed:,.0f} predictions/sec), "
-        f"coverage {forecaster.coverage:.2f}, {alerts} high-level alerts"
+        f"registered mackey v{record.version} "
+        f"(digest {record.digest[:12]}…, promoted)"
     )
 
-    # --- the same stream as one batched backtest -------------------------
+    # --- many live streams through one micro-batched gateway --------------
+    # Each "sensor" replays the validation segment at a different offset;
+    # all of them share the one registered model (and its micro-batch).
+    service = ForecastService(registry)
+    names = [f"sensor-{k}" for k in range(args.streams)]
+    for name in names:
+        service.bind(name, "mackey")
+    stream = data.validation
+    n_rounds = len(stream) - args.streams
+    alerts = 0
+    start = time.perf_counter()
+    for i in range(n_rounds):
+        events = [(name, stream[i + k]) for k, name in enumerate(names)]
+        for out in service.ingest(events):
+            if out.predicted and out.value > 1.2:  # domain threshold
+                alerts += 1
+    elapsed = time.perf_counter() - start
+    health = service.healthz()
+    print(
+        f"served {health['events']} events over {health['streams']} streams "
+        f"in {elapsed:.2f}s ({health['events'] / elapsed:,.0f} events/sec, "
+        f"{health['micro_batches']} micro-batches), "
+        f"coverage {health['coverage']:.2f}, {alerts} high-level alerts"
+    )
+
+    # --- bitwise cross-checks ---------------------------------------------
+    # 1. The gateway's first stream equals a private StreamingForecaster.
+    forecaster = StreamingForecaster(result.system, horizon=args.horizon)
+    service2 = ForecastService(registry)
+    service2.bind("solo", "mackey")
+    gateway_values = [
+        service2.ingest_one("solo", v).value for v in stream
+    ]
+    streamed = [forecaster.update(v).value for v in stream]
+    assert np.array_equal(gateway_values, streamed, equal_nan=True)
+
+    # 2. Both equal the batched replay of the whole series.
     replayed = StreamingForecaster(result.system).replay(stream)
     assert np.array_equal(np.array(streamed), replayed, equal_nan=True)
     print(
-        f"replay() reproduces the stream bit-for-bit "
-        f"({int(np.isfinite(replayed).sum())} predicted steps, batched)"
+        "gateway == per-stream forecaster == batched replay, bit for bit "
+        f"({int(np.isfinite(replayed).sum())} predicted steps)"
     )
 
 

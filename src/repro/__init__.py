@@ -17,7 +17,7 @@ Quickstart::
     print(result.score.error, result.score.percentage)
 """
 
-from . import core, metrics, parallel, series
+from . import core, metrics, parallel, series, service
 from .core import (
     CompiledRuleSystem,
     EvolutionConfig,
@@ -38,6 +38,7 @@ __all__ = [
     "series",
     "metrics",
     "parallel",
+    "service",
     "EvolutionConfig",
     "FitnessParams",
     "Interval",

@@ -21,6 +21,22 @@ sweeps — through the orchestrator::
 spec hash, seed and code version) and checkpoints after every batch, so
 a killed sweep resumes where it stopped instead of restarting.
 
+The serving subsystem (see ``docs/serving.md``) has two commands: the
+model-registry lifecycle ::
+
+    repro models register venice-h1 --snapshot pool.json --promote
+    repro models list
+    repro models show venice-h1
+    repro models promote venice-h1 2
+    repro models rollback venice-h1
+
+and the multi-stream gateway, which ingests ``stream,value`` lines from
+stdin (or replays a CSV into one stream) and emits one JSON line per
+event ::
+
+    repro serve --bind gauge=venice-h1 --csv tide.csv --stats
+    printf 'a,0.5\\nb,0.7\\n' | repro serve --bind a=m1 --bind b=m1@2
+
 Each classic command prints the paper-layout table (see
 :mod:`repro.analysis.tables`) and, with ``--markdown``, the
 paper-vs-measured markdown block used in EXPERIMENTS.md.
@@ -29,8 +45,10 @@ paper-vs-measured markdown block used in EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .analysis import (
     ExperimentOrchestrator,
@@ -54,12 +72,17 @@ from .analysis import (
 )
 from .analysis import all_scenarios
 from .analysis.report import scenario_report
+from .io import load_rule_system_with_metadata, read_series_csv
 from .parallel.backends import Backend, ProcessPoolBackend, SerialBackend
+from .service import ForecastService, ModelRegistry, RegistryError
 
-__all__ = ["main", "build_parser", "DEFAULT_STATE_DIR"]
+__all__ = ["main", "build_parser", "DEFAULT_STATE_DIR", "DEFAULT_REGISTRY_DIR"]
 
 #: Where ``experiment run``/``resume`` checkpoint when --state-dir is omitted.
 DEFAULT_STATE_DIR = ".repro/experiments/default"
+
+#: Model registry root used by ``models``/``serve`` when --registry is omitted.
+DEFAULT_REGISTRY_DIR = ".repro/registry"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,6 +176,70 @@ def build_parser() -> argparse.ArgumentParser:
     es.add_argument("--cache-dir", default=None)
     es.add_argument("--jobs", type=int, default=1)
     es.add_argument("--max-tasks", type=int, default=None)
+
+    # -- the serving surface -------------------------------------------------
+
+    pm = sub.add_parser(
+        "models",
+        help="model registry: register, list, promote, rollback versions",
+    )
+    msub = pm.add_subparsers(dest="models_command", required=True)
+
+    def registry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--registry", default=DEFAULT_REGISTRY_DIR,
+                       help=f"registry root (default {DEFAULT_REGISTRY_DIR})")
+
+    ml = msub.add_parser("list", help="summarize all registered models")
+    registry_arg(ml)
+
+    mw = msub.add_parser("show", help="list every version of one model")
+    mw.add_argument("name")
+    registry_arg(mw)
+
+    mr = msub.add_parser(
+        "register", help="import a rule-system snapshot as a new version"
+    )
+    mr.add_argument("name", help="model name")
+    mr.add_argument("--snapshot", required=True,
+                    help="JSON snapshot file (io.serialize format)")
+    mr.add_argument("--promote", action="store_true",
+                    help="promote the new version immediately")
+    registry_arg(mr)
+
+    mp = msub.add_parser("promote", help="promote a version for serving")
+    mp.add_argument("name")
+    mp.add_argument("version", type=int)
+    registry_arg(mp)
+
+    mb = msub.add_parser("rollback", help="undo the last promotion")
+    mb.add_argument("name")
+    registry_arg(mb)
+
+    ps = sub.add_parser(
+        "serve",
+        help="multi-stream forecast gateway (stdin or CSV replay -> "
+             "JSON lines)",
+    )
+    ps.add_argument("--registry", default=DEFAULT_REGISTRY_DIR,
+                    help=f"registry root (default {DEFAULT_REGISTRY_DIR})")
+    ps.add_argument("--bind", action="append", default=[], metavar="SPEC",
+                    required=True,
+                    help="STREAM=MODEL[@VERSION]; repeat for more streams "
+                         "(omitting @VERSION binds the promoted version)")
+    ps.add_argument("--csv", default=None,
+                    help="replay this series file into the (single) bound "
+                         "stream instead of reading stdin")
+    ps.add_argument("--column", type=int, default=None,
+                    help="CSV column to read (default: last)")
+    ps.add_argument("--batch", type=int, default=64,
+                    help="micro-batch size: events buffered per scoring "
+                         "pass (default 64)")
+    ps.add_argument("--limit", type=int, default=None,
+                    help="stop after N events")
+    ps.add_argument("--quiet", action="store_true",
+                    help="suppress per-event JSON lines")
+    ps.add_argument("--stats", action="store_true",
+                    help="print a final service-stats JSON object")
     return parser
 
 
@@ -247,11 +334,174 @@ def _experiment_main(args: argparse.Namespace) -> int:
         backend.close()
 
 
+def _models_main(args: argparse.Namespace) -> int:
+    """The ``repro models`` registry-lifecycle subcommands."""
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.models_command == "list":
+            # One manifest read for the whole listing.
+            rows = [
+                [name, len(records),
+                 f"v{promoted}" if promoted is not None else "-",
+                 records[-1].n_rules, records[-1].n_lags]
+                for name, (promoted, records) in registry.catalog().items()
+            ]
+            if not rows:
+                _print(f"no models registered under {args.registry}")
+                return 0
+            _print(format_table(
+                ["Model", "Versions", "Promoted", "Rules", "D"],
+                rows, title=f"Model registry — {args.registry}",
+            ))
+        elif args.models_command == "show":
+            catalog = registry.catalog()
+            if args.name not in catalog:
+                known = ", ".join(catalog) or "none"
+                raise RegistryError(
+                    f"unknown model {args.name!r} (registered: {known})"
+                )
+            promoted, records = catalog[args.name]
+            rows = [
+                [f"v{r.version}",
+                 "promoted" if r.version == promoted else "",
+                 r.n_rules, r.digest[:12],
+                 r.lineage.get("task_id", "-") or "-", r.created_at]
+                for r in records
+            ]
+            _print(format_table(
+                ["Version", "Status", "Rules", "Digest", "Lineage", "Created"],
+                rows, title=f"Model {args.name}",
+            ))
+        elif args.models_command == "register":
+            system, metadata = load_rule_system_with_metadata(args.snapshot)
+            record = registry.register(
+                args.name, system, metadata=metadata,
+                lineage={"kind": "snapshot-import", "source": args.snapshot},
+                promote=args.promote,
+            )
+            _print(
+                f"registered {record.name} v{record.version} "
+                f"({record.n_rules} rules, digest {record.digest[:12]}…)"
+                + (" [promoted]" if args.promote else "")
+            )
+        elif args.models_command == "promote":
+            record = registry.promote(args.name, args.version)
+            _print(f"promoted {record.name} v{record.version}")
+        else:  # rollback
+            record = registry.rollback(args.name)
+            _print(f"rolled back {record.name} to v{record.version}")
+        return 0
+    except (RegistryError, ValueError, OSError) as exc:
+        _print(f"error: {exc}")
+        return 2
+
+
+def _parse_binds(binds: Sequence[str]) -> List[Tuple[str, str, Optional[int]]]:
+    """Decode ``STREAM=MODEL[@VERSION]`` bind specs."""
+    parsed = []
+    for spec in binds:
+        stream, sep, model = spec.partition("=")
+        if not sep or not stream or not model:
+            raise ValueError(
+                f"invalid --bind {spec!r} (expected STREAM=MODEL[@VERSION])"
+            )
+        version: Optional[int] = None
+        model, sep, tail = model.partition("@")
+        if sep:
+            version = int(tail)
+        parsed.append((stream, model, version))
+    return parsed
+
+
+def _serve_events(
+    args: argparse.Namespace, streams: List[str]
+) -> Iterator[Tuple[str, float]]:
+    """The gateway's input: CSV replay or stdin ``stream,value`` lines."""
+    if args.csv is not None:
+        if len(streams) != 1:
+            raise ValueError(
+                "--csv replays into exactly one stream; bind one stream "
+                f"(got {len(streams)})"
+            )
+        for value in read_series_csv(args.csv, column=args.column):
+            yield streams[0], float(value)
+        return
+    only = streams[0] if len(streams) == 1 else None
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stream, sep, value = line.rpartition(",")
+        if not sep:
+            if only is None:
+                raise ValueError(
+                    f"input line {line!r} has no stream; use "
+                    "'stream,value' when several streams are bound"
+                )
+            stream = only
+        yield stream, float(value)
+
+
+def _forecast_json(forecast) -> str:
+    """One output line: a :class:`repro.service.Forecast` as JSON."""
+    return json.dumps({
+        "stream": forecast.stream,
+        "t": forecast.t,
+        "value": None if math.isnan(forecast.value) else forecast.value,
+        "predicted": forecast.predicted,
+        "n_rules_used": forecast.n_rules_used,
+        "ready": forecast.ready,
+        "model": forecast.model,
+        "version": forecast.version,
+    })
+
+
+def _serve_main(args: argparse.Namespace) -> int:
+    """The ``repro serve`` gateway command."""
+    if args.batch < 1:
+        _print("error: --batch must be >= 1")
+        return 2
+    try:
+        binds = _parse_binds(args.bind)
+        service = ForecastService(ModelRegistry(args.registry))
+        for stream, model, version in binds:
+            service.bind(stream, model, version)
+        streams = [b[0] for b in binds]
+
+        n_events = 0
+        pending: List[Tuple[str, float]] = []
+
+        def flush() -> None:
+            for forecast in service.ingest(pending):
+                if not args.quiet:
+                    _print(_forecast_json(forecast))
+            pending.clear()
+
+        for event in _serve_events(args, streams):
+            pending.append(event)
+            n_events += 1
+            if len(pending) >= args.batch:
+                flush()
+            if args.limit is not None and n_events >= args.limit:
+                break
+        flush()
+        if args.stats:
+            _print(json.dumps(service.stats(), sort_keys=True))
+        return 0
+    except (RegistryError, ValueError, OSError) as exc:
+        _print(f"error: {exc}")
+        return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "experiment":
         return _experiment_main(args)
+    if args.command == "models":
+        return _models_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
     backend = _backend(args.jobs)
     incremental = not args.no_incremental
     compiled = not args.no_compiled

@@ -94,6 +94,20 @@ class CompiledRuleSystem:
     #: compaction stops and the remaining lags are verified in one
     #: gathered vectorized check.
     FULL_CHECK_BUDGET = 2_000_000
+    #: Blocks of at most this many patterns (serving micro-batches, not
+    #: analysis sweeps) use micro-tuned heuristics instead: the dense
+    #: kernel is element-bound at ``R*B*D`` comparisons regardless of
+    #: block size, so small blocks prefer the pruning sparse path much
+    #: longer (see :meth:`_match_pairs`).
+    MICRO_BLOCK = 256
+    #: Micro-block full-check budget, *per pattern*: per-lag compaction
+    #: keeps shrinking the pair list while the gathered final check
+    #: would still touch more than this many (lag, pair) slots per
+    #: pattern.  Compaction passes on a few thousand pairs cost ~a
+    #: handful of small numpy ops and shrink the set geometrically, so
+    #: at micro scale they stay profitable far below the bulk
+    #: ``FULL_CHECK_BUDGET``.
+    MICRO_CHECK_BUDGET_PER_PATTERN = 160
 
     def __init__(self, rules: Iterable[Rule], block_size: int = 4096) -> None:
         pool: List[Rule] = list(rules)
@@ -182,8 +196,25 @@ class CompiledRuleSystem:
         return np.nonzero(M)
 
     def _match_pairs(self, blkT: np.ndarray, n_block: int):
-        """All matching (rule, pattern) pairs of one block, rule-major."""
+        """All matching (rule, pattern) pairs of one block, rule-major.
+
+        Heuristics are scale-aware: bulk blocks (analysis re-scoring)
+        use ``SPARSE_FRACTION``/``FULL_CHECK_BUDGET`` as tuned for
+        cache-resident dense walks, while micro blocks (serving
+        micro-batches, ``n_block <= MICRO_BLOCK``) stay on the sparse
+        path up to a much higher candidate density and keep compacting
+        much longer — at ``B = 64`` the dense kernel's unavoidable
+        ``R*B*D`` comparisons cost ~4x more than pruning does.  Both
+        kernels are exact, so the choice never changes a single output
+        bit (the property suite runs the same pools through both).
+        """
         R, d = self.n_rules, self.n_lags
+        if n_block <= self.MICRO_BLOCK:
+            sparse_cap = 0.6 * R * n_block
+            check_budget = self.MICRO_CHECK_BUDGET_PER_PATTERN * n_block
+        else:
+            sparse_cap = self.SPARSE_FRACTION * R * n_block
+            check_budget = self.FULL_CHECK_BUDGET
         order = self._lag_order
         j0 = order[0]
         col = blkT[j0]
@@ -193,7 +224,7 @@ class CompiledRuleSystem:
         last = np.searchsorted(sorted_col, self._hiT[j0], side="right")
         sizes = last - first
         total = int(sizes.sum())
-        if total > self.SPARSE_FRACTION * R * n_block:
+        if total > sparse_cap:
             return self._dense_pairs(blkT, n_block)
         r_idx = np.repeat(np.arange(R, dtype=np.intp), sizes)
         pos = np.arange(total, dtype=np.intp)
@@ -204,7 +235,7 @@ class CompiledRuleSystem:
         for j in order[1:]:
             if r_idx.size == 0:
                 return r_idx, i_idx
-            if (d - checked) * r_idx.size <= self.FULL_CHECK_BUDGET:
+            if (d - checked) * r_idx.size <= check_budget:
                 break
             vals = blkT[j][i_idx]
             keep = (vals >= self.lo[r_idx, j]) & (vals <= self.hi[r_idx, j])
@@ -224,18 +255,41 @@ class CompiledRuleSystem:
 
     # -- prediction ---------------------------------------------------------
 
-    def _pair_outputs(self, blkT: np.ndarray, r_idx, i_idx) -> np.ndarray:
-        """Rule outputs for each (rule, pattern) pair — oracle order."""
+    def _pair_outputs(
+        self, blkT: np.ndarray, r_idx, i_idx, micro: bool = False
+    ) -> np.ndarray:
+        """Rule outputs for each (rule, pattern) pair — oracle order.
+
+        Two implementations of the same scalar contract (intercept
+        first, then ``+ x_j * a_j`` for ``j = 0 … D-1``, see
+        :meth:`~repro.core.rule.Rule.output`):
+
+        * the per-lag loop — ``D`` small whole-pair-list operations;
+          temporaries stay one-pair-wide, right for bulk blocks;
+        * the ``micro`` path — materialize the ``(pairs, D+1)`` term
+          matrix (intercept in column 0) and take the last column of a
+          row-wise ``cumsum``.  ``np.cumsum`` is a strictly sequential
+          left-to-right accumulation, so every row reproduces the loop's
+          addition order bit for bit while collapsing ``3·D`` numpy
+          calls into a handful — which is what the serving micro-batch
+          regime (few pairs, call-overhead-bound) needs.
+        """
         out = self._intercept[r_idx]
         if self.has_linear and r_idx.size:
             lin = self.is_linear[r_idx]
             if lin.any():
                 rl = r_idx[lin]
                 il = i_idx[lin]
-                acc = out[lin]
-                for j in range(self.n_lags):
-                    acc += blkT[j][il] * self._weightsT[j][rl]
-                out[lin] = acc
+                if micro:
+                    terms = np.empty((rl.size, self.n_lags + 1))
+                    terms[:, 0] = out[lin]
+                    terms[:, 1:] = blkT.T[il] * self.coeffs[rl, : self.n_lags]
+                    out[lin] = np.cumsum(terms, axis=1)[:, -1]
+                else:
+                    acc = out[lin]
+                    for j in range(self.n_lags):
+                        acc += blkT[j][il] * self._weightsT[j][rl]
+                    out[lin] = acc
         return out
 
     def predict(self, patterns: np.ndarray) -> PredictionBatch:
@@ -258,13 +312,20 @@ class CompiledRuleSystem:
                 "compiled prediction requires finite patterns (no NaN/inf); "
                 "clean the input or use predict(..., compiled=False)"
             )
+        return self._predict_blocks(patterns)
+
+    def _predict_blocks(self, patterns: np.ndarray) -> PredictionBatch:
+        """Blocked multi-pattern kernel (validated ``(n, D)`` float64)."""
+        n = patterns.shape[0]
         totals = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n, dtype=np.int64)
         for start in range(0, n, self.block_size):
             stop = min(start + self.block_size, n)
             blkT = np.ascontiguousarray(patterns[start:stop].T)
             r_idx, i_idx = self._match_pairs(blkT, stop - start)
-            outputs = self._pair_outputs(blkT, r_idx, i_idx)
+            outputs = self._pair_outputs(
+                blkT, r_idx, i_idx, micro=stop - start <= self.MICRO_BLOCK
+            )
             totals[start:stop] = np.bincount(
                 i_idx, weights=outputs, minlength=stop - start
             )
@@ -275,6 +336,44 @@ class CompiledRuleSystem:
         return PredictionBatch(
             values=values, predicted=predicted, n_rules_used=counts
         )
+
+    def predict_windows(self, windows: np.ndarray) -> PredictionBatch:
+        """Micro-batch entry point: score a pre-validated window stack.
+
+        The serving gateway (:class:`repro.service.ForecastService`)
+        stacks the ready windows of many concurrent streams into one
+        ``(k, D)`` matrix and scores them in a single call — this is
+        what turns ``k`` per-event :meth:`_predict_single` dispatches
+        into one batched kernel pass.  Bitwise identical to scoring
+        each row on its own (both paths honour the per-rule loop's
+        scalar contract; ``tests/property/test_service_batching.py``
+        holds all three equal), so micro-batching is purely a
+        throughput decision.
+
+        Unlike :meth:`predict`, rows are **not** re-validated for
+        finiteness: the gateway already rejects non-finite observations
+        at ingest (before they reach any buffer), so re-scanning every
+        micro-batch would tax the hot path to re-prove an invariant.
+        Callers that cannot guarantee finite windows must use
+        :meth:`predict`.  ``k = 0`` (no stream ready this batch) is
+        valid and returns an empty batch.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 2 or windows.shape[1] != self.n_lags:
+            raise ValueError(
+                f"expected a (k, {self.n_lags}) window stack, got shape "
+                f"{windows.shape}"
+            )
+        k = windows.shape[0]
+        if k == 0:
+            return PredictionBatch(
+                values=np.full(0, np.nan),
+                predicted=np.zeros(0, dtype=bool),
+                n_rules_used=np.zeros(0, dtype=np.int64),
+            )
+        if k == 1:
+            return self._predict_single(windows[0])
+        return self._predict_blocks(windows)
 
     def _predict_single(self, pattern: np.ndarray) -> PredictionBatch:
         """One-pattern fast path: the streaming/serving step.

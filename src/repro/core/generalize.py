@@ -47,6 +47,7 @@ class TabularDataset:
 
     @staticmethod
     def from_arrays(X: np.ndarray, y: np.ndarray) -> "TabularDataset":
+        """Validate and wrap a ``(n, d)`` feature matrix and targets."""
         X = np.ascontiguousarray(X, dtype=np.float64)
         y = np.ascontiguousarray(y, dtype=np.float64)
         if X.ndim != 2:
@@ -63,13 +64,16 @@ class TabularDataset:
 
     @property
     def output_range(self):
+        """``(min, max)`` of the targets (initialization + EMAX default)."""
         return float(self.y.min()), float(self.y.max())
 
     @property
     def input_range(self):
+        """``(min, max)`` over all features (interval sampling bounds)."""
         return float(self.X.min()), float(self.X.max())
 
     def subset(self, mask: np.ndarray):
+        """``(X[mask], y[mask])`` — the rows a rule's condition matched."""
         return self.X[mask], self.y[mask]
 
 

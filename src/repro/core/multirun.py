@@ -53,6 +53,7 @@ class MultiRunResult:
 
     @property
     def n_executions(self) -> int:
+        """Number of pooled GA executions."""
         return len(self.executions)
 
 

@@ -1,16 +1,36 @@
 """Persistence: rule-system JSON snapshots, series and result caching."""
 
-from .cache import ResultCache, SeriesCache, canonical_spec, spec_hash
+from .cache import (
+    ResultCache,
+    SeriesCache,
+    atomic_write_text,
+    canonical_spec,
+    spec_hash,
+)
 from .csv_io import read_series_csv, write_series_csv
-from .serialize import load_rule_system, rule_from_dict, rule_to_dict, save_rule_system
+from .serialize import (
+    load_rule_system,
+    load_rule_system_with_metadata,
+    rule_from_dict,
+    rule_to_dict,
+    save_rule_system,
+    snapshot_digest,
+    system_from_payload,
+    system_to_payload,
+)
 
 __all__ = [
     "SeriesCache",
     "ResultCache",
+    "atomic_write_text",
     "canonical_spec",
     "spec_hash",
     "save_rule_system",
     "load_rule_system",
+    "load_rule_system_with_metadata",
+    "system_to_payload",
+    "system_from_payload",
+    "snapshot_digest",
     "rule_to_dict",
     "rule_from_dict",
     "read_series_csv",

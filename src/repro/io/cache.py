@@ -34,7 +34,37 @@ from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
-__all__ = ["SeriesCache", "ResultCache", "canonical_spec", "spec_hash"]
+__all__ = [
+    "SeriesCache",
+    "ResultCache",
+    "atomic_write_text",
+    "canonical_spec",
+    "spec_hash",
+]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    The tmp name is unique per write, so concurrent writers sharing a
+    directory (two registry processes snapshotting models, a killed
+    orchestrator mid-checkpoint) can never interleave partial writes:
+    readers observe either the old file or the complete new one.  Used
+    by every on-disk artifact that is read back for correctness — model
+    snapshots, registry manifests, orchestrator checkpoints.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        Path(tmp_name).replace(path)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
+    return path
 
 
 def canonical_spec(obj: Any) -> Any:

@@ -4,22 +4,55 @@ A trained rule system is a plain list of numbers — ideal for portable
 JSON snapshots (model registry, cross-run comparison, examples that
 save and reload a forecaster).  Wildcard bounds (``±inf``) are encoded
 as the strings ``"-inf"``/``"inf"`` because JSON has no infinities.
+
+Snapshot format
+---------------
+``format_version`` 2 (current) adds two things version 1 lacked:
+
+* a ``metadata`` block — the construction context a bare rule list
+  drops (prediction horizon, window width, training lineage, anything
+  the caller passes) — preserved verbatim across a round trip;
+* an integrity contract: :func:`snapshot_digest` hashes the canonical
+  payload (:func:`repro.io.cache.spec_hash`), which is what
+  :class:`repro.service.ModelRegistry` records at register time and
+  re-verifies on every load, so a corrupted or hand-edited snapshot is
+  rejected instead of silently serving wrong forecasts.
+
+Loading validates loudly: unknown ``format_version`` values raise (a
+snapshot from a future format must never be half-parsed), and a
+``n_rules`` count that disagrees with the rule list is treated as
+corruption.  Version-1 files (no metadata) still load.
+
+Writes are atomic (:func:`repro.io.cache.atomic_write_text`): a reader
+never observes a torn snapshot.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.predictor import RuleSystem
 from ..core.rule import Rule
+from .cache import atomic_write_text, spec_hash
 
-__all__ = ["rule_to_dict", "rule_from_dict", "save_rule_system", "load_rule_system"]
+__all__ = [
+    "rule_to_dict",
+    "rule_from_dict",
+    "system_to_payload",
+    "system_from_payload",
+    "snapshot_digest",
+    "save_rule_system",
+    "load_rule_system",
+    "load_rule_system_with_metadata",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions :func:`system_from_payload` knows how to decode.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_float(x: float) -> Union[float, str]:
@@ -71,23 +104,93 @@ def rule_from_dict(payload: Dict) -> Rule:
     return rule
 
 
-def save_rule_system(system: RuleSystem, path: Union[str, Path]) -> None:
-    """Write a rule system to a JSON file."""
-    payload = {
+def system_to_payload(
+    system: RuleSystem, metadata: Optional[Dict] = None
+) -> Dict:
+    """The JSON-serializable snapshot payload of a rule system.
+
+    ``metadata`` carries construction context the rule list itself
+    cannot express — horizon, window width ``d``, dataset name,
+    training lineage — and must be JSON-serializable (plain dicts,
+    lists, numbers, strings).  It is normalized to its JSON-native form
+    here (tuples become lists, dict keys become strings, exactly as a
+    file round trip would), so the payload this returns is *identical*
+    to the payload a reader will parse back — which is what makes
+    :func:`snapshot_digest` stable across save and load: a digest
+    recorded at register time must still match after re-reading the
+    file, or the registry would brick a perfectly intact snapshot with
+    a spurious integrity failure.
+    """
+    return {
         "format_version": _FORMAT_VERSION,
         "n_rules": len(system),
+        "metadata": json.loads(json.dumps(dict(metadata or {}))),
         "rules": [rule_to_dict(r) for r in system.rules],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def system_from_payload(payload: Dict) -> Tuple[RuleSystem, Dict]:
+    """Decode a snapshot payload into ``(system, metadata)``.
+
+    Raises ``ValueError`` on an unknown ``format_version`` (including a
+    missing one) and on a ``n_rules`` count that disagrees with the
+    rule list — both indicate a snapshot this code cannot be trusted to
+    interpret.  Version-1 payloads decode with empty metadata.
+    """
+    version = payload.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported rule-system format version {version!r} "
+            f"(supported: {', '.join(map(str, _SUPPORTED_VERSIONS))}); "
+            "refusing to guess at the layout"
+        )
+    rules: List[Rule] = [rule_from_dict(d) for d in payload["rules"]]
+    declared = payload.get("n_rules")
+    if declared is not None and int(declared) != len(rules):
+        raise ValueError(
+            f"snapshot declares {declared} rules but contains "
+            f"{len(rules)} — truncated or corrupted file"
+        )
+    metadata = dict(payload.get("metadata") or {})
+    return RuleSystem(rules), metadata
+
+
+def snapshot_digest(payload: Dict) -> str:
+    """Content digest of a snapshot payload (the integrity key).
+
+    :func:`repro.io.cache.spec_hash` over the payload: stable across a
+    JSON round trip (:func:`system_to_payload` normalizes everything,
+    metadata included, to JSON-native values), so the digest computed
+    at save time still matches after the file is re-read — and any
+    flipped byte in bounds, coefficients or metadata changes it.
+    """
+    return spec_hash(payload)
+
+
+def save_rule_system(
+    system: RuleSystem,
+    path: Union[str, Path],
+    metadata: Optional[Dict] = None,
+) -> str:
+    """Write a rule-system snapshot to a JSON file, atomically.
+
+    Returns the :func:`snapshot_digest` of the written payload so
+    callers (the model registry) can record it without re-reading the
+    file.
+    """
+    payload = system_to_payload(system, metadata=metadata)
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
+    return snapshot_digest(payload)
 
 
 def load_rule_system(path: Union[str, Path]) -> RuleSystem:
     """Read a rule system back from :func:`save_rule_system` output."""
+    return load_rule_system_with_metadata(path)[0]
+
+
+def load_rule_system_with_metadata(
+    path: Union[str, Path],
+) -> Tuple[RuleSystem, Dict]:
+    """Read back ``(system, metadata)`` from a snapshot file."""
     payload = json.loads(Path(path).read_text())
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported rule-system format version {version!r}"
-        )
-    rules: List[Rule] = [rule_from_dict(d) for d in payload["rules"]]
-    return RuleSystem(rules)
+    return system_from_payload(payload)

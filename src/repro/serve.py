@@ -30,14 +30,74 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from .core.compiled import CompiledRuleSystem
 from .core.predictor import RuleSystem
 
-__all__ = ["StreamStep", "StreamingForecaster"]
+__all__ = ["RingWindowBuffer", "StreamStep", "StreamingForecaster"]
+
+
+class RingWindowBuffer:
+    """Double-write ring buffer over the last ``d`` observations.
+
+    Each value is stored twice — ``buf[t % d]`` and ``buf[t % d + d]``
+    — so the most recent ``d`` values are always one contiguous
+    zero-copy slice, oldest first.  This is the ingest structure behind
+    :class:`StreamingForecaster` and every stream hosted by
+    :class:`repro.service.ForecastService`; callers validate values
+    *before* pushing (a buffered NaN would poison the next ``d``
+    windows).
+    """
+
+    __slots__ = ("d", "count", "_buf")
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise ValueError("window width d must be >= 1")
+        self.d = d
+        self.count = 0
+        self._buf = np.empty(2 * d, dtype=np.float64)
+
+    @property
+    def ready(self) -> bool:
+        """True once ``d`` observations have been pushed."""
+        return self.count >= self.d
+
+    def push(self, value: float) -> None:
+        """Append one (already-validated) observation in O(1)."""
+        pos = self.count % self.d
+        self._buf[pos] = value
+        self._buf[pos + self.d] = value
+        self.count += 1
+
+    def window(self) -> Optional[np.ndarray]:
+        """The current ``(d,)`` window (oldest first), or ``None``.
+
+        The returned array is a zero-copy *view* into the ring: it is
+        only valid until the next :meth:`push`.  Copy it (or consume it
+        immediately, as the scoring paths do) if it must outlive that.
+        """
+        if not self.ready:
+            return None
+        pos = (self.count - 1) % self.d
+        return self._buf[pos + 1 : pos + 1 + self.d]
+
+    def copy_window_into(self, out: np.ndarray) -> None:
+        """Copy the current window into ``out`` (a ``(d,)`` slice).
+
+        The gateway's stacking primitive: one slice assignment straight
+        from the ring into a row of the micro-batch matrix, with no
+        intermediate array.  Caller must ensure :attr:`ready`.
+        """
+        pos = (self.count - 1) % self.d
+        out[...] = self._buf[pos + 1 : pos + 1 + self.d]
+
+    def reset(self) -> None:
+        """Forget all pushed observations."""
+        self.count = 0
 
 
 @dataclass(frozen=True)
@@ -94,13 +154,7 @@ class StreamingForecaster:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
         self.horizon = horizon
-        d = self._compiled.n_lags
-        self._d = d
-        # Double-write ring buffer: value t lands at positions
-        # (t mod D) and (t mod D) + D, so buf[pos+1 : pos+1+D] is always
-        # the latest window, oldest first, as one contiguous slice.
-        self._buf = np.empty(2 * d, dtype=np.float64)
-        self._count = 0
+        self._ring = RingWindowBuffer(self._compiled.n_lags)
         self.n_steps = 0
         self.n_predicted = 0
 
@@ -109,12 +163,12 @@ class StreamingForecaster:
     @property
     def d(self) -> int:
         """Window width ``D`` expected by the pool."""
-        return self._d
+        return self._ring.d
 
     @property
     def ready(self) -> bool:
         """True once a full window has been ingested."""
-        return self._count >= self._d
+        return self._ring.ready
 
     @property
     def coverage(self) -> float:
@@ -125,16 +179,31 @@ class StreamingForecaster:
 
     def window(self) -> Optional[np.ndarray]:
         """The current ``(D,)`` window (oldest first), or ``None``."""
-        if not self.ready:
-            return None
-        pos = (self._count - 1) % self._d
-        return self._buf[pos + 1 : pos + 1 + self._d]
+        return self._ring.window()
 
     def reset(self) -> None:
         """Forget all ingested observations and statistics."""
-        self._count = 0
+        self._ring.reset()
         self.n_steps = 0
         self.n_predicted = 0
+
+    def stats(self) -> Dict[str, object]:
+        """Running statistics as one JSON-able dict.
+
+        The single-stream analogue of
+        :meth:`repro.service.ForecastService.stats` — the same keys a
+        ``/healthz``-style dump reports per stream.
+        """
+        return {
+            "events": self._ring.count,
+            "ready": self.ready,
+            "ready_steps": self.n_steps,
+            "predicted_steps": self.n_predicted,
+            "coverage": self.coverage,
+            "d": self.d,
+            "horizon": self.horizon,
+            "n_rules": self._compiled.n_rules,
+        }
 
     # -- streaming -----------------------------------------------------------
 
@@ -145,17 +214,14 @@ class StreamingForecaster:
         buffering it: a silently ingested NaN would poison the next
         ``D`` windows, so sensor gaps must be handled upstream.
         """
-        t = self._count
-        pos = t % self._d
+        t = self._ring.count
         v = float(value)
         if not np.isfinite(v):
             raise ValueError(
                 f"non-finite observation {value!r} at step {t}; fill or "
                 "drop sensor gaps before streaming"
             )
-        self._buf[pos] = v
-        self._buf[pos + self._d] = v
-        self._count += 1
+        self._ring.push(v)
         if not self.ready:
             return StreamStep(
                 t=t, value=np.nan, predicted=False, n_rules_used=0, ready=False
@@ -191,9 +257,9 @@ class StreamingForecaster:
         if series.ndim != 1:
             raise ValueError("replay expects a 1-D series")
         out = np.full(series.shape[0], np.nan)
-        if series.shape[0] < self._d:
+        if series.shape[0] < self.d:
             return out
-        windows = np.lib.stride_tricks.sliding_window_view(series, self._d)
+        windows = np.lib.stride_tricks.sliding_window_view(series, self.d)
         batch = self._compiled.predict(windows)
-        out[self._d - 1 :] = batch.values
+        out[self.d - 1 :] = batch.values
         return out

@@ -1,0 +1,28 @@
+"""Serving subsystem: versioned model registry + multi-stream gateway.
+
+The production layer on top of training (:mod:`repro.core`) and
+single-stream serving (:mod:`repro.serve`):
+
+* :class:`ModelRegistry` — versioned, integrity-checked on-disk storage
+  of trained rule pools with promote/rollback lifecycle and training
+  lineage (:mod:`repro.service.registry`);
+* :class:`ForecastService` — many named streams served concurrently
+  over shared models, with micro-batched scoring that is bitwise
+  identical to per-stream loops (:mod:`repro.service.gateway`).
+
+CLI surface: ``repro models`` (registry lifecycle) and ``repro serve``
+(stdin / CSV-replay ingestion, JSON-lines output).  The full guide is
+``docs/serving.md``.
+"""
+
+from .gateway import Forecast, ForecastService
+from .registry import ModelRecord, ModelRegistry, RegistryError, task_lineage
+
+__all__ = [
+    "Forecast",
+    "ForecastService",
+    "ModelRecord",
+    "ModelRegistry",
+    "RegistryError",
+    "task_lineage",
+]

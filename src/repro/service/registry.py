@@ -1,0 +1,409 @@
+"""Versioned on-disk model registry for trained rule systems.
+
+A trained pool is cheap to snapshot (:mod:`repro.io.serialize`) but an
+ad-hoc JSON file has no identity: nothing says which model it is, which
+version, what trained it, or whether the bytes on disk are still the
+bytes that were written.  :class:`ModelRegistry` adds exactly that
+management layer, and nothing more — it stores the same JSON snapshots,
+under one root:
+
+.. code-block:: text
+
+    <root>/
+      manifest.json                # all records + promotion state, atomic
+      models/<name>/v00001.json    # one immutable snapshot per version
+
+Concepts
+--------
+* **Version** — every :meth:`~ModelRegistry.register` call appends an
+  immutable, monotonically numbered snapshot (``v1, v2, …``).  Existing
+  versions are never rewritten.
+* **Promotion** — each model has at most one *promoted* version: the
+  one :meth:`~ModelRegistry.load` resolves when no explicit version is
+  requested (what the serving gateway binds by default).
+  :meth:`~ModelRegistry.promote` moves the pointer;
+  :meth:`~ModelRegistry.rollback` pops it back to the previously
+  promoted version — the promotion *history* is recorded, so a bad
+  deploy is one call to undo.
+* **Integrity** — the manifest records the
+  :func:`~repro.io.serialize.snapshot_digest` of every snapshot at
+  register time; :meth:`~ModelRegistry.load` recomputes it and refuses
+  to serve a snapshot whose bytes no longer hash to the recorded
+  digest.
+* **Lineage** — free-form JSON metadata linking a version back to what
+  trained it; :func:`task_lineage` builds the standard record from an
+  orchestrator :class:`~repro.analysis.orchestrator.ExperimentTask`.
+
+All manifest writes are atomic (tmp + rename), so a crashed writer
+never leaves a torn manifest behind.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from ..core.predictor import RuleSystem
+from ..io.cache import atomic_write_text
+from ..io.serialize import save_rule_system, snapshot_digest, system_from_payload
+
+__all__ = ["ModelRecord", "ModelRegistry", "RegistryError", "task_lineage"]
+
+_MANIFEST_VERSION = 1
+
+
+class RegistryError(ValueError):
+    """Raised on registry misuse or on-disk inconsistency.
+
+    Covers unknown models/versions, promote/rollback misuse, and —
+    most importantly — snapshot integrity failures (bytes on disk no
+    longer hashing to the digest recorded at register time).
+    """
+
+
+def task_lineage(task, task_key: Optional[str] = None) -> Dict[str, object]:
+    """The standard lineage record for an orchestrator-trained model.
+
+    ``task`` is duck-typed against
+    :class:`~repro.analysis.orchestrator.ExperimentTask` (``task_id``,
+    ``scenario``, ``point.label``, ``seed``, ``scale``), so this module
+    never imports the analysis layer.  ``task_key`` is the
+    orchestrator's memo key
+    (:meth:`~repro.analysis.orchestrator.ExperimentOrchestrator.task_key`),
+    which pins the exact spec + code version that produced the rules —
+    pass it when available so a registry entry can be traced to the
+    cached training artifact.
+    """
+    return {
+        "kind": "experiment-task",
+        "task_id": str(task.task_id),
+        "scenario": str(task.scenario),
+        "label": str(task.point.label),
+        "seed": int(task.seed),
+        "scale": str(task.scale),
+        "task_key": task_key,
+    }
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One immutable registered version of one model.
+
+    Attributes
+    ----------
+    name, version:
+        Registry identity; versions count from 1 per model.
+    path:
+        Snapshot file path relative to the registry root.
+    digest:
+        :func:`~repro.io.serialize.snapshot_digest` of the snapshot
+        payload, verified on every load.
+    n_rules, n_lags:
+        Pool shape, denormalized for listing without opening snapshots
+        (``n_lags`` is 0 for an empty pool).
+    metadata:
+        Caller-supplied construction context (horizon, dataset, …);
+        also embedded in the snapshot itself.
+    lineage:
+        What trained this version (see :func:`task_lineage`).
+    created_at:
+        Registration time, ISO-8601 UTC (informational only — never
+        part of any hash).
+    """
+
+    name: str
+    version: int
+    path: str
+    digest: str
+    n_rules: int
+    n_lags: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+    lineage: Dict[str, object] = field(default_factory=dict)
+    created_at: str = ""
+
+
+class ModelRegistry:
+    """Filesystem-backed registry of versioned rule-system snapshots.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with an empty manifest) on first
+        write if missing.
+
+    Example
+    -------
+    >>> registry = ModelRegistry(".repro/registry")
+    >>> record = registry.register("venice-h1", result.system,
+    ...                            metadata={"horizon": 1, "d": 24},
+    ...                            promote=True)
+    >>> system, record = registry.load("venice-h1")   # promoted version
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where the manifest lives under the registry root."""
+        return self.root / "manifest.json"
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Serialize manifest read-modify-write cycles across processes.
+
+        ``register``/``promote``/``rollback`` are read-modify-write on
+        the manifest; without mutual exclusion two concurrent
+        registrations could assign the same version number and clobber
+        each other's manifest write (atomic renames only make each
+        *individual* write safe).  A POSIX ``flock`` on ``<root>/.lock``
+        closes that window; on platforms without ``fcntl`` the registry
+        degrades to single-writer discipline.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".lock", "w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _read_manifest(self) -> Dict:
+        if not self.manifest_path.exists():
+            return {"manifest_version": _MANIFEST_VERSION, "models": {}}
+        payload = json.loads(self.manifest_path.read_text())
+        version = payload.get("manifest_version")
+        if version != _MANIFEST_VERSION:
+            raise RegistryError(
+                f"unsupported registry manifest version {version!r} "
+                f"(expected {_MANIFEST_VERSION})"
+            )
+        return payload
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.manifest_path, json.dumps(manifest, indent=1, sort_keys=True)
+        )
+
+    @staticmethod
+    def _record_from_entry(entry: Dict) -> ModelRecord:
+        return ModelRecord(
+            name=entry["name"],
+            version=int(entry["version"]),
+            path=entry["path"],
+            digest=entry["digest"],
+            n_rules=int(entry["n_rules"]),
+            n_lags=int(entry["n_lags"]),
+            metadata=dict(entry.get("metadata") or {}),
+            lineage=dict(entry.get("lineage") or {}),
+            created_at=entry.get("created_at", ""),
+        )
+
+    def _model_entry(self, manifest: Dict, name: str) -> Dict:
+        models = manifest["models"]
+        if name not in models:
+            known = ", ".join(sorted(models)) or "none"
+            raise RegistryError(f"unknown model {name!r} (registered: {known})")
+        return models[name]
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        system: RuleSystem,
+        metadata: Optional[Dict] = None,
+        lineage: Optional[Dict] = None,
+        promote: bool = False,
+    ) -> ModelRecord:
+        """Snapshot ``system`` as the next version of model ``name``.
+
+        Writes the snapshot first, then the manifest — a crash between
+        the two leaves an orphaned snapshot file (harmless), never a
+        manifest entry pointing at a missing or torn snapshot.  With
+        ``promote=True`` the new version is promoted in the same
+        manifest write.  Concurrent registrations are serialized by an
+        advisory lock, so version numbers are unique and no manifest
+        write is lost.
+        """
+        if (
+            not name
+            or name != name.strip()
+            or name in (".", "..")
+            or any(sep in name for sep in ("/", "\\"))
+        ):
+            raise RegistryError(
+                f"invalid model name {name!r}: must be a single normal "
+                "path component (non-empty, no slashes, not '.'/'..', "
+                "no surrounding whitespace)"
+            )
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = manifest["models"].setdefault(
+                name,
+                {"promoted": None, "promotion_history": [], "versions": {}},
+            )
+            versions = entry["versions"]
+            version = 1 + max((int(v) for v in versions), default=0)
+            rel_path = Path("models") / name / f"v{version:05d}.json"
+            abs_path = self.root / rel_path
+            abs_path.parent.mkdir(parents=True, exist_ok=True)
+            digest = save_rule_system(system, abs_path, metadata=metadata)
+            record = ModelRecord(
+                name=name,
+                version=version,
+                path=str(rel_path),
+                digest=digest,
+                n_rules=len(system),
+                n_lags=system.n_lags if len(system) else 0,
+                metadata=dict(metadata or {}),
+                lineage=dict(lineage or {}),
+                created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            )
+            versions[str(version)] = asdict(record)
+            if promote:
+                entry["promotion_history"].append(version)
+                entry["promoted"] = version
+            self._write_manifest(manifest)
+        return record
+
+    # -- discovery -----------------------------------------------------------
+
+    def models(self) -> List[str]:
+        """Sorted names of all registered models."""
+        return sorted(self._read_manifest()["models"])
+
+    def catalog(self) -> Dict[str, Tuple[Optional[int], List[ModelRecord]]]:
+        """Every model's ``(promoted version, records oldest-first)``.
+
+        One manifest read for the whole listing — the CLI's ``models
+        list``/``show`` render from this instead of re-reading the
+        manifest per model.
+        """
+        manifest = self._read_manifest()
+        out: Dict[str, Tuple[Optional[int], List[ModelRecord]]] = {}
+        for name in sorted(manifest["models"]):
+            entry = manifest["models"][name]
+            records = [
+                self._record_from_entry(entry["versions"][v])
+                for v in sorted(entry["versions"], key=int)
+            ]
+            out[name] = (entry["promoted"], records)
+        return out
+
+    def versions(self, name: str) -> List[ModelRecord]:
+        """All records of one model, oldest first."""
+        entry = self._model_entry(self._read_manifest(), name)
+        return [
+            self._record_from_entry(entry["versions"][v])
+            for v in sorted(entry["versions"], key=int)
+        ]
+
+    def record(self, name: str, version: Optional[int] = None) -> ModelRecord:
+        """The record of one version (default: the promoted one)."""
+        entry = self._model_entry(self._read_manifest(), name)
+        if version is None:
+            version = entry["promoted"]
+            if version is None:
+                raise RegistryError(
+                    f"model {name!r} has no promoted version; promote one "
+                    "or request an explicit version"
+                )
+        key = str(int(version))
+        if key not in entry["versions"]:
+            have = ", ".join(sorted(entry["versions"], key=int))
+            raise RegistryError(
+                f"model {name!r} has no version {version} (have: {have})"
+            )
+        return self._record_from_entry(entry["versions"][key])
+
+    def promoted_version(self, name: str) -> Optional[int]:
+        """The promoted version number, or ``None``."""
+        entry = self._model_entry(self._read_manifest(), name)
+        return entry["promoted"]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def promote(self, name: str, version: int) -> ModelRecord:
+        """Make ``version`` the one served by default.
+
+        Re-promoting the already-promoted version is a no-op (not a
+        history entry), so retried deploys stay rollback-safe.
+        """
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = self._model_entry(manifest, name)
+            key = str(int(version))
+            if key not in entry["versions"]:
+                raise RegistryError(f"model {name!r} has no version {version}")
+            if entry["promoted"] != int(version):
+                entry["promotion_history"].append(int(version))
+                entry["promoted"] = int(version)
+                self._write_manifest(manifest)
+            return self._record_from_entry(entry["versions"][key])
+
+    def rollback(self, name: str) -> ModelRecord:
+        """Undo the last promotion, restoring the previous one.
+
+        Raises :class:`RegistryError` when there is nothing to roll
+        back to (fewer than two promotions on record).
+        """
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = self._model_entry(manifest, name)
+            history = entry["promotion_history"]
+            if len(history) < 2:
+                raise RegistryError(
+                    f"model {name!r} has no previous promotion to roll back to"
+                )
+            history.pop()
+            entry["promoted"] = history[-1]
+            self._write_manifest(manifest)
+            return self._record_from_entry(
+                entry["versions"][str(entry["promoted"])]
+            )
+
+    # -- loading -------------------------------------------------------------
+
+    def load(
+        self, name: str, version: Optional[int] = None
+    ) -> Tuple[RuleSystem, ModelRecord]:
+        """Load one version (default: promoted), verifying integrity.
+
+        The snapshot payload is re-hashed and compared against the
+        digest recorded at register time; any mismatch — bit rot, a
+        hand-edited file, a snapshot swapped between versions — raises
+        :class:`RegistryError` instead of serving wrong forecasts.
+        """
+        record = self.record(name, version)
+        path = self.root / record.path
+        if not path.exists():
+            raise RegistryError(
+                f"snapshot missing for {name!r} v{record.version}: {path}"
+            )
+        payload = json.loads(path.read_text())
+        digest = snapshot_digest(payload)
+        if digest != record.digest:
+            raise RegistryError(
+                f"integrity failure for {name!r} v{record.version}: snapshot "
+                f"digest {digest[:12]}… does not match the registered "
+                f"{record.digest[:12]}… — the file was modified after "
+                "registration"
+            )
+        system, _metadata = system_from_payload(payload)
+        return system, record

@@ -83,6 +83,158 @@ class TestExperimentParser:
         assert "unknown scenario" in capsys.readouterr().out
 
 
+class TestServingParser:
+    def test_models_subcommands_exist(self):
+        for argv in (["models", "list"],
+                     ["models", "show", "m"],
+                     ["models", "register", "m", "--snapshot", "f.json"],
+                     ["models", "promote", "m", "2"],
+                     ["models", "rollback", "m"]):
+            args = build_parser().parse_args(argv)
+            assert args.command == "models"
+            assert args.models_command == argv[1]
+
+    def test_models_default_registry(self):
+        from repro.cli import DEFAULT_REGISTRY_DIR
+
+        args = build_parser().parse_args(["models", "list"])
+        assert args.registry == DEFAULT_REGISTRY_DIR
+
+    def test_register_requires_snapshot(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["models", "register", "m"])
+
+    def test_serve_bind_specs(self):
+        args = build_parser().parse_args(
+            ["serve", "--bind", "a=m1", "--bind", "b=m2@3",
+             "--batch", "16", "--stats"]
+        )
+        assert args.command == "serve"
+        assert args.bind == ["a=m1", "b=m2@3"]
+        assert args.batch == 16 and args.stats and not args.quiet
+
+    def test_serve_requires_bind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_parse_binds(self):
+        from repro.cli import _parse_binds
+
+        assert _parse_binds(["a=m", "b=m@2"]) == [
+            ("a", "m", None), ("b", "m", 2)
+        ]
+        for bad in ("no-equals", "=m", "a="):
+            with pytest.raises(ValueError, match="invalid --bind"):
+                _parse_binds([bad])
+
+
+class TestServingMain:
+    @pytest.fixture
+    def snapshot(self, tmp_path):
+        import numpy as np
+
+        from repro.core.predictor import RuleSystem
+        from repro.core.rule import Rule
+        from repro.io import save_rule_system
+
+        rule_a = Rule.from_box(np.zeros(3), np.ones(3), prediction=2.0)
+        rule_b = Rule.from_box(np.zeros(3), np.ones(3), prediction=4.0)
+        rule_a.error = rule_b.error = 0.1
+        path = tmp_path / "pool.json"
+        save_rule_system(
+            RuleSystem([rule_a, rule_b]), path, metadata={"d": 3}
+        )
+        return path
+
+    def test_register_list_show_promote(self, capsys, tmp_path, snapshot):
+        reg = str(tmp_path / "registry")
+        assert main(["models", "register", "m1", "--registry", reg,
+                     "--snapshot", str(snapshot), "--promote"]) == 0
+        assert "registered m1 v1" in capsys.readouterr().out
+        assert main(["models", "list", "--registry", reg]) == 0
+        assert "m1" in capsys.readouterr().out
+        assert main(["models", "show", "m1", "--registry", reg]) == 0
+        assert "promoted" in capsys.readouterr().out
+
+    def test_register_missing_snapshot_is_clean_error(self, capsys, tmp_path):
+        rc = main(["models", "register", "m", "--registry",
+                   str(tmp_path / "r"), "--snapshot",
+                   str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_rollback_without_history_is_clean_error(
+        self, capsys, tmp_path, snapshot
+    ):
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        assert main(["models", "rollback", "m", "--registry", reg]) == 2
+        assert "no previous promotion" in capsys.readouterr().out
+
+    def test_serve_csv_replay_with_stats(self, capsys, tmp_path, snapshot):
+        import json
+
+        import numpy as np
+
+        from repro.io import write_series_csv
+
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        csv = tmp_path / "series.csv"
+        write_series_csv(np.full(6, 0.5), csv)
+        capsys.readouterr()
+        assert main(["serve", "--registry", reg, "--bind", "g=m",
+                     "--csv", str(csv), "--stats"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        events, stats = lines[:-1], lines[-1]
+        assert len(events) == 6
+        assert events[0]["value"] is None and not events[0]["ready"]
+        assert events[-1]["value"] == 3.0 and events[-1]["predicted"]
+        assert stats["per_stream"]["g"]["ready_steps"] == 4
+        assert stats["coverage"] == 1.0
+
+    def test_serve_csv_requires_single_stream(self, capsys, tmp_path, snapshot):
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        rc = main(["serve", "--registry", reg, "--bind", "a=m",
+                   "--bind", "b=m", "--csv", "whatever.csv"])
+        assert rc == 2
+        assert "exactly one stream" in capsys.readouterr().out
+
+    def test_serve_stdin_multi_stream(
+        self, capsys, tmp_path, snapshot, monkeypatch
+    ):
+        import io
+        import json
+
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        feed = "".join(
+            f"{s},0.5\n" for _ in range(3) for s in ("a", "b")
+        ) + "# comment\n\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(feed))
+        assert main(["serve", "--registry", reg, "--bind", "a=m",
+                     "--bind", "b=m", "--batch", "2"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 6
+        ready = [l for l in lines if l["ready"]]
+        assert {l["stream"] for l in ready} == {"a", "b"}
+        assert all(l["value"] == 3.0 for l in ready)
+
+    def test_serve_unknown_model_is_clean_error(self, capsys, tmp_path):
+        rc = main(["serve", "--registry", str(tmp_path / "r"),
+                   "--bind", "a=ghost"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().out
+
+
 class TestExperimentMain:
     def test_list_prints_registry(self, capsys):
         assert main(["experiment", "list"]) == 0

@@ -10,11 +10,16 @@ from repro.core.intervals import Interval
 from repro.core.predictor import RuleSystem
 from repro.core.rule import Rule
 from repro.io.cache import ResultCache, SeriesCache, spec_hash
+from repro.io.cache import atomic_write_text
 from repro.io.serialize import (
     load_rule_system,
+    load_rule_system_with_metadata,
     rule_from_dict,
     rule_to_dict,
     save_rule_system,
+    snapshot_digest,
+    system_from_payload,
+    system_to_payload,
 )
 
 
@@ -73,15 +78,104 @@ class TestRuleSystemPersistence:
         assert np.array_equal(a.predicted, b.predicted)
 
     def test_rejects_unknown_version(self, tmp_path):
+        """Regression: version gate must be loud, for future and missing
+        versions alike — never half-parse an unknown layout."""
         path = tmp_path / "bad.json"
-        path.write_text(json.dumps({"format_version": 99, "rules": []}))
-        with pytest.raises(ValueError, match="version"):
+        for bad in (99, 0, None, "2"):
+            path.write_text(json.dumps({"format_version": bad, "rules": []}))
+            with pytest.raises(ValueError, match="format version"):
+                load_rule_system(path)
+
+    def test_loads_legacy_version_1(self, tmp_path):
+        """A v1 snapshot (no metadata block) still loads, metadata empty."""
+        rule = sample_rule()
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "n_rules": 1,
+            "rules": [rule_to_dict(rule)],
+        }))
+        system, metadata = load_rule_system_with_metadata(path)
+        assert len(system) == 1 and metadata == {}
+
+    def test_metadata_roundtrip(self, tmp_path):
+        """Regression: snapshots used to drop everything beyond the rule
+        list — construction context (horizon, d, lineage) now survives."""
+        path = tmp_path / "meta.json"
+        meta = {"horizon": 4, "d": 3, "dataset": "venice",
+                "notes": {"e_max": 25.0}}
+        save_rule_system(RuleSystem([sample_rule()]), path, metadata=meta)
+        system, loaded = load_rule_system_with_metadata(path)
+        assert loaded == meta
+        assert len(system) == 1
+        # the plain loader still works and ignores metadata
+        assert len(load_rule_system(path)) == 1
+
+    def test_rule_count_mismatch_rejected(self, tmp_path):
+        """A truncated rule list must not load quietly."""
+        path = tmp_path / "truncated.json"
+        payload = system_to_payload(RuleSystem([sample_rule(), sample_rule()]))
+        payload["rules"] = payload["rules"][:1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="declares 2 rules"):
             load_rule_system(path)
+
+    def test_snapshot_digest_stable_across_json_roundtrip(self):
+        payload = system_to_payload(
+            RuleSystem([sample_rule()]), metadata={"horizon": 2}
+        )
+        rehydrated = json.loads(json.dumps(payload))
+        assert snapshot_digest(payload) == snapshot_digest(rehydrated)
+
+    def test_non_json_native_metadata_digest_still_stable(self):
+        """Regression: a tuple (or int dict key) in metadata used to make
+        the save-time digest differ from the digest of the re-read file
+        — permanently bricking the registered version with a spurious
+        integrity failure.  The payload is now normalized up front."""
+        payload = system_to_payload(
+            RuleSystem([sample_rule()]),
+            metadata={"range": (0, 1), "horizons": {1: "a", 4: "b"}},
+        )
+        rehydrated = json.loads(json.dumps(payload))
+        assert payload == rehydrated
+        assert snapshot_digest(payload) == snapshot_digest(rehydrated)
+
+    def test_snapshot_digest_sensitive_to_any_field(self):
+        payload = system_to_payload(RuleSystem([sample_rule()]))
+        base = snapshot_digest(payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["rules"][0]["prediction"] = 123.0
+        assert snapshot_digest(tampered) != base
+        tampered2 = json.loads(json.dumps(payload))
+        tampered2["metadata"]["note"] = "x"
+        assert snapshot_digest(tampered2) != base
+
+    def test_save_returns_digest_of_written_payload(self, tmp_path):
+        path = tmp_path / "sys.json"
+        digest = save_rule_system(RuleSystem([sample_rule()]), path)
+        assert digest == snapshot_digest(json.loads(path.read_text()))
+
+    def test_payload_roundtrip_in_memory(self):
+        system = RuleSystem([sample_rule()])
+        loaded, meta = system_from_payload(
+            system_to_payload(system, metadata={"k": 1})
+        )
+        assert meta == {"k": 1} and len(loaded) == 1
 
     def test_empty_system(self, tmp_path):
         path = tmp_path / "empty.json"
         save_rule_system(RuleSystem([]), path)
         assert len(load_rule_system(path)) == 0
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        # no tmp litter left behind
+        assert list(tmp_path.iterdir()) == [path]
 
 
 class TestSeriesCache:

@@ -72,6 +72,24 @@ class TestLifecycle:
         assert not fc.ready
         assert fc.n_steps == 0 and fc.coverage == 0.0
 
+    def test_reset_then_replay_reproduces_first_pass(self, system):
+        """After a full pass and a reset, streaming the same series again
+        (or replay()-ing it) reproduces the first pass bit for bit."""
+        rng = np.random.default_rng(5)
+        series = rng.uniform(0, 1.2, size=60)
+        fc = StreamingForecaster(system)
+        first = np.array([s.value for s in fc.extend(series)])
+        first_stats = (fc.n_steps, fc.n_predicted)
+        fc.reset()
+        assert fc.window() is None
+        second = np.array([s.value for s in fc.extend(series)])
+        assert np.array_equal(first, second, equal_nan=True)
+        assert (fc.n_steps, fc.n_predicted) == first_stats
+        # replay() on the used forecaster agrees and stays stateless.
+        replayed = fc.replay(series)
+        assert np.array_equal(first, replayed, equal_nan=True)
+        assert (fc.n_steps, fc.n_predicted) == first_stats
+
     def test_accepts_precompiled_system(self, system):
         fc = StreamingForecaster(CompiledRuleSystem(system.rules))
         fc.extend([0.5, 0.5])
@@ -93,6 +111,44 @@ class TestLifecycle:
         # The bad value was not ingested: the stream continues cleanly.
         step = fc.update(0.5)
         assert step.ready and step.value == pytest.approx(3.0)
+
+    def test_nan_mid_stream_leaves_statistics_intact(self, system):
+        """A rejected NaN after warm-up corrupts neither the window nor
+        the coverage counters — the next window is built from the last
+        D *valid* observations."""
+        fc = StreamingForecaster(system)
+        fc.extend([0.5, 0.5, 0.5])          # ready, 1 predicted step
+        before = (fc.n_steps, fc.n_predicted, list(fc.window()))
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                fc.update(bad)
+            assert (fc.n_steps, fc.n_predicted, list(fc.window())) == before
+        step = fc.update(0.5)
+        assert step.t == 3 and step.value == pytest.approx(3.0)
+        assert fc.n_steps == 2
+
+    def test_horizon_does_not_change_warmup_accounting(self, system):
+        """Warm-up is D-1 steps regardless of horizon: the forecast made
+        at step t targets t + horizon, but readiness depends only on
+        the window having filled."""
+        for horizon in (1, 5, 12):
+            fc = StreamingForecaster(system, horizon=horizon)
+            steps = fc.extend([0.5, 0.5, 0.5, 0.5])
+            assert [s.ready for s in steps] == [False, False, True, True]
+            assert fc.n_steps == 2           # ready steps only
+            assert fc.coverage == 1.0
+            assert fc.stats()["horizon"] == horizon
+
+    def test_horizon_stream_matches_batch_windows(self, system):
+        """horizon > 1 streaming equals batch prediction over the same
+        windows — the horizon shifts the *target*, not the input."""
+        rng = np.random.default_rng(7)
+        series = rng.uniform(0, 1, size=30)
+        fc = StreamingForecaster(system, horizon=4)
+        streamed = [s.value for s in fc.extend(series) if s.ready]
+        windows = np.lib.stride_tricks.sliding_window_view(series, 3)
+        batch = system.predict(windows)
+        assert np.array_equal(streamed, batch.values, equal_nan=True)
 
 
 class TestReplay:

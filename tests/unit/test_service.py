@@ -1,0 +1,292 @@
+"""Unit tests for repro.service (model registry + forecast gateway)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.service import (
+    ForecastService,
+    ModelRegistry,
+    RegistryError,
+    task_lineage,
+)
+
+
+def const_rule(lo, hi, prediction, d=3):
+    rule = Rule.from_box(np.full(d, lo), np.full(d, hi), prediction=prediction)
+    rule.error = 0.1
+    return rule
+
+
+@pytest.fixture
+def system():
+    return RuleSystem([
+        const_rule(0.0, 1.0, 2.0),
+        const_rule(0.0, 1.0, 4.0),
+        const_rule(5.0, 6.0, 100.0),
+    ])
+
+
+@pytest.fixture
+def other_system():
+    return RuleSystem([const_rule(0.0, 1.0, -7.0)])
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestRegistration:
+    def test_register_and_load_roundtrip(self, registry, system):
+        record = registry.register("m", system, metadata={"horizon": 4})
+        assert record.version == 1
+        assert record.n_rules == 3 and record.n_lags == 3
+        loaded, rec = registry.load("m", 1)
+        assert rec.digest == record.digest
+        assert rec.metadata == {"horizon": 4}
+        X = np.random.default_rng(0).uniform(0, 1, size=(10, 3))
+        a, b = system.predict(X), loaded.predict(X)
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_versions_are_monotonic_and_immutable(
+        self, registry, system, other_system
+    ):
+        r1 = registry.register("m", system)
+        r2 = registry.register("m", other_system)
+        assert (r1.version, r2.version) == (1, 2)
+        assert [r.version for r in registry.versions("m")] == [1, 2]
+        assert registry.load("m", 1)[0].rules[0].prediction == 2.0
+        assert registry.load("m", 2)[0].rules[0].prediction == -7.0
+
+    def test_models_listing(self, registry, system):
+        assert registry.models() == []
+        registry.register("b", system)
+        registry.register("a", system)
+        assert registry.models() == ["a", "b"]
+
+    def test_invalid_names_rejected(self, registry, system):
+        for bad in ("", "a/b", " padded ", ".", "..", "a\\b"):
+            with pytest.raises(RegistryError, match="invalid model name"):
+                registry.register(bad, system)
+
+    def test_snapshots_stay_under_models_dir(self, registry, system):
+        """Regression: '..'-style names must never escape models/<name>/."""
+        record = registry.register("ok-name", system)
+        path = (registry.root / record.path).resolve()
+        assert (registry.root / "models" / "ok-name").resolve() in path.parents
+
+    def test_concurrent_registrations_get_distinct_versions(
+        self, registry, system
+    ):
+        """Regression: the manifest read-modify-write is serialized, so
+        parallel registrations never collide on a version number or
+        drop each other's manifest entry."""
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            records = list(
+                pool.map(
+                    lambda i: registry.register("m", system), range(8)
+                )
+            )
+        assert sorted(r.version for r in records) == list(range(1, 9))
+        assert [r.version for r in registry.versions("m")] == list(range(1, 9))
+        for version in range(1, 9):
+            registry.load("m", version)  # every digest verifies
+
+    def test_unknown_model_and_version(self, registry, system):
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.versions("ghost")
+        registry.register("m", system)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.record("m", 9)
+
+    def test_lineage_recorded(self, registry, system):
+        lineage = {"task_id": "table1[h=1]", "task_key": "abc123"}
+        record = registry.register("m", system, lineage=lineage)
+        assert registry.record("m", record.version).lineage == lineage
+
+    def test_task_lineage_builder(self):
+        class Point:
+            label = "h=1"
+
+        class Task:
+            task_id = "table1[h=1]"
+            scenario = "table1"
+            point = Point()
+            seed = 3
+            scale = "bench"
+
+        lineage = task_lineage(Task(), task_key="deadbeef")
+        assert lineage["task_id"] == "table1[h=1]"
+        assert lineage["scenario"] == "table1"
+        assert lineage["seed"] == 3
+        assert lineage["task_key"] == "deadbeef"
+
+
+class TestPromotion:
+    def test_promote_and_default_load(self, registry, system, other_system):
+        registry.register("m", system)
+        registry.register("m", other_system)
+        with pytest.raises(RegistryError, match="no promoted version"):
+            registry.load("m")
+        registry.promote("m", 2)
+        assert registry.promoted_version("m") == 2
+        assert registry.load("m")[1].version == 2
+
+    def test_register_with_promote_flag(self, registry, system):
+        registry.register("m", system, promote=True)
+        assert registry.promoted_version("m") == 1
+
+    def test_rollback_restores_previous(self, registry, system, other_system):
+        registry.register("m", system, promote=True)
+        registry.register("m", other_system, promote=True)
+        assert registry.load("m")[1].version == 2
+        record = registry.rollback("m")
+        assert record.version == 1
+        assert registry.load("m")[1].version == 1
+
+    def test_rollback_without_history_fails(self, registry, system):
+        registry.register("m", system, promote=True)
+        with pytest.raises(RegistryError, match="no previous promotion"):
+            registry.rollback("m")
+
+    def test_repromote_is_idempotent_for_rollback(self, registry, system):
+        """Promoting the already-promoted version adds no history entry."""
+        registry.register("m", system, promote=True)
+        registry.register("m", system, promote=True)
+        registry.promote("m", 2)  # retried deploy
+        assert registry.rollback("m").version == 1
+
+
+class TestIntegrity:
+    def test_tampered_snapshot_rejected(self, registry, system):
+        record = registry.register("m", system)
+        path = registry.root / record.path
+        payload = json.loads(path.read_text())
+        payload["rules"][0]["prediction"] = 999.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(RegistryError, match="integrity"):
+            registry.load("m", 1)
+
+    def test_missing_snapshot_rejected(self, registry, system):
+        record = registry.register("m", system)
+        (registry.root / record.path).unlink()
+        with pytest.raises(RegistryError, match="missing"):
+            registry.load("m", 1)
+
+    def test_unsupported_manifest_version(self, registry, system, tmp_path):
+        registry.register("m", system)
+        manifest = json.loads(registry.manifest_path.read_text())
+        manifest["manifest_version"] = 99
+        registry.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(RegistryError, match="manifest version"):
+            registry.models()
+
+
+class TestGatewayBinding:
+    def test_bind_requires_registry(self, system):
+        service = ForecastService()
+        with pytest.raises(RegistryError, match="no registry"):
+            service.bind("s", "m")
+
+    def test_bind_resolves_promoted_and_pins(
+        self, registry, system, other_system
+    ):
+        registry.register("m", system, promote=True)
+        service = ForecastService(registry)
+        service.bind("s", "m")
+        registry.register("m", other_system, promote=True)
+        service.bind("s2", "m")          # new bind gets v2
+        out = service.ingest([("s", 0.5)] * 3 + [("s2", 0.5)] * 3)
+        by_stream = {f.stream: f for f in out if f.ready}
+        assert by_stream["s"].version == 1      # pinned at bind time
+        assert by_stream["s2"].version == 2
+        assert by_stream["s"].value == pytest.approx(3.0)
+        assert by_stream["s2"].value == pytest.approx(-7.0)
+
+    def test_duplicate_stream_rejected(self, system):
+        service = ForecastService()
+        service.bind_system("s", system)
+        with pytest.raises(ValueError, match="already bound"):
+            service.bind_system("s", system)
+
+    def test_conflicting_systems_under_one_label_rejected(
+        self, system, other_system
+    ):
+        """Regression: a reused label must name the same system, else
+        the second stream would silently be scored by the first pool."""
+        service = ForecastService()
+        service.bind_system("a", system, model="m")
+        service.bind_system("a2", system, model="m")   # same system: fine
+        with pytest.raises(ValueError, match="different system"):
+            service.bind_system("b", other_system, model="m")
+
+    def test_empty_system_rejected(self):
+        service = ForecastService()
+        with pytest.raises(ValueError, match="empty"):
+            service.bind_system("s", RuleSystem([]))
+
+    def test_shared_model_single_compile(self, registry, system):
+        registry.register("m", system, promote=True)
+        service = ForecastService(registry)
+        for k in range(4):
+            service.bind(f"s{k}", "m")
+        assert len(service._models) == 1
+
+
+class TestGatewayIngest:
+    def test_unknown_stream_rejects_whole_batch(self, system):
+        service = ForecastService()
+        service.bind_system("s", system)
+        with pytest.raises(ValueError, match="unknown stream"):
+            service.ingest([("s", 0.5), ("ghost", 0.5)])
+        assert service.n_events == 0
+        assert service.stream_stats("s")["events"] == 0
+
+    def test_non_finite_rejects_whole_batch_atomically(self, system):
+        service = ForecastService()
+        service.bind_system("s", system)
+        service.ingest([("s", 0.5), ("s", 0.5)])
+        with pytest.raises(ValueError, match="non-finite"):
+            service.ingest([("s", 0.5), ("s", float("nan"))])
+        # Nothing from the rejected batch was ingested — the stream
+        # continues exactly where it left off.
+        step = service.ingest_one("s", 0.5)
+        assert step.t == 2 and step.ready
+        assert step.value == pytest.approx(3.0)
+
+    def test_empty_batch(self, system):
+        service = ForecastService()
+        service.bind_system("s", system)
+        assert service.ingest([]) == []
+
+    def test_abstention_reported(self, system):
+        service = ForecastService()
+        service.bind_system("s", system)
+        out = service.ingest([("s", 9.0)] * 4)
+        assert out[-1].ready and not out[-1].predicted
+        assert np.isnan(out[-1].value)
+
+    def test_stats_and_healthz(self, system):
+        service = ForecastService()
+        service.bind_system("a", system)
+        service.bind_system("b", system)
+        service.ingest([("a", 0.5), ("b", 9.0)] * 4)
+        stats = service.stats()
+        assert stats["streams"] == 2
+        assert stats["events"] == 8
+        assert stats["per_stream"]["a"]["coverage"] == 1.0
+        assert stats["per_stream"]["b"]["coverage"] == 0.0
+        assert stats["coverage"] == 0.5
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert "per_stream" not in health
+        assert json.dumps(health)  # JSON-able contract
+
+    def test_healthz_without_streams(self):
+        assert ForecastService().healthz()["status"] == "no-streams"

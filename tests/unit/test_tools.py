@@ -1,0 +1,76 @@
+"""Unit tests for the repo tools (docs generators + docstring gate).
+
+These mirror the CI checks so a drift is caught locally by tier-1, not
+first on a PR: ``docs/api.md`` must equal ``tools/gen_api_docs.py``
+output (same discipline as the generated scenario catalog), and the
+docstring/``__all__`` audit must stay clean over every audited tree.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_tool(*argv):
+    return subprocess.run(
+        [sys.executable, *argv], capture_output=True, text=True, cwd=REPO
+    )
+
+
+class TestApiDocs:
+    def test_docs_api_md_in_sync(self):
+        """docs/api.md is generated; a docstring change must ship the
+        regenerated file (the CI sync check runs this same --check)."""
+        assert (REPO / "docs" / "api.md").exists(), "docs/api.md missing"
+        proc = run_tool("tools/gen_api_docs.py", "--check")
+        assert proc.returncode == 0, (
+            "docs/api.md is stale — regenerate with "
+            "'python tools/gen_api_docs.py > docs/api.md'\n" + proc.stdout
+        )
+
+    def test_check_detects_drift(self, tmp_path, monkeypatch):
+        """--check must actually fail on a modified file."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "gen_api_docs", REPO / "tools" / "gen_api_docs.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        generated = mod.render()
+        assert generated.startswith("# API reference")
+        # Simulate drift by pointing the module at a stale copy.
+        stale = tmp_path / "docs"
+        stale.mkdir()
+        (stale / "api.md").write_text(generated + "\n<!-- stale -->\n")
+        monkeypatch.setattr(mod, "REPO", tmp_path)
+        assert mod.main(["--check"]) == 1
+
+    def test_reference_covers_the_serving_surface(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        for anchor in (
+            "## `repro.serve`",
+            "## `repro.service.registry`",
+            "## `repro.service.gateway`",
+            "## `repro.io.serialize`",
+            "## `repro.core.compiled`",
+            "class ModelRegistry",
+            "class ForecastService",
+            "predict_windows",
+        ):
+            assert anchor in text, f"docs/api.md missing {anchor!r}"
+
+
+class TestDocstringGate:
+    def test_audit_clean(self):
+        proc = run_tool("tools/check_docstrings.py")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_audit_covers_core_and_service(self):
+        proc = run_tool("tools/check_docstrings.py", "--stats")
+        assert "src/repro/core/compiled.py" in proc.stdout
+        assert "src/repro/service/gateway.py" in proc.stdout
+        assert "src/repro/service/registry.py" in proc.stdout
+        assert "src/repro/serve.py" in proc.stdout

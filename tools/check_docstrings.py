@@ -35,8 +35,10 @@ SRC = REPO / "src" / "repro"
 #: Files/trees whose public surface must be fully documented.
 AUDITED = [
     SRC / "analysis",
+    SRC / "core",
     SRC / "parallel",
     SRC / "serve.py",
+    SRC / "service",
     SRC / "io",
 ]
 

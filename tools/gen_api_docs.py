@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Generate ``docs/api.md`` from the serving-surface docstrings.
+
+AST-based (imports nothing from the package, so generation works
+without numpy installed and cannot execute module side effects).  For
+every module in ``MODULES`` this emits, in ``__all__`` order: the
+module docstring, then each public class (with its public methods and
+properties) or function — signature plus verbatim docstring.
+
+The committed ``docs/api.md`` must always equal the generator's output
+(same discipline as the ``docs/scenarios.md`` catalog): a docstring or
+signature edit that is not accompanied by a regenerated file fails CI
+and the mirror unit test.  Regenerate with::
+
+    python tools/gen_api_docs.py > docs/api.md
+
+``--check`` diffs the committed file instead and exits 1 on drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import difflib
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: (dotted name, path) pairs documented, in page order.
+MODULES = [
+    ("repro.serve", SRC / "serve.py"),
+    ("repro.service", SRC / "service" / "__init__.py"),
+    ("repro.service.registry", SRC / "service" / "registry.py"),
+    ("repro.service.gateway", SRC / "service" / "gateway.py"),
+    ("repro.io.serialize", SRC / "io" / "serialize.py"),
+    ("repro.core.compiled", SRC / "core" / "compiled.py"),
+]
+
+HEADER = """\
+# API reference — the serving surface
+
+*Generated from docstrings by `tools/gen_api_docs.py`; do not edit by
+hand.  Regenerate with `python tools/gen_api_docs.py > docs/api.md`
+(CI and `tests/unit/test_tools.py` fail when this file drifts from the
+source docstrings).*
+
+Covers the serving stack documented in [serving.md](serving.md):
+single-stream serving (`repro.serve`), the registry + gateway
+subsystem (`repro.service`), snapshot persistence
+(`repro.io.serialize`) and the compiled scoring kernels
+(`repro.core.compiled`).
+"""
+
+
+def _exported(tree: ast.Module) -> List[str]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return [
+                        elt.value
+                        for elt in stmt.value.elts  # type: ignore[attr-defined]
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+    return []
+
+
+def _docstring_block(node: ast.AST, indent: str = "") -> List[str]:
+    doc = ast.get_docstring(node, clean=True)
+    if not doc:
+        return [f"{indent}*(undocumented)*", ""]
+    fence = "```"
+    lines = [f"{indent}{fence}text"]
+    lines += [f"{indent}{line}".rstrip() for line in doc.splitlines()]
+    lines += [f"{indent}{fence}", ""]
+    return lines
+
+
+def _signature(node) -> str:
+    args = ast.unparse(node.args)
+    ret = f" -> {ast.unparse(node.returns)}" if node.returns else ""
+    return f"{node.name}({args}){ret}"
+
+
+def _is_property(node) -> bool:
+    return any(
+        (isinstance(d, ast.Name) and d.id == "property")
+        or (isinstance(d, ast.Attribute) and d.attr in ("setter", "getter"))
+        for d in node.decorator_list
+    )
+
+
+def _class_section(node: ast.ClassDef) -> List[str]:
+    bases = ", ".join(ast.unparse(b) for b in node.bases)
+    title = f"class {node.name}({bases})" if bases else f"class {node.name}"
+    lines = [f"### `{title}`", ""]
+    lines += _docstring_block(node)
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name.startswith("_"):
+            continue
+        kind = "property" if _is_property(item) else "method"
+        lines.append(f"#### `{node.name}.{_signature(item)}` ({kind})")
+        lines.append("")
+        lines += _docstring_block(item)
+    return lines
+
+
+def _module_section(dotted: str, path: Path) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    lines = [f"## `{dotted}`", ""]
+    lines += _docstring_block(tree)
+    exported = _exported(tree)
+    defs = {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+    reexports = [name for name in exported if name not in defs]
+    if reexports:
+        lines.append(
+            "Re-exports: " + ", ".join(f"`{n}`" for n in reexports) + "."
+        )
+        lines.append("")
+    for name in exported:
+        node = defs.get(name)
+        if node is None:
+            continue
+        if isinstance(node, ast.ClassDef):
+            lines += _class_section(node)
+        else:
+            lines.append(f"### `{_signature(node)}`")
+            lines.append("")
+            lines += _docstring_block(node)
+    return lines
+
+
+def render() -> str:
+    """The full generated markdown document."""
+    lines = [HEADER]
+    for dotted, path in MODULES:
+        lines += _module_section(dotted, path)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    """Print the reference (default) or --check the committed file."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="diff against docs/api.md; exit 1 on drift")
+    args = parser.parse_args(argv)
+    generated = render()
+    if not args.check:
+        print(generated, end="")
+        return 0
+    committed_path = REPO / "docs" / "api.md"
+    committed = committed_path.read_text() if committed_path.exists() else ""
+    if committed == generated:
+        print("docs/api.md is in sync with source docstrings")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True),
+        generated.splitlines(keepends=True),
+        fromfile="docs/api.md (committed)",
+        tofile="docs/api.md (generated)",
+    )
+    print("".join(diff))
+    print("docs/api.md is stale — regenerate with "
+          "'python tools/gen_api_docs.py > docs/api.md'")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
