@@ -1,28 +1,52 @@
-"""Shared plumbing for the benchmark harness.
+"""Shared plumbing for the benchmark harness (shim).
 
-Every bench regenerates one paper artifact at bench scale, times it via
-pytest-benchmark (single round — these are minutes-scale experiments,
-not microseconds), prints the paper-layout table and writes it to
-``benchmarks/results/`` so the numbers that back EXPERIMENTS.md are
-always on disk next to the timing data.
+The implementation moved into :mod:`repro.bench` so the schema,
+recording and regression-gate logic are importable (and unit-tested)
+like any other package code.  This module keeps the historical
+``from _common import emit, run_once`` imports working and adds the
+structured-result names every bench now uses.
+
+Every bench regenerates one paper artifact at bench scale, prints the
+paper-layout table (``emit``) and records a machine-readable
+:class:`~repro.bench.BenchResult` (``record``) into the repo-root
+``BENCH_<area>.json`` trajectory plus ``benchmarks/results/`` — see
+``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from repro.bench import (
+    BenchResult,
+    bench_scale,
+    record,
+    run_once,
+)
+from repro.bench import emit as _emit
+
+__all__ = [
+    "BenchResult",
+    "bench_scale",
+    "record",
+    "run_once",
+    "emit",
+    "record_result",
+    "RESULTS_DIR",
+    "BENCH_ROOT",
+]
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
-
-def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    banner = f"\n===== {name} =====\n{text}\n"
-    print(banner)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+#: Repo root — benches may run from any cwd; trajectories stay here.
+BENCH_ROOT = Path(__file__).resolve().parent.parent
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Time ``fn`` exactly once (rounds=1) and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+def emit(name: str, text: str):
+    """Print + persist a text block under this repo's results dir."""
+    return _emit(name, text, root=BENCH_ROOT)
+
+
+def record_result(result: BenchResult) -> Path:
+    """Record a result against the repo root this bench file lives in."""
+    return record(result, root=BENCH_ROOT)

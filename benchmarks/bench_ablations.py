@@ -6,7 +6,7 @@
 * A4 — §3.4 multi-execution pooling vs a single execution.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 from repro.analysis import (
     ablation_markdown,
@@ -30,10 +30,22 @@ def _table(rows, metric):
     )
 
 
+def _record_ablation(name, rows, benchmark):
+    """Structured record: one entry per ablation study."""
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name=name, area="ablations", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"variants_per_s": len(rows) / wall},
+        meta={"variants": str(len(rows))},
+    ))
+
+
 def test_ablation_initialization(benchmark):
     rows = run_once(benchmark, run_ablation_init, scale="bench", seed=10)
     emit("ablation_init",
          _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    _record_ablation("ablation_init", rows, benchmark)
     by = {r.variant: r for r in rows}
     # §3.2's point is *output-space* diversity: the stratified pool's
     # predicting parts must span at least as wide an output range as
@@ -48,6 +60,7 @@ def test_ablation_replacement(benchmark):
     rows = run_once(benchmark, run_ablation_replacement, scale="bench", seed=11)
     emit("ablation_replacement",
          _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    _record_ablation("ablation_replacement", rows, benchmark)
     by = {r.variant: r.score for r in rows}
     # Crowding preserves niches: replace-worst collapses diversity, so
     # jaccard must hold at least as much coverage.
@@ -61,6 +74,7 @@ def test_ablation_emax(benchmark):
     )
     emit("ablation_emax",
          _table(rows, "RMSE-cm") + "\n\n" + ablation_markdown(rows, "RMSE (cm)"))
+    _record_ablation("ablation_emax", rows, benchmark)
     # §5: tuning for coverage costs accuracy — coverage is monotone in
     # EMAX, error roughly so.
     coverages = [r.score.coverage for r in rows]
@@ -72,6 +86,7 @@ def test_ablation_predicting_mode(benchmark):
                     scale="bench", seed=14)
     emit("ablation_predicting_mode",
          _table(rows, "NMSE") + "\n\n" + ablation_markdown(rows, "NMSE"))
+    _record_ablation("ablation_predicting_mode", rows, benchmark)
     by = {r.variant: r.score for r in rows}
     # §3.1's hyperplane must beat a constant mean prediction per rule.
     assert by["predicting=linear"].error < by["predicting=constant"].error
@@ -81,6 +96,7 @@ def test_ablation_pooling(benchmark):
     rows = run_once(benchmark, run_ablation_pooling, scale="bench", seed=13)
     emit("ablation_pooling",
          _table(rows, "Galvan") + "\n\n" + ablation_markdown(rows, "Galvan error"))
+    _record_ablation("ablation_pooling", rows, benchmark)
     coverages = [r.score.coverage for r in rows]
     # §3.4: pooled executions widen coverage.
     assert coverages[-1] >= coverages[0]

@@ -8,7 +8,7 @@ plus the paired Wilcoxon verdict of RS vs the best baseline on the
 windows both predict.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 import numpy as np
 
@@ -103,6 +103,13 @@ def test_baseline_sweep(benchmark):
         f"wins {pc.a_wins}/{pc.b_wins}, Wilcoxon p={pc.p_value:.3g}"
     )
     emit("baseline_sweep", text)
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="baseline_sweep", area="baselines", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"models_per_s": len(results) / wall},
+        meta={"models": str(len(results)), "horizon": str(HORIZON)},
+    ))
 
     # The rule system must rank above the generic global models.
     rs_err = results["RuleSystem"][0]

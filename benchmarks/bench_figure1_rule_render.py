@@ -10,7 +10,7 @@ and time the renderer on an evolved 24-lag rule (micro-benchmark — the
 renderer is used inside analysis loops).
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 import numpy as np
 
@@ -35,3 +35,9 @@ def test_figure1_rule_render(benchmark):
     rendered = run_once(benchmark, render_rule, big_rule,
                         series_range=(0.0, 1.0), width=100)
     assert "P" in rendered
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="figure1_rule_render", area="figures", scale=bench_scale(),
+        wall_s={"render_24_lags": wall},
+        throughput={"renders_per_s": 1.0 / wall},
+    ))

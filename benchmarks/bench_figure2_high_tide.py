@@ -7,7 +7,7 @@ regenerate the overlay as ASCII, and assert the quantitative content of
 the figure: the peak is covered and predicted within a small error.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 import numpy as np
 
@@ -33,6 +33,12 @@ def test_figure2_high_tide(benchmark):
         f"segment coverage: {100 * result.coverage:.1f}%"
     )
     emit("figure2_high_tide", plot + "\n\n" + summary)
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="figure2_high_tide", area="figures", scale=bench_scale(),
+        wall_s={"total": wall},
+        meta={"peak_cm": f"{result.peak_level:.1f}"},
+    ))
 
     # Figure content: the event segment is mostly predicted and the
     # prediction hugs the real series (paper: "how good the predicted

@@ -11,7 +11,7 @@ it also can be applied to other machine learning domains."  Two probes:
    on regime-switching data.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 import numpy as np
 
@@ -57,6 +57,12 @@ def test_generality_lorenz(benchmark):
         f"{rs_score.percentage:.1f}% coverage\n"
         f"  global AR:   NMSE {ar_nmse:.4f} @ 100%",
     )
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="generality_lorenz", area="lorenz", scale=bench_scale(),
+        wall_s={"total": wall},
+        meta={"d": "8", "horizon": "5"},
+    ))
     assert rs_score.coverage > 0.4
     assert rs_score.error < ar_nmse, "local rules should beat global AR"
 
@@ -95,6 +101,12 @@ def test_generality_tabular(benchmark):
         f"{100 * batch.coverage:.1f}% coverage\n"
         f"  global linear: RMSE {lin_rmse:.4f} (same rows)",
     )
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="generality_tabular", area="lorenz", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"rows_per_s": 200 / wall},
+    ))
     assert batch.coverage > 0.3
     assert rs_rmse < 0.5 * lin_rmse, (
         "local rules should crush one hyperplane on regime-switching data"

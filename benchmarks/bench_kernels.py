@@ -25,6 +25,8 @@ import time
 import numpy as np
 import pytest
 
+from _common import BenchResult, bench_scale, record_result
+
 from repro.core.config import EvolutionConfig
 from repro.core.engine import evolve
 from repro.core.fitness import FitnessParams
@@ -206,6 +208,16 @@ def test_batch_prediction_compiled_vs_loop(prediction_workload):
         f"\nbatch predictions/sec  loop={X.shape[0]/timings[False]:,.0f}  "
         f"compiled={X.shape[0]/timings[True]:,.0f}  speedup={speedup:.1f}x"
     )
+    record_result(BenchResult(
+        name="batch_prediction", area="kernels", scale=bench_scale(),
+        wall_s={"loop": timings[False], "compiled": timings[True]},
+        throughput={
+            "predictions_per_s:loop": X.shape[0] / timings[False],
+            "predictions_per_s:compiled": X.shape[0] / timings[True],
+        },
+        speedup={} if TINY else {"compiled_vs_loop": speedup},
+        meta={"rules": str(PRED_RULES), "windows": str(X.shape[0])},
+    ))
     assert speedup >= 1.2, f"compiled batch path only {speedup:.2f}x"
 
 
@@ -251,6 +263,15 @@ def test_serving_throughput_compiled_vs_loop(prediction_workload):
         f"(pool={PRED_RULES} rules, stream={forecaster.n_steps} windows, "
         f"coverage={forecaster.coverage:.2f})"
     )
+    record_result(BenchResult(
+        name="serving_per_event", area="kernels", scale=bench_scale(),
+        throughput={
+            "events_per_s:loop": loop_rate,
+            "events_per_s:compiled": compiled_rate,
+        },
+        speedup={} if TINY else {"compiled_vs_loop": speedup},
+        meta={"rules": str(PRED_RULES), "stream": str(forecaster.n_steps)},
+    ))
     assert speedup >= 10.0, f"compiled serving path only {speedup:.2f}x"
 
 
@@ -301,6 +322,16 @@ def test_generations_per_second_incremental_vs_full(ga_dataset):
         f"\ngenerations/sec  incremental={gens_inc:,.0f}  "
         f"full-recompute={gens_full:,.0f}  speedup={speedup:.1f}x"
     )
+    record_result(BenchResult(
+        name="generations_per_second", area="kernels", scale=bench_scale(),
+        wall_s={"incremental": timings[True], "full_recompute": timings[False]},
+        throughput={
+            "generations_per_s:incremental": gens_inc,
+            "generations_per_s:full": gens_full,
+        },
+        speedup={} if TINY else {"incremental_vs_full": speedup},
+        meta={"generations": str(GA_GENERATIONS), "population": "100"},
+    ))
     assert _rule_set_key(results[True]) == _rule_set_key(results[False])
     assert results[True].replacements == results[False].replacements
     assert speedup >= 3.0, f"incremental path only {speedup:.2f}x faster"

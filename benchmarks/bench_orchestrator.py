@@ -11,8 +11,9 @@ it the bench exercises the real ``table2`` scenario at bench scale.
 import os
 import shutil
 import tempfile
+import time
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 from repro.analysis import ExperimentOrchestrator, get_scenario
 from repro.analysis.report import scenario_report
@@ -32,7 +33,9 @@ def test_orchestrator_cached_rerun(benchmark):
         assert first.n_executed == len(first.tasks)
 
         # The paying feature: a finished sweep re-runs for free.
+        t0 = time.perf_counter()
         again = ExperimentOrchestrator(state_dir=state_dir).run([SCENARIO])
+        rerun_wall = time.perf_counter() - t0
         assert again.complete
         assert again.n_executed == 0, "cached re-run must skip execution"
         assert again.n_cached == len(again.tasks)
@@ -66,5 +69,22 @@ def test_orchestrator_cached_rerun(benchmark):
             + f"\n\nfirst run: {first.n_executed} executed; "
             f"re-run: {again.n_executed} executed / {again.n_cached} cached",
         )
+        first_wall = benchmark.stats.stats.mean
+        record_result(BenchResult(
+            name="orchestrator_cached_rerun", area="orchestrator",
+            scale=bench_scale(),
+            wall_s={"first_run": first_wall, "cached_rerun": rerun_wall},
+            throughput={
+                "tasks_per_s:first": len(first.tasks) / first_wall,
+            },
+            # NB: the cached/first ratio is deliberately NOT a gated
+            # speedup — its denominator is near-zero and the ratio is
+            # pure noise between runs.
+            meta={
+                "scenario": SCENARIO,
+                "tasks": str(len(first.tasks)),
+                "cached_vs_first": f"{first_wall / max(rerun_wall, 1e-9):.0f}x",
+            },
+        ))
     finally:
         shutil.rmtree(state_dir, ignore_errors=True)

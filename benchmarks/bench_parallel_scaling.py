@@ -1,38 +1,68 @@
 """P1 — parallel scaling of the paper's multi-execution loop.
 
 IPPS is a parallel-processing venue; the reproduction's parallel axis
-is the §3.4 outer loop.  This bench runs the same four executions
-serially and across a process pool, checks the results are *identical*
-(seeding is execution-indexed, so the backend is science-transparent),
-and reports the speedup.  Also benches the island model topology sweep.
+is the §3.4 outer loop.  Three measurements, all recorded into
+``BENCH_parallel.json``:
+
+* ``multirun_scaling`` — the same executions serially and across a
+  process pool, results asserted *identical* (seeding is
+  execution-indexed, so the backend is science-transparent).
+* ``island_topologies`` — the island-model topology sweep.
+* ``fanout_scoring`` — the zero-copy claim: an orchestrator-style
+  model-evaluation sweep (many pool variants scored against one
+  shared validation window matrix) fanned out over
+  ``SharedMemoryBackend`` vs ``ProcessPoolBackend`` with 8 workers.
+  The window matrix is megabytes; the process pool pickles it into
+  every task while the shm backend places it in one shared segment —
+  at bench scale the shm path must be >= 1.5x task throughput with
+  bitwise-identical scores.
+
+``REPRO_BENCH_TINY=1`` shrinks generations/volumes for CI; the >=1.5x
+assertion only applies at bench scale (tiny arrays barely cross the
+sharing threshold), but bitwise identity is asserted in both modes.
 """
 
+import os
 import time
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 import numpy as np
 
+from repro.analysis.orchestrator import PoolScoringTask, score_pool_grid
 from repro.core import mackey_config, multirun
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
 from repro.metrics import score_table2
 from repro.parallel import (
     IslandModel,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
     complete_topology,
     ring_topology,
 )
+from repro.parallel.shm import live_segments
 from repro.series import load_mackey_glass
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+SCALE = bench_scale()
 
 N_EXECUTIONS = 4
+MULTIRUN_GENERATIONS = 400 if TINY else 10_000
+ISLAND_GENERATIONS = 300 if TINY else 1500
 
 
 def _run(backend):
     data = load_mackey_glass()
-    # 4x the bench generations so per-execution work (~5 s) amortizes
-    # the ~1 s spawn cost per pool worker; at paper scale (75k
-    # generations) the outer loop is embarrassingly parallel.
-    config = mackey_config(horizon=50, scale="bench").replace(generations=10_000)
+    # At bench scale, 4x the bench generations so per-execution work
+    # (~5 s) amortizes the ~1 s spawn cost per pool worker; at paper
+    # scale (75k generations) the outer loop is embarrassingly parallel.
+    config = mackey_config(horizon=50, scale="bench").replace(
+        generations=MULTIRUN_GENERATIONS
+    )
     train_ds, val_ds = data.windows(config.d, config.horizon)
     result = multirun(
         train_ds, config, coverage_target=2.0,
@@ -48,7 +78,8 @@ def test_multirun_process_pool_scaling(benchmark):
     serial_result, serial_score = _run(SerialBackend())
     serial_time = time.time() - t0
 
-    with ProcessPoolBackend(workers=min(4, N_EXECUTIONS)) as backend:
+    workers = min(4, N_EXECUTIONS)
+    with ProcessPoolBackend(workers=workers) as backend:
         parallel_result, parallel_score = run_once(benchmark, _run, backend)
 
     # Identical science on both backends.
@@ -59,21 +90,44 @@ def test_multirun_process_pool_scaling(benchmark):
 
     stats = benchmark.stats.stats
     parallel_time = stats.mean
+    speedup = serial_time / max(parallel_time, 1e-9)
     emit(
         "parallel_scaling",
         f"executions: {N_EXECUTIONS}\n"
         f"serial wall time:   {serial_time:7.2f} s\n"
         f"parallel wall time: {parallel_time:7.2f} s "
-        f"({min(4, N_EXECUTIONS)} workers)\n"
-        f"speedup:            {serial_time / max(parallel_time, 1e-9):7.2f}x\n"
+        f"({workers} workers)\n"
+        f"speedup:            {speedup:7.2f}x\n"
         f"NMSE (identical on both backends): {serial_score.error:.4f} "
         f"@ {serial_score.percentage:.1f}%",
     )
+    record_result(BenchResult(
+        name="multirun_scaling",
+        area="parallel",
+        scale=SCALE,
+        wall_s={"serial": serial_time, "process": parallel_time},
+        throughput={
+            "executions_per_s:serial": N_EXECUTIONS / serial_time,
+            "executions_per_s:process": N_EXECUTIONS / parallel_time,
+        },
+        # Pool-vs-serial depends on the runner's core count, so the
+        # ratio is only recorded (and hence only ever gated) at bench
+        # scale on a dedicated box; tiny CI entries carry throughputs,
+        # which cross-environment comparisons report but never gate.
+        speedup={} if TINY else {"process_vs_serial": speedup},
+        meta={
+            "executions": str(N_EXECUTIONS),
+            "generations": str(MULTIRUN_GENERATIONS),
+            "workers": str(workers),
+        },
+    ))
 
 
 def test_island_topologies(benchmark):
     data = load_mackey_glass()
-    config = mackey_config(horizon=50, scale="bench").replace(generations=1500)
+    config = mackey_config(horizon=50, scale="bench").replace(
+        generations=ISLAND_GENERATIONS
+    )
     train_ds, val_ds = data.windows(config.d, config.horizon)
 
     def run_islands():
@@ -100,3 +154,140 @@ def test_island_topologies(benchmark):
         )
         assert score.coverage > 0.4
     emit("island_topologies", "\n".join(lines))
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="island_topologies",
+        area="parallel",
+        scale=SCALE,
+        wall_s={"two_topologies": wall},
+        throughput={
+            "generations_per_s": 2 * 4 * ISLAND_GENERATIONS / wall,
+        },
+        meta={"islands": "4", "generations": str(ISLAND_GENERATIONS)},
+    ))
+
+
+# -- zero-copy fan-out: shared-memory vs pickled window matrices --------------
+
+FANOUT_WINDOWS = 6_000 if TINY else 45_000   # the Venice training volume
+FANOUT_TASKS = 8 if TINY else 24             # pool variants to score
+FANOUT_WORKERS = 2 if TINY else 8
+FANOUT_D = 24
+# One execution's valid-rule pool (§3.4 yields a handful of valid
+# rules per execution; pooling-ablation scoring grades each such pool
+# on the shared validation matrix before the union).
+FANOUT_RULES = 6
+FANOUT_REPS = 5
+
+
+def _fanout_workload():
+    """A model-eval sweep: many pool variants, one validation matrix.
+
+    Mirrors scoring every registered model version against the current
+    validation windows: the (big, identical) window matrix is the
+    payload every task shares, the (small) stacked rule arrays differ
+    per task.
+    """
+    series = sine_series(
+        FANOUT_WINDOWS + FANOUT_D + 1, period=480, noise_sigma=0.05, seed=5
+    )
+    ds = WindowDataset.from_series(series, FANOUT_D, 1)
+    X = np.ascontiguousarray(ds.X)
+    span = X.max() - X.min()
+    rng = np.random.default_rng(7)
+    base_rules = []
+    for _ in range(2 * FANOUT_RULES):
+        center = X[int(rng.integers(0, X.shape[0]))]
+        width = 0.07 * span
+        rule = Rule.from_box(
+            center - width, center + width, prediction=float(rng.normal())
+        )
+        rule.wildcard = rng.random(FANOUT_D) < 0.2
+        rule.error = 1.0
+        base_rules.append(rule)
+    tasks = []
+    for i in range(FANOUT_TASKS):
+        subset = rng.choice(len(base_rules), size=FANOUT_RULES, replace=False)
+        compiled = RuleSystem([base_rules[int(j)] for j in subset]).compile()
+        tasks.append(PoolScoringTask(
+            compiled=compiled, X=X, y=ds.y,
+            metric="nmse", horizon=1, label=f"variant{i}",
+        ))
+    return tasks, X
+
+
+def _time_fanout(tasks, backend):
+    """Best mean wall over FANOUT_REPS mapped sweeps (pool pre-warmed)."""
+    score_pool_grid(tasks[:2], backend)  # warm the pool + segments
+    best = float("inf")
+    scores = None
+    for _ in range(FANOUT_REPS):
+        t0 = time.perf_counter()
+        scores = score_pool_grid(tasks, backend)
+        best = min(best, time.perf_counter() - t0)
+    return scores, best
+
+
+def test_fanout_scoring_shm_vs_process():
+    """SharedMemoryBackend must beat ProcessPool >= 1.5x at bench scale
+    on orchestrator-style scoring fan-out, with bitwise-identical
+    scores (Serial is the oracle) and no leaked segments."""
+    tasks, X = _fanout_workload()
+    oracle = score_pool_grid(tasks, SerialBackend())
+
+    with ProcessPoolBackend(workers=FANOUT_WORKERS) as backend:
+        pp_scores, pp_time = _time_fanout(tasks, backend)
+    with SharedMemoryBackend(workers=FANOUT_WORKERS) as backend:
+        shm_scores, shm_time = _time_fanout(tasks, backend)
+        shared_mb = backend.arrays.shared_bytes / 1e6
+
+    assert pp_scores == oracle
+    assert shm_scores == oracle
+    assert live_segments() == [], "leaked /dev/shm segments"
+
+    speedup = pp_time / shm_time
+    pp_rate = FANOUT_TASKS / pp_time
+    shm_rate = FANOUT_TASKS / shm_time
+    emit(
+        "fanout_scoring",
+        f"tasks: {FANOUT_TASKS} pool variants x {FANOUT_WINDOWS} windows "
+        f"(matrix {X.nbytes/1e6:.1f} MB, {FANOUT_WORKERS} workers)\n"
+        f"process pool: {pp_time:6.3f} s  ({pp_rate:6.1f} tasks/s)\n"
+        f"shared mem:   {shm_time:6.3f} s  ({shm_rate:6.1f} tasks/s, "
+        f"{shared_mb:.1f} MB shared once)\n"
+        f"speedup:      {speedup:6.2f}x (bitwise-identical scores)",
+    )
+    record_result(BenchResult(
+        name="fanout_scoring",
+        area="parallel",
+        scale=SCALE,
+        wall_s={"process": pp_time, "shm": shm_time},
+        throughput={
+            "tasks_per_s:process": pp_rate,
+            "tasks_per_s:shm": shm_rate,
+        },
+        # Tiny arrays barely cross the sharing threshold, so the tiny
+        # ratio is noise around 1.0 — recorded (and gated) at bench
+        # scale only, where the >= 1.5x assertion below also applies.
+        speedup={} if TINY else {"shm_vs_process": speedup},
+        meta={
+            "tasks": str(FANOUT_TASKS),
+            "windows": str(FANOUT_WINDOWS),
+            "rules_per_pool": str(FANOUT_RULES),
+            "workers": str(FANOUT_WORKERS),
+            "matrix_mb": f"{X.nbytes/1e6:.1f}",
+        },
+    ))
+    if TINY:
+        # Same-runner CI gate (measured ~2x at tiny scale): the shm
+        # path must never fall behind plain pickling.  The committed
+        # cross-machine trajectory can't gate raw throughput, so this
+        # in-run ratio is what fails a PR that breaks the fast path.
+        assert speedup >= 1.05, (
+            f"shared-memory fan-out slower than process pool "
+            f"({speedup:.2f}x) at tiny scale"
+        )
+    else:
+        assert speedup >= 1.5, (
+            f"shared-memory fan-out only {speedup:.2f}x over process pool"
+        )

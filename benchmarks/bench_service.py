@@ -30,6 +30,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _common import BenchResult, bench_scale, record_result
+
 from repro.core.predictor import RuleSystem
 from repro.core.rule import Rule
 from repro.io import save_rule_system, write_series_csv
@@ -157,6 +159,16 @@ def test_micro_batched_vs_per_stream_serving(serving_pool, streams):
         f"({N_STREAMS} streams, pool={POOL_RULES} rules, "
         f"coverage={coverage:.2f})"
     )
+    record_result(BenchResult(
+        name="micro_batched_gateway", area="service", scale=bench_scale(),
+        throughput={
+            "events_per_s:per_stream": naive_rate,
+            "events_per_s:micro_batched": service_rate,
+        },
+        speedup={} if TINY else {"micro_batched_vs_per_stream": speedup},
+        meta={"streams": str(N_STREAMS), "rules": str(POOL_RULES),
+              "events_per_stream": str(EVENTS_PER_STREAM)},
+    ))
     assert speedup >= 5.0, f"micro-batched gateway only {speedup:.2f}x"
 
 

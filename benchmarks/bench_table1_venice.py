@@ -17,15 +17,16 @@ system beats the NN for horizons > 1 while keeping coverage above ~90%,
 with errors growing with the horizon.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 from repro.analysis import format_table, run_table1, table1_markdown
 
 
 def test_table1_venice(benchmark):
+    horizons = (1, 4, 12, 24, 28, 48, 72, 96)
     rows = run_once(
         benchmark, run_table1,
-        horizons=(1, 4, 12, 24, 28, 48, 72, 96),
+        horizons=horizons,
         scale="bench", seed=1, max_executions=3, mlp_epochs=40,
     )
     text = format_table(
@@ -38,6 +39,13 @@ def test_table1_venice(benchmark):
         title="Table 1 — Venice Lagoon (RMSE over predicted subset, cm)",
     )
     emit("table1_venice", text + "\n\n" + table1_markdown(rows))
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="table1_venice", area="tables", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"rows_per_s": len(rows) / wall},
+        meta={"horizons": str(len(horizons))},
+    ))
 
     # Shape assertions: the paper's qualitative claims.  The paper only
     # reports NN numbers for horizons 1–28; RS must win on most of the

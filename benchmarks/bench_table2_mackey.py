@@ -10,7 +10,7 @@ Shape to reproduce: RS error below both sequential RBF learners at
 roughly 75–85% coverage.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 from repro.analysis import format_table, run_table2, table2_markdown
 
@@ -30,6 +30,13 @@ def test_table2_mackey_glass(benchmark):
         title="Table 2 — Mackey-Glass (NMSE over predicted subset)",
     )
     emit("table2_mackey", text + "\n\n" + table2_markdown(rows))
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="table2_mackey", area="tables", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"rows_per_s": len(rows) / wall},
+        meta={"horizons": "2"},
+    ))
 
     for row in rows:
         assert row.rs.error < max(row.mran_error, row.ran_error), (

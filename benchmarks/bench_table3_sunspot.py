@@ -13,7 +13,7 @@ Shape to reproduce: RS error below both networks at every horizon, with
 errors growing with horizon and coverage staying above ~75%.
 """
 
-from _common import emit, run_once
+from _common import BenchResult, bench_scale, emit, record_result, run_once
 
 from repro.analysis import format_table, run_table3, table3_markdown
 
@@ -34,6 +34,13 @@ def test_table3_sunspot(benchmark):
         title="Table 3 — Sunspots (Galvan error over predicted subset)",
     )
     emit("table3_sunspot", text + "\n\n" + table3_markdown(rows))
+    wall = benchmark.stats.stats.mean
+    record_result(BenchResult(
+        name="table3_sunspot", area="tables", scale=bench_scale(),
+        wall_s={"total": wall},
+        throughput={"rows_per_s": len(rows) / wall},
+        meta={"horizons": "5"},
+    ))
 
     wins_ff = sum(r.rs.error < r.ff_error for r in rows)
     wins_rec = sum(r.rs.error < r.rec_error for r in rows)

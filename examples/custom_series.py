@@ -29,7 +29,6 @@ from repro.series.windowing import MinMaxScaler, train_test_split_series
 
 def make_regime_series(n: int, seed: int) -> np.ndarray:
     """AR(3) with alternating low/high-volatility regimes."""
-    rng = np.random.default_rng(seed)
     quiet = ar_process(n, [0.6, 0.2, -0.1], sigma=0.3, seed=seed)
     loud = ar_process(n, [0.6, 0.2, -0.1], sigma=1.5, seed=seed + 1)
     regime = (np.arange(n) // 200) % 2  # flip every 200 steps

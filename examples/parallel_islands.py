@@ -19,7 +19,6 @@ import argparse
 import time
 
 from repro.core import mackey_config, multirun
-from repro.core.predictor import RuleSystem
 from repro.metrics import score_table2
 from repro.parallel import (
     IslandModel,

@@ -57,7 +57,6 @@ def main() -> None:
           f"{score.percentage:.1f}% coverage ({len(result.system)} rules)")
 
     # Baselines on the same windows.
-    train = result.multirun.executions[0]
     train_ds, _ = data.windows(24, args.horizon)
     mlp = MLPForecaster(MLPParams(hidden=16, epochs=80, seed=args.seed))
     mlp.fit(train_ds.X, train_ds.y)

@@ -40,9 +40,12 @@ from .orchestrator import (
     ExperimentOrchestrator,
     ExperimentRun,
     ExperimentTask,
+    PoolScoringTask,
     ScenarioRow,
     TaskResult,
     execute_task,
+    score_pool_grid,
+    score_pool_task,
 )
 from .profiling import SectionTimer, engine_throughput, profile_run
 from .report import (
@@ -100,6 +103,9 @@ __all__ = [
     "TaskResult",
     "ScenarioRow",
     "execute_task",
+    "PoolScoringTask",
+    "score_pool_task",
+    "score_pool_grid",
     "format_table",
     "format_float",
     "line_plot",

@@ -21,12 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.config import (  # noqa: F401  (resolved by name at run time)
-    EvolutionConfig,
-    lorenz_config,
-    mackey_config,
-    sunspot_config,
-    venice_config,
+from ..core.config import (  # resolved by name at run time
+    EvolutionConfig,  # noqa: F401
+    lorenz_config,  # noqa: F401
+    mackey_config,  # noqa: F401
+    sunspot_config,  # noqa: F401
+    venice_config,  # noqa: F401
 )
 from ..metrics.coverage import CoverageScore
 from ..parallel.backends import Backend

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.compiled import CompiledRuleSystem
 from ..core.multirun import multirun
 from ..io.cache import ResultCache, spec_hash
 from ..metrics.coverage import (
@@ -65,6 +66,9 @@ __all__ = [
     "ExperimentRun",
     "ExperimentOrchestrator",
     "execute_task",
+    "PoolScoringTask",
+    "score_pool_task",
+    "score_pool_grid",
 ]
 
 
@@ -374,6 +378,70 @@ _EXECUTORS = {
     "figure": _figure_row,
     "stream": _stream_row,
 }
+
+
+# -- trained-pool re-scoring fan-out ------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolScoringTask:
+    """Fan-out unit: score one *trained* pool on one validation slice.
+
+    Model-evaluation sweeps (scoring a registered pool across horizon
+    grids, noise levels or replayed validation segments) retrain
+    nothing — each task is the compiled pool's stacked
+    bounds/coefficient arrays plus a full validation window matrix.
+    These are exactly the payloads
+    :class:`~repro.parallel.shm.SharedMemoryBackend` routes by handle:
+    the window matrix is placed in shared memory once per sweep
+    instead of being pickled into every task, which is where the
+    fan-out throughput in ``BENCH_parallel.json`` comes from.  Each
+    worker sends back only the :class:`~repro.metrics.coverage.CoverageScore`.
+
+    Parameters
+    ----------
+    compiled:
+        A :class:`~repro.core.compiled.CompiledRuleSystem` (stacked
+        bounds + coefficients; picklable, shm-routable).
+    X, y:
+        Validation windows and targets.
+    metric:
+        ``"rmse"`` / ``"nmse"`` / ``"galvan"`` (as scenario specs use).
+    horizon:
+        Forecast horizon the metric needs.
+    label:
+        Grid-point label carried through to the result.
+    """
+
+    compiled: CompiledRuleSystem
+    X: np.ndarray
+    y: np.ndarray
+    metric: str
+    horizon: int
+    label: str = ""
+
+
+def score_pool_task(task: PoolScoringTask) -> Tuple[str, CoverageScore]:
+    """Run one scoring task (module-level: process-pool picklable)."""
+    batch = task.compiled.predict(task.X)
+    score = _score(
+        task.metric, task.horizon, task.y, batch.values, batch.predicted
+    )
+    return task.label, score
+
+
+def score_pool_grid(
+    tasks: Sequence[PoolScoringTask],
+    backend: Optional[Backend] = None,
+) -> List[Tuple[str, CoverageScore]]:
+    """Score many :class:`PoolScoringTask` values through a backend.
+
+    Results are bitwise identical for any backend (scoring is
+    deterministic); the backend only changes wall-clock.  Order
+    follows the input tasks.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    return backend.map(score_pool_task, list(tasks))
 
 
 def execute_task(

@@ -14,7 +14,7 @@ import pstats
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator
 
 from ..core.config import EvolutionConfig
 from ..core.engine import SteadyStateEngine

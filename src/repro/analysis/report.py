@@ -6,7 +6,7 @@ numbers always come from actual runs (no hand-copied values).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from .experiments import (
     PAPER_TABLE1,

@@ -9,7 +9,7 @@ paired sign tests between forecasters on the *shared* predicted subset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 from scipy import stats as sps

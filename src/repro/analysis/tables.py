@@ -7,7 +7,7 @@ compared against the paper side by side.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 __all__ = ["format_table", "format_float"]
 

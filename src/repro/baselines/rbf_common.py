@@ -13,8 +13,6 @@ update both learners share.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
 import numpy as np
 
 __all__ = ["RBFUnits"]

@@ -1,0 +1,50 @@
+"""Structured benchmark subsystem: schema, recording, regression gate.
+
+Every benchmark in ``benchmarks/`` reports its numbers twice:
+
+* a human-readable text block (the historical ``emit`` behaviour,
+  printed and persisted under ``benchmarks/results/``), and
+* a machine-readable :class:`~repro.bench.result.BenchResult` recorded
+  with :func:`~repro.bench.record.record` into the repo-root
+  ``BENCH_<area>.json`` trajectory file (one entry per bench name and
+  scale, updated in place) plus an immutable per-run file under
+  ``benchmarks/results/``.
+
+The trajectory files are committed, so every PR carries the perf
+numbers its code produced; :func:`~repro.bench.compare.compare` (CLI:
+``repro bench compare``) diffs a fresh run against the committed
+baseline and fails CI when throughput or speedup ratios regress beyond
+tolerance.  See ``docs/benchmarking.md`` for the contract.
+"""
+
+from .compare import CompareReport, MetricDelta, compare, compare_files
+from .runner import AREAS, area_files, run_areas
+from .record import (
+    bench_scale,
+    emit,
+    load_trajectory,
+    record,
+    run_once,
+    sanitize_name,
+    trajectory_path,
+)
+from .result import BenchResult, env_fingerprint
+
+__all__ = [
+    "BenchResult",
+    "env_fingerprint",
+    "record",
+    "emit",
+    "run_once",
+    "bench_scale",
+    "sanitize_name",
+    "trajectory_path",
+    "load_trajectory",
+    "compare",
+    "compare_files",
+    "CompareReport",
+    "MetricDelta",
+    "AREAS",
+    "area_files",
+    "run_areas",
+]

@@ -1,0 +1,196 @@
+"""The perf-regression gate: baseline vs current trajectories.
+
+Gating rules, per metric class:
+
+* **speedup ratios** — always gated.  Both sides of a ratio were
+  measured in the same run on the same machine, so the ratio is
+  comparable across any pair of environments; a compiled path that
+  used to be 3x and is now 2x regressed no matter which runner
+  measured it.
+* **throughput** — gated only when the two results carry the same
+  environment fingerprint (same interpreter/libraries/machine shape).
+  Comparing events/sec across different machines is noise, not a
+  gate; the skip is reported so it is never silent.  ``strict=True``
+  gates regardless (for same-runner CI flows that stash a baseline
+  earlier in the same job).
+* **wall times** — never gated, always reported.
+
+A metric regresses when the current value is worse than the baseline
+by more than ``tolerance`` (fractional: ``0.25`` = 25%).  Improvements
+never fail the gate; the trajectory file simply records the new level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .record import load_trajectory
+from .result import BenchResult
+
+__all__ = ["MetricDelta", "CompareReport", "compare", "compare_files"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    key: str            #: ``name@scale`` of the bench entry
+    section: str        #: ``speedup`` / ``throughput`` / ``wall_s``
+    metric: str         #: label inside the section
+    baseline: float
+    current: float
+    gated: bool         #: False when only reported, never failing
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (1.0 when the baseline is zero)."""
+        return self.current / self.baseline if self.baseline else 1.0
+
+    def describe(self) -> str:
+        """One human-readable report line."""
+        flag = "REGRESSED" if self.regressed else (
+            "ok" if self.gated else "info"
+        )
+        return (
+            f"{self.key} {self.section}[{self.metric}]: "
+            f"{self.baseline:.4g} -> {self.current:.4g} "
+            f"({self.ratio:.2f}x) [{flag}]"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Outcome of comparing one or more trajectory files."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Deltas that fail the gate."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def passed(self) -> bool:
+        """True when no gated metric regressed."""
+        return not self.regressions
+
+    def extend(self, other: "CompareReport") -> None:
+        """Merge another report into this one."""
+        self.deltas.extend(other.deltas)
+        self.notes.extend(other.notes)
+
+    def format_text(self, verbose: bool = False) -> str:
+        """The CLI report: regressions, notes and (verbose) all deltas."""
+        lines: List[str] = []
+        shown = self.deltas if verbose else self.regressions
+        lines.extend(d.describe() for d in shown)
+        lines.extend(f"note: {n}" for n in self.notes)
+        n_gated = sum(1 for d in self.deltas if d.gated)
+        lines.append(
+            f"{len(self.deltas)} metrics compared ({n_gated} gated), "
+            f"{len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _section_deltas(
+    key: str,
+    section: str,
+    base: Dict[str, float],
+    cur: Dict[str, float],
+    tolerance: float,
+    gated: bool,
+    higher_is_better: bool,
+) -> List[MetricDelta]:
+    deltas = []
+    for metric in sorted(set(base) & set(cur)):
+        b, c = base[metric], cur[metric]
+        if higher_is_better:
+            regressed = gated and c < b * (1.0 - tolerance)
+        else:
+            regressed = gated and c > b * (1.0 + tolerance)
+        deltas.append(MetricDelta(
+            key=key, section=section, metric=metric,
+            baseline=b, current=c, gated=gated, regressed=regressed,
+        ))
+    return deltas
+
+
+def compare(
+    baseline: BenchResult,
+    current: BenchResult,
+    tolerance: float = 0.25,
+    strict: bool = False,
+) -> CompareReport:
+    """Compare one bench entry pair under the module's gating rules."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    report = CompareReport()
+    key = current.key
+    same_env = baseline.same_environment(current)
+    gate_throughput = same_env or strict
+    if not gate_throughput and (baseline.throughput or current.throughput):
+        report.notes.append(
+            f"{key}: environment fingerprints differ "
+            f"({baseline.env.get('fingerprint', '?')} vs "
+            f"{current.env.get('fingerprint', '?')}) — raw throughput "
+            "reported but not gated; speedup ratios still gated"
+        )
+    report.deltas.extend(_section_deltas(
+        key, "speedup", baseline.speedup, current.speedup,
+        tolerance, gated=True, higher_is_better=True,
+    ))
+    report.deltas.extend(_section_deltas(
+        key, "throughput", baseline.throughput, current.throughput,
+        tolerance, gated=gate_throughput, higher_is_better=True,
+    ))
+    report.deltas.extend(_section_deltas(
+        key, "wall_s", baseline.wall_s, current.wall_s,
+        tolerance, gated=False, higher_is_better=False,
+    ))
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    current_path: Optional[Union[str, Path]] = None,
+    tolerance: float = 0.25,
+    strict: bool = False,
+) -> CompareReport:
+    """Compare two trajectory files entry by entry.
+
+    ``current_path`` defaults to a file of the same basename in the
+    current directory — the CI flow stashes the committed baseline
+    elsewhere, re-runs the benches (rewriting the repo-root file) and
+    compares.  Entries are matched on ``name@scale``; entries present
+    on only one side are reported as notes, not failures.
+    """
+    baseline_path = Path(baseline_path)
+    current_path = (
+        Path(current_path)
+        if current_path is not None
+        else Path.cwd() / baseline_path.name
+    )
+    base = load_trajectory(baseline_path)
+    cur = load_trajectory(current_path)
+    report = CompareReport()
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            report.notes.append(
+                f"{key}: in baseline {baseline_path} only (bench removed?)"
+            )
+            continue
+        if key not in base:
+            report.notes.append(f"{key}: new entry (no baseline) — skipped")
+            continue
+        report.extend(compare(base[key], cur[key], tolerance, strict))
+    if not (set(base) & set(cur)):
+        report.notes.append(
+            f"no comparable entries between {baseline_path} and "
+            f"{current_path}"
+        )
+    return report

@@ -1,0 +1,181 @@
+"""Recording benchmark output: trajectory files, per-run files, text.
+
+Three artifacts per benchmark run:
+
+* ``BENCH_<area>.json`` at the repo root — the committed perf
+  *trajectory*: one entry per ``name@scale``, updated in place
+  (read-modify-write, atomic), so entries measured at other scales
+  survive a tiny-mode CI run.
+* ``benchmarks/results/<area>-<name>-<scale>-<run id>.json`` — an
+  immutable record of this particular run.
+* ``benchmarks/results/<name>.txt`` — the historical human-readable
+  block (:func:`emit`), kept because EXPERIMENTS-style tables are
+  still read by people.
+
+The results directory is best-effort: a benchmark must never die
+because a stray file squats on the directory path, so :func:`emit`
+and :func:`record` degrade to printing a warning when the directory
+cannot be created (the earlier ``_common.emit`` crashed on both a
+file at ``results/`` and a path separator inside ``name``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..io.cache import atomic_write_text
+from .result import BenchResult
+
+__all__ = [
+    "bench_scale",
+    "emit",
+    "record",
+    "run_once",
+    "sanitize_name",
+    "trajectory_path",
+    "load_trajectory",
+    "results_dir",
+]
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._@-]+")
+
+
+def bench_scale() -> str:
+    """The ambient benchmark scale: ``"tiny"`` under ``REPRO_BENCH_TINY``.
+
+    The benches read this once so their data volumes, and the scale
+    recorded in every :class:`~repro.bench.result.BenchResult`, always
+    agree.
+    """
+    return "tiny" if os.environ.get("REPRO_BENCH_TINY") else "bench"
+
+
+def sanitize_name(name: str) -> str:
+    """Collapse a bench name to a single safe filename component.
+
+    Path separators, parent references and other exotic characters
+    become ``_`` — ``emit("a/b", ...)`` writes ``a_b.txt`` inside the
+    results directory instead of crashing (or escaping it).
+    """
+    name = name.replace(os.sep, "_").replace("/", "_").replace("\\", "_")
+    name = _SAFE_NAME.sub("_", name).strip("._")
+    return name or "unnamed"
+
+
+def _repo_root() -> Path:
+    """Root for trajectory files: ``REPRO_BENCH_ROOT`` or the cwd."""
+    return Path(os.environ.get("REPRO_BENCH_ROOT") or Path.cwd())
+
+
+def results_dir(root: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """``<root>/benchmarks/results``, created if possible, else None.
+
+    Returns ``None`` (after printing a warning) when the directory
+    cannot be created — e.g. a regular file occupies ``benchmarks`` or
+    ``benchmarks/results``.
+    """
+    base = Path(root) if root is not None else _repo_root()
+    path = base / "benchmarks" / "results"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError, OSError) as exc:
+        print(f"[bench] cannot create results dir {path}: {exc} "
+              "(skipping persistence)")
+        return None
+    return path
+
+
+def emit(
+    name: str, text: str, root: Optional[Union[str, Path]] = None
+) -> Optional[Path]:
+    """Print a result block and persist it under ``benchmarks/results/``.
+
+    Returns the written path, or ``None`` when persistence was skipped
+    (unusable results directory).  The name is sanitized to a single
+    filename component first.
+    """
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    target = results_dir(root)
+    if target is None:
+        return None
+    path = target / f"{sanitize_name(name)}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (rounds=1) and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def trajectory_path(area: str, root: Optional[Union[str, Path]] = None) -> Path:
+    """The committed trajectory file for one area: ``BENCH_<area>.json``."""
+    base = Path(root) if root is not None else _repo_root()
+    return base / f"BENCH_{sanitize_name(area)}.json"
+
+
+def load_trajectory(
+    path: Union[str, Path]
+) -> Dict[str, BenchResult]:
+    """Read a ``BENCH_<area>.json`` file into ``{name@scale: result}``.
+
+    Raises ``ValueError`` on a malformed file — the compare gate must
+    fail loudly, not skip silently, when a baseline is unreadable.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+        results = {
+            str(key): BenchResult.from_dict(entry)
+            for key, entry in dict(data.get("results", {})).items()
+        }
+    except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(f"unreadable bench trajectory {path}: {exc}") from exc
+    return results
+
+
+def record(
+    result: BenchResult, root: Optional[Union[str, Path]] = None
+) -> Path:
+    """Fold one result into its area trajectory and write a run file.
+
+    The trajectory file is read-modify-written atomically, keyed on
+    ``name@scale`` — recording a tiny-mode run preserves the committed
+    bench-scale entries and vice versa.  Returns the trajectory path.
+    """
+    path = trajectory_path(result.area, root)
+    existing: Dict[str, BenchResult] = {}
+    if path.exists():
+        try:
+            existing = load_trajectory(path)
+        except ValueError as exc:
+            print(f"[bench] {exc} — rewriting from scratch")
+    existing[result.key] = result
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "area": result.area,
+        "schema": 1,
+        "results": {
+            key: existing[key].to_dict() for key in sorted(existing)
+        },
+    }
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    target = results_dir(root)
+    if target is not None:
+        run_id = f"{time.strftime('%Y%m%dT%H%M%S', time.gmtime())}-{os.getpid()}"
+        run_file = target / (
+            f"{sanitize_name(result.area)}-{sanitize_name(result.name)}-"
+            f"{result.scale}-{run_id}.json"
+        )
+        run_file.write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+    return path

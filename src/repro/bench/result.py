@@ -1,0 +1,167 @@
+"""The machine-readable benchmark result schema.
+
+A :class:`BenchResult` is one benchmark's outcome at one scale: wall
+times, throughputs and speedup ratios, stamped with the code version
+and an environment fingerprint.  Wall times and throughputs are only
+comparable between runs whose fingerprints match (same interpreter,
+same library versions, same machine shape); speedup ratios are
+*intra-run* quantities — both sides of the ratio ran on the same
+machine — so they stay comparable across fingerprints.  The compare
+gate (:mod:`repro.bench.compare`) uses exactly that distinction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["BenchResult", "env_fingerprint"]
+
+
+def env_fingerprint() -> Dict[str, str]:
+    """Describe the benchmarking environment, with a stable digest.
+
+    The ``fingerprint`` key is a short hash over every other key; two
+    runs with equal fingerprints ran on interchangeable environments,
+    so their absolute timings may be gated against each other.
+    """
+    import numpy
+
+    info = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": str(os.cpu_count() or 0),
+        "affinity": str(
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count() or 0
+        ),
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    info["fingerprint"] = digest
+    return info
+
+
+def _code_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's structured outcome.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier, unique within its area (e.g.
+        ``"fanout_scoring"``).
+    area:
+        Trajectory file grouping: results land in
+        ``BENCH_<area>.json`` (e.g. ``"parallel"``).
+    scale:
+        Workload scale the numbers were measured at (``"tiny"``,
+        ``"bench"`` or ``"paper"``); entries are keyed on
+        ``name@scale`` so a tiny CI run never overwrites a bench-scale
+        baseline.
+    wall_s:
+        Labelled wall-clock seconds (lower is better); informational —
+        never gated, because they are machine-absolute.
+    throughput:
+        Labelled rates, unit encoded in the label (e.g.
+        ``"tasks_per_s:shm"``); higher is better, gated when the
+        environment fingerprints match.
+    speedup:
+        Labelled intra-run ratios (e.g. ``"shm_vs_process"``); higher
+        is better, gated across any environments.
+    code_version:
+        ``repro.__version__`` at measurement time.
+    env:
+        :func:`env_fingerprint` of the measuring environment.
+    meta:
+        Free-form context (worker counts, data volumes, …) for humans
+        reading the trajectory; never compared.
+    """
+
+    name: str
+    area: str
+    scale: str
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    throughput: Dict[str, float] = field(default_factory=dict)
+    speedup: Dict[str, float] = field(default_factory=dict)
+    code_version: str = ""
+    env: Dict[str, str] = field(default_factory=dict)
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("BenchResult.name must be non-empty")
+        if not self.area:
+            raise ValueError("BenchResult.area must be non-empty")
+        if self.scale not in ("tiny", "bench", "paper"):
+            raise ValueError(
+                f"scale must be tiny/bench/paper, got {self.scale!r}"
+            )
+        if not self.code_version:
+            object.__setattr__(self, "code_version", _code_version())
+        if not self.env:
+            object.__setattr__(self, "env", env_fingerprint())
+
+    @property
+    def key(self) -> str:
+        """Trajectory key: ``name@scale``."""
+        return f"{self.name}@{self.scale}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready mapping (plain floats, sorted reproducibly)."""
+        return {
+            "name": self.name,
+            "area": self.area,
+            "scale": self.scale,
+            "wall_s": {k: float(v) for k, v in sorted(self.wall_s.items())},
+            "throughput": {
+                k: float(v) for k, v in sorted(self.throughput.items())
+            },
+            "speedup": {k: float(v) for k, v in sorted(self.speedup.items())},
+            "code_version": self.code_version,
+            "env": dict(sorted(self.env.items())),
+            "meta": {k: str(v) for k, v in sorted(self.meta.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BenchResult":
+        """Inverse of :meth:`to_dict`; tolerant of missing sections."""
+
+        def _floats(key: str) -> Dict[str, float]:
+            section = data.get(key) or {}
+            return {str(k): float(v) for k, v in dict(section).items()}
+
+        return cls(
+            name=str(data["name"]),
+            area=str(data["area"]),
+            scale=str(data.get("scale", "bench")),
+            wall_s=_floats("wall_s"),
+            throughput=_floats("throughput"),
+            speedup=_floats("speedup"),
+            code_version=str(data.get("code_version", "")) or "unknown",
+            env={str(k): str(v) for k, v in dict(data.get("env") or {}).items()},
+            meta={str(k): str(v) for k, v in dict(data.get("meta") or {}).items()},
+        )
+
+    def same_environment(self, other: "BenchResult") -> bool:
+        """True when absolute timings are comparable between the two."""
+        return bool(
+            self.env.get("fingerprint")
+            and self.env.get("fingerprint") == other.env.get("fingerprint")
+        )

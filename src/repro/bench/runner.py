@@ -1,0 +1,85 @@
+"""Launching benchmark areas from the CLI (``repro bench run``).
+
+Benchmarks live as pytest files under ``benchmarks/``; an *area* names
+the group of files that feed one ``BENCH_<area>.json`` trajectory.
+The runner shells out to pytest (the benches use the
+``pytest-benchmark`` fixture) with ``REPRO_BENCH_TINY`` optionally
+set, so ``repro bench run parallel --tiny`` is exactly the command the
+perf-regression CI job executes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["AREAS", "area_files", "run_areas"]
+
+#: area -> bench files feeding ``BENCH_<area>.json``.
+AREAS: Dict[str, Tuple[str, ...]] = {
+    "parallel": ("bench_parallel_scaling.py",),
+    "kernels": ("bench_kernels.py",),
+    "orchestrator": ("bench_orchestrator.py",),
+    "service": ("bench_service.py",),
+    "tables": (
+        "bench_table1_venice.py",
+        "bench_table2_mackey.py",
+        "bench_table3_sunspot.py",
+    ),
+    "figures": (
+        "bench_figure1_rule_render.py",
+        "bench_figure2_high_tide.py",
+    ),
+    "ablations": ("bench_ablations.py",),
+    "baselines": ("bench_baseline_sweep.py",),
+    "lorenz": ("bench_generality_lorenz.py",),
+}
+
+
+def area_files(
+    areas: Sequence[str], bench_dir: Union[str, Path]
+) -> List[Path]:
+    """Resolve area names to existing bench files (order-preserving).
+
+    Raises ``ValueError`` for an unknown area or a missing file — a
+    typo must fail the command, not silently bench nothing.
+    """
+    bench_dir = Path(bench_dir)
+    files: List[Path] = []
+    for area in areas:
+        if area not in AREAS:
+            raise ValueError(
+                f"unknown bench area {area!r} (known: {', '.join(sorted(AREAS))})"
+            )
+        for name in AREAS[area]:
+            path = bench_dir / name
+            if not path.exists():
+                raise ValueError(f"bench file missing: {path}")
+            files.append(path)
+    return files
+
+
+def run_areas(
+    areas: Sequence[str],
+    bench_dir: Union[str, Path] = "benchmarks",
+    tiny: bool = False,
+    keyword: str = "",
+) -> int:
+    """Run the areas' bench files through pytest; return its exit code.
+
+    ``tiny`` exports ``REPRO_BENCH_TINY=1`` for the child (shrunken
+    data volumes, the CI smoke mode); ``keyword`` forwards a pytest
+    ``-k`` selection.
+    """
+    files = area_files(areas, bench_dir)
+    env = dict(os.environ)
+    if tiny:
+        env["REPRO_BENCH_TINY"] = "1"
+    cmd = [sys.executable, "-m", "pytest", "-q", "-s", *map(str, files)]
+    if keyword:
+        cmd += ["-k", keyword]
+    print("running:", " ".join(cmd))
+    return subprocess.call(cmd, env=env)

@@ -37,9 +37,20 @@ event ::
     repro serve --bind gauge=venice-h1 --csv tide.csv --stats
     printf 'a,0.5\\nb,0.7\\n' | repro serve --bind a=m1 --bind b=m1@2
 
+The benchmark subsystem (see ``docs/benchmarking.md``) runs bench
+areas and gates perf regressions against the committed
+``BENCH_<area>.json`` trajectories ::
+
+    repro bench list
+    repro bench run parallel --tiny
+    repro bench compare --baseline /tmp/base/BENCH_parallel.json --tolerance 0.25
+
 Each classic command prints the paper-layout table (see
 :mod:`repro.analysis.tables`) and, with ``--markdown``, the
-paper-vs-measured markdown block used in EXPERIMENTS.md.
+paper-vs-measured markdown block used in EXPERIMENTS.md.  Every
+command that fans work out accepts ``--jobs N`` and ``--backend
+{serial,process,shm}``; ``shm`` is the zero-copy shared-memory
+backend (bitwise-identical results, large arrays routed by handle).
 """
 
 from __future__ import annotations
@@ -73,7 +84,12 @@ from .analysis import (
 from .analysis import all_scenarios
 from .analysis.report import scenario_report
 from .io import load_rule_system_with_metadata, read_series_csv
-from .parallel.backends import Backend, ProcessPoolBackend, SerialBackend
+from .parallel.backends import (
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
 from .service import ForecastService, ModelRegistry, RegistryError
 
 __all__ = ["main", "build_parser", "DEFAULT_STATE_DIR", "DEFAULT_REGISTRY_DIR"]
@@ -96,12 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for GA executions (default: "
+                            "1 without --backend, all available cores with "
+                            "a named parallel backend)")
+        p.add_argument("--backend", choices=("serial", "process", "shm"),
+                       default=None,
+                       help="execution backend (default: process pool when "
+                            "--jobs > 1, else serial; 'shm' routes large "
+                            "arrays through zero-copy shared memory — "
+                            "bitwise-identical results, less serialization)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", choices=("bench", "paper"), default="bench",
                        help="workload scale (paper scale takes hours)")
         p.add_argument("--seed", type=int, default=1, help="root RNG seed")
-        p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for GA executions")
+        backend_args(p)
         p.add_argument("--markdown", action="store_true",
                        help="also print the paper-vs-measured markdown block")
         p.add_argument("--no-incremental", action="store_true",
@@ -155,8 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     er.add_argument("--scale", choices=("bench", "paper"), default="bench")
     er.add_argument("--seed", type=int, default=None,
                     help="root seed override (default: each spec's seed)")
-    er.add_argument("--jobs", type=int, default=1,
-                    help="worker processes for task fan-out")
+    backend_args(er)
     er.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
                     help="checkpoint directory (plan + manifest + cache); "
                          f"default {DEFAULT_STATE_DIR}")
@@ -174,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     es = esub.add_parser("resume", help="continue a checkpointed sweep")
     es.add_argument("--state-dir", default=DEFAULT_STATE_DIR)
     es.add_argument("--cache-dir", default=None)
-    es.add_argument("--jobs", type=int, default=1)
+    backend_args(es)
     es.add_argument("--max-tasks", type=int, default=None)
 
     # -- the serving surface -------------------------------------------------
@@ -240,10 +266,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="suppress per-event JSON lines")
     ps.add_argument("--stats", action="store_true",
                     help="print a final service-stats JSON object")
+
+    # -- the benchmark surface -----------------------------------------------
+
+    pbench = sub.add_parser(
+        "bench",
+        help="benchmark harness: run bench areas, gate perf regressions",
+    )
+    bsub = pbench.add_subparsers(dest="bench_command", required=True)
+
+    bl = bsub.add_parser("list", help="show bench areas and their files")
+    del bl  # no options
+
+    br = bsub.add_parser(
+        "run", help="run bench areas (writes BENCH_<area>.json)"
+    )
+    br.add_argument("areas", nargs="+", metavar="AREA",
+                    help="bench areas (see 'bench list')")
+    br.add_argument("--bench-dir", default="benchmarks",
+                    help="directory holding the bench_*.py files")
+    br.add_argument("--tiny", action="store_true",
+                    help="REPRO_BENCH_TINY mode (CI-sized data volumes)")
+    br.add_argument("-k", dest="keyword", default="",
+                    help="pytest -k selection forwarded to the benches")
+
+    bc = bsub.add_parser(
+        "compare",
+        help="gate a fresh run against baseline trajectories "
+             "(exit 1 on regression)",
+    )
+    bc.add_argument("--baseline", nargs="+", required=True, metavar="FILE",
+                    help="baseline BENCH_*.json file(s)")
+    bc.add_argument("--current", default=None,
+                    help="current trajectory file (default: same basename "
+                         "as each baseline, in the current directory)")
+    bc.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    bc.add_argument("--strict", action="store_true",
+                    help="gate raw throughput even across differing "
+                         "environment fingerprints")
+    bc.add_argument("--verbose", action="store_true",
+                    help="print every compared metric, not just regressions")
     return parser
 
 
-def _backend(jobs: int) -> Backend:
+def _backend(jobs: Optional[int], name: Optional[str] = None) -> Backend:
+    """Build the execution backend from --jobs/--backend flags.
+
+    Naming a parallel backend without ``--jobs`` means "use it for
+    real": the worker count falls back to every available core
+    instead of silently degrading to the one-worker in-process path.
+    """
+    if name is not None:
+        return get_backend(name, workers=jobs)  # None -> default_workers()
+    jobs = 1 if jobs is None else jobs
     return ProcessPoolBackend(workers=jobs) if jobs > 1 else SerialBackend()
 
 
@@ -289,7 +365,7 @@ def _experiment_main(args: argparse.Namespace) -> int:
         ))
         return 0
 
-    backend = _backend(args.jobs)
+    backend = _backend(args.jobs, args.backend)
     try:
         if args.exp_command == "run":
             # Dedupe, order-preserving: 'run smoke smoke' means one sweep.
@@ -493,6 +569,41 @@ def _serve_main(args: argparse.Namespace) -> int:
         return 2
 
 
+def _bench_main(args: argparse.Namespace) -> int:
+    """The ``repro bench`` run/compare/list subcommands."""
+    from .bench import AREAS, compare_files, run_areas
+    from .bench.compare import CompareReport
+
+    if args.bench_command == "list":
+        rows = [[area, " ".join(files)] for area, files in sorted(AREAS.items())]
+        _print(format_table(["Area", "Bench files"], rows,
+                            title="Benchmark areas (BENCH_<area>.json)"))
+        return 0
+    if args.bench_command == "run":
+        try:
+            return run_areas(args.areas, bench_dir=args.bench_dir,
+                             tiny=args.tiny, keyword=args.keyword)
+        except ValueError as exc:
+            _print(f"error: {exc}")
+            return 2
+    # compare
+    if args.current is not None and len(args.baseline) > 1:
+        _print("error: --current only combines with a single --baseline file")
+        return 2
+    report = CompareReport()
+    try:
+        for baseline in args.baseline:
+            report.extend(compare_files(
+                baseline, args.current,
+                tolerance=args.tolerance, strict=args.strict,
+            ))
+    except ValueError as exc:
+        _print(f"error: {exc}")
+        return 2
+    _print(report.format_text(verbose=args.verbose))
+    return 0 if report.passed else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -502,7 +613,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _models_main(args)
     if args.command == "serve":
         return _serve_main(args)
-    backend = _backend(args.jobs)
+    if args.command == "bench":
+        return _bench_main(args)
+    backend = _backend(args.jobs, args.backend)
     incremental = not args.no_incremental
     compiled = not args.no_compiled
     try:

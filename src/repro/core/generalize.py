@@ -18,9 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..parallel.backends import Backend
-from ..series.windowing import WindowDataset
 from .config import EvolutionConfig, FitnessParams
-from .multirun import MultiRunResult
 from .predictor import PredictionBatch, RuleSystem
 from .engine import evolve
 from ..parallel.rng import spawn_seeds

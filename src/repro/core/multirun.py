@@ -11,6 +11,13 @@ training coverage reaches ``coverage_target`` or ``max_executions`` is
 hit.  Executions beyond the first batch run through a
 :class:`~repro.parallel.backends.Backend`, so the paper's own outermost
 loop is the parallel axis.
+
+Each :class:`_ExecutionTask` carries the full training *series* (the
+worker re-windows it zero-copy).  Under
+:class:`~repro.parallel.shm.SharedMemoryBackend` that series rides a
+shared-memory segment placed once per multirun instead of being
+pickled into every task; results are bitwise identical on every
+backend (see ``tests/property/test_shared_memory.py``).
 """
 
 from __future__ import annotations

@@ -26,7 +26,6 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from .intervals import (
-    WILDCARD,
     Interval,
     effective_bounds,
     pack_intervals,

@@ -13,7 +13,7 @@ provided; the ablation benches compare the two.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -11,11 +11,15 @@ from .islands import (
 )
 from .partition import chunk_evenly, chunk_ranges, round_robin
 from .rng import generator_from_seed, spawn_generators, spawn_seeds
+from .shm import SharedArrayPool, SharedArrayRef, SharedMemoryBackend
 
 __all__ = [
     "Backend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SharedMemoryBackend",
+    "SharedArrayPool",
+    "SharedArrayRef",
     "get_backend",
     "default_workers",
     "spawn_seeds",

@@ -16,17 +16,19 @@ builders are provided, and any user digraph with node labels
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from ..core.config import EvolutionConfig
 from ..core.engine import SteadyStateEngine
+from ..core.population_state import PopulationState
 from ..core.predictor import RuleSystem
 from ..core.replacement import nearest_phenotype_index, try_replace
 from ..core.rule import Rule
 from ..series.windowing import WindowDataset
+from .backends import Backend
 from .rng import spawn_generators
 
 __all__ = [
@@ -37,6 +39,64 @@ __all__ = [
     "IslandResult",
     "IslandModel",
 ]
+
+
+@dataclass(frozen=True)
+class _IslandEpoch:
+    """Picklable unit of work: advance one island ``chunk`` generations.
+
+    Carries the island's full evolutionary state — population (with
+    cached match masks), RNG and replacement count — plus the *series*
+    the worker re-windows (zero-copy) into the training matrix.  Under
+    :class:`~repro.parallel.shm.SharedMemoryBackend` the series and
+    the population's mask arrays ride shared memory by handle; the
+    series segment is placed once and reused every epoch.
+    """
+
+    series: np.ndarray
+    d: int
+    horizon: int
+    config: EvolutionConfig
+    rules: Tuple[Rule, ...]
+    rng: np.random.Generator
+    replacements: int
+    chunk: int
+
+
+def _rebind_masks(rules: List[Rule], windows: np.ndarray) -> None:
+    """Re-key each rule's cached mask to this process's window matrix.
+
+    Masks are values over window *contents*, which are identical on
+    both sides of a process hop; only the identity key changes.
+    """
+    n = windows.shape[0]
+    for rule in rules:
+        if rule.match_mask is not None and rule.match_mask.shape[0] == n:
+            rule.bind_mask(rule.match_mask, windows)
+
+
+def _run_island_epoch(
+    task: _IslandEpoch,
+) -> Tuple[List[Rule], np.random.Generator, int]:
+    """Worker body for one island epoch (module-level: pool-picklable).
+
+    Rebuilds the window matrix from the series, rehydrates the engine
+    from the shipped state and steps it ``chunk`` generations.  Every
+    quantity that influences evolution (masks, fitness, RNG stream)
+    round-trips exactly, so the result is bitwise identical to
+    stepping the same engine in the parent process.
+    """
+    dataset = WindowDataset.from_series(task.series, task.d, task.horizon)
+    engine = SteadyStateEngine(dataset, task.config, rng=task.rng)
+    engine.population = list(task.rules)
+    _rebind_masks(engine.population, dataset.X)
+    engine.state = PopulationState.from_population(
+        engine.population, dataset.X
+    )
+    engine.replacements = task.replacements
+    for _ in range(task.chunk):
+        engine.step()
+    return engine.population, engine.rng, engine.replacements
 
 
 def ring_topology(n_islands: int) -> nx.DiGraph:
@@ -127,6 +187,13 @@ class IslandModel:
         Generations between migration rounds.
     n_emigrants:
         Best rules sent along each edge per round.
+    backend:
+        Optional :class:`~repro.parallel.backends.Backend` that fans
+        the per-epoch island stepping out over workers (one task per
+        island, synchronized at every migration round).  Results are
+        bitwise identical to the default in-process loop for *any*
+        backend — the island state round-trips exactly — so the
+        backend only changes wall-clock.
     """
 
     def __init__(
@@ -137,6 +204,7 @@ class IslandModel:
         migration_interval: int = 250,
         n_emigrants: int = 1,
         root_seed: Optional[int] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         if migration_interval < 1:
             raise ValueError("migration_interval must be >= 1")
@@ -150,6 +218,7 @@ class IslandModel:
         self.topology = topology
         self.migration_interval = migration_interval
         self.n_emigrants = n_emigrants
+        self.backend = backend
         self.n_islands = len(nodes)
         rngs = spawn_generators(self.n_islands, root_seed)
         self.engines = [
@@ -188,6 +257,37 @@ class IslandModel:
                 if try_replace(engine.population, state, immigrant.copy(), slot):
                     self.migrations_accepted += 1
 
+    def _advance(self, chunk: int) -> None:
+        """Step every island ``chunk`` generations, fanned out if asked."""
+        if self.backend is None:
+            for engine in self.engines:
+                for _ in range(chunk):
+                    engine.step()
+            return
+        tasks = [
+            _IslandEpoch(
+                series=self.dataset.series,
+                d=self.dataset.d,
+                horizon=self.dataset.horizon,
+                config=self.config,
+                rules=tuple(engine.population),
+                rng=engine.rng,
+                replacements=engine.replacements,
+                chunk=chunk,
+            )
+            for engine in self.engines
+        ]
+        for engine, (rules, rng, replacements) in zip(
+            self.engines, self.backend.map(_run_island_epoch, tasks)
+        ):
+            engine.population = list(rules)
+            _rebind_masks(engine.population, self.dataset.X)
+            engine.state = PopulationState.from_population(
+                engine.population, self.dataset.X
+            )
+            engine.rng = rng
+            engine.replacements = replacements
+
     def run(self) -> IslandResult:
         """Evolve all islands with synchronized migration rounds."""
         for engine in self.engines:
@@ -196,9 +296,7 @@ class IslandModel:
         done = 0
         while done < total:
             chunk = min(self.migration_interval, total - done)
-            for engine in self.engines:
-                for _ in range(chunk):
-                    engine.step()
+            self._advance(chunk)
             done += chunk
             if done < total and self.n_islands > 1:
                 self._migrate()

@@ -1,0 +1,412 @@
+"""Zero-copy shared-memory execution backend.
+
+:class:`~repro.parallel.backends.ProcessPoolBackend` serializes every
+task through a pipe: a multirun fan-out pickles the full series into
+each execution task, and orchestrator-style scoring fan-outs pickle
+whole window matrices per task — megabytes of redundant bytes that the
+one OS core then has to copy instead of compute.
+
+:class:`SharedMemoryBackend` removes that cost without changing a
+single result bit.  Task payloads are pickled through a
+:class:`SharedArrayPool`: every ndarray at or above
+:data:`MIN_SHARED_BYTES` is placed once in a
+:mod:`multiprocessing.shared_memory` segment — the pool keeps a
+*spec-hash keyed handle table*, so the same array shared by many tasks
+(or repeated across ``map`` calls) is copied exactly once — and the
+pickle stream carries only a tiny :class:`SharedArrayRef` handle.
+Workers attach the segment and reconstruct a **read-only** ndarray
+view over it: zero copies, identical float64 bits, so Serial and
+ProcessPool remain bitwise oracles (property-tested in
+``tests/property/test_shared_memory.py``).  Results return through the
+normal pickle path — they are small (scores, rule pools) compared to
+the input matrices.
+
+Cleanup is deliberate: the parent that placed a segment is its sole
+owner — ``close()`` unlinks everything (a ``weakref.finalize``
+backstop covers pools dropped without closing), while worker
+attachments never take ownership (``track=False`` where available;
+see :func:`_attach_untracked` for why older interpreters are safe
+too).  A crashed worker therefore never leaks or destroys segments,
+and if the parent itself dies before ``close()``, its resource
+tracker still reclaims every registered segment at shutdown.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import secrets
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..io.cache import spec_hash
+from .backends import ProcessPoolBackend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "MIN_SHARED_BYTES",
+    "SEGMENT_PREFIX",
+    "SharedArrayRef",
+    "SharedArrayPool",
+    "SharedMemoryBackend",
+    "live_segments",
+]
+
+#: Arrays smaller than this pickle faster than a segment attach; they
+#: stay on the ordinary pickle path.
+MIN_SHARED_BYTES = 16_384
+
+#: Every segment name starts with this — tests (and operators) can
+#: audit ``/dev/shm`` for leaks by prefix.
+SEGMENT_PREFIX = "repro_shm_"
+
+
+def live_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of live shared-memory segments with our prefix.
+
+    Reads ``/dev/shm`` where it exists (Linux); returns ``[]`` on
+    platforms without a visible segment filesystem — the property
+    tests that assert "no leaks" skip there.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(n for n in os.listdir(shm_dir) if n.startswith(prefix))
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable handle to one shared ndarray segment.
+
+    Attributes
+    ----------
+    segment:
+        Shared-memory segment name.
+    dtype:
+        Numpy dtype string (``np.dtype(...).str`` — endianness-exact).
+    shape:
+        Array shape; the segment holds the C-contiguous bytes.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+def _release_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment (idempotent, error-tolerant)."""
+    for name, seg in list(segments.items()):
+        try:
+            seg.close()
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # already gone — fine
+            pass
+        segments.pop(name, None)
+
+
+class SharedArrayPool:
+    """Parent-side registry of shared-memory ndarray segments.
+
+    The handle table is keyed on the *spec hash* of the array (dtype +
+    shape + content bytes, via :func:`repro.io.cache.spec_hash`), so
+    value-identical arrays share one segment no matter how many tasks
+    or ``map`` calls reference them.  An ``id``-keyed weakref cache
+    skips rehashing the same live array object on every task.
+
+    Parameters
+    ----------
+    min_bytes:
+        Sharing threshold; smaller arrays take the plain pickle path.
+    """
+
+    def __init__(self, min_bytes: int = MIN_SHARED_BYTES) -> None:
+        if min_bytes < 1:
+            raise ValueError("min_bytes must be >= 1")
+        self.min_bytes = min_bytes
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._handles: Dict[str, SharedArrayRef] = {}
+        self._last_used: Dict[str, int] = {}
+        self._generation = 0
+        self._id_cache: Dict[int, Tuple[object, str]] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
+
+    # -- placement -----------------------------------------------------------
+
+    def _hash_key(self, arr: np.ndarray) -> str:
+        """Spec-hash of the array, memoized by object identity."""
+        entry = self._id_cache.get(id(arr))
+        if entry is not None and entry[0]() is arr:
+            return entry[1]
+        key = spec_hash(arr)
+        try:
+            ref = weakref.ref(
+                arr, lambda _r, i=id(arr): self._id_cache.pop(i, None)
+            )
+            self._id_cache[id(arr)] = (ref, key)
+        except TypeError:  # pragma: no cover - non-weakrefable subclass
+            pass
+        return key
+
+    def place(self, arr: np.ndarray) -> SharedArrayRef:
+        """Ensure ``arr`` lives in a segment; return its handle."""
+        key = self._hash_key(arr)
+        handle = self._handles.get(key)
+        if handle is not None:
+            self._last_used[key] = self._generation
+            return handle
+        data = np.ascontiguousarray(arr)
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
+        seg = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, data.nbytes)
+        )
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+        view[...] = data
+        handle = SharedArrayRef(
+            segment=seg.name, dtype=data.dtype.str, shape=data.shape
+        )
+        self._segments[seg.name] = seg
+        self._handles[key] = handle
+        self._last_used[key] = self._generation
+        return handle
+
+    def end_generation(self, keep: int = 1) -> int:
+        """Close one placement generation and evict stale segments.
+
+        The backend calls this after every completed ``map``: arrays
+        referenced by the map just finished are marked current, and
+        segments untouched for more than ``keep`` generations are
+        unlinked.  Iterative workloads that ship *fresh* arrays every
+        round (island epochs re-pickling mutated match masks) would
+        otherwise accumulate dead segments in ``/dev/shm`` for the
+        whole run; arrays that genuinely repeat (the training series,
+        a shared window matrix) are re-marked on every map and never
+        evicted.  Returns the number of segments evicted.
+        """
+        self._generation += 1
+        evicted = 0
+        for key, last in list(self._last_used.items()):
+            if self._generation - last <= keep:
+                continue
+            handle = self._handles.pop(key, None)
+            self._last_used.pop(key, None)
+            if handle is None:
+                continue
+            seg = self._segments.pop(handle.segment, None)
+            if seg is not None:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (FileNotFoundError, OSError):  # already gone
+                    pass
+                evicted += 1
+        return evicted
+
+    @property
+    def n_segments(self) -> int:
+        """Number of live segments owned by this pool."""
+        return len(self._segments)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Total bytes currently placed in shared memory."""
+        return sum(seg.size for seg in self._segments.values())
+
+    def segment_names(self) -> List[str]:
+        """Names of this pool's segments (for leak auditing)."""
+        return sorted(self._segments)
+
+    # -- pickling ------------------------------------------------------------
+
+    def dumps(self, obj: object) -> bytes:
+        """Pickle ``obj`` with large ndarrays swapped for handles.
+
+        Runs the standard pickle machinery over the *whole* object
+        graph (dataclasses, engines, rule pools, nested containers),
+        intercepting only eligible ndarrays — everything pickle can
+        ship, this can ship.
+        """
+        buf = io.BytesIO()
+        _SharingPickler(buf, self).dump(obj)
+        return buf.getvalue()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent)."""
+        _release_segments(self._segments)
+        self._handles.clear()
+        self._last_used.clear()
+        self._id_cache.clear()
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class _SharingPickler(pickle.Pickler):
+    """Pickler that routes large ndarrays through a SharedArrayPool."""
+
+    def __init__(self, file: io.BytesIO, pool: SharedArrayPool) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = pool
+
+    def persistent_id(self, obj: object):  # noqa: D102 - pickle hook
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self._pool.min_bytes
+            and not obj.dtype.hasobject
+        ):
+            return self._pool.place(obj)
+        return None
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-process attachment cache: segment name -> SharedMemory, in LRU
+#: order.  Repeated tasks reuse one mapping; the parent owns
+#: unlinking.  Bounded (see :func:`_trim_attachments`) so long
+#: iterative runs whose parent retires segments between maps don't
+#: pile dead mappings into every worker's address space.
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+#: Max cached attachments per worker before LRU entries are closed.
+_MAX_ATTACHED = 64
+
+
+def _trim_attachments() -> None:
+    """Close least-recently-used attachments beyond the cache bound.
+
+    An attachment whose buffer is still referenced by a live view
+    raises ``BufferError`` on close — it is kept (refreshed to the
+    MRU end) and retried on a later trim, so in-flight task data is
+    never invalidated.
+    """
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        name, seg = next(iter(_ATTACHED.items()))
+        try:
+            seg.close()
+        except BufferError:  # a live view still uses it — keep
+            _ATTACHED.move_to_end(name)
+            return
+        _ATTACHED.pop(name, None)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without taking ownership of its lifetime.
+
+    On Python 3.13+ ``track=False`` skips resource-tracker
+    registration outright.  Earlier versions register attachments too,
+    but pool workers share the *parent's* tracker process and its
+    registration cache is a per-name set, so the worker's extra
+    registration is a no-op and the parent's ``unlink()`` remains the
+    single cleanup point.  (Calling ``resource_tracker.unregister``
+    here would be actively wrong: it would erase the parent's own
+    registration from the shared tracker, so a crashed parent would
+    leak the segment.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_array(ref: SharedArrayRef) -> np.ndarray:
+    """Materialize a read-only ndarray view over a segment handle."""
+    seg = _ATTACHED.get(ref.segment)
+    if seg is None:
+        seg = _attach_untracked(ref.segment)
+        _ATTACHED[ref.segment] = seg
+        _trim_attachments()
+    else:
+        _ATTACHED.move_to_end(ref.segment)
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+    arr.flags.writeable = False
+    return arr
+
+
+class _AttachingUnpickler(pickle.Unpickler):
+    """Unpickler resolving SharedArrayRef handles to array views."""
+
+    def persistent_load(self, pid: object) -> object:  # noqa: D102
+        if isinstance(pid, SharedArrayRef):
+            return attach_array(pid)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def shm_loads(blob: bytes) -> object:
+    """Unpickle a :meth:`SharedArrayPool.dumps` payload, attaching views."""
+    return _AttachingUnpickler(io.BytesIO(blob)).load()
+
+
+def _shm_invoke(blob: bytes) -> object:
+    """Worker entry point: decode ``(fn, item)`` and apply."""
+    fn, item = shm_loads(blob)
+    return fn(item)
+
+
+# -- the backend --------------------------------------------------------------
+
+
+class SharedMemoryBackend(ProcessPoolBackend):
+    """Process-pool backend that ships large ndarrays by handle.
+
+    A drop-in :class:`~repro.parallel.backends.Backend`: ``map``
+    semantics (ordering, exception propagation, in-process fast path
+    for one worker or one item) match ``ProcessPoolBackend`` exactly,
+    and results are bitwise identical — only the transport differs.
+
+    Parameters
+    ----------
+    workers, chunksize:
+        As for :class:`~repro.parallel.backends.ProcessPoolBackend`.
+    min_bytes:
+        Sharing threshold forwarded to :class:`SharedArrayPool`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        min_bytes: int = MIN_SHARED_BYTES,
+    ) -> None:
+        super().__init__(workers=workers, chunksize=chunksize)
+        self.arrays = SharedArrayPool(min_bytes)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` over the pool, arrays routed via shared memory."""
+        items = list(items)
+        if not items:
+            return []
+        if self.workers == 1 or len(items) == 1:
+            # Same in-process fast path as ProcessPoolBackend: no pool,
+            # no shared memory, bitwise-identical by construction.
+            return [fn(item) for item in items]
+        blobs = [self.arrays.dumps((fn, item)) for item in items]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(blobs) // (4 * self.workers)))
+        pool = self._ensure_pool()
+        try:
+            return pool.map(_shm_invoke, blobs, chunksize=chunksize)
+        finally:
+            # pool.map is synchronous, so no worker still needs the
+            # blobs of this call; retire segments unused for more than
+            # one map so iterative workloads don't grow /dev/shm.
+            self.arrays.end_generation(keep=1)
+
+    def close(self) -> None:
+        """Shut the worker pool down, then unlink every segment."""
+        super().close()
+        self.arrays.close()

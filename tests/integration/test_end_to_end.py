@@ -1,7 +1,6 @@
 """Integration tests: the full §3 pipeline on real(istic) series."""
 
 import numpy as np
-import pytest
 
 from repro.core import EvolutionConfig, FitnessParams, RuleSystem, evolve, multirun
 from repro.metrics import score_table2, score_with_coverage

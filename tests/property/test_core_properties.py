@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for the core rule machinery."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 

@@ -1,0 +1,281 @@
+"""SharedMemoryBackend == ProcessPool == Serial, bitwise — plus cleanup.
+
+The shared-memory backend changes *transport only*: every consumer
+(multirun pooling, island evolution, orchestrator sweeps, pool-scoring
+fan-outs) must produce bit-identical results on all three backends,
+and no ``/dev/shm`` segment may outlive ``close()`` — including after
+worker exceptions, hard worker exits and parent pools dropped without
+closing.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.orchestrator import (
+    ExperimentOrchestrator,
+    PoolScoringTask,
+    score_pool_grid,
+)
+from repro.core.config import EvolutionConfig, FitnessParams
+from repro.core.multirun import multirun
+from repro.core.rule import Rule
+from repro.core.predictor import RuleSystem
+from repro.parallel import (
+    IslandModel,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    ring_topology,
+)
+from repro.parallel.shm import (
+    MIN_SHARED_BYTES,
+    SharedArrayPool,
+    attach_array,
+    live_segments,
+    shm_loads,
+)
+from repro.series.noise import sine_series
+from repro.series.windowing import WindowDataset
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+WORKERS = 2
+
+
+@pytest.fixture
+def dataset():
+    """Large enough that its series crosses the sharing threshold."""
+    series = sine_series(2_200, period=80, noise_sigma=0.05, seed=3)
+    assert series.nbytes >= MIN_SHARED_BYTES
+    return WindowDataset.from_series(series, 6, 1)
+
+
+@pytest.fixture
+def config(dataset):
+    return EvolutionConfig(
+        d=dataset.d,
+        horizon=dataset.horizon,
+        population_size=10,
+        generations=120,
+        fitness=FitnessParams(e_max=0.4),
+        seed=11,
+    )
+
+
+def _backends():
+    return [
+        ("serial", SerialBackend()),
+        ("process", ProcessPoolBackend(workers=WORKERS)),
+        ("shm", SharedMemoryBackend(workers=WORKERS)),
+    ]
+
+
+def _rules_key(system):
+    return [r.encode() for r in system.rules]
+
+
+def assert_no_segments():
+    assert live_segments() == [], "leaked /dev/shm segments"
+
+
+class TestMultirunEquivalence:
+    def test_all_backends_bitwise(self, dataset, config):
+        results = {}
+        for name, backend in _backends():
+            with backend:
+                results[name] = multirun(
+                    dataset, config, coverage_target=2.0,
+                    max_executions=3, batch_size=3,
+                    backend=backend, root_seed=99,
+                )
+        base = results["serial"]
+        for name in ("process", "shm"):
+            other = results[name]
+            assert _rules_key(other.system) == _rules_key(base.system), name
+            assert other.coverage_history == base.coverage_history, name
+        assert_no_segments()
+
+
+class TestIslandEquivalence:
+    def test_all_backends_bitwise(self, dataset, config):
+        cfg = config.replace(generations=240)
+        results = {}
+        for name, backend in [("inprocess", None), *_backends()]:
+            model = IslandModel(
+                dataset, cfg, ring_topology(3),
+                migration_interval=80, root_seed=17, backend=backend,
+            )
+            results[name] = model.run()
+            if backend is not None:
+                backend.close()
+        base = results["inprocess"]
+        for name in ("serial", "process", "shm"):
+            other = results[name]
+            assert _rules_key(other.system) == _rules_key(base.system), name
+            assert other.migrations_sent == base.migrations_sent, name
+            assert other.migrations_accepted == base.migrations_accepted, name
+            assert other.history == base.history, name
+        assert_no_segments()
+
+
+class TestOrchestratorEquivalence:
+    def test_sweep_bitwise(self):
+        payloads = {}
+        for name, backend in _backends():
+            with backend:
+                orchestrator = ExperimentOrchestrator(backend=backend)
+                run = orchestrator.run(["smoke"], scale="bench", seed=5)
+            assert run.complete
+            payloads[name] = run.payloads("smoke")
+        assert payloads["process"] == payloads["serial"]
+        assert payloads["shm"] == payloads["serial"]
+        assert_no_segments()
+
+
+class TestPoolScoringEquivalence:
+    def _tasks(self):
+        rng = np.random.default_rng(0)
+        series = sine_series(3_000, period=120, noise_sigma=0.05, seed=9)
+        ds = WindowDataset.from_series(series, 8, 1)
+        X = np.ascontiguousarray(ds.X)
+        rules = []
+        for _ in range(24):
+            center = X[int(rng.integers(0, X.shape[0]))]
+            rule = Rule.from_box(center - 0.2, center + 0.2,
+                                 prediction=float(rng.normal()))
+            rule.error = 1.0
+            rules.append(rule)
+        compiled = RuleSystem(rules).compile()
+        return [
+            PoolScoringTask(compiled=compiled, X=X, y=ds.y,
+                            metric="nmse", horizon=1, label=f"slice{i}")
+            for i in range(6)
+        ]
+
+    def test_all_backends_bitwise(self):
+        tasks = self._tasks()
+        scored = {}
+        for name, backend in _backends():
+            with backend:
+                scored[name] = score_pool_grid(tasks, backend)
+        assert scored["process"] == scored["serial"]
+        assert scored["shm"] == scored["serial"]
+        assert_no_segments()
+
+
+class TestSharedArrayPool:
+    def test_dedup_by_value(self):
+        with SharedArrayPool() as pool:
+            a = np.arange(4096, dtype=np.float64)
+            b = np.arange(4096, dtype=np.float64)  # equal value, new object
+            ra = pool.place(a)
+            rb = pool.place(b)
+            assert ra == rb
+            assert pool.n_segments == 1
+        assert_no_segments()
+
+    def test_roundtrip_bitwise_readonly(self):
+        with SharedArrayPool() as pool:
+            arr = np.random.default_rng(1).random(5_000)
+            blob = pool.dumps({"x": arr, "small": np.arange(3)})
+            out = shm_loads(blob)
+            assert np.array_equal(out["x"], arr)
+            assert not out["x"].flags.writeable
+            assert out["small"].flags.writeable  # plain pickle path
+        assert_no_segments()
+
+    def test_small_arrays_not_shared(self):
+        with SharedArrayPool() as pool:
+            pool.dumps(np.arange(10, dtype=np.float64))
+            assert pool.n_segments == 0
+
+    def test_generation_eviction_retires_stale_segments(self):
+        """Arrays that stop appearing in maps are unlinked; arrays that
+        repeat every map (the shared series/matrix case) survive."""
+        rng = np.random.default_rng(6)
+        reused = rng.random(4_096)
+        stale = rng.random(4_096)
+        with SharedArrayPool() as pool:
+            pool.place(reused)
+            pool.place(stale)
+            assert pool.n_segments == 2
+            pool.end_generation()          # map 1 ends
+            pool.place(reused)             # map 2 only ships `reused`
+            evicted = pool.end_generation()
+            assert evicted == 1            # `stale` out after its grace map
+            assert pool.n_segments == 1
+            for _ in range(3):             # `reused` survives indefinitely
+                pool.place(reused)
+                assert pool.end_generation() == 0
+            assert pool.n_segments == 1
+            ref_again = pool.place(stale)  # evicted value re-places cleanly
+            assert ref_again.segment in pool.segment_names()
+        assert_no_segments()
+
+    def test_finalizer_backstop(self):
+        pool = SharedArrayPool()
+        pool.place(np.random.default_rng(2).random(4_096))
+        assert len(live_segments()) == 1
+        del pool
+        gc.collect()
+        assert_no_segments()
+
+
+class TestCrashCleanup:
+    def test_worker_exception_then_close_leaves_nothing(self):
+        backend = SharedMemoryBackend(workers=WORKERS)
+        big = np.random.default_rng(3).random(10_000)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                backend.map(_explode, [(big, i) for i in range(4)])
+            assert backend.arrays.n_segments >= 1  # placed before the crash
+        finally:
+            backend.close()
+        assert_no_segments()
+
+    def test_hard_worker_exit_does_not_destroy_segment(self):
+        """A dying attacher must not unlink the parent's segment.
+
+        This is the resource-tracker discipline: the child attaches,
+        then hard-exits; the parent's segment must stay mapped and
+        readable afterwards (no premature unlink), and the parent's
+        close() must still reclaim it.
+        """
+        import multiprocessing as mp
+
+        pool = SharedArrayPool()
+        try:
+            arr = np.random.default_rng(4).random(5_000)
+            ref = pool.place(arr)
+            ctx = mp.get_context("spawn")
+            proc = ctx.Process(target=_attach_and_die, args=(ref,))
+            proc.start()
+            proc.join(60)
+            assert proc.exitcode == 7
+            again = attach_array(ref)  # parent view still valid
+            assert np.array_equal(again, arr)
+        finally:
+            pool.close()
+        assert_no_segments()
+
+    def test_close_idempotent(self):
+        backend = SharedMemoryBackend(workers=WORKERS)
+        backend.arrays.place(np.random.default_rng(5).random(4_096))
+        backend.close()
+        backend.close()
+        assert_no_segments()
+
+
+def _explode(arg):
+    """Worker body that fails after receiving a shared payload."""
+    raise RuntimeError("boom")
+
+
+def _attach_and_die(ref):
+    """Attach a segment, verify it, then hard-exit without cleanup."""
+    view = attach_array(ref)
+    assert view.shape == tuple(ref.shape)
+    os._exit(7)

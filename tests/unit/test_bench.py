@@ -1,0 +1,205 @@
+"""Unit tests for the structured benchmark subsystem (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchResult,
+    compare,
+    compare_files,
+    emit,
+    env_fingerprint,
+    load_trajectory,
+    record,
+    sanitize_name,
+    trajectory_path,
+)
+
+
+def _result(**kwargs):
+    defaults = dict(
+        name="fanout",
+        area="parallel",
+        scale="bench",
+        wall_s={"total": 2.0},
+        throughput={"tasks_per_s:shm": 100.0},
+        speedup={"shm_vs_process": 2.0},
+    )
+    defaults.update(kwargs)
+    return BenchResult(**defaults)
+
+
+class TestBenchResult:
+    def test_round_trip(self):
+        r = _result()
+        again = BenchResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert again == r
+
+    def test_defaults_filled(self):
+        r = _result()
+        assert r.code_version
+        assert r.env["fingerprint"]
+        assert r.key == "fanout@bench"
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            _result(scale="huge")
+
+    def test_fingerprint_stable_within_process(self):
+        assert env_fingerprint()["fingerprint"] == \
+            env_fingerprint()["fingerprint"]
+
+
+class TestRecord:
+    def test_trajectory_and_run_file(self, tmp_path):
+        path = record(_result(), root=tmp_path)
+        assert path == trajectory_path("parallel", tmp_path)
+        data = load_trajectory(path)
+        assert set(data) == {"fanout@bench"}
+        run_files = list((tmp_path / "benchmarks" / "results").glob("*.json"))
+        assert len(run_files) == 1
+
+    def test_update_preserves_other_scales(self, tmp_path):
+        """A tiny-mode CI run must not clobber the bench-scale baseline."""
+        record(_result(scale="bench"), root=tmp_path)
+        record(_result(scale="tiny", speedup={"shm_vs_process": 1.4}),
+               root=tmp_path)
+        data = load_trajectory(trajectory_path("parallel", tmp_path))
+        assert set(data) == {"fanout@bench", "fanout@tiny"}
+        assert data["fanout@bench"].speedup["shm_vs_process"] == 2.0
+
+    def test_malformed_trajectory_rewritten(self, tmp_path):
+        path = trajectory_path("parallel", tmp_path)
+        path.write_text("{not json")
+        record(_result(), root=tmp_path)
+        assert set(load_trajectory(path)) == {"fanout@bench"}
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_trajectory(bad)
+
+
+class TestEmitBugfixes:
+    """The historical ``_common.emit`` crash modes, now handled."""
+
+    def test_emit_writes_text(self, tmp_path, capsys):
+        path = emit("plain", "hello", root=tmp_path)
+        assert path.read_text() == "hello\n"
+        assert "===== plain =====" in capsys.readouterr().out
+
+    def test_name_with_path_separator_is_sanitized(self, tmp_path):
+        path = emit("table/one", "x", root=tmp_path)
+        results = tmp_path / "benchmarks" / "results"
+        assert path.parent == results
+        assert path.name == "table_one.txt"
+
+    def test_name_cannot_escape_results_dir(self, tmp_path):
+        path = emit("../../evil", "x", root=tmp_path)
+        assert path.parent == tmp_path / "benchmarks" / "results"
+        assert ".." not in path.name
+
+    def test_results_dir_squatted_by_file(self, tmp_path, capsys):
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "benchmarks" / "results").write_text("squatter")
+        assert emit("x", "y", root=tmp_path) is None
+        out = capsys.readouterr().out
+        assert "skipping persistence" in out
+        assert "===== x =====" in out  # the block still prints
+
+    def test_sanitize_name(self):
+        assert sanitize_name("a/b\\c") == "a_b_c"
+        assert sanitize_name("") == "unnamed"
+        assert sanitize_name("ok-name_1@bench") == "ok-name_1@bench"
+
+
+class TestCompare:
+    def test_clean_rerun_passes(self):
+        report = compare(_result(), _result(), tolerance=0.25)
+        assert report.passed
+        assert not report.notes  # same fingerprint: nothing skipped
+
+    def test_speedup_regression_fails(self):
+        cur = _result(speedup={"shm_vs_process": 1.3})
+        report = compare(_result(), cur, tolerance=0.25)
+        assert not report.passed
+        d = report.regressions[0]
+        assert d.section == "speedup" and d.gated
+
+    def test_throughput_regression_fails_same_env(self):
+        cur = _result(throughput={"tasks_per_s:shm": 60.0})
+        report = compare(_result(), cur, tolerance=0.25)
+        assert not report.passed
+
+    def test_throughput_within_tolerance_passes(self):
+        cur = _result(throughput={"tasks_per_s:shm": 80.0})
+        assert compare(_result(), cur, tolerance=0.25).passed
+
+    def test_cross_env_throughput_not_gated_but_noted(self):
+        base = _result(env={"fingerprint": "aaaa"})
+        cur = _result(
+            env={"fingerprint": "bbbb"},
+            throughput={"tasks_per_s:shm": 10.0},  # 10x worse
+        )
+        report = compare(base, cur, tolerance=0.25)
+        assert report.passed
+        assert any("not gated" in n for n in report.notes)
+
+    def test_cross_env_speedup_still_gated(self):
+        base = _result(env={"fingerprint": "aaaa"})
+        cur = _result(env={"fingerprint": "bbbb"},
+                      speedup={"shm_vs_process": 1.0})
+        assert not compare(base, cur, tolerance=0.25).passed
+
+    def test_strict_gates_cross_env_throughput(self):
+        base = _result(env={"fingerprint": "aaaa"})
+        cur = _result(env={"fingerprint": "bbbb"},
+                      throughput={"tasks_per_s:shm": 10.0})
+        assert not compare(base, cur, tolerance=0.25, strict=True).passed
+
+    def test_wall_never_gated(self):
+        cur = _result(wall_s={"total": 200.0})
+        assert compare(_result(), cur, tolerance=0.25).passed
+
+    def test_improvement_passes(self):
+        cur = _result(speedup={"shm_vs_process": 10.0})
+        assert compare(_result(), cur, tolerance=0.25).passed
+
+
+class TestCompareFiles:
+    def test_injected_regression_detected(self, tmp_path):
+        base_root = tmp_path / "base"
+        cur_root = tmp_path / "cur"
+        record(_result(), root=base_root)
+        record(_result(speedup={"shm_vs_process": 1.2}), root=cur_root)
+        report = compare_files(
+            trajectory_path("parallel", base_root),
+            trajectory_path("parallel", cur_root),
+            tolerance=0.25,
+        )
+        assert not report.passed
+        assert "1 regression" in report.format_text()
+
+    def test_clean_rerun_and_default_current(self, tmp_path, monkeypatch):
+        base_root = tmp_path / "base"
+        record(_result(), root=base_root)
+        record(_result(), root=tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = compare_files(
+            trajectory_path("parallel", base_root), tolerance=0.25
+        )
+        assert report.passed
+
+    def test_one_sided_entries_are_notes(self, tmp_path):
+        base_root = tmp_path / "base"
+        cur_root = tmp_path / "cur"
+        record(_result(name="old"), root=base_root)
+        record(_result(name="new"), root=cur_root)
+        report = compare_files(
+            trajectory_path("parallel", base_root),
+            trajectory_path("parallel", cur_root),
+        )
+        assert report.passed
+        assert any("baseline" in n for n in report.notes)

@@ -15,7 +15,7 @@ class TestParser:
         assert args.command == "table1"
         assert args.horizons == [1, 4, 12, 24, 28, 48, 72, 96]
         assert args.scale == "bench"
-        assert args.jobs == 1
+        assert args.jobs is None  # serial w/o --backend, all cores with one
 
     def test_table2_custom_horizons(self):
         args = build_parser().parse_args(["table2", "--horizons", "50"])
@@ -188,7 +188,7 @@ class TestServingMain:
         capsys.readouterr()
         assert main(["serve", "--registry", reg, "--bind", "g=m",
                      "--csv", str(csv), "--stats"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(ln) for ln in capsys.readouterr().out.splitlines()]
         events, stats = lines[:-1], lines[-1]
         assert len(events) == 6
         assert events[0]["value"] is None and not events[0]["ready"]
@@ -222,11 +222,11 @@ class TestServingMain:
         monkeypatch.setattr("sys.stdin", io.StringIO(feed))
         assert main(["serve", "--registry", reg, "--bind", "a=m",
                      "--bind", "b=m", "--batch", "2"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(ln) for ln in capsys.readouterr().out.splitlines()]
         assert len(lines) == 6
-        ready = [l for l in lines if l["ready"]]
-        assert {l["stream"] for l in ready} == {"a", "b"}
-        assert all(l["value"] == 3.0 for l in ready)
+        ready = [ln for ln in lines if ln["ready"]]
+        assert {ln["stream"] for ln in ready} == {"a", "b"}
+        assert all(ln["value"] == 3.0 for ln in ready)
 
     def test_serve_unknown_model_is_clean_error(self, capsys, tmp_path):
         rc = main(["serve", "--registry", str(tmp_path / "r"),
@@ -301,3 +301,76 @@ class TestMainSmoke:
         assert "Table 2" in out
         assert "MRAN" in out
         assert "| 50 |" in out  # markdown block present
+
+
+class TestBenchCli:
+    """The `repro bench` surface: list, run resolution, compare gate."""
+
+    def test_backend_flag_parses(self):
+        args = build_parser().parse_args(["table1", "--backend", "shm"])
+        assert args.backend == "shm"
+        args = build_parser().parse_args(
+            ["experiment", "run", "smoke", "--backend", "process"]
+        )
+        assert args.backend == "process"
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--backend", "gpu"])
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel" in out and "bench_parallel_scaling.py" in out
+
+    def test_bench_run_unknown_area(self, capsys):
+        assert main(["bench", "run", "nonsense"]) == 2
+        assert "unknown bench area" in capsys.readouterr().out
+
+    def test_bench_run_missing_dir(self, capsys, tmp_path):
+        rc = main(["bench", "run", "parallel", "--bench-dir",
+                   str(tmp_path / "nope")])
+        assert rc == 2
+        assert "missing" in capsys.readouterr().out
+
+    def _write_trajectories(self, tmp_path, speedup):
+        from repro.bench import BenchResult, record, trajectory_path
+
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        record(BenchResult(name="x", area="parallel", scale="bench",
+                           speedup={"s": 2.0}), root=base)
+        record(BenchResult(name="x", area="parallel", scale="bench",
+                           speedup={"s": speedup}), root=cur)
+        return (trajectory_path("parallel", base),
+                trajectory_path("parallel", cur))
+
+    def test_bench_compare_clean(self, capsys, tmp_path):
+        base, cur = self._write_trajectories(tmp_path, 2.0)
+        rc = main(["bench", "compare", "--baseline", str(base),
+                   "--current", str(cur)])
+        assert rc == 0
+        assert "0 regression" in capsys.readouterr().out
+
+    def test_bench_compare_regression_exits_nonzero(self, capsys, tmp_path):
+        base, cur = self._write_trajectories(tmp_path, 1.0)
+        rc = main(["bench", "compare", "--baseline", str(base),
+                   "--current", str(cur), "--tolerance", "0.25"])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_compare_unreadable_baseline(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_parallel.json"
+        bad.write_text("{broken")
+        rc = main(["bench", "compare", "--baseline", str(bad),
+                   "--current", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bench_compare_multi_baseline_with_current_rejected(
+        self, capsys, tmp_path
+    ):
+        base, cur = self._write_trajectories(tmp_path, 2.0)
+        rc = main(["bench", "compare", "--baseline", str(base), str(base),
+                   "--current", str(cur)])
+        assert rc == 2

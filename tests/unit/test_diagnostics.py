@@ -57,17 +57,17 @@ class TestSummarize:
 class TestOverlap:
     def test_identical_rules_similarity_one(self, windows):
         a, b = box(0, 0.5), box(0, 0.5)
-        O = overlap_matrix([a, b], windows)
-        assert O[0, 1] == pytest.approx(1.0)
-        assert O[0, 0] == pytest.approx(1.0)
+        M = overlap_matrix([a, b], windows)
+        assert M[0, 1] == pytest.approx(1.0)
+        assert M[0, 0] == pytest.approx(1.0)
 
     def test_disjoint_rules_similarity_zero(self, windows):
-        O = overlap_matrix([box(0, 0.3), box(0.7, 1.0)], windows)
-        assert O[0, 1] == 0.0
+        M = overlap_matrix([box(0, 0.3), box(0.7, 1.0)], windows)
+        assert M[0, 1] == 0.0
 
     def test_symmetry(self, windows):
-        O = overlap_matrix([box(0, 0.6), box(0.4, 1.0), box(0, 1)], windows)
-        assert np.allclose(O, O.T)
+        M = overlap_matrix([box(0, 0.6), box(0.4, 1.0), box(0, 1)], windows)
+        assert np.allclose(M, M.T)
 
 
 class TestPrune:

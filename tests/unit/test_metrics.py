@@ -34,7 +34,6 @@ class TestErrors:
 
     def test_paper_literal_differs_from_standard(self):
         t = np.zeros(4)
-        p = np.array([2.0, 2.0, 2.0, 2.0])
         # literal: e = 0.5*4 = 2; sqrt(mean(e^2)) = 2;  standard rmse = 2.
         # with p=3: literal e = 4.5 → 4.5; standard = 3.
         p3 = np.full(4, 3.0)

@@ -35,6 +35,7 @@ SRC = REPO / "src" / "repro"
 #: Files/trees whose public surface must be fully documented.
 AUDITED = [
     SRC / "analysis",
+    SRC / "bench",
     SRC / "core",
     SRC / "parallel",
     SRC / "serve.py",

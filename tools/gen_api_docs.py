@@ -23,7 +23,7 @@ import argparse
 import ast
 import difflib
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
@@ -36,10 +36,15 @@ MODULES = [
     ("repro.service.gateway", SRC / "service" / "gateway.py"),
     ("repro.io.serialize", SRC / "io" / "serialize.py"),
     ("repro.core.compiled", SRC / "core" / "compiled.py"),
+    ("repro.parallel.shm", SRC / "parallel" / "shm.py"),
+    ("repro.bench.result", SRC / "bench" / "result.py"),
+    ("repro.bench.record", SRC / "bench" / "record.py"),
+    ("repro.bench.compare", SRC / "bench" / "compare.py"),
+    ("repro.bench.runner", SRC / "bench" / "runner.py"),
 ]
 
 HEADER = """\
-# API reference — the serving surface
+# API reference — the serving + performance surface
 
 *Generated from docstrings by `tools/gen_api_docs.py`; do not edit by
 hand.  Regenerate with `python tools/gen_api_docs.py > docs/api.md`
@@ -50,7 +55,10 @@ Covers the serving stack documented in [serving.md](serving.md):
 single-stream serving (`repro.serve`), the registry + gateway
 subsystem (`repro.service`), snapshot persistence
 (`repro.io.serialize`) and the compiled scoring kernels
-(`repro.core.compiled`).
+(`repro.core.compiled`) — plus the performance surface documented in
+[benchmarking.md](benchmarking.md): the zero-copy shared-memory
+backend (`repro.parallel.shm`) and the structured benchmark subsystem
+(`repro.bench`).
 """
 
 
