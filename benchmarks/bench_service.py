@@ -1,6 +1,6 @@
 """Multi-stream serving gateway benchmarks + end-to-end service smoke.
 
-Two claims from ``docs/serving.md`` are enforced here, with bitwise
+Three claims from ``docs/serving.md`` are enforced here, with bitwise
 checks inline (house rule: no speedup without identical results):
 
 * **micro-batching wins**: at 64 concurrent streams sharing one model,
@@ -13,13 +13,21 @@ checks inline (house rule: no speedup without identical results):
   replay a 200-event stream through ``repro serve`` in a subprocess,
   and the JSON-lines output must match ``RuleSystem.predict`` on the
   same windows bit for bit (JSON floats round-trip exactly), with the
-  reported coverage stats agreeing.
+  reported coverage stats agreeing;
+* **the network front-end holds at 1k connections**: 1000 concurrent
+  TCP clients (200 in tiny mode) replay their streams through one
+  :class:`repro.service.ForecastServer`; every response must be
+  bitwise-identical to a serial ``ingest_one`` replay, and the p50/
+  p95/p99 enqueue-to-forecast latencies land in ``BENCH_service.json``
+  where the perf-regression gate watches them.
 
-Setting ``REPRO_BENCH_TINY=1`` shrinks stream lengths so both double
-as the CI ``service-smoke`` job; speedup assertions are same-machine
-ratios, so they hold on slow shared runners.
+Setting ``REPRO_BENCH_TINY=1`` shrinks stream lengths and the
+connection count so all three double as the CI ``service-smoke`` /
+``server-smoke`` jobs; speedup assertions are same-machine ratios, so
+they hold on slow shared runners.
 """
 
+import asyncio
 import json
 import os
 import subprocess
@@ -36,7 +44,8 @@ from repro.core.predictor import RuleSystem
 from repro.core.rule import Rule
 from repro.io import save_rule_system, write_series_csv
 from repro.serve import StreamingForecaster
-from repro.service import ForecastService
+from repro.service import ForecastServer, ForecastService, ServerConfig
+from repro.service.server import forecast_to_dict
 from repro.series.noise import sine_series
 from repro.series.windowing import WindowDataset
 
@@ -46,6 +55,8 @@ N_STREAMS = 64
 D = 24
 POOL_RULES = 240
 EVENTS_PER_STREAM = 120 if TINY else 500
+N_CONNECTIONS = 200 if TINY else 1000
+EVENTS_PER_CONN = 30 if TINY else 50
 REPO = Path(__file__).resolve().parent.parent
 
 
@@ -225,3 +236,146 @@ def test_cli_service_smoke(tmp_path, serving_pool):
     assert gauge["ready_steps"] == len(series) - D + 1
     assert gauge["predicted_steps"] == int(batch.predicted.sum())
     assert stats["coverage"] == pytest.approx(batch.coverage)
+
+
+def test_network_serving_tier(serving_pool):
+    """N concurrent TCP clients, bitwise parity, p99 under the gate.
+
+    Every connection owns one stream and replays it as newline-framed
+    events (JSON and ``stream,value`` forms interleaved) in request-
+    response lockstep — one event in flight per connection, the
+    arrival pattern adaptive micro-batching exists for: each window
+    the batcher sweeps up to ``N_CONNECTIONS`` pending events into one
+    ``predict_windows`` call.  All clients connect first — a semaphore
+    paces the dials so the accept backlog never overflows — and only
+    start sending once the server reports every connection active, so
+    the measured window really does hold ``N_CONNECTIONS`` sockets
+    open at once.  Afterwards each stream's response sequence must
+    equal a serial ``ingest_one`` replay field for field (floats
+    round-trip exactly through JSON), and the latency percentiles from
+    the server's own histogram are recorded for the perf-regression
+    gate.
+    """
+    serving_pool.compile()
+    rng = np.random.default_rng(17)
+    conn_streams = {}
+    for s in range(N_CONNECTIONS):
+        phase = rng.uniform(0, 480)
+        t = np.arange(EVENTS_PER_CONN, dtype=np.float64) + phase
+        conn_streams[f"conn-{s:04d}"] = np.sin(
+            2.0 * np.pi * t / 480
+        ) + rng.normal(0, 0.05, size=EVENTS_PER_CONN)
+
+    service = ForecastService()
+    for name in conn_streams:
+        service.bind_system(name, serving_pool, model="bench")
+    # One in-flight event per connection: a full sweep is exactly
+    # N_CONNECTIONS events, so flushes trigger on count, not window.
+    config = ServerConfig(
+        max_batch=N_CONNECTIONS,
+        max_window_s=0.01,
+        queue_size=4 * N_CONNECTIONS,
+        max_pending_per_conn=EVENTS_PER_CONN + 8,
+    )
+
+    async def one_client(host, port, name, values, dial, go):
+        async with dial:  # pace connects; hold the socket once open
+            reader, writer = await asyncio.open_connection(host, port)
+        await go.wait()
+        out = []
+        for i, v in enumerate(values):
+            if i % 2:
+                writer.write(f"{name},{float(v)!r}\n".encode())
+            else:
+                writer.write(
+                    (json.dumps({"stream": name, "value": float(v)}) + "\n")
+                    .encode()
+                )
+            await writer.drain()
+            out.append(json.loads(await reader.readline()))
+        writer.close()
+        await writer.wait_closed()
+        return name, out
+
+    async def scrape(host, port, path):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.decode().partition("\r\n\r\n")
+        return head.split("\r\n")[0], body
+
+    async def main():
+        async with ForecastServer(service, config) as server:
+            host, port = server.address
+            dial = asyncio.Semaphore(64)
+            go = asyncio.Event()
+            clients = [
+                asyncio.create_task(
+                    one_client(host, port, name, vals, dial, go)
+                )
+                for name, vals in conn_streams.items()
+            ]
+            deadline = asyncio.get_running_loop().time() + 60.0
+            while (
+                server.healthz()["server"]["connections_active"]
+                < N_CONNECTIONS
+            ):
+                assert asyncio.get_running_loop().time() < deadline, \
+                    "clients never all connected"
+                await asyncio.sleep(0.01)
+            peak = server.healthz()["server"]["connections_active"]
+            go.set()
+            start = time.perf_counter()
+            responses = dict(await asyncio.gather(*clients))
+            elapsed = time.perf_counter() - start
+            status, metrics_body = await scrape(host, port, "/metrics")
+            hist = server.batcher._h_latency
+            pcts = {
+                q: hist.percentile(q) * 1e3 for q in (0.5, 0.95, 0.99)
+            }
+            return responses, elapsed, peak, status, metrics_body, pcts
+
+    responses, elapsed, peak, status, metrics_body, pcts = asyncio.run(main())
+    total_events = N_CONNECTIONS * EVENTS_PER_CONN
+    assert peak >= N_CONNECTIONS
+    assert status == "HTTP/1.1 200 OK"
+    assert (
+        f'repro_server_ingest_latency_seconds_bucket{{le="+Inf"}} '
+        f"{total_events}" in metrics_body
+    )
+
+    # -- bitwise parity: serial ingest_one replay is the oracle ----------
+    oracle = ForecastService()
+    for name in conn_streams:
+        oracle.bind_system(name, serving_pool, model="bench")
+    for name, values in conn_streams.items():
+        assert len(responses[name]) == EVENTS_PER_CONN
+        for got, v in zip(responses[name], values):
+            want = forecast_to_dict(oracle.ingest_one(name, float(v)))
+            assert got == want
+
+    rate = total_events / elapsed
+    print(
+        f"\nnetwork tier: {N_CONNECTIONS} connections x {EVENTS_PER_CONN} "
+        f"events = {total_events} in {elapsed:.2f}s ({rate:,.0f} ev/s)  "
+        f"p50={pcts[0.5]:.2f}ms p95={pcts[0.95]:.2f}ms p99={pcts[0.99]:.2f}ms"
+    )
+    assert np.isfinite(pcts[0.99]) and pcts[0.99] > 0.0
+    record_result(BenchResult(
+        name="network_gateway", area="service", scale=bench_scale(),
+        wall_s={"replay": elapsed},
+        throughput={"events_per_s:network": rate},
+        latency={
+            "p50_ms:network": pcts[0.5],
+            "p95_ms:network": pcts[0.95],
+            "p99_ms:network": pcts[0.99],
+        },
+        meta={
+            "connections": str(N_CONNECTIONS),
+            "events_per_conn": str(EVENTS_PER_CONN),
+            "peak_active": str(peak),
+        },
+    ))

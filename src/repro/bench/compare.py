@@ -13,6 +13,8 @@ Gating rules, per metric class:
   gate; the skip is reported so it is never silent.  ``strict=True``
   gates regardless (for same-runner CI flows that stash a baseline
   earlier in the same job).
+* **latency percentiles** — same environment rule as throughput, but
+  **lower is better**: a p99 that grew past tolerance regresses.
 * **wall times** — never gated, always reported.
 
 A metric regresses when the current value is worse than the baseline
@@ -37,7 +39,7 @@ class MetricDelta:
     """One metric's baseline-vs-current comparison."""
 
     key: str            #: ``name@scale`` of the bench entry
-    section: str        #: ``speedup`` / ``throughput`` / ``wall_s``
+    section: str        #: ``speedup``/``throughput``/``latency``/``wall_s``
     metric: str         #: label inside the section
     baseline: float
     current: float
@@ -133,12 +135,13 @@ def compare(
     key = current.key
     same_env = baseline.same_environment(current)
     gate_throughput = same_env or strict
-    if not gate_throughput and (baseline.throughput or current.throughput):
+    if not gate_throughput and (baseline.throughput or current.throughput
+                                or baseline.latency or current.latency):
         report.notes.append(
             f"{key}: environment fingerprints differ "
             f"({baseline.env.get('fingerprint', '?')} vs "
-            f"{current.env.get('fingerprint', '?')}) — raw throughput "
-            "reported but not gated; speedup ratios still gated"
+            f"{current.env.get('fingerprint', '?')}) — raw throughput/"
+            "latency reported but not gated; speedup ratios still gated"
         )
     report.deltas.extend(_section_deltas(
         key, "speedup", baseline.speedup, current.speedup,
@@ -147,6 +150,10 @@ def compare(
     report.deltas.extend(_section_deltas(
         key, "throughput", baseline.throughput, current.throughput,
         tolerance, gated=gate_throughput, higher_is_better=True,
+    ))
+    report.deltas.extend(_section_deltas(
+        key, "latency", baseline.latency, current.latency,
+        tolerance, gated=gate_throughput, higher_is_better=False,
     ))
     report.deltas.extend(_section_deltas(
         key, "wall_s", baseline.wall_s, current.wall_s,

@@ -82,6 +82,11 @@ class BenchResult:
         Labelled rates, unit encoded in the label (e.g.
         ``"tasks_per_s:shm"``); higher is better, gated when the
         environment fingerprints match.
+    latency:
+        Labelled latency percentiles in milliseconds (e.g.
+        ``"p99_ms:network"``); **lower** is better, gated when the
+        environment fingerprints match — the serving front-end's
+        percentile gate lives here.
     speedup:
         Labelled intra-run ratios (e.g. ``"shm_vs_process"``); higher
         is better, gated across any environments.
@@ -99,6 +104,7 @@ class BenchResult:
     scale: str
     wall_s: Dict[str, float] = field(default_factory=dict)
     throughput: Dict[str, float] = field(default_factory=dict)
+    latency: Dict[str, float] = field(default_factory=dict)
     speedup: Dict[str, float] = field(default_factory=dict)
     code_version: str = ""
     env: Dict[str, str] = field(default_factory=dict)
@@ -133,6 +139,9 @@ class BenchResult:
             "throughput": {
                 k: float(v) for k, v in sorted(self.throughput.items())
             },
+            "latency": {
+                k: float(v) for k, v in sorted(self.latency.items())
+            },
             "speedup": {k: float(v) for k, v in sorted(self.speedup.items())},
             "code_version": self.code_version,
             "env": dict(sorted(self.env.items())),
@@ -153,6 +162,7 @@ class BenchResult:
             scale=str(data.get("scale", "bench")),
             wall_s=_floats("wall_s"),
             throughput=_floats("throughput"),
+            latency=_floats("latency"),
             speedup=_floats("speedup"),
             code_version=str(data.get("code_version", "")) or "unknown",
             env={str(k): str(v) for k, v in dict(data.get("env") or {}).items()},

@@ -32,10 +32,13 @@ model-registry lifecycle ::
 
 and the multi-stream gateway, which ingests ``stream,value`` lines from
 stdin (or replays a CSV into one stream) and emits one JSON line per
-event ::
+event — or, with ``--listen``, runs the asyncio network front-end
+(TCP line protocol + HTTP ``/ingest`` ``/metrics`` ``/healthz``,
+adaptive micro-batching, backpressure) ::
 
     repro serve --bind gauge=venice-h1 --csv tide.csv --stats
     printf 'a,0.5\\nb,0.7\\n' | repro serve --bind a=m1 --bind b=m1@2
+    repro serve --bind a=m1 --bind b=m1@2 --listen 0.0.0.0:7071
 
 The benchmark subsystem (see ``docs/benchmarking.md``) runs bench
 areas and gates perf regressions against the committed
@@ -260,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--batch", type=int, default=64,
                     help="micro-batch size: events buffered per scoring "
                          "pass (default 64)")
+    ps.add_argument("--listen", default=None, metavar="HOST:PORT",
+                    help="run the asyncio network front-end instead of "
+                         "reading stdin: TCP line ingest + HTTP /ingest, "
+                         "/metrics, /healthz on one port (PORT 0 picks a "
+                         "free port)")
+    ps.add_argument("--queue-size", type=int, default=4096,
+                    help="--listen only: global bound on queued events; a "
+                         "full queue answers 'overloaded' / HTTP 429 "
+                         "(default 4096)")
+    ps.add_argument("--window-ms", type=float, default=50.0,
+                    help="--listen only: ceiling of the adaptive flush "
+                         "window in milliseconds (default 50)")
     ps.add_argument("--limit", type=int, default=None,
                     help="stop after N events")
     ps.add_argument("--quiet", action="store_true",
@@ -492,7 +507,13 @@ def _parse_binds(binds: Sequence[str]) -> List[Tuple[str, str, Optional[int]]]:
 def _serve_events(
     args: argparse.Namespace, streams: List[str]
 ) -> Iterator[Tuple[str, float]]:
-    """The gateway's input: CSV replay or stdin ``stream,value`` lines."""
+    """The gateway's input: CSV replay or stdin ``stream,value`` lines.
+
+    Malformed stdin input raises ``ValueError`` carrying the 1-based
+    line number (``stdin line 7: …``), which ``_serve_main`` turns
+    into a one-line diagnostic and exit code 2 — a bad feed must
+    never surface as a bare traceback.
+    """
     if args.csv is not None:
         if len(streams) != 1:
             raise ValueError(
@@ -503,7 +524,7 @@ def _serve_events(
             yield streams[0], float(value)
         return
     only = streams[0] if len(streams) == 1 else None
-    for line in sys.stdin:
+    for line_no, line in enumerate(sys.stdin, 1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -511,11 +532,23 @@ def _serve_events(
         if not sep:
             if only is None:
                 raise ValueError(
-                    f"input line {line!r} has no stream; use "
+                    f"stdin line {line_no}: {line!r} has no stream; use "
                     "'stream,value' when several streams are bound"
                 )
             stream = only
-        yield stream, float(value)
+            value = line
+        try:
+            v = float(value)
+        except ValueError:
+            raise ValueError(
+                f"stdin line {line_no}: bad value {value!r}"
+            ) from None
+        if not math.isfinite(v):
+            raise ValueError(
+                f"stdin line {line_no}: non-finite value {value!r}; fill "
+                "or drop sensor gaps upstream"
+            )
+        yield stream, v
 
 
 def _forecast_json(forecast) -> str:
@@ -532,10 +565,58 @@ def _forecast_json(forecast) -> str:
     })
 
 
+def _parse_listen(spec: str) -> Tuple[str, int]:
+    """Decode ``HOST:PORT`` (host may be empty for all interfaces)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.lstrip("-").isdigit() or int(port) < 0:
+        raise ValueError(
+            f"invalid --listen {spec!r} (expected HOST:PORT)"
+        )
+    return host or "0.0.0.0", int(port)
+
+
+def _serve_network(args: argparse.Namespace, service, streams) -> int:
+    """The ``repro serve --listen`` network front-end (runs until ^C)."""
+    import asyncio
+
+    from .service.server import ForecastServer, ServerConfig
+
+    host, port = _parse_listen(args.listen)
+    config = ServerConfig(
+        host=host, port=port, max_batch=args.batch,
+        queue_size=args.queue_size,
+        max_window_s=max(args.window_ms, 1.0) / 1000.0,
+    )
+
+    async def run() -> None:
+        server = ForecastServer(service, config)
+        await server.start()
+        bound_host, bound_port = server.address
+        _print(
+            f"listening on {bound_host}:{bound_port} "
+            f"({len(streams)} streams bound)"
+        )
+        sys.stdout.flush()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _serve_main(args: argparse.Namespace) -> int:
     """The ``repro serve`` gateway command."""
     if args.batch < 1:
         _print("error: --batch must be >= 1")
+        return 2
+    if args.listen is not None and args.csv is not None:
+        _print("error: --listen and --csv are mutually exclusive (the "
+               "network server ingests over TCP/HTTP, not from a file)")
         return 2
     try:
         binds = _parse_binds(args.bind)
@@ -543,6 +624,8 @@ def _serve_main(args: argparse.Namespace) -> int:
         for stream, model, version in binds:
             service.bind(stream, model, version)
         streams = [b[0] for b in binds]
+        if args.listen is not None:
+            return _serve_network(args, service, streams)
 
         n_events = 0
         pending: List[Tuple[str, float]] = []

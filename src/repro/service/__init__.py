@@ -8,21 +8,41 @@ single-stream serving (:mod:`repro.serve`):
   lineage (:mod:`repro.service.registry`);
 * :class:`ForecastService` — many named streams served concurrently
   over shared models, with micro-batched scoring that is bitwise
-  identical to per-stream loops (:mod:`repro.service.gateway`).
+  identical to per-stream loops (:mod:`repro.service.gateway`);
+* :class:`ForecastServer` — the asyncio TCP + HTTP front door:
+  newline-delimited ingest, adaptive micro-batching with
+  backpressure, ``/metrics`` + ``/healthz`` observability
+  (:mod:`repro.service.server`, :mod:`repro.service.metrics`).
 
 CLI surface: ``repro models`` (registry lifecycle) and ``repro serve``
-(stdin / CSV-replay ingestion, JSON-lines output).  The full guide is
-``docs/serving.md``.
+(stdin / CSV-replay ingestion, or ``--listen HOST:PORT`` for the
+network server).  The full guide is ``docs/serving.md``.
 """
 
 from .gateway import Forecast, ForecastService
+from .metrics import MetricsRegistry
 from .registry import ModelRecord, ModelRegistry, RegistryError, task_lineage
+from .server import (
+    AdaptiveBatcher,
+    ForecastServer,
+    OverloadedError,
+    ProtocolError,
+    ServerConfig,
+    forecast_to_dict,
+)
 
 __all__ = [
+    "AdaptiveBatcher",
     "Forecast",
+    "ForecastServer",
     "ForecastService",
+    "MetricsRegistry",
     "ModelRecord",
     "ModelRegistry",
+    "OverloadedError",
+    "ProtocolError",
     "RegistryError",
+    "ServerConfig",
+    "forecast_to_dict",
     "task_lineage",
 ]

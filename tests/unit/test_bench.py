@@ -24,6 +24,7 @@ def _result(**kwargs):
         scale="bench",
         wall_s={"total": 2.0},
         throughput={"tasks_per_s:shm": 100.0},
+        latency={"p99_ms": 5.0},
         speedup={"shm_vs_process": 2.0},
     )
     defaults.update(kwargs)
@@ -166,6 +167,32 @@ class TestCompare:
     def test_improvement_passes(self):
         cur = _result(speedup={"shm_vs_process": 10.0})
         assert compare(_result(), cur, tolerance=0.25).passed
+
+    def test_latency_growth_fails_same_env(self):
+        # Latency is lower-is-better: p99 growing past tolerance gates.
+        cur = _result(latency={"p99_ms": 8.0})
+        report = compare(_result(), cur, tolerance=0.25)
+        assert not report.passed
+        d = report.regressions[0]
+        assert d.section == "latency" and d.gated
+
+    def test_latency_improvement_and_tolerance_pass(self):
+        assert compare(
+            _result(), _result(latency={"p99_ms": 1.0}), tolerance=0.25
+        ).passed
+        assert compare(
+            _result(), _result(latency={"p99_ms": 6.0}), tolerance=0.25
+        ).passed
+
+    def test_cross_env_latency_not_gated_but_noted(self):
+        base = _result(env={"fingerprint": "aaaa"}, throughput={},
+                       latency={"p99_ms": 5.0})
+        cur = _result(env={"fingerprint": "bbbb"}, throughput={},
+                      latency={"p99_ms": 50.0})
+        report = compare(base, cur, tolerance=0.25)
+        assert report.passed
+        assert any("not gated" in n for n in report.notes)
+        assert not compare(base, cur, tolerance=0.25, strict=True).passed
 
 
 class TestCompareFiles:

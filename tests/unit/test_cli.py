@@ -127,6 +127,26 @@ class TestServingParser:
             with pytest.raises(ValueError, match="invalid --bind"):
                 _parse_binds([bad])
 
+    def test_serve_listen_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--bind", "a=m", "--listen", "127.0.0.1:7071",
+             "--queue-size", "128", "--window-ms", "10"]
+        )
+        assert args.listen == "127.0.0.1:7071"
+        assert args.queue_size == 128 and args.window_ms == 10.0
+        defaults = build_parser().parse_args(["serve", "--bind", "a=m"])
+        assert defaults.listen is None
+        assert defaults.queue_size == 4096 and defaults.window_ms == 50.0
+
+    def test_parse_listen(self):
+        from repro.cli import _parse_listen
+
+        assert _parse_listen("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert _parse_listen(":8080") == ("0.0.0.0", 8080)
+        for bad in ("nohost", "h:", "h:abc", "h:-1"):
+            with pytest.raises(ValueError, match="invalid --listen"):
+                _parse_listen(bad)
+
 
 class TestServingMain:
     @pytest.fixture
@@ -233,6 +253,64 @@ class TestServingMain:
                    "--bind", "a=ghost"])
         assert rc == 2
         assert "unknown model" in capsys.readouterr().out
+
+    def test_serve_listen_and_csv_conflict(self, capsys, tmp_path, snapshot):
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        rc = main(["serve", "--registry", reg, "--bind", "a=m",
+                   "--listen", "127.0.0.1:0", "--csv", "x.csv"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def _stdin_serve(
+        self, capsys, tmp_path, snapshot, monkeypatch, feed,
+        binds=("a=m",),
+    ):
+        """Run a stdin replay; return (rc, stdout)."""
+        import io
+
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO(feed))
+        argv = ["serve", "--registry", reg]
+        for bind in binds:
+            argv += ["--bind", bind]
+        rc = main(argv)
+        return rc, capsys.readouterr().out
+
+    def test_serve_stdin_bad_value_names_the_line(
+        self, capsys, tmp_path, snapshot, monkeypatch
+    ):
+        rc, out = self._stdin_serve(
+            capsys, tmp_path, snapshot, monkeypatch, "a,0.5\na,zzz\n"
+        )
+        assert rc == 2
+        assert "error: stdin line 2: bad value 'zzz'" in out
+
+    def test_serve_stdin_nonfinite_names_the_line(
+        self, capsys, tmp_path, snapshot, monkeypatch
+    ):
+        rc, out = self._stdin_serve(
+            capsys, tmp_path, snapshot, monkeypatch,
+            "a,0.5\n# comment\n\na,nan\n"
+        )
+        assert rc == 2
+        assert "error: stdin line 4: non-finite value 'nan'" in out
+
+    def test_serve_stdin_missing_stream_names_the_line(
+        self, capsys, tmp_path, snapshot, monkeypatch
+    ):
+        # A bare value is only ambiguous when several streams are bound.
+        rc, out = self._stdin_serve(
+            capsys, tmp_path, snapshot, monkeypatch, "0.5\n",
+            binds=("a=m", "b=m"),
+        )
+        assert rc == 2
+        assert "stdin line 1" in out and "has no stream" in out
 
 
 class TestExperimentMain:

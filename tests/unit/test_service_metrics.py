@@ -1,0 +1,215 @@
+"""Unit tests for the Prometheus text encoder (repro.service.metrics).
+
+The exposition format has sharp edges a scraper will not forgive:
+label escaping, cumulative ``le`` buckets that must be monotone with
+``+Inf`` equal to ``_count``, counters that never decrease.  Each is
+pinned here, plus a golden-file snapshot of a full registry render so
+any formatting drift shows up as a readable diff.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    format_sample,
+    format_value,
+    log_buckets,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "metrics_golden.txt"
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # Backslash first: escaping an already-escaped quote stays sane.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_help_escapes(self):
+        assert escape_help("multi\nline \\ help") == "multi\\nline \\\\ help"
+
+    def test_format_sample_with_labels(self):
+        line = format_sample("m", [("stream", 'g"1'), ("le", "+Inf")], 3)
+        assert line == 'm{stream="g\\"1",le="+Inf"} 3'
+
+    def test_format_value_spellings(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestCounter:
+    def test_monotone_across_flushes(self):
+        c = Counter("reqs", "requests", ["code"])
+        seen = []
+        for _ in range(5):  # five "scrape flushes"
+            c.inc(2, code="200")
+            seen.append(c.value(code="200"))
+        assert seen == sorted(seen)
+        assert seen[-1] == 10
+
+    def test_negative_increment_rejected(self):
+        c = Counter("reqs", "requests")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labels_must_match_declaration(self):
+        c = Counter("reqs", "requests", ["code"])
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc(status="200")
+
+    def test_render_sorted_by_label(self):
+        c = Counter("reqs", "requests", ["code"])
+        c.inc(code="500")
+        c.inc(code="200")
+        body = [ln for ln in c.render() if not ln.startswith("#")]
+        assert body == ['reqs{code="200"} 1', 'reqs{code="500"} 1']
+
+    def test_gauge_goes_both_ways(self):
+        g = Gauge("depth", "queue depth")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_log_buckets_shape(self):
+        b = log_buckets(0.001, 1.0, per_decade=3)
+        assert b[0] == 0.001 and b[-1] == 1.0
+        assert len(b) == 10
+        assert all(x < y for x, y in zip(b, b[1:]))
+
+    def test_log_buckets_rejects_bad_range(self):
+        for lo, hi in ((0.0, 1.0), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ValueError):
+                log_buckets(lo, hi)
+
+    def test_bucket_cumulativity_and_inf(self):
+        h = Histogram("lat", "latency", buckets=[0.01, 0.1, 1.0])
+        for v in (0.005, 0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        cum = h.cumulative()
+        assert cum == [2, 3, 4, 5]
+        assert all(a <= b for a, b in zip(cum, cum[1:]))  # le monotone
+        assert cum[-1] == h.count() == 5  # +Inf bucket == _count
+
+    def test_render_buckets_are_cumulative_with_inf_last(self):
+        h = Histogram("lat", "latency", buckets=[0.01, 0.1])
+        for v in (0.005, 0.05, 0.5):
+            h.observe(v)
+        lines = h.render()
+        buckets = [ln for ln in lines if "_bucket" in ln]
+        assert buckets == [
+            'lat_bucket{le="0.01"} 1',
+            'lat_bucket{le="0.1"} 2',
+            'lat_bucket{le="+Inf"} 3',
+        ]
+        assert "lat_sum 0.555" in lines
+        assert "lat_count 3" in lines
+
+    def test_observation_on_bound_lands_in_its_bucket(self):
+        # le is inclusive: an observation exactly on a bound counts there.
+        h = Histogram("lat", "latency", buckets=[0.01, 0.1])
+        h.observe(0.01)
+        assert h.cumulative() == [1, 1, 1]
+
+    def test_percentile_interpolation(self):
+        h = Histogram("lat", "latency", buckets=[1.0, 2.0, 4.0])
+        for v in [0.5] * 50 + [1.5] * 50:
+            h.observe(v)
+        assert h.percentile(0.5) == pytest.approx(1.0)
+        assert h.percentile(0.75) == pytest.approx(1.5)
+        assert h.percentile(1.0) == pytest.approx(2.0)
+
+    def test_percentile_overflow_clamps_to_top_bound(self):
+        h = Histogram("lat", "latency", buckets=[1.0])
+        h.observe(100.0)
+        assert h.percentile(0.99) == 1.0
+
+    def test_percentile_empty_is_nan(self):
+        import math
+
+        h = Histogram("lat", "latency")
+        assert math.isnan(h.percentile(0.99))
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+
+    def test_rejects_non_increasing_buckets(self):
+        for bad in ([], [1.0, 1.0], [2.0, 1.0], [1.0, float("inf")]):
+            with pytest.raises(ValueError):
+                Histogram("lat", "latency", buckets=bad)
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        r = MetricsRegistry()
+        a = r.counter("x", "help")
+        assert r.counter("x", "help") is a
+
+    def test_type_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x", "help")
+
+    def test_render_ends_with_newline(self):
+        r = MetricsRegistry()
+        r.gauge("g", "a gauge").set(1.5)
+        out = r.render()
+        assert out.endswith("\n") and not out.endswith("\n\n")
+
+    def test_golden_exposition_snapshot(self):
+        """A full registry render, pinned byte for byte.
+
+        Regenerate after an intentional format change with::
+
+            PYTHONPATH=src python tests/unit/test_service_metrics.py
+        """
+        assert _golden_registry().render() == GOLDEN.read_text()
+
+
+def _golden_registry() -> MetricsRegistry:
+    """A deterministic registry exercising every encoder feature."""
+    r = MetricsRegistry()
+    events = r.counter("repro_events_total", "Events ingested.", ["stream"])
+    events.inc(3, stream="gauge-venice")
+    events.inc(stream='weird"stream\\name')
+    errors = r.counter(
+        "repro_errors_total", "Rejected events,\nby reason.", ["reason"]
+    )
+    errors.inc(2, reason="malformed")
+    depth = r.gauge("repro_queue_depth", "Events queued, not yet scored.")
+    depth.set(7)
+    lat = r.histogram(
+        "repro_ingest_latency_seconds",
+        "Enqueue-to-forecast latency.",
+        buckets=[0.001, 0.01, 0.1, 1.0],
+    )
+    for v in (0.0005, 0.004, 0.004, 0.02, 0.3, 2.5):
+        lat.observe(v)
+    per_stream = r.histogram(
+        "repro_stream_ingest_latency_seconds",
+        "Per-stream latency.",
+        ["stream"],
+        buckets=[0.01, 0.1],
+    )
+    per_stream.observe(0.004, stream="gauge-venice")
+    per_stream.observe(0.04, stream="gauge-venice")
+    return r
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(_golden_registry().render())
+    print(f"wrote {GOLDEN}")

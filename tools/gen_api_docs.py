@@ -34,6 +34,8 @@ MODULES = [
     ("repro.service", SRC / "service" / "__init__.py"),
     ("repro.service.registry", SRC / "service" / "registry.py"),
     ("repro.service.gateway", SRC / "service" / "gateway.py"),
+    ("repro.service.server", SRC / "service" / "server.py"),
+    ("repro.service.metrics", SRC / "service" / "metrics.py"),
     ("repro.io.serialize", SRC / "io" / "serialize.py"),
     ("repro.core.compiled", SRC / "core" / "compiled.py"),
     ("repro.parallel.shm", SRC / "parallel" / "shm.py"),
@@ -53,7 +55,9 @@ source docstrings).*
 
 Covers the serving stack documented in [serving.md](serving.md):
 single-stream serving (`repro.serve`), the registry + gateway
-subsystem (`repro.service`), snapshot persistence
+subsystem (`repro.service`), the async network front-end and its
+Prometheus metrics (`repro.service.server`, `repro.service.metrics`),
+snapshot persistence
 (`repro.io.serialize`) and the compiled scoring kernels
 (`repro.core.compiled`) — plus the performance surface documented in
 [benchmarking.md](benchmarking.md): the zero-copy shared-memory
