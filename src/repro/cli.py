@@ -268,10 +268,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "reading stdin: TCP line ingest + HTTP /ingest, "
                          "/metrics, /healthz on one port (PORT 0 picks a "
                          "free port)")
+    ps.add_argument("--workers", type=int, default=1,
+                    help="shard streams across N worker processes "
+                         "(consistent-hash routing, shared compiled "
+                         "models); 1 = in-process gateway (default)")
     ps.add_argument("--queue-size", type=int, default=4096,
                     help="--listen only: global bound on queued events; a "
                          "full queue answers 'overloaded' / HTTP 429 "
                          "(default 4096)")
+    ps.add_argument("--metrics-top-k", type=int, default=20,
+                    help="--listen only: per-stream /metrics series cap; "
+                         "only the K busiest streams get their own "
+                         "labels, the rest aggregate as stream=\"other\" "
+                         "(default 20)")
     ps.add_argument("--window-ms", type=float, default=50.0,
                     help="--listen only: ceiling of the adaptive flush "
                          "window in milliseconds (default 50)")
@@ -586,6 +595,7 @@ def _serve_network(args: argparse.Namespace, service, streams) -> int:
         host=host, port=port, max_batch=args.batch,
         queue_size=args.queue_size,
         max_window_s=max(args.window_ms, 1.0) / 1000.0,
+        metrics_top_k=args.metrics_top_k,
     )
 
     async def run() -> None:
@@ -618,9 +628,21 @@ def _serve_main(args: argparse.Namespace) -> int:
         _print("error: --listen and --csv are mutually exclusive (the "
                "network server ingests over TCP/HTTP, not from a file)")
         return 2
+    if args.workers < 1:
+        _print("error: --workers must be >= 1")
+        return 2
+    service = None
     try:
         binds = _parse_binds(args.bind)
-        service = ForecastService(ModelRegistry(args.registry))
+        registry = ModelRegistry(args.registry)
+        if args.workers > 1:
+            from .service.sharding import ShardConfig, ShardedForecastService
+
+            service = ShardedForecastService(
+                registry, ShardConfig(workers=args.workers)
+            )
+        else:
+            service = ForecastService(registry)
         for stream, model, version in binds:
             service.bind(stream, model, version)
         streams = [b[0] for b in binds]
@@ -650,6 +672,11 @@ def _serve_main(args: argparse.Namespace) -> int:
     except (RegistryError, ValueError, OSError) as exc:
         _print(f"error: {exc}")
         return 2
+    finally:
+        # The sharded gateway owns worker processes and /dev/shm
+        # segments; the in-process gateway has nothing to release.
+        if service is not None and hasattr(service, "close"):
+            service.close()
 
 
 def _bench_main(args: argparse.Namespace) -> int:

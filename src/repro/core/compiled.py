@@ -50,7 +50,7 @@ silently flipped abstentions.)
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -146,6 +146,62 @@ class CompiledRuleSystem:
 
     def __len__(self) -> int:
         return self.n_rules
+
+    # -- zero-copy sharing ---------------------------------------------------
+
+    #: Every ndarray a compiled system needs at scoring time.  The
+    #: kernel-facing transposes are exported too — rebuilding them on
+    #: the receiving side would copy, defeating shared-memory attach.
+    _BLOCK_ARRAYS = (
+        "lo", "hi", "coeffs", "is_linear",
+        "_loT", "_hiT", "_weightsT", "_intercept", "_lag_order",
+    )
+
+    def export_blocks(self) -> Dict[str, Union[np.ndarray, int]]:
+        """The compiled pool as a flat dict of arrays + scalars.
+
+        The export is everything :meth:`from_blocks` needs to rebuild
+        a scoring-equivalent system **without the original rules**:
+        the packed bounds/coefficient arrays (including the
+        lag-major transposes the kernels walk) plus the integer
+        shape/tuning scalars.  All arrays are C-contiguous, so a
+        :class:`~repro.parallel.shm.SharedArrayPool` can place them
+        in shared-memory segments and worker processes can attach
+        read-only views — one copy of the model per host, no matter
+        how many shards serve it (see
+        :class:`repro.service.sharding.ShardedForecastService`).
+        """
+        blocks: Dict[str, Union[np.ndarray, int]] = {
+            name: getattr(self, name) for name in self._BLOCK_ARRAYS
+        }
+        blocks["block_size"] = self.block_size
+        return blocks
+
+    @classmethod
+    def from_blocks(
+        cls, blocks: Dict[str, Union[np.ndarray, int]]
+    ) -> "CompiledRuleSystem":
+        """Rebuild a compiled system from :meth:`export_blocks` output.
+
+        Arrays are adopted as-is — typically read-only shared-memory
+        views — with **zero copies**: the scoring kernels only ever
+        read them.  Bitwise contract: the arrays hold the same bits,
+        the kernels are the same code, so a reconstructed system's
+        forecasts equal the original's exactly.
+        """
+        missing = [
+            k for k in (*cls._BLOCK_ARRAYS, "block_size") if k not in blocks
+        ]
+        if missing:
+            raise ValueError(f"incomplete block export: missing {missing}")
+        self = cls.__new__(cls)
+        for name in cls._BLOCK_ARRAYS:
+            setattr(self, name, np.asarray(blocks[name]))
+        self.block_size = int(blocks["block_size"])
+        self.n_rules, self.n_lags = self.lo.shape
+        self.is_linear = self.is_linear.astype(bool, copy=False)
+        self.has_linear = bool(self.is_linear.any())
+        return self
 
     # -- compilation --------------------------------------------------------
 

@@ -134,6 +134,8 @@ class SharedArrayPool:
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._handles: Dict[str, SharedArrayRef] = {}
         self._last_used: Dict[str, int] = {}
+        self._leased: set = set()
+        self._leasing = False
         self._generation = 0
         self._id_cache: Dict[int, Tuple[object, str]] = {}
         self._finalizer = weakref.finalize(
@@ -163,6 +165,8 @@ class SharedArrayPool:
         handle = self._handles.get(key)
         if handle is not None:
             self._last_used[key] = self._generation
+            if self._leasing:
+                self._leased.add(handle.segment)
             return handle
         data = np.ascontiguousarray(arr)
         name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
@@ -177,7 +181,61 @@ class SharedArrayPool:
         self._segments[seg.name] = seg
         self._handles[key] = handle
         self._last_used[key] = self._generation
+        if self._leasing:
+            self._leased.add(handle.segment)
         return handle
+
+    # -- leases --------------------------------------------------------------
+
+    def lease(self, arr: np.ndarray) -> SharedArrayRef:
+        """Place ``arr`` and pin its segment for the pool's lifetime.
+
+        Leased segments are exempt from :meth:`end_generation`'s
+        per-map eviction — the API for **long-lived tenants** (served
+        model blocks attached by shard workers for hours) as opposed
+        to per-map task payloads (retired one generation after their
+        last use).  A lease is released with :meth:`release` or, like
+        everything else, by :meth:`close`.
+        """
+        prev = self._leasing
+        self._leasing = True
+        try:
+            return self.place(arr)
+        finally:
+            self._leasing = prev
+
+    def dumps_leased(self, obj: object) -> bytes:
+        """:meth:`dumps`, with every placed segment leased.
+
+        The sharding layer encodes whole model-block dicts this way:
+        one call shares every eligible array *and* pins the backing
+        segments so iterative ``map`` traffic on the same pool can
+        never evict a live model out from under a worker.
+        """
+        prev = self._leasing
+        self._leasing = True
+        try:
+            return self.dumps(obj)
+        finally:
+            self._leasing = prev
+
+    def release(self, handle: SharedArrayRef) -> bool:
+        """Drop a lease (idempotent); returns whether one was held.
+
+        The segment itself survives until generation eviction or
+        :meth:`close` — callers that want it gone immediately follow
+        up with :meth:`end_generation` rounds or pool shutdown.
+        """
+        try:
+            self._leased.remove(handle.segment)
+            return True
+        except KeyError:
+            return False
+
+    @property
+    def n_leased(self) -> int:
+        """Number of currently leased segments."""
+        return len(self._leased)
 
     def end_generation(self, keep: int = 1) -> int:
         """Close one placement generation and evict stale segments.
@@ -197,6 +255,10 @@ class SharedArrayPool:
         for key, last in list(self._last_used.items()):
             if self._generation - last <= keep:
                 continue
+            if self._handles.get(key) is not None and (
+                self._handles[key].segment in self._leased
+            ):
+                continue  # leased tenants outlive map generations
             handle = self._handles.pop(key, None)
             self._last_used.pop(key, None)
             if handle is None:
@@ -242,10 +304,11 @@ class SharedArrayPool:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Unlink every segment (idempotent)."""
+        """Unlink every segment, leases included (idempotent)."""
         _release_segments(self._segments)
         self._handles.clear()
         self._last_used.clear()
+        self._leased.clear()
         self._id_cache.clear()
 
     def __enter__(self) -> "SharedArrayPool":

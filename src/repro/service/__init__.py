@@ -22,6 +22,7 @@ network server).  The full guide is ``docs/serving.md``.
 from .gateway import Forecast, ForecastService
 from .metrics import MetricsRegistry
 from .registry import ModelRecord, ModelRegistry, RegistryError, task_lineage
+from .store import InMemoryStreamStore, StreamState, StreamStore
 from .server import (
     AdaptiveBatcher,
     ForecastServer,
@@ -36,6 +37,7 @@ __all__ = [
     "Forecast",
     "ForecastServer",
     "ForecastService",
+    "InMemoryStreamStore",
     "MetricsRegistry",
     "ModelRecord",
     "ModelRegistry",
@@ -43,6 +45,8 @@ __all__ = [
     "ProtocolError",
     "RegistryError",
     "ServerConfig",
+    "StreamState",
+    "StreamStore",
     "forecast_to_dict",
     "task_lineage",
 ]

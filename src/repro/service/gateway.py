@@ -36,6 +36,14 @@ Batches are **atomic**: every event is validated (known stream, finite
 value) before any buffer is touched, so a bad event rejects the whole
 batch without corrupting stream state — a multi-tenant gateway must
 not let one stream's sensor gap poison another's forecast cadence.
+
+Per-stream state lives in a pluggable :class:`~repro.service.store.
+StreamStore` (in-process dict by default).  A store configured with an
+idle TTL or a max-streams cap evicts cold streams — the gateway then
+rejects their later events as unknown, exactly like a never-bound
+stream — and the eviction count is surfaced in :meth:`ForecastService.
+stats`.  Sharded serving (:mod:`repro.service.sharding`) runs one
+store per worker process over shared compiled models.
 """
 
 from __future__ import annotations
@@ -55,8 +63,8 @@ import numpy as np
 
 from ..core.compiled import CompiledRuleSystem
 from ..core.predictor import RuleSystem
-from ..serve import RingWindowBuffer
 from .registry import ModelRegistry, RegistryError
+from .store import InMemoryStreamStore, StreamState, StreamStore
 
 __all__ = ["Forecast", "ForecastService"]
 
@@ -99,18 +107,6 @@ class Forecast(NamedTuple):
     version: int
 
 
-class _Stream:
-    """Internal per-stream state: ring buffer + counters + binding."""
-
-    __slots__ = ("ring", "model_key", "n_steps", "n_predicted")
-
-    def __init__(self, d: int, model_key: Tuple[str, int]) -> None:
-        self.ring = RingWindowBuffer(d)
-        self.model_key = model_key
-        self.n_steps = 0
-        self.n_predicted = 0
-
-
 class ForecastService:
     """Hosts many named streams over shared, versioned models.
 
@@ -120,6 +116,11 @@ class ForecastService:
         The :class:`~repro.service.ModelRegistry` that
         :meth:`bind` resolves model names against; optional when every
         stream is bound with :meth:`bind_system`.
+    store:
+        Where per-stream state lives; defaults to an unbounded
+        :class:`~repro.service.store.InMemoryStreamStore`.  Pass one
+        configured with ``ttl_s``/``max_streams`` to evict idle
+        streams (multi-tenant serving must not grow without bound).
 
     Example
     -------
@@ -132,9 +133,13 @@ class ForecastService:
     ...         alert(out.stream, out.value)
     """
 
-    def __init__(self, registry: Optional[ModelRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        store: Optional[StreamStore] = None,
+    ) -> None:
         self.registry = registry
-        self._streams: Dict[str, _Stream] = {}
+        self._store = store if store is not None else InMemoryStreamStore()
         # (name, version) -> compiled pool; streams sharing a model
         # share one compiled pack (and one micro-batch per ingest).
         self._models: Dict[Tuple[str, int], CompiledRuleSystem] = {}
@@ -151,7 +156,7 @@ class ForecastService:
     ) -> None:
         if not stream:
             raise ValueError("stream name must be non-empty")
-        if stream in self._streams:
+        if stream in self._store:
             raise ValueError(f"stream {stream!r} is already bound")
         if isinstance(system, RuleSystem):
             if not len(system):
@@ -172,8 +177,9 @@ class ForecastService:
                 f"model label {name!r}@v{version} is already bound to a "
                 "different system; use a distinct label per system"
             )
-        self._streams[stream] = _Stream(
-            self._models[model_key].n_lags, model_key
+        self._store.add(
+            stream,
+            StreamState(self._models[model_key].n_lags, model_key),
         )
 
     def bind(
@@ -214,11 +220,28 @@ class ForecastService:
         """
         self._add_stream(stream, system, (model, 0))
 
+    def bind_compiled(
+        self,
+        stream: str,
+        system: Union[RuleSystem, CompiledRuleSystem],
+        model: str,
+        version: int = 0,
+    ) -> None:
+        """Bind a stream to a system under an explicit registry identity.
+
+        The sharded gateway's worker-side path: the parent resolved
+        ``(model, version)`` against the registry once, shipped the
+        compiled blocks zero-copy, and the worker binds them here so
+        per-stream stats report the true registry identity rather
+        than an ad-hoc label.
+        """
+        self._add_stream(stream, system, (model, version))
+
     # -- introspection -------------------------------------------------------
 
     def streams(self) -> List[str]:
         """Sorted names of all bound streams."""
-        return sorted(self._streams)
+        return self._store.names()
 
     def stream_stats(self, stream: str) -> Dict[str, object]:
         """Per-stream counters (the per-stream half of :meth:`stats`)."""
@@ -243,7 +266,7 @@ class ForecastService:
         ready_steps = sum(s["ready_steps"] for s in per_stream.values())
         predicted = sum(s["predicted_steps"] for s in per_stream.values())
         return {
-            "streams": len(self._streams),
+            "streams": len(self._store),
             "models": sorted(
                 f"{name}@v{version}" for name, version in self._models
             ),
@@ -252,6 +275,7 @@ class ForecastService:
             "ready_steps": ready_steps,
             "predicted_steps": predicted,
             "coverage": predicted / ready_steps if ready_steps else 0.0,
+            "evicted_streams": self._store.evicted_streams,
             "per_stream": per_stream,
         }
 
@@ -259,17 +283,17 @@ class ForecastService:
         """A ``/healthz``-style liveness snapshot (aggregate only)."""
         stats = self.stats()
         stats.pop("per_stream")
-        stats["status"] = "ok" if self._streams else "no-streams"
+        stats["status"] = "ok" if len(self._store) else "no-streams"
         return stats
 
-    def _stream(self, stream: str) -> _Stream:
-        try:
-            return self._streams[stream]
-        except KeyError:
+    def _stream(self, stream: str) -> StreamState:
+        state = self._store.get(stream)
+        if state is None:
             known = ", ".join(self.streams()) or "none"
             raise ValueError(
                 f"unknown stream {stream!r} (bound: {known})"
             ) from None
+        return state
 
     # -- ingest --------------------------------------------------------------
 
@@ -286,7 +310,7 @@ class ForecastService:
 
         Returns one :class:`Forecast` per event, in input order.
         """
-        batch: List[Tuple[str, _Stream, float]] = []
+        batch: List[Tuple[str, StreamState, float]] = []
         for stream, value in events:
             state = self._stream(stream)
             v = float(value)
@@ -306,9 +330,10 @@ class ForecastService:
         # preallocated at batch size and filled row by row (one slice
         # assignment per ready event, no intermediate arrays).
         results: List[Optional[Forecast]] = [None] * len(batch)
-        ready: Dict[Tuple[str, int], List[Tuple[int, _Stream, int]]] = {}
+        ready: Dict[Tuple[str, int], List[Tuple[int, StreamState, int]]] = {}
         stacks: Dict[Tuple[str, int], np.ndarray] = {}
         for i, (stream, state, v) in enumerate(batch):
+            self._store.touch(stream)
             ring = state.ring
             t = ring.count
             ring.push(v)
@@ -355,6 +380,10 @@ class ForecastService:
                     model=name,
                     version=version,
                 )
+        # Evictions happen after the batch is fully applied: an event
+        # for an idle-expired stream that arrived in THIS batch counts
+        # as activity (the touch above) and keeps it alive.
+        self._store.sweep()
         return [r for r in results if r is not None]
 
     def ingest_one(self, stream: str, value: float) -> Forecast:

@@ -215,6 +215,17 @@ class Gauge(_Metric):
         """Current value of the labelled series (0.0 if never set)."""
         return self._values.get(self._key(labels), 0.0)
 
+    def clear(self) -> None:
+        """Drop every labelled series.
+
+        For gauges rebuilt from authoritative state at scrape time
+        (the gateway mirrors in ``render_metrics``): without a clear,
+        a series that falls out of this scrape's selection — a stream
+        that left the top-K, an evicted stream — would keep exposing
+        its last value forever.
+        """
+        self._values.clear()
+
     def render(self) -> List[str]:
         """Header plus one sample per labelled series, label-sorted."""
         lines = self._header()
@@ -245,9 +256,21 @@ class Histogram(_Metric):
         Strictly increasing finite upper bounds; the implicit ``+Inf``
         bucket is always appended.  Defaults to the log-spaced latency
         ladder (100 µs – 10 s, 5 buckets/decade).
+    top_k:
+        Exposition-time cardinality cap for labelled histograms.  When
+        set, :meth:`render` emits only the ``top_k`` series with the
+        most observations plus one ``other`` aggregate merging the
+        rest (bucket counts are additive, so the merge is exact) —
+        10k+ streams then cost ``top_k + 1`` series per scrape, not
+        10k.  Observation-side state is untouched: the cap is a view,
+        and a series that climbs into the top-K later exposes its full
+        history.  ``None`` (default) renders every series.
     """
 
     kind = "histogram"
+
+    #: Label value of the merged aggregate series under ``top_k``.
+    OTHER_LABEL = "other"
 
     def __init__(
         self,
@@ -255,8 +278,12 @@ class Histogram(_Metric):
         help: str,
         label_names: Sequence[str] = (),
         buckets: Optional[Iterable[float]] = None,
+        top_k: Optional[int] = None,
     ) -> None:
         super().__init__(name, help, label_names)
+        if top_k is not None and top_k < 1:
+            raise ValueError("top_k must be >= 1 (or None)")
+        self.top_k = top_k
         bounds = tuple(
             float(b)
             for b in (DEFAULT_LATENCY_BUCKETS if buckets is None else buckets)
@@ -325,11 +352,55 @@ class Histogram(_Metric):
             total += c
         return self.buckets[-1]
 
-    def render(self) -> List[str]:
-        """Header plus cumulative ``_bucket``/``_sum``/``_count`` lines."""
-        lines = self._header()
-        for key in sorted(self._series):
+    def _capped_series(self) -> Dict[Tuple[str, ...], _HistogramSeries]:
+        """The series to expose: all, or top-K by count + ``other``.
+
+        Top-K is by observation count (traffic), ties broken by label
+        so the selection is deterministic.  The remainder merges into
+        one series labelled :attr:`OTHER_LABEL` on every axis —
+        per-bucket counts, sums and totals add exactly, so the
+        aggregate is what one histogram over those streams would have
+        recorded.  A real series already labelled ``other`` merges
+        into the aggregate rather than colliding with it.
+        """
+        if (
+            self.top_k is None
+            or not self.label_names
+            or len(self._series) <= self.top_k
+        ):
+            return self._series
+        ranked = sorted(
+            self._series, key=lambda k: (-self._series[k].count, k)
+        )
+        kept = {k: self._series[k] for k in sorted(ranked[: self.top_k])}
+        other = _HistogramSeries(len(self.buckets) + 1)
+        for key in ranked[self.top_k:]:
             series = self._series[key]
+            for i, c in enumerate(series.counts):
+                other.counts[i] += c
+            other.sum += series.sum
+            other.count += series.count
+        other_key = tuple(self.OTHER_LABEL for _ in self.label_names)
+        prior = kept.pop(other_key, None)
+        if prior is not None:  # a stream literally named "other"
+            for i, c in enumerate(prior.counts):
+                other.counts[i] += c
+            other.sum += prior.sum
+            other.count += prior.count
+        kept[other_key] = other
+        return kept
+
+    def render(self) -> List[str]:
+        """Header plus cumulative ``_bucket``/``_sum``/``_count`` lines.
+
+        With :attr:`top_k` set, only the busiest ``top_k`` series plus
+        the merged ``other`` aggregate appear
+        (:meth:`_capped_series`).
+        """
+        lines = self._header()
+        to_render = self._capped_series()
+        for key in sorted(to_render):
+            series = to_render[key]
             pairs = self._pairs(key)
             total = 0
             for bound, c in zip(self.buckets, series.counts):
@@ -394,10 +465,12 @@ class MetricsRegistry:
         help: str,
         label_names: Sequence[str] = (),
         buckets: Optional[Iterable[float]] = None,
+        top_k: Optional[int] = None,
     ) -> Histogram:
         """Create or fetch a :class:`Histogram`."""
         return self._get_or_create(
-            Histogram, name, help, label_names, buckets=buckets
+            Histogram, name, help, label_names,
+            buckets=buckets, top_k=top_k,
         )
 
     def render(self) -> str:

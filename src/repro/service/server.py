@@ -177,6 +177,12 @@ class ServerConfig:
         it, response writes block in ``drain()`` (and start the
         ``drain_timeout_s`` clock) instead of buffering a slow
         reader's backlog in server memory.
+    metrics_top_k:
+        Cardinality cap on per-stream series in ``/metrics``: only the
+        ``metrics_top_k`` busiest streams (by ingested events) get
+        their own labelled series; the rest merge into one
+        ``stream="other"`` aggregate.  A gateway hosting 10k+ streams
+        then scrapes in O(top_k), not O(streams).
     """
 
     host: str = "127.0.0.1"
@@ -190,6 +196,7 @@ class ServerConfig:
     max_body_bytes: int = 1024 * 1024
     drain_timeout_s: float = 5.0
     write_buffer_bytes: int = 64 * 1024
+    metrics_top_k: int = 20
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -200,6 +207,8 @@ class ServerConfig:
             raise ValueError("queue bounds must be >= 1")
         if self.write_buffer_bytes < 0:
             raise ValueError("write_buffer_bytes must be >= 0")
+        if self.metrics_top_k < 1:
+            raise ValueError("metrics_top_k must be >= 1")
 
 
 class AdaptiveBatcher:
@@ -266,8 +275,10 @@ class AdaptiveBatcher:
         )
         self._h_stream_latency = metrics.histogram(
             "repro_server_stream_ingest_latency_seconds",
-            "Enqueue-to-forecast latency per stream.",
+            "Enqueue-to-forecast latency per stream "
+            "(busiest streams; the rest aggregate as stream=\"other\").",
             ["stream"],
+            top_k=config.metrics_top_k,
         )
 
     # -- producer side -------------------------------------------------------
@@ -549,7 +560,10 @@ class ForecastServer:
         Gateway counters (events, micro-batches, per-stream coverage)
         are mirrored into gauges at render time — scrape-time reads of
         authoritative state instead of double bookkeeping on the hot
-        path.
+        path.  Per-stream series are capped at the config's
+        ``metrics_top_k`` busiest streams (by ingested events); the
+        rest collapse into one ``stream="other"`` aggregate so the
+        scrape stays bounded no matter how many streams are bound.
         """
         stats = self.service.stats()
         g = self.metrics.gauge
@@ -568,17 +582,32 @@ class ForecastServer:
         )
         per_stream = g(
             "repro_gateway_stream_coverage",
-            "Prediction coverage per stream.",
+            "Prediction coverage per stream "
+            "(busiest streams; the rest aggregate as stream=\"other\").",
             ["stream"],
         )
         predicted = g(
             "repro_gateway_stream_predicted_steps",
-            "Predicted steps per stream.",
+            "Predicted steps per stream "
+            "(busiest streams; the rest aggregate as stream=\"other\").",
             ["stream"],
         )
-        for name, s in stats["per_stream"].items():
-            per_stream.set(s["coverage"], stream=name)
-            predicted.set(s["predicted_steps"], stream=name)
+        per = stats["per_stream"]
+        ranked = sorted(per, key=lambda n: (-per[n]["events"], n))
+        head = ranked[: self.config.metrics_top_k]
+        tail = ranked[self.config.metrics_top_k:]
+        # Rebuilt from scratch each scrape: a stream that drops out of
+        # the top-K (or is evicted) must not keep its stale series.
+        per_stream.clear()
+        predicted.clear()
+        for name in head:
+            per_stream.set(per[name]["coverage"], stream=name)
+            predicted.set(per[name]["predicted_steps"], stream=name)
+        if tail:
+            ready = sum(per[n]["ready_steps"] for n in tail)
+            done = sum(per[n]["predicted_steps"] for n in tail)
+            per_stream.set(done / ready if ready else 0.0, stream="other")
+            predicted.set(done, stream="other")
         return self.metrics.render()
 
     def healthz(self) -> Dict[str, object]:

@@ -1,0 +1,752 @@
+"""Sharded multi-tenant serving: consistent-hash routing over workers.
+
+One :class:`~repro.service.gateway.ForecastService` runs every stream
+on one core; the ROADMAP's "millions of users" path shards streams
+across worker **processes** while sharing the read-only compiled
+models zero-copy.  This module is that layer:
+
+* :class:`ConsistentHashRing` — stable stream→shard routing with
+  virtual nodes.  Adding or removing a worker remaps only the streams
+  that land on it (property-tested: every remapped key moves *to* the
+  joined node / *from* the left node, never between survivors), so a
+  resize never reshuffles the whole tenant population.
+* :class:`ShardedForecastService` — the drop-in sharded gateway.  It
+  spawns ``workers`` processes, each hosting a private
+  :class:`ForecastService` (its own
+  :class:`~repro.service.store.StreamStore`) over **shared** compiled
+  model blocks: the parent compiles each bound model once, leases its
+  arrays into a :class:`~repro.parallel.shm.SharedArrayPool`
+  (:meth:`~repro.parallel.shm.SharedArrayPool.dumps_leased`), and
+  workers attach read-only views — no model copies per shard, no
+  matter the worker count.  Events travel over one duplex pipe per
+  shard with a bounded in-flight budget
+  (:attr:`ShardConfig.max_pending_batches`): a shard that falls
+  behind blocks its feeder instead of growing an unbounded backlog.
+
+**Bitwise contract.**  Routing is by stream, so each stream's events
+reach exactly one worker in arrival order; within a worker the plain
+gateway's partition-independence property applies.  A sharded
+service's forecasts are therefore bitwise identical to a
+single-process :class:`ForecastService` fed the same events, for any
+stream→shard map, worker count and batch partitioning
+(``tests/property/test_sharding.py``).
+
+**Failure semantics.**  Workers never own shared-memory segments
+(they attach without resource-tracker registration), so a killed
+worker leaks nothing: :meth:`ShardedForecastService.close` — or the
+parent pool's finalizer — unlinks every segment even after a crash.
+A dead worker surfaces as :class:`ShardError` on the next call
+touching its shard; other shards keep serving.  Live stream-state
+migration on worker join/leave is out of scope — the ring guarantees
+*where* streams would move, rebinding is the operator's call
+(``docs/serving.md`` has the lifecycle runbook).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import multiprocessing as mp
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.compiled import CompiledRuleSystem
+from ..core.predictor import RuleSystem
+from ..parallel.shm import SharedArrayPool, shm_loads
+from .gateway import Forecast, ForecastService
+from .registry import ModelRegistry, RegistryError
+from .store import InMemoryStreamStore
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardConfig",
+    "ShardError",
+    "ShardedForecastService",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard worker died or answered out of protocol."""
+
+
+def _stable_hash(key: str) -> int:
+    """A 64-bit stable hash of ``key`` (blake2b, not ``hash()``).
+
+    Python's builtin ``hash`` is salted per process — a ring built on
+    it would route the same stream to different shards on every
+    restart, and the parent/worker split would disagree with any
+    out-of-process router.  blake2b is stdlib, fast, and identical
+    everywhere.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Consistent hashing over named nodes with virtual replicas.
+
+    Each node is placed on a 64-bit ring at ``replicas`` pseudo-random
+    points (vnodes); a key routes to the first vnode clockwise of its
+    own hash.  Two properties the sharded gateway (and its property
+    suite) relies on:
+
+    * **balance** — with the default 160 vnodes per node, the busiest
+      node's share of 10k+ uniformly-named keys stays within
+      :attr:`BALANCE_BOUND` of the ideal ``1/len(nodes)``
+      (``tests/property/test_sharding.py`` pins this at 10k streams);
+    * **minimal remapping** — :meth:`add_node` only moves keys whose
+      new owner *is* the added node (expected share ``1/(n+1)``), and
+      :meth:`remove_node` only moves keys the removed node owned;
+      survivors never trade keys with each other.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (order-insensitive; the ring is determined
+        by the name set alone).
+    replicas:
+        Vnodes per node; more replicas = tighter balance at the cost
+        of a larger (still tiny) routing table.
+    """
+
+    #: Documented balance bound: max node share <= BALANCE_BOUND * ideal
+    #: at >= 10k keys with the default replica count.
+    BALANCE_BOUND = 1.25
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = 160
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set = set()
+        self._hashes: List[int] = []   # sorted vnode positions
+        self._owners: List[str] = []   # owner of self._hashes[i]
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> List[str]:
+        """Sorted names of all ring members."""
+        return sorted(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Insert a node's vnodes (raises if already present)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            h = _stable_hash(f"{node}#{i}")
+            at = bisect.bisect_left(self._hashes, h)
+            # 64-bit collisions across distinct vnode names are ~2^-32
+            # even at thousands of vnodes; break ties by name so the
+            # ring stays order-insensitive anyway.
+            while (
+                at < len(self._hashes)
+                and self._hashes[at] == h
+                and self._owners[at] < node
+            ):
+                at += 1
+            self._hashes.insert(at, h)
+            self._owners.insert(at, node)
+
+    def remove_node(self, node: str) -> None:
+        """Drop a node's vnodes (raises if absent)."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [
+            (h, o)
+            for h, o in zip(self._hashes, self._owners)
+            if o != node
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._hashes:
+            raise ValueError("ring has no nodes")
+        at = bisect.bisect_right(self._hashes, _stable_hash(key))
+        if at == len(self._hashes):
+            at = 0  # wrap: the ring is circular
+        return self._owners[at]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Tunables of the sharded gateway.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes to spawn (each hosts one shard).
+    replicas:
+        Vnodes per worker on the routing ring.
+    max_pending_batches:
+        Bound on in-flight (dispatched, not yet collected) batches
+        per shard pipe; :meth:`ShardedForecastService.submit` blocks
+        on the oldest reply once a shard reaches it — bounded queues,
+        not unbounded backlog.
+    ttl_s, max_streams:
+        Per-worker stream-store eviction policy (see
+        :class:`~repro.service.store.InMemoryStreamStore`); limits
+        apply per shard.
+    min_shared_bytes:
+        Sharing threshold for model-block arrays (forwarded to
+        :class:`~repro.parallel.shm.SharedArrayPool`).
+    """
+
+    workers: int = 2
+    replicas: int = 160
+    max_pending_batches: int = 8
+    ttl_s: Optional[float] = None
+    max_streams: Optional[int] = None
+    min_shared_bytes: int = 16_384
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_pending_batches < 1:
+            raise ValueError("max_pending_batches must be >= 1")
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    ttl_s: Optional[float],
+    max_streams: Optional[int],
+) -> None:
+    """Shard worker loop: a private ForecastService over shared models.
+
+    Commands arrive on ``conn`` as tuples; every request carries a
+    sequence number echoed in the reply so the parent can pipeline.
+    Model blocks arrive as :meth:`SharedArrayPool.dumps_leased` blobs
+    and are attached read-only — the worker never copies or owns a
+    segment, so killing it cannot leak ``/dev/shm`` (the parent's
+    pool unlinks everything at close).
+    """
+    store = InMemoryStreamStore(ttl_s=ttl_s, max_streams=max_streams)
+    service = ForecastService(store=store)
+    models: Dict[Tuple[str, int], CompiledRuleSystem] = {}
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "ingest":
+                _, seq, events = msg
+                try:
+                    out: object = service.ingest(events)
+                except Exception as exc:  # pragma: no cover - defensive
+                    out = ShardError(f"shard {worker_id}: {exc!r}")
+                conn.send((seq, out))
+            elif op == "model":
+                _, seq, key, blob = msg
+                try:
+                    models[key] = CompiledRuleSystem.from_blocks(
+                        shm_loads(blob)
+                    )
+                    out = True
+                except Exception as exc:
+                    out = ShardError(f"shard {worker_id}: {exc!r}")
+                conn.send((seq, out))
+            elif op == "bind":
+                _, seq, stream, key = msg
+                try:
+                    service.bind_compiled(stream, models[key], *key)
+                    out = True
+                except Exception as exc:
+                    out = ShardError(f"shard {worker_id}: {exc!r}")
+                conn.send((seq, out))
+            elif op == "stats":
+                conn.send((msg[1], service.stats()))
+            elif op == "stop":
+                conn.send((msg[1], True))
+                return
+            else:  # pragma: no cover - defensive
+                conn.send((msg[1], ShardError(f"unknown op {op!r}")))
+    except (EOFError, KeyboardInterrupt):  # parent gone / ^C: just exit
+        return
+
+
+_PIPE_EOF = object()  # reply-queue sentinel: the worker's pipe closed
+
+
+class _Shard:
+    """Parent-side handle of one worker: process, pipe, reply queue.
+
+    A dedicated daemon thread drains the worker's replies into
+    ``replies`` the moment they arrive.  This is load-bearing, not a
+    convenience: a large reply (thousands of forecasts) overflows the
+    pipe's kernel buffer, blocking the worker's ``send`` — and a
+    worker blocked sending stops *reading*, so a parent that pipelines
+    a second large batch into the same shard would block sending too:
+    a send/send deadlock.  With the parent always consuming, a
+    worker's send can never block indefinitely, so the worker always
+    returns to its pipe and every parent send eventually completes.
+    """
+
+    __slots__ = ("process", "conn", "pending", "seq", "models",
+                 "replies", "reader")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.pending: List[int] = []  # outstanding seqs, oldest first
+        self.seq = 0
+        self.models: set = set()  # model keys already shipped
+        self.replies: queue.Queue = queue.Queue()
+        self.reader = threading.Thread(
+            target=self._reader_loop,
+            name=f"{process.name}-reader",
+            daemon=True,
+        )
+        self.reader.start()
+
+    def _reader_loop(self) -> None:
+        """Drain the pipe into the reply queue until it closes.
+
+        Reading here while the main thread writes is safe: the duplex
+        pipe's two directions are independent, and each direction has
+        exactly one reader and one writer.
+        """
+        while True:
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                self.replies.put(_PIPE_EOF)
+                return
+            self.replies.put(msg)
+
+
+class ShardedForecastService:
+    """A :class:`ForecastService` sharded across worker processes.
+
+    The drop-in surface (``bind``/``bind_system``/``ingest``/
+    ``stats``/``healthz``) matches the single-process gateway —
+    :class:`~repro.service.server.ForecastServer` and the ``repro
+    serve`` CLI drive either interchangeably — while scoring fans out
+    across shards: one ``ingest`` call partitions its batch by the
+    routing ring, ships every shard its slice down that shard's pipe,
+    and the workers score **concurrently** on separate cores over the
+    same shared model segments.
+
+    Parameters
+    ----------
+    registry:
+        Registry for :meth:`bind` (optional, as for the gateway).
+    config:
+        :class:`ShardConfig`; ``config.workers`` fixes the shard
+        count for this service's lifetime.
+
+    Example
+    -------
+    >>> with ShardedForecastService(registry,
+    ...                             ShardConfig(workers=4)) as svc:
+    ...     svc.bind("gauge-venice", "venice-h1")
+    ...     for out in svc.ingest([("gauge-venice", 112.0)]):
+    ...         ...
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        config: Optional[ShardConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else ShardConfig()
+        self.pool = SharedArrayPool(self.config.min_shared_bytes)
+        self._ring = ConsistentHashRing(replicas=self.config.replicas)
+        self._bindings: Dict[str, Tuple[str, int]] = {}
+        self._owner: Dict[str, int] = {}
+        self._blobs: Dict[Tuple[str, int], bytes] = {}
+        self._compiled: Dict[Tuple[str, int], CompiledRuleSystem] = {}
+        self._shards: List[_Shard] = []
+        self._parked: Dict[Tuple[int, int], List[Forecast]] = {}
+        self._closed = False
+        ctx = mp.get_context("spawn")
+        for i in range(self.config.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn, i, self.config.ttl_s,
+                    self.config.max_streams,
+                ),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()  # parent keeps only its end
+            self._shards.append(_Shard(process, parent_conn))
+            self._ring.add_node(self._node_name(i))
+
+    @staticmethod
+    def _node_name(i: int) -> str:
+        return f"shard-{i}"
+
+    @property
+    def workers(self) -> int:
+        """Number of shard workers."""
+        return len(self._shards)
+
+    # -- pipe protocol -------------------------------------------------------
+
+    def _request(self, shard: _Shard, *payload) -> int:
+        """Send one request; returns its sequence number."""
+        shard.seq += 1
+        seq = shard.seq
+        op = payload[0]
+        try:
+            shard.conn.send((op, seq, *payload[1:]))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(
+                f"worker {shard.process.name} is gone ({exc})"
+            ) from None
+        shard.pending.append(seq)
+        return seq
+
+    def _collect(self, shard: _Shard, seq: int) -> object:
+        """Receive replies until ``seq`` is answered.
+
+        The pipe is FIFO and the worker answers in order, so replies
+        to requests dispatched before ``seq`` may arrive first; they
+        are parked (keyed by shard and sequence) for their own
+        collect, never dropped.
+        """
+        idx = self._shards.index(shard)
+        while True:
+            parked = self._parked.pop((idx, seq), None)
+            if parked is not None:
+                return parked
+            if seq not in shard.pending:
+                raise ShardError(f"sequence {seq} was never dispatched")
+            msg = shard.replies.get()
+            if msg is _PIPE_EOF:
+                shard.replies.put(_PIPE_EOF)  # every later collect fails too
+                raise ShardError(
+                    f"worker {shard.process.name} died mid-request "
+                    f"(exitcode {shard.process.exitcode})"
+                )
+            got_seq, result = msg
+            shard.pending.remove(got_seq)
+            if isinstance(result, ShardError):
+                raise result
+            if got_seq == seq:
+                return result
+            self._parked[(idx, got_seq)] = result
+
+    def _call(self, shard: _Shard, *payload) -> object:
+        """Synchronous request/reply on one shard."""
+        return self._collect(shard, self._request(shard, *payload))
+
+    # -- binding -------------------------------------------------------------
+
+    def _shard_for(self, stream: str) -> int:
+        owner = self._owner.get(stream)
+        if owner is None:
+            owner = int(self._ring.node_for(stream).rsplit("-", 1)[1])
+            self._owner[stream] = owner
+        return owner
+
+    def _ship_model(
+        self, shard: _Shard, key: Tuple[str, int]
+    ) -> None:
+        """Ensure ``shard`` holds the compiled blocks for ``key``."""
+        if key in shard.models:
+            return
+        blob = self._blobs[key]
+        result = self._call(shard, "model", key, blob)
+        if result is not True:  # pragma: no cover - defensive
+            raise ShardError(f"model ship failed: {result!r}")
+        shard.models.add(key)
+
+    def _bind_shared(
+        self,
+        stream: str,
+        system: Union[RuleSystem, CompiledRuleSystem],
+        key: Tuple[str, int],
+    ) -> None:
+        if not stream:
+            raise ValueError("stream name must be non-empty")
+        if stream in self._bindings:
+            raise ValueError(f"stream {stream!r} is already bound")
+        if isinstance(system, RuleSystem):
+            if not len(system):
+                raise ValueError("cannot serve an empty rule system")
+            compiled = system.compile()
+        else:
+            compiled = system
+        cached = self._compiled.get(key)
+        if cached is None:
+            self._compiled[key] = compiled
+            # Lease the blocks once per model: every worker attaches
+            # the same segments, no per-shard copies.
+            self._blobs[key] = self.pool.dumps_leased(
+                compiled.export_blocks()
+            )
+        elif cached is not compiled:
+            name, version = key
+            raise ValueError(
+                f"model label {name!r}@v{version} is already bound to a "
+                "different system; use a distinct label per system"
+            )
+        shard = self._shards[self._shard_for(stream)]
+        self._ship_model(shard, key)
+        result = self._call(shard, "bind", stream, key)
+        if result is not True:  # pragma: no cover - defensive
+            raise ShardError(f"bind failed: {result!r}")
+        self._bindings[stream] = key
+
+    def bind(
+        self, stream: str, model: str, version: Optional[int] = None
+    ) -> None:
+        """Bind a stream to a registry model on its ring-owner shard.
+
+        Same semantics as :meth:`ForecastService.bind`: ``None``
+        resolves the promoted version at bind time and the binding
+        stays pinned.
+        """
+        if self.registry is None:
+            raise RegistryError(
+                "this service has no registry; construct it with one or "
+                "use bind_system()"
+            )
+        record = self.registry.record(model, version)
+        key = (record.name, record.version)
+        if key in self._compiled:
+            self._bind_shared(stream, self._compiled[key], key)
+        else:
+            system, record = self.registry.load(model, record.version)
+            self._bind_shared(stream, system, key)
+
+    def bind_system(
+        self,
+        stream: str,
+        system: Union[RuleSystem, CompiledRuleSystem],
+        model: str = "adhoc",
+    ) -> None:
+        """Bind a stream directly to an in-memory system (version 0)."""
+        self._bind_shared(stream, system, (model, 0))
+
+    # -- ingest --------------------------------------------------------------
+
+    def _validate(
+        self, events: Sequence[Tuple[str, float]]
+    ) -> List[Tuple[str, float]]:
+        """Batch-atomic validation, mirroring the gateway's contract."""
+        checked = []
+        for stream, value in events:
+            if stream not in self._bindings:
+                known = ", ".join(self.streams()) or "none"
+                raise ValueError(
+                    f"unknown stream {stream!r} (bound: {known})"
+                )
+            v = float(value)
+            if not math.isfinite(v):
+                raise ValueError(
+                    f"non-finite observation {value!r} for stream "
+                    f"{stream!r}; fill or drop sensor gaps upstream "
+                    "(batch rejected, no stream state was modified)"
+                )
+            checked.append((stream, v))
+        return checked
+
+    def submit(self, events: Iterable[Tuple[str, float]]) -> Optional[tuple]:
+        """Dispatch one batch to its shards without waiting.
+
+        Validates batch-atomically, partitions by the ring, sends each
+        shard its slice, and returns an opaque ticket for
+        :meth:`collect`.  When any target shard already has
+        :attr:`ShardConfig.max_pending_batches` batches in flight,
+        the oldest reply is collected first — the bounded-queue
+        backpressure that keeps a slow shard from buffering without
+        limit.  ``None`` for an empty batch.
+        """
+        batch = self._validate(list(events))
+        if not batch:
+            return None
+        per_shard: Dict[int, List[Tuple[str, float]]] = {}
+        slots: List[Tuple[int, int]] = []  # event i -> (shard, row)
+        for stream, value in batch:
+            owner = self._shard_for(stream)
+            rows = per_shard.setdefault(owner, [])
+            slots.append((owner, len(rows)))
+            rows.append((stream, value))
+        tickets: List[Tuple[int, int]] = []
+        for owner, rows in per_shard.items():
+            shard = self._shards[owner]
+            while len(shard.pending) >= self.config.max_pending_batches:
+                # Backpressure: drain the oldest in-flight batch. Its
+                # results are owed to an earlier submit()'s ticket, so
+                # park them for that collect() to find.
+                self._drain_oldest(shard)
+            tickets.append((owner, self._request(shard, "ingest", rows)))
+        results: List[Optional[Forecast]] = [None] * len(batch)
+        return tickets, slots, results
+
+    def _drain_oldest(self, shard: _Shard) -> None:
+        """Collect the shard's oldest in-flight reply into the park.
+
+        Backpressure helper for :meth:`submit`: its results are owed
+        to an earlier submit()'s ticket, so they are parked for that
+        :meth:`collect` to find.
+        """
+        idx = self._shards.index(shard)
+        seq = shard.pending[0]
+        self._parked[(idx, seq)] = self._collect(shard, seq)
+
+    def collect(self, ticket) -> List[Forecast]:
+        """Wait for a :meth:`submit` ticket's shards; reassemble order."""
+        if ticket is None:
+            return []
+        tickets, slots, results = ticket
+        shard_rows: Dict[int, List[Forecast]] = {}
+        for owner, seq in tickets:
+            shard_rows[owner] = self._collect(self._shards[owner], seq)
+        for i, (owner, row) in enumerate(slots):
+            results[i] = shard_rows[owner][row]
+        return results
+
+    def ingest(
+        self, events: Iterable[Tuple[str, float]]
+    ) -> List[Forecast]:
+        """Ingest one micro-batch across all shards (fan-out + gather).
+
+        Shards score their slices concurrently; results come back in
+        input order.  Bitwise identical to a single-process
+        :meth:`ForecastService.ingest` of the same events.
+        """
+        return self.collect(self.submit(events))
+
+    def ingest_one(self, stream: str, value: float) -> Forecast:
+        """Single-event convenience (a micro-batch of one)."""
+        return self.ingest([(stream, value)])[0]
+
+    # -- introspection -------------------------------------------------------
+
+    def streams(self) -> List[str]:
+        """Sorted names of all bound streams (across all shards)."""
+        return sorted(self._bindings)
+
+    def _stream(self, stream: str) -> Tuple[str, int]:
+        """Validation hook (server parity): the stream's model key."""
+        key = self._bindings.get(stream)
+        if key is None:
+            known = ", ".join(self.streams()) or "none"
+            raise ValueError(
+                f"unknown stream {stream!r} (bound: {known})"
+            ) from None
+        return key
+
+    def shard_of(self, stream: str) -> int:
+        """Which shard serves ``stream`` (routing introspection)."""
+        self._stream(stream)
+        return self._shard_for(stream)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated service statistics (same schema as the gateway).
+
+        Per-worker snapshots are merged: counters sum, coverage is
+        recomputed from the summed numerators/denominators, and
+        ``per_stream`` is the union (streams are disjoint across
+        shards).  A ``per_shard`` summary is appended for operators;
+        a dead worker contributes an ``error`` entry there instead of
+        failing the whole snapshot (its counters are excluded — the
+        aggregate undercounts while a shard is down).
+        """
+        merged: Dict[str, object] = {
+            "streams": 0, "models": set(), "events": 0,
+            "micro_batches": 0, "ready_steps": 0, "predicted_steps": 0,
+            "evicted_streams": 0, "per_stream": {},
+        }
+        per_shard = []
+        for i, shard in enumerate(self._shards):
+            try:
+                stats = self._call(shard, "stats")
+            except ShardError as exc:
+                per_shard.append({"worker": i, "error": str(exc)})
+                continue
+            merged["streams"] += stats["streams"]
+            merged["models"].update(stats["models"])
+            for field in ("events", "micro_batches", "ready_steps",
+                          "predicted_steps", "evicted_streams"):
+                merged[field] += stats[field]
+            merged["per_stream"].update(stats["per_stream"])
+            per_shard.append({
+                "worker": i, "streams": stats["streams"],
+                "events": stats["events"],
+                "micro_batches": stats["micro_batches"],
+                "evicted_streams": stats["evicted_streams"],
+            })
+        ready = merged["ready_steps"]
+        merged["models"] = sorted(merged["models"])
+        merged["coverage"] = (
+            merged["predicted_steps"] / ready if ready else 0.0
+        )
+        merged["per_shard"] = per_shard
+        return merged
+
+    def healthz(self) -> Dict[str, object]:
+        """Aggregate liveness snapshot (per-stream detail dropped)."""
+        stats = self.stats()
+        stats.pop("per_stream")
+        stats["workers"] = self.workers
+        stats["workers_alive"] = sum(
+            1 for s in self._shards if s.process.is_alive()
+        )
+        stats["status"] = "ok" if self._bindings else "no-streams"
+        if stats["workers_alive"] < self.workers or any(
+            "error" in s for s in stats["per_shard"]
+        ):
+            stats["status"] = "degraded"
+        return stats
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop every worker, then unlink all shared segments.
+
+        Safe after worker crashes and idempotent; the shared pool is
+        closed **after** the workers are gone, so no attach can race
+        an unlink.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.conn.send(("stop", shard.seq + 1))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=timeout_s)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.terminate()
+                shard.process.join(timeout=timeout_s)
+            shard.conn.close()
+            shard.reader.join(timeout=timeout_s)
+        self.pool.close()
+
+    def __enter__(self) -> "ShardedForecastService":
+        """``with ShardedForecastService(...)`` closes on exit."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Close workers and unlink segments on context exit."""
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close(timeout_s=1.0)
+        except Exception:
+            pass

@@ -1,0 +1,243 @@
+"""Pluggable per-stream state storage for the serving gateway.
+
+:class:`~repro.service.gateway.ForecastService` originally kept its
+per-stream state (ring buffer + counters + model binding) in a private
+dict, which welded two decisions together that a multi-tenant gateway
+needs to make independently: *where* stream state lives and *how long*
+it lives.  This module splits them out:
+
+* :class:`StreamState` — the state itself, one instance per bound
+  stream (extracted from the gateway, unchanged in layout);
+* :class:`StreamStore` — the storage interface the gateway programs
+  against: get/add/remove plus an activity signal (:meth:`touch`) and
+  an eviction sweep.  Sharded serving
+  (:mod:`repro.service.sharding`) gives every worker its own store;
+  a future external store (redis-style, spill-to-disk) only has to
+  implement this surface;
+* :class:`InMemoryStreamStore` — the in-process implementation: an
+  ordered dict in least-recently-active order, with optional
+  **idle-TTL** and **max-streams LRU** eviction so a gateway that sees
+  millions of one-shot streams does not grow state without bound.
+
+Eviction is *unbinding*: an evicted stream's ring buffer and counters
+are dropped and later events for it are rejected as unknown (clients
+re-bind and re-fill — a half-remembered window would silently produce
+different forecasts than a fresh one).  Every eviction increments
+:attr:`~StreamStore.evicted_streams`, surfaced through
+``ForecastService.stats()``.  With both limits off (the default) the
+store never evicts and the gateway's bitwise behavior is exactly the
+pre-store dict's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from time import monotonic
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..serve import RingWindowBuffer
+
+__all__ = ["InMemoryStreamStore", "StreamState", "StreamStore"]
+
+
+class StreamState:
+    """Per-stream serving state: ring buffer + counters + binding.
+
+    Attributes
+    ----------
+    ring:
+        The stream's :class:`~repro.serve.RingWindowBuffer`.
+    model_key:
+        ``(model_name, version)`` the stream is bound to.
+    n_steps, n_predicted:
+        Ready steps seen / steps with at least one matching rule — the
+        stream's coverage counters.
+    """
+
+    __slots__ = ("ring", "model_key", "n_steps", "n_predicted")
+
+    def __init__(self, d: int, model_key: Tuple[str, int]) -> None:
+        self.ring = RingWindowBuffer(d)
+        self.model_key = model_key
+        self.n_steps = 0
+        self.n_predicted = 0
+
+
+class StreamStore(ABC):
+    """Storage interface for per-stream gateway state.
+
+    The gateway's contract with its store is deliberately small: exact
+    lookups, insertion/removal, an activity signal (:meth:`touch`, one
+    call per event on the hot path) and an explicit :meth:`sweep` the
+    gateway runs once per ingested batch.  Implementations own the
+    eviction *policy*; the gateway owns the eviction *semantics* (an
+    evicted stream is unbound and must re-bind).
+
+    Attributes
+    ----------
+    evicted_streams:
+        Total streams this store has evicted since construction.
+    """
+
+    evicted_streams: int = 0
+
+    @abstractmethod
+    def get(self, name: str) -> Optional[StreamState]:
+        """The state bound to ``name``, or ``None`` (no activity mark)."""
+
+    @abstractmethod
+    def add(self, name: str, state: StreamState) -> None:
+        """Insert a new stream; raises ``ValueError`` if already bound."""
+
+    @abstractmethod
+    def remove(self, name: str) -> Optional[StreamState]:
+        """Drop and return a stream's state (``None`` when absent)."""
+
+    @abstractmethod
+    def touch(self, name: str) -> None:
+        """Mark a stream active now (refreshes TTL / LRU position)."""
+
+    @abstractmethod
+    def sweep(self) -> int:
+        """Apply the eviction policy; return how many streams left."""
+
+    @abstractmethod
+    def names(self) -> List[str]:
+        """Sorted names of all currently stored streams."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[str, StreamState]]:
+        """Iterate ``(name, state)`` pairs (storage order)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of streams currently stored."""
+
+    def __contains__(self, name: str) -> bool:
+        """Membership via :meth:`get` (no activity mark)."""
+        return self.get(name) is not None
+
+    def stats(self) -> Dict[str, object]:
+        """Store-level counters for ``ForecastService.stats()``."""
+        return {"streams": len(self), "evicted_streams": self.evicted_streams}
+
+
+class InMemoryStreamStore(StreamStore):
+    """In-process store: dict semantics + idle-TTL / max-streams LRU.
+
+    Streams are kept in least-recently-active order (an
+    ``OrderedDict`` moved-to-end on :meth:`touch`), which makes both
+    eviction policies O(evicted) per sweep:
+
+    * ``ttl_s`` — a stream idle longer than this is evicted on the
+      next sweep.  Idle means *no events*; a stream that only ever
+      fills dashboards stays bound as long as it keeps producing.
+    * ``max_streams`` — inserting beyond this evicts the
+      least-recently-active stream first (classic LRU).  Enforced at
+      :meth:`add` time, so the store never holds more than
+      ``max_streams`` entries even between sweeps.
+
+    Both default to ``None`` (no eviction): the gateway's historical
+    grow-forever behavior, bitwise unchanged.
+
+    Parameters
+    ----------
+    ttl_s:
+        Idle seconds before a stream is evictable (``None`` = never).
+    max_streams:
+        Hard cap on stored streams (``None`` = unbounded).
+    clock:
+        Monotonic time source — injectable so eviction tests don't
+        sleep.
+    """
+
+    def __init__(
+        self,
+        ttl_s: Optional[float] = None,
+        max_streams: Optional[int] = None,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None)")
+        if max_streams is not None and max_streams < 1:
+            raise ValueError("max_streams must be >= 1 (or None)")
+        self.ttl_s = ttl_s
+        self.max_streams = max_streams
+        self.evicted_streams = 0
+        self._clock = clock
+        self._states: "OrderedDict[str, StreamState]" = OrderedDict()
+        self._last_active: Dict[str, float] = {}
+
+    def get(self, name: str) -> Optional[StreamState]:
+        """Plain lookup — does not refresh the LRU position."""
+        return self._states.get(name)
+
+    def add(self, name: str, state: StreamState) -> None:
+        """Insert a new stream, LRU-evicting over ``max_streams``."""
+        if name in self._states:
+            raise ValueError(f"stream {name!r} is already stored")
+        if (
+            self.max_streams is not None
+            and len(self._states) >= self.max_streams
+        ):
+            # Evict before inserting so the cap is never exceeded; the
+            # new stream is by definition the most recently active.
+            overflow = len(self._states) - self.max_streams + 1
+            for _ in range(overflow):
+                self._evict_oldest()
+        self._states[name] = state
+        self._last_active[name] = self._clock()
+
+    def remove(self, name: str) -> Optional[StreamState]:
+        """Drop a stream without counting it as evicted."""
+        self._last_active.pop(name, None)
+        return self._states.pop(name, None)
+
+    def touch(self, name: str) -> None:
+        """Refresh a stream's activity time and LRU position.
+
+        With neither limit configured this is a no-op — the hot path
+        (one touch per ingested event) pays nothing for a policy it
+        does not use.
+        """
+        if self.ttl_s is None and self.max_streams is None:
+            return
+        self._states.move_to_end(name)
+        self._last_active[name] = self._clock()
+
+    def sweep(self) -> int:
+        """Evict every stream idle for longer than ``ttl_s``.
+
+        The store is in least-recently-active order, so the sweep
+        walks from the front and stops at the first live stream —
+        batches with nothing to evict pay one comparison.
+        """
+        if self.ttl_s is None or not self._states:
+            return 0
+        cutoff = self._clock() - self.ttl_s
+        evicted = 0
+        while self._states:
+            oldest = next(iter(self._states))
+            if self._last_active[oldest] > cutoff:
+                break
+            self._evict_oldest()
+            evicted += 1
+        return evicted
+
+    def _evict_oldest(self) -> None:
+        name, _ = self._states.popitem(last=False)
+        self._last_active.pop(name, None)
+        self.evicted_streams += 1
+
+    def names(self) -> List[str]:
+        """Sorted names of all stored streams."""
+        return sorted(self._states)
+
+    def items(self) -> Iterator[Tuple[str, StreamState]]:
+        """Iterate ``(name, state)`` in least-recently-active order."""
+        return iter(self._states.items())
+
+    def __len__(self) -> int:
+        """Number of streams currently stored."""
+        return len(self._states)

@@ -199,3 +199,78 @@ class TestNetworkBitwise:
             got[reply["stream"]].append(reply)
         for name in streams:
             assert got[name] == expected[name]
+
+
+class TestShardedNetworkBitwise:
+    """The wire contract survives sharding: server over worker shards."""
+
+    def test_server_over_sharded_service_is_bitwise(self):
+        """--listen + --workers path: TCP responses, /metrics, /healthz.
+
+        One deterministic schedule (process spawn is the expensive
+        part, the ring/parity property suites cover the combinatorics)
+        driven through a ForecastServer whose backing service is a
+        2-worker ShardedForecastService; every response must match the
+        serial single-process oracle bit for bit, and shutdown must
+        leave /dev/shm empty.
+        """
+        from repro.parallel.shm import live_segments
+        from repro.service.sharding import (
+            ShardConfig,
+            ShardedForecastService,
+        )
+
+        rng = np.random.default_rng(123)
+        pool, streams = _build(rng, 4, 12, 5, 20)
+        events = interleaved_events(rng, streams)
+
+        async def drive():
+            sharded = ShardedForecastService(
+                config=ShardConfig(workers=2)
+            )
+            for name in streams:
+                sharded.bind_system(name, pool, model="prop")
+            config = ServerConfig(
+                queue_size=len(events) + 8,
+                max_pending_per_conn=len(events) + 8,
+                metrics_top_k=3,
+            )
+            try:
+                async with ForecastServer(sharded, config) as server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                    for name, value in events:
+                        writer.write(_wire_line(rng, name, value).encode())
+                    await writer.drain()
+                    out = [
+                        json.loads(await reader.readline()) for _ in events
+                    ]
+                    writer.close()
+                    await writer.wait_closed()
+                    metrics = server.render_metrics()
+                    health = server.healthz()
+                return out, metrics, health
+            finally:
+                sharded.close()
+
+        out, metrics, health = asyncio.run(drive())
+
+        oracle = _serial_oracle(pool, streams, [events])
+        got = {name: [] for name in streams}
+        for (name, _), reply in zip(events, out):
+            got[name].append(reply)
+        for name in streams:
+            assert got[name] == oracle[name]
+
+        # Aggregated observability: shard-merged stats behind the same
+        # endpoints, per-stream series capped at top-K + "other".
+        assert health["workers"] == 2 and health["status"] == "ok"
+        assert len(health["per_shard"]) == 2
+        assert json.dumps(health)  # JSON-serializable end to end
+        cov = [ln for ln in metrics.splitlines()
+               if ln.startswith("repro_gateway_stream_coverage{")]
+        assert len(cov) == 4  # top-3 + the "other" aggregate
+        assert any('stream="other"' in ln for ln in cov)
+        assert live_segments() == []

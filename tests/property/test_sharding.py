@@ -1,0 +1,345 @@
+"""Sharded gateway properties: routing, parity, cleanup.
+
+Three contracts from ``repro.service.sharding``:
+
+* **ring** — the consistent-hash ring balances 10k+ streams within
+  its documented :attr:`ConsistentHashRing.BALANCE_BOUND` and remaps
+  minimally on membership change: a join only pulls keys *to* the new
+  node (about ``streams / (n + 1)`` of them), a leave only moves the
+  left node's keys, and survivors never trade keys with each other;
+* **parity** — :class:`ShardedForecastService` is bitwise identical
+  to a single-process :class:`ForecastService` fed the same events,
+  for any batch partitioning, any worker count, and through the
+  pipelined ``submit``/``collect`` path with backpressure engaged;
+* **cleanup** — no ``/dev/shm`` segment survives ``close()``, even
+  when a worker was killed -9 mid-service (workers attach untracked;
+  only the parent unlinks).
+
+Worker processes spawn per test *class* (module-scoped fixtures keep
+the spawn cost amortised); the pure-ring properties run without any
+process machinery.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.parallel.shm import live_segments
+from repro.service import ForecastService
+from repro.service.sharding import (
+    ConsistentHashRing,
+    ShardConfig,
+    ShardedForecastService,
+    _stable_hash,
+)
+
+N_KEYS = 10_000
+KEYS = [f"stream-{i:05d}" for i in range(N_KEYS)]
+
+
+# -- the ring, pure ----------------------------------------------------------
+
+
+class TestRingBalance:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 8])
+    def test_balance_bound_at_10k_streams(self, workers):
+        """Max node share <= BALANCE_BOUND x ideal — the documented bound."""
+        ring = ConsistentHashRing(f"shard-{i}" for i in range(workers))
+        counts = Counter(ring.node_for(k) for k in KEYS)
+        assert len(counts) == workers  # nobody starves
+        ideal = N_KEYS / workers
+        assert max(counts.values()) <= ConsistentHashRing.BALANCE_BOUND * ideal
+
+    def test_hash_is_process_stable(self):
+        """blake2b, not salted hash(): pinned so restarts route alike."""
+        assert _stable_hash("stream-00000") == 0x558C2F95301EBD4F
+
+    def test_routing_is_insertion_order_insensitive(self):
+        a = ConsistentHashRing(["n0", "n1", "n2"])
+        b = ConsistentHashRing(["n2", "n0", "n1"])
+        assert [a.node_for(k) for k in KEYS[:500]] == [
+            b.node_for(k) for k in KEYS[:500]
+        ]
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = ConsistentHashRing(["n0"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add_node("n0")
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove_node("ghost")
+        with pytest.raises(ValueError, match="no nodes"):
+            ConsistentHashRing().node_for("k")
+
+
+class TestRingRemapping:
+    @settings(max_examples=25, deadline=None)
+    @given(n_nodes=st.integers(2, 8), seed=st.integers(0, 2**16))
+    def test_join_moves_only_to_the_new_node(self, n_nodes, seed):
+        """Every remapped key lands on the joiner, and not too many move."""
+        rng = np.random.default_rng(seed)
+        sample = [KEYS[i] for i in rng.choice(N_KEYS, 2_000, replace=False)]
+        ring = ConsistentHashRing(f"n{i}" for i in range(n_nodes))
+        before = {k: ring.node_for(k) for k in sample}
+        ring.add_node("joiner")
+        moved = [k for k in sample if ring.node_for(k) != before[k]]
+        assert all(ring.node_for(k) == "joiner" for k in moved)
+        bound = ConsistentHashRing.BALANCE_BOUND * len(sample) / (n_nodes + 1)
+        assert len(moved) <= bound
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_nodes=st.integers(2, 8), victim=st.integers(0, 7),
+           seed=st.integers(0, 2**16))
+    def test_leave_moves_exactly_the_left_nodes_keys(
+        self, n_nodes, victim, seed
+    ):
+        """Survivors keep every key they had; orphans all re-home."""
+        rng = np.random.default_rng(seed)
+        sample = [KEYS[i] for i in rng.choice(N_KEYS, 2_000, replace=False)]
+        ring = ConsistentHashRing(f"n{i}" for i in range(n_nodes))
+        gone = f"n{victim % n_nodes}"
+        before = {k: ring.node_for(k) for k in sample}
+        ring.remove_node(gone)
+        for k in sample:
+            after = ring.node_for(k)
+            if before[k] == gone:
+                assert after != gone
+            else:
+                assert after == before[k]
+
+    def test_join_then_leave_restores_routing(self):
+        ring = ConsistentHashRing(["n0", "n1", "n2"])
+        before = [ring.node_for(k) for k in KEYS[:1000]]
+        ring.add_node("n3")
+        ring.remove_node("n3")
+        assert [ring.node_for(k) for k in KEYS[:1000]] == before
+
+
+# -- sharded service parity --------------------------------------------------
+
+
+D = 6
+N_STREAMS = 12
+STREAM_NAMES = [f"s-{i:02d}" for i in range(N_STREAMS)]
+
+
+def _pool(n_rules, seed, prediction_scale=1.0):
+    """A small mixed constant/linear pool over [-1, 1]^D windows."""
+    rng = np.random.default_rng(seed)
+    rules = []
+    for k in range(n_rules):
+        center = rng.uniform(-1, 1, size=D)
+        rule = Rule.from_box(
+            center - 0.6, center + 0.6,
+            prediction=float(rng.normal()) * prediction_scale,
+        )
+        rule.wildcard = rng.random(D) < 0.2
+        rule.error = 1.0
+        if k % 2 == 0:
+            rule.coeffs = np.concatenate(
+                [rng.normal(size=D) * 0.1, [float(rng.normal())]]
+            )
+        rules.append(rule)
+    return RuleSystem(rules)
+
+
+def _bind_all(service):
+    big, small = _pool(24, seed=1), _pool(10, seed=2)
+    for i, name in enumerate(STREAM_NAMES):
+        service.bind_system(
+            name, big if i % 3 else small, "big" if i % 3 else "small"
+        )
+
+
+def _forecast_key(f):
+    """Every Forecast field, NaN-safe for bitwise comparison."""
+    return (f.stream, f.t, repr(f.value), f.predicted, f.n_rules_used,
+            f.ready, f.model, f.version)
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One 3-worker service reused by every parity example."""
+    service = ShardedForecastService(
+        config=ShardConfig(workers=3, max_pending_batches=2)
+    )
+    _bind_all(service)
+    yield service
+    service.close()
+    assert live_segments() == []
+
+
+@pytest.fixture(scope="module")
+def reference():
+    service = ForecastService()
+    _bind_all(service)
+    return service
+
+
+class TestShardedParity:
+    """Bitwise identity with a single-process gateway.
+
+    The module-scoped services accumulate state across examples —
+    which is the point: parity must hold along the *whole* interleaved
+    history, not per fresh service.  Both sides see the same events in
+    the same order, so their streams stay in lockstep.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_bitwise_identical_under_random_partitions(
+        self, data, sharded, reference
+    ):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        n_events = int(rng.integers(20, 120))
+        picks = rng.integers(0, N_STREAMS, size=n_events)
+        events = [
+            (STREAM_NAMES[s], float(rng.normal())) for s in picks
+        ]
+        # Random partitioning into micro-batches.
+        out_ref, out_shard, i = [], [], 0
+        while i < len(events):
+            k = int(rng.integers(1, 40))
+            out_ref.extend(reference.ingest(events[i:i + k]))
+            out_shard.extend(sharded.ingest(events[i:i + k]))
+            i += k
+        assert [_forecast_key(f) for f in out_ref] == [
+            _forecast_key(f) for f in out_shard
+        ]
+
+    def test_pipelined_submit_collect_is_bitwise_too(
+        self, sharded, reference
+    ):
+        """Deep pipelining (backpressure engaged) changes nothing."""
+        rng = np.random.default_rng(99)
+        batches = []
+        for _ in range(12):
+            n = int(rng.integers(5, 30))
+            picks = rng.integers(0, N_STREAMS, size=n)
+            batches.append(
+                [(STREAM_NAMES[s], float(rng.normal())) for s in picks]
+            )
+        ref_out = [f for b in batches for f in reference.ingest(b)]
+        tickets = [sharded.submit(b) for b in batches]  # all in flight
+        shard_out = [f for t in tickets for f in sharded.collect(t)]
+        assert [_forecast_key(f) for f in ref_out] == [
+            _forecast_key(f) for f in shard_out
+        ]
+
+    def test_large_pipelined_batches_do_not_deadlock(
+        self, sharded, reference
+    ):
+        """Batches whose replies overflow the pipe's kernel buffer.
+
+        A worker blocked sending a multi-hundred-KiB reply stops
+        reading; pipelining another large batch into it used to
+        deadlock both sides in ``send``.  The parent's per-shard
+        reader thread is the fix — this replay (several thousand
+        forecasts per in-flight reply) hangs forever without it.
+        """
+        rng = np.random.default_rng(7)
+        batches = []
+        for _ in range(3):
+            picks = rng.integers(0, N_STREAMS, size=4_000)
+            batches.append(
+                [(STREAM_NAMES[s], float(rng.normal())) for s in picks]
+            )
+        ref_out = [f for b in batches for f in reference.ingest(b)]
+        tickets = [sharded.submit(b) for b in batches]
+        shard_out = [f for t in tickets for f in sharded.collect(t)]
+        assert [_forecast_key(f) for f in ref_out] == [
+            _forecast_key(f) for f in shard_out
+        ]
+
+    def test_stats_merge_matches_single_process(self, sharded, reference):
+        ref, sh = reference.stats(), sharded.stats()
+        for key in ("streams", "events", "ready_steps", "predicted_steps",
+                    "evicted_streams", "models", "coverage", "per_stream"):
+            assert ref[key] == sh[key], key
+        assert len(sh["per_shard"]) == 3
+        assert sum(s["streams"] for s in sh["per_shard"]) == N_STREAMS
+
+    def test_batch_validation_is_atomic_across_shards(self, sharded):
+        """A bad event dispatches nothing — no shard sees the batch."""
+        before = sharded.stats()["events"]
+        with pytest.raises(ValueError, match="unknown stream"):
+            sharded.ingest([(STREAM_NAMES[0], 1.0), ("ghost", 1.0)])
+        with pytest.raises(ValueError, match="non-finite"):
+            sharded.ingest([(STREAM_NAMES[0], 1.0),
+                            (STREAM_NAMES[1], float("nan"))])
+        assert sharded.stats()["events"] == before
+
+    def test_routing_is_stable_and_total(self, sharded):
+        owners = {name: sharded.shard_of(name) for name in STREAM_NAMES}
+        assert set(owners.values()) <= {0, 1, 2}
+        assert {sharded.shard_of(n) for n in STREAM_NAMES} == set(
+            owners.values()
+        )
+        with pytest.raises(ValueError, match="unknown stream"):
+            sharded.shard_of("ghost")
+
+    def test_rebinding_a_bound_stream_rejected(self, sharded):
+        with pytest.raises(ValueError, match="already bound"):
+            sharded.bind_system(STREAM_NAMES[0], _pool(5, seed=7), "dup")
+
+
+# -- lifecycle and cleanup ---------------------------------------------------
+
+
+class TestShardedLifecycle:
+    def test_worker_kill_leaks_no_segments(self):
+        """-9 a worker mid-service: close() still clears /dev/shm.
+
+        Workers attach segments untracked and never own them; only
+        the parent pool unlinks.  This is the crash half of the
+        no-leak acceptance criterion.
+        """
+        service = ShardedForecastService(config=ShardConfig(workers=2))
+        # Big enough blocks to actually cross the sharing threshold.
+        pool = _pool(400, seed=3)
+        service.bind_system("a", pool, "big")
+        service.bind_system("b", pool, "big")
+        service.ingest([("a", 0.1), ("b", 0.2)])
+        assert service.pool.n_leased > 0
+        assert live_segments() != []
+        victim = service._shards[0].process
+        victim.terminate()
+        victim.join()
+        health = service.healthz()
+        assert health["status"] == "degraded"
+        assert health["workers_alive"] == 1
+        service.close()
+        assert live_segments() == []
+
+    def test_close_is_idempotent(self):
+        service = ShardedForecastService(config=ShardConfig(workers=2))
+        service.bind_system("a", _pool(5, seed=4), "m")
+        service.close()
+        service.close()
+        assert live_segments() == []
+
+    def test_dead_shard_raises_shard_error_on_ingest(self):
+        from repro.service.sharding import ShardError
+
+        service = ShardedForecastService(config=ShardConfig(workers=2))
+        try:
+            service.bind_system("a", _pool(5, seed=5), "m")
+            service.ingest([("a", 0.5)])
+            owner = service.shard_of("a")
+            service._shards[owner].process.terminate()
+            service._shards[owner].process.join()
+            with pytest.raises(ShardError):
+                service.ingest([("a", 0.5)])
+        finally:
+            service.close()
+        assert live_segments() == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardConfig(workers=0)
+        with pytest.raises(ValueError, match="max_pending_batches"):
+            ShardConfig(max_pending_batches=0)

@@ -138,6 +138,15 @@ class TestServingParser:
         assert defaults.listen is None
         assert defaults.queue_size == 4096 and defaults.window_ms == 50.0
 
+    def test_serve_sharding_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--bind", "a=m", "--workers", "4",
+             "--metrics-top-k", "5"]
+        )
+        assert args.workers == 4 and args.metrics_top_k == 5
+        defaults = build_parser().parse_args(["serve", "--bind", "a=m"])
+        assert defaults.workers == 1 and defaults.metrics_top_k == 20
+
     def test_parse_listen(self):
         from repro.cli import _parse_listen
 
@@ -247,6 +256,45 @@ class TestServingMain:
         ready = [ln for ln in lines if ln["ready"]]
         assert {ln["stream"] for ln in ready} == {"a", "b"}
         assert all(ln["value"] == 3.0 for ln in ready)
+
+    def test_serve_sharded_matches_single_process(
+        self, capsys, tmp_path, snapshot, monkeypatch
+    ):
+        """--workers 2 replays bitwise identically to --workers 1."""
+        import io
+        import json
+
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        capsys.readouterr()
+        feed = "".join(
+            f"{s},0.5\n" for _ in range(3) for s in ("a", "b", "c")
+        )
+        outputs = []
+        for workers in ("1", "2"):
+            monkeypatch.setattr("sys.stdin", io.StringIO(feed))
+            assert main(["serve", "--registry", reg, "--bind", "a=m",
+                         "--bind", "b=m", "--bind", "c=m", "--batch", "4",
+                         "--workers", workers, "--stats"]) == 0
+            outputs.append(capsys.readouterr().out.splitlines())
+        events_1, stats_1 = outputs[0][:-1], json.loads(outputs[0][-1])
+        events_2, stats_2 = outputs[1][:-1], json.loads(outputs[1][-1])
+        assert events_1 == events_2  # byte-for-byte JSON lines
+        for key in ("streams", "events", "ready_steps", "predicted_steps",
+                    "coverage", "models", "per_stream"):
+            assert stats_1[key] == stats_2[key], key
+        assert len(stats_2["per_shard"]) == 2
+
+        from repro.parallel.shm import live_segments
+
+        assert live_segments() == []
+
+    def test_serve_rejects_bad_workers(self, capsys, tmp_path):
+        rc = main(["serve", "--registry", str(tmp_path / "r"),
+                   "--bind", "a=m", "--workers", "0"])
+        assert rc == 2
+        assert "--workers must be >= 1" in capsys.readouterr().out
 
     def test_serve_unknown_model_is_clean_error(self, capsys, tmp_path):
         rc = main(["serve", "--registry", str(tmp_path / "r"),

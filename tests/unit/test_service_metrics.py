@@ -151,6 +151,125 @@ class TestHistogram:
                 Histogram("lat", "latency", buckets=bad)
 
 
+class TestHistogramTopK:
+    def _capped(self, top_k=2):
+        h = Histogram(
+            "lat", "latency", ["stream"], buckets=[0.01, 0.1], top_k=top_k
+        )
+        for _ in range(5):
+            h.observe(0.005, stream="busy")
+        for _ in range(3):
+            h.observe(0.05, stream="mid")
+        h.observe(0.5, stream="cold-a")
+        h.observe(0.005, stream="cold-b")
+        return h
+
+    def test_top_k_keeps_busiest_and_merges_rest(self):
+        lines = self._capped().render()
+        labelled = {
+            ln.split("{")[1].split('"')[1]
+            for ln in lines
+            if "_bucket" in ln
+        }
+        assert labelled == {"busy", "mid", "other"}
+        # The merge is exact: other = cold-a + cold-b on every axis.
+        assert 'lat_count{stream="other"} 2' in lines
+        assert 'lat_bucket{stream="other",le="0.01"} 1' in lines
+        assert 'lat_bucket{stream="other",le="+Inf"} 2' in lines
+
+    def test_cap_is_a_view_not_a_loss(self):
+        h = self._capped()
+        h.render()
+        # Cold streams' state survives the capped render; enough new
+        # traffic promotes one into the top-K with full history.
+        for _ in range(10):
+            h.observe(0.005, stream="cold-a")
+        lines = h.render()
+        assert 'lat_count{stream="cold-a"} 11' in lines
+
+    def test_under_cap_renders_all_series(self):
+        lines = self._capped(top_k=10).render()
+        assert not any('stream="other"' in ln for ln in lines)
+        assert 'lat_count{stream="cold-a"} 1' in lines
+
+    def test_real_other_stream_merges_into_aggregate(self):
+        h = self._capped()
+        h.observe(0.5, stream="other")
+        lines = h.render()
+        assert 'lat_count{stream="other"} 3' in lines
+
+    def test_top_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="top_k"):
+            Histogram("lat", "latency", ["stream"], top_k=0)
+
+    def test_gauge_clear_drops_series(self):
+        g = Gauge("cov", "coverage", ["stream"])
+        g.set(0.5, stream="a")
+        g.clear()
+        assert [ln for ln in g.render() if not ln.startswith("#")] == []
+
+
+class TestRenderMetricsCap:
+    def test_gateway_gauges_capped_with_other_aggregate(self):
+        """/metrics exposes top-K streams by traffic + one aggregate."""
+        import numpy as np
+
+        from repro.core.rule import Rule
+        from repro.core.predictor import RuleSystem
+        from repro.service import ForecastService, ForecastServer, ServerConfig
+
+        d = 4
+        pool = RuleSystem([
+            Rule.from_box(np.full(d, -10.0), np.full(d, 10.0), prediction=1.0)
+        ])
+        service = ForecastService()
+        for name in ("busy", "mid", "cold-a", "cold-b"):
+            service.bind_system(name, pool, "m")
+        # Traffic: busy 3*d, mid 2*d, colds d each (all windows ready).
+        for reps, name in ((3, "busy"), (2, "mid"),
+                           (1, "cold-a"), (1, "cold-b")):
+            for _ in range(reps):
+                service.ingest([(name, 0.5)] * d)
+        server = ForecastServer(service, ServerConfig(metrics_top_k=2))
+        out = server.render_metrics()
+        cov = [ln for ln in out.splitlines()
+               if ln.startswith("repro_gateway_stream_coverage{")]
+        assert cov == [
+            'repro_gateway_stream_coverage{stream="busy"} 1',
+            'repro_gateway_stream_coverage{stream="mid"} 1',
+            'repro_gateway_stream_coverage{stream="other"} 1',
+        ]
+        # The aggregate sums the tail's predicted steps (1 ready step
+        # per cold stream with the always-matching rule).
+        assert ('repro_gateway_stream_predicted_steps{stream="other"} 2'
+                in out)
+
+    def test_render_is_stable_when_a_stream_leaves_top_k(self):
+        """A stream overtaken in traffic moves into the aggregate."""
+        import numpy as np
+
+        from repro.core.rule import Rule
+        from repro.core.predictor import RuleSystem
+        from repro.service import ForecastService, ForecastServer, ServerConfig
+
+        d = 2
+        pool = RuleSystem([
+            Rule.from_box(np.full(d, -10.0), np.full(d, 10.0), prediction=1.0)
+        ])
+        service = ForecastService()
+        for name in ("a", "b", "c"):
+            service.bind_system(name, pool, "m")
+        server = ForecastServer(service, ServerConfig(metrics_top_k=1))
+        service.ingest([("a", 0.5)] * 3 + [("b", 0.5)] * 2 + [("c", 0.5)])
+        first = server.render_metrics()
+        assert 'repro_gateway_stream_coverage{stream="a"}' in first
+        service.ingest([("b", 0.5)] * 4)
+        second = server.render_metrics()
+        # "a" must not linger as a stale series after losing the slot.
+        assert 'repro_gateway_stream_coverage{stream="a"}' not in second
+        assert 'repro_gateway_stream_coverage{stream="b"}' in second
+
+
 class TestRegistry:
     def test_idempotent_creation(self):
         r = MetricsRegistry()
@@ -200,12 +319,17 @@ def _golden_registry() -> MetricsRegistry:
         lat.observe(v)
     per_stream = r.histogram(
         "repro_stream_ingest_latency_seconds",
-        "Per-stream latency.",
+        "Per-stream latency (top-2 by traffic + other).",
         ["stream"],
         buckets=[0.01, 0.1],
+        top_k=2,
     )
     per_stream.observe(0.004, stream="gauge-venice")
     per_stream.observe(0.04, stream="gauge-venice")
+    per_stream.observe(0.004, stream="gauge-chioggia")
+    per_stream.observe(0.04, stream="gauge-chioggia")
+    per_stream.observe(0.2, stream="gauge-burano")
+    per_stream.observe(0.004, stream="gauge-murano")
     return r
 
 

@@ -1,0 +1,191 @@
+"""Unit tests for the pluggable stream store (repro.service.store).
+
+The store owns eviction *policy* (idle TTL, max-streams LRU); the
+gateway owns eviction *semantics* (an evicted stream is unbound and
+must re-bind).  Both halves are pinned here: the policy with an
+injected fake clock so nothing sleeps, the semantics end-to-end
+through ``ForecastService.ingest``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.service import ForecastService, InMemoryStreamStore, StreamState
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def _state(d: int = 3) -> StreamState:
+    return StreamState(d, ("m", 1))
+
+
+class TestInMemoryStore:
+    def test_add_get_remove_roundtrip(self):
+        store = InMemoryStreamStore()
+        state = _state()
+        store.add("a", state)
+        assert store.get("a") is state
+        assert "a" in store and len(store) == 1
+        assert store.remove("a") is state
+        assert store.get("a") is None and len(store) == 0
+
+    def test_duplicate_add_rejected(self):
+        store = InMemoryStreamStore()
+        store.add("a", _state())
+        with pytest.raises(ValueError, match="already stored"):
+            store.add("a", _state())
+
+    def test_remove_does_not_count_as_eviction(self):
+        store = InMemoryStreamStore()
+        store.add("a", _state())
+        store.remove("a")
+        assert store.evicted_streams == 0
+
+    def test_no_limits_means_no_eviction_ever(self):
+        store = InMemoryStreamStore()
+        for i in range(100):
+            store.add(f"s{i}", _state())
+        assert store.sweep() == 0
+        assert len(store) == 100 and store.evicted_streams == 0
+
+    def test_ttl_evicts_idle_streams_only(self):
+        clock = FakeClock()
+        store = InMemoryStreamStore(ttl_s=10.0, clock=clock)
+        store.add("idle", _state())
+        store.add("busy", _state())
+        clock.advance(9.0)
+        store.touch("busy")
+        clock.advance(2.0)  # idle is 11s old, busy 2s
+        assert store.sweep() == 1
+        assert store.get("idle") is None
+        assert store.get("busy") is not None
+        assert store.evicted_streams == 1
+
+    def test_touch_refreshes_ttl(self):
+        clock = FakeClock()
+        store = InMemoryStreamStore(ttl_s=10.0, clock=clock)
+        store.add("a", _state())
+        for _ in range(5):
+            clock.advance(8.0)
+            store.touch("a")
+        assert store.sweep() == 0 and len(store) == 1
+
+    def test_max_streams_evicts_lru_at_add(self):
+        clock = FakeClock()
+        store = InMemoryStreamStore(max_streams=2, clock=clock)
+        store.add("a", _state())
+        clock.advance(1.0)
+        store.add("b", _state())
+        clock.advance(1.0)
+        store.touch("a")  # b is now least recently active
+        store.add("c", _state())
+        assert store.names() == ["a", "c"]
+        assert store.evicted_streams == 1
+        assert len(store) == 2  # cap never exceeded, even pre-sweep
+
+    def test_sweep_stops_at_first_live_stream(self):
+        clock = FakeClock()
+        store = InMemoryStreamStore(ttl_s=10.0, clock=clock)
+        for name in ("a", "b", "c"):
+            store.add(name, _state())
+            clock.advance(6.0)
+        # a idle 18s, b idle 12s, c idle 6s
+        assert store.sweep() == 2
+        assert store.names() == ["c"]
+
+    def test_stats_surface(self):
+        clock = FakeClock()
+        store = InMemoryStreamStore(ttl_s=1.0, clock=clock)
+        store.add("a", _state())
+        clock.advance(2.0)
+        store.sweep()
+        assert store.stats() == {"streams": 0, "evicted_streams": 1}
+
+    def test_items_in_lru_order(self):
+        store = InMemoryStreamStore(max_streams=10)
+        store.add("a", _state())
+        store.add("b", _state())
+        store.touch("a")
+        assert [name for name, _ in store.items()] == ["b", "a"]
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s"):
+            InMemoryStreamStore(ttl_s=0.0)
+        with pytest.raises(ValueError, match="max_streams"):
+            InMemoryStreamStore(max_streams=0)
+
+
+class TestGatewayEviction:
+    """Eviction semantics through the gateway: evicted == unbound."""
+
+    @pytest.fixture()
+    def pool(self):
+        d = 3
+        rule = Rule.from_box(
+            np.full(d, -10.0), np.full(d, 10.0), prediction=1.0
+        )
+        rule.error = 0.1
+        return RuleSystem([rule])
+
+    def test_idle_stream_is_unbound_and_rejected(self, pool):
+        clock = FakeClock()
+        service = ForecastService(
+            store=InMemoryStreamStore(ttl_s=10.0, clock=clock)
+        )
+        service.bind_system("hot", pool, "m")
+        service.bind_system("cold", pool, "m")
+        service.ingest([("hot", 0.5), ("cold", 0.5)])
+        clock.advance(11.0)
+        service.ingest([("hot", 0.5)])  # sweep runs after this batch
+        assert service.streams() == ["hot"]
+        assert service.stats()["evicted_streams"] == 1
+        with pytest.raises(ValueError, match="unknown stream 'cold'"):
+            service.ingest([("cold", 0.5)])
+
+    def test_event_in_current_batch_counts_as_activity(self, pool):
+        clock = FakeClock()
+        service = ForecastService(
+            store=InMemoryStreamStore(ttl_s=10.0, clock=clock)
+        )
+        service.bind_system("a", pool, "m")
+        service.ingest([("a", 0.5)])
+        clock.advance(11.0)
+        # a is idle-expired, but this batch touches it first: survives.
+        service.ingest([("a", 0.5)])
+        assert service.streams() == ["a"]
+        assert service.stats()["evicted_streams"] == 0
+
+    def test_rebound_stream_starts_fresh(self, pool):
+        clock = FakeClock()
+        service = ForecastService(
+            store=InMemoryStreamStore(ttl_s=5.0, clock=clock)
+        )
+        service.bind_system("s", pool, "m")
+        for _ in range(4):
+            service.ingest([("s", 0.5)])
+        clock.advance(6.0)
+        service.bind_system("keepalive", pool, "m")
+        service.ingest([("keepalive", 0.5)])  # sweep evicts "s"
+        service.bind_system("s", pool, "m")  # re-bind is allowed
+        out = service.ingest_one("s", 0.5)
+        assert out.t == 0 and not out.ready  # window refills from zero
+
+    def test_default_store_never_evicts(self, pool):
+        service = ForecastService()
+        service.bind_system("a", pool, "m")
+        for _ in range(50):
+            service.ingest([("a", 0.5)])
+        assert service.stats()["evicted_streams"] == 0

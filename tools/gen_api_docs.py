@@ -34,6 +34,8 @@ MODULES = [
     ("repro.service", SRC / "service" / "__init__.py"),
     ("repro.service.registry", SRC / "service" / "registry.py"),
     ("repro.service.gateway", SRC / "service" / "gateway.py"),
+    ("repro.service.store", SRC / "service" / "store.py"),
+    ("repro.service.sharding", SRC / "service" / "sharding.py"),
     ("repro.service.server", SRC / "service" / "server.py"),
     ("repro.service.metrics", SRC / "service" / "metrics.py"),
     ("repro.io.serialize", SRC / "io" / "serialize.py"),
@@ -55,7 +57,9 @@ source docstrings).*
 
 Covers the serving stack documented in [serving.md](serving.md):
 single-stream serving (`repro.serve`), the registry + gateway
-subsystem (`repro.service`), the async network front-end and its
+subsystem (`repro.service`), the pluggable stream store and the
+sharded multi-process gateway (`repro.service.store`,
+`repro.service.sharding`), the async network front-end and its
 Prometheus metrics (`repro.service.server`, `repro.service.metrics`),
 snapshot persistence
 (`repro.io.serialize`) and the compiled scoring kernels
