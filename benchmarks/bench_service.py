@@ -1,6 +1,6 @@
 """Multi-stream serving gateway benchmarks + end-to-end service smoke.
 
-Four claims from ``docs/serving.md`` are enforced here, with bitwise
+Five claims from ``docs/serving.md`` are enforced here, with bitwise
 checks inline (house rule: no speedup without identical results):
 
 * **micro-batching wins**: at 64 concurrent streams sharing one model,
@@ -28,7 +28,13 @@ checks inline (house rule: no speedup without identical results):
   workers — the 4-shard service clears >= 2.5x the single-process
   events/sec (the speedup line is only recorded where it is
   physically possible, so the perf gate never compares a multi-core
-  claim against a single-core run).
+  claim against a single-core run);
+* **adaptation never touches the wire**: with an
+  :class:`~repro.service.adaptation.AdaptationManager` attached, a
+  stationary replay emits bitwise-identical forecasts to a plain
+  gateway (zero false drift), and a regime-shifted feed runs the full
+  drift -> retrain -> shadow -> promote -> probation cycle
+  deterministically, its wall time recorded.
 
 Setting ``REPRO_BENCH_TINY=1`` shrinks stream lengths and the
 connection count so all three double as the CI ``service-smoke`` /
@@ -514,3 +520,149 @@ def test_sharded_gateway_tier(serving_pool):
         assert speedup >= 2.5, (
             f"sharded gateway only {speedup:.2f}x on {cores} cores"
         )
+
+
+def test_adaptation_tier(tmp_path):
+    """Adaptation closes the loop without touching the wire.
+
+    Two claims from ``docs/serving.md``:
+
+    * **attach is free of wire effects**: a stationary replay through a
+      gateway with an :class:`~repro.service.adaptation.AdaptationManager`
+      attached emits bitwise-identical forecasts to a plain gateway,
+      fires zero drift events, and the maturation/bookkeeping overhead
+      on the ingest path stays a recorded throughput line the
+      perf-regression gate watches;
+    * **the full cycle converges**: on a regime-shifted feed the loop
+      runs drift -> retrain -> shadow -> promote -> probation-pass
+      deterministically; the end-to-end wall time is recorded
+      (informational — retrains happen between batches, off the
+      hot path).
+    """
+    from itertools import count
+
+    from repro.core.config import EvolutionConfig
+    from repro.core.multirun import multirun
+    from repro.service import ModelRegistry
+    from repro.service.adaptation import AdaptationConfig, AdaptationManager
+
+    d = 4
+    n_streams = 8
+    events_per_stream = 250 if TINY else 1_500
+    ga = EvolutionConfig(
+        d=d, horizon=1, population_size=40, generations=60,
+        early_stop_patience=20,
+    )
+
+    def regime_a(n, seed, start=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(start, start + n, dtype=np.float64)
+        return np.sin(t / 6.0) * 3.0 + rng.normal(0.0, 0.05, n)
+
+    def regime_b(n, seed, start=0):
+        rng = np.random.default_rng(seed)
+        t = np.arange(start, start + n, dtype=np.float64)
+        return np.sin(t * 1.3) * 5.0 + rng.normal(0.0, 0.05, n)
+
+    champion = multirun(
+        WindowDataset.from_series(regime_a(400, seed=3), d, 1), ga,
+        coverage_target=0.95, max_executions=2, root_seed=5,
+    ).system
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.register("tide", champion, promote=True)
+
+    names = [f"s{i:02d}" for i in range(n_streams)]
+    feeds = {
+        name: regime_a(events_per_stream, seed=100 + i, start=400)
+        for i, name in enumerate(names)
+    }
+    total_events = n_streams * events_per_stream
+
+    def run(adapt):
+        service = ForecastService(registry=registry)
+        for name in names:
+            service.bind(name, "tide")
+        manager = None
+        if adapt:
+            ticks = count()
+            manager = AdaptationManager(
+                service, registry, config=AdaptationConfig(),
+                clock=lambda: float(next(ticks)),
+            )
+        out = []
+        start = time.perf_counter()
+        for i in range(events_per_stream):
+            round_events = [(name, feeds[name][i]) for name in names]
+            out.extend(service.ingest(round_events))
+            if manager is not None:
+                manager.poll()
+        return time.perf_counter() - start, out, manager
+
+    run(False), run(True)  # warm-up
+    plain_elapsed, plain, _ = min(
+        (run(False) for _ in range(3)), key=lambda r: r[0]
+    )
+    adapt_elapsed, adapting, manager = min(
+        (run(True) for _ in range(3)), key=lambda r: r[0]
+    )
+
+    # -- zero wire effect, stationary feed -------------------------------
+    assert len(plain) == len(adapting) == total_events
+    for base, shadowed in zip(plain, adapting):
+        assert base.stream == shadowed.stream and base.t == shadowed.t
+        assert base.ready == shadowed.ready
+        assert base.predicted == shadowed.predicted
+        assert np.array_equal(
+            [base.value], [shadowed.value], equal_nan=True
+        )
+    stats = manager.stats()
+    assert stats["drift_events"] == 0 and stats["promotions"] == 0
+
+    # -- full cycle on a regime shift ------------------------------------
+    cycle_registry = ModelRegistry(tmp_path / "cycle-registry")
+    cycle_registry.register("tide", champion, promote=True)
+    service = ForecastService(registry=cycle_registry)
+    service.bind("gauge", "tide")
+    ticks = count()
+    cycle_manager = AdaptationManager(
+        service, cycle_registry,
+        config=AdaptationConfig(retrain_config=ga, retrain_max_executions=2),
+        clock=lambda: float(next(ticks)),
+    )
+    traffic = np.concatenate(
+        [regime_a(150, seed=9, start=400), regime_b(350, seed=11)]
+    )
+    start = time.perf_counter()
+    for i in range(0, traffic.shape[0], 8):
+        service.ingest([("gauge", float(v)) for v in traffic[i:i + 8]])
+        cycle_manager.poll()
+    cycle_elapsed = time.perf_counter() - start
+    kinds = [e["kind"] for e in cycle_manager.events]
+    assert "retrain-complete" in kinds and "probation-pass" in kinds
+    assert cycle_registry.promoted_version("tide") == 2
+    assert cycle_manager.promoter.promotions == 1
+
+    plain_rate = total_events / plain_elapsed
+    adapt_rate = total_events / adapt_elapsed
+    print(
+        f"\nadaptation tier: {n_streams} streams x {events_per_stream} "
+        f"stationary events  plain={plain_rate:,.0f} ev/s  "
+        f"adapting={adapt_rate:,.0f} ev/s  "
+        f"(overhead {plain_rate / adapt_rate:.2f}x)  "
+        f"full cycle: {traffic.shape[0]} events -> promoted v2 in "
+        f"{cycle_elapsed:.2f}s"
+    )
+    record_result(BenchResult(
+        name="adaptation", area="service", scale=bench_scale(),
+        wall_s={"full_cycle": cycle_elapsed},
+        throughput={
+            "events_per_s:plain": plain_rate,
+            "events_per_s:adapting": adapt_rate,
+        },
+        meta={
+            "streams": str(n_streams),
+            "events_per_stream": str(events_per_stream),
+            "cycle_events": str(traffic.shape[0]),
+            "promoted_version": "2",
+        },
+    ))

@@ -40,7 +40,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.compiled import CompiledRuleSystem
-from ..core.multirun import multirun
+from ..core.config import EvolutionConfig
+from ..core.multirun import _ExecutionTask, multirun, run_execution
 from ..io.cache import ResultCache, spec_hash
 from ..metrics.coverage import (
     CoverageScore,
@@ -60,6 +61,8 @@ from .scenarios import (
 
 __all__ = [
     "ExperimentTask",
+    "RetrainPoint",
+    "RetrainTask",
     "TaskResult",
     "ScenarioRow",
     "Figure2Result",
@@ -111,6 +114,60 @@ class ExperimentTask:
     def task_id(self) -> str:
         """Stable human-readable identifier (``scenario[label]``)."""
         return f"{self.scenario}[{self.point.label}]"
+
+
+@dataclass(frozen=True)
+class RetrainPoint:
+    """The grid-point stand-in a :class:`RetrainTask` carries.
+
+    Retrains have no scenario grid; this minimal point satisfies the
+    ``task.point.label`` contract that :func:`~repro.service.registry.
+    task_lineage` and the manifest tooling rely on.
+    """
+
+    label: str
+
+
+@dataclass(frozen=True)
+class RetrainTask:
+    """One GA execution of an online retrain (adaptation loop).
+
+    The serving layer's :class:`~repro.service.adaptation.RetrainJob`
+    plans one of these per pooled execution, which buys retrains the
+    orchestrator's whole contract for free: process-pool fan-out,
+    memoization on ``spec_hash`` (the series array included — a
+    different recent window never collides), and batch-boundary
+    checkpoints that make a ``kill -9``'d retrain resumable.  The
+    fields mirror :func:`~repro.core.multirun.multirun`'s per-execution
+    task: ``config.seed`` is already drawn from the retrain's root
+    seed tree, so executing this task is bitwise identical to the
+    corresponding execution of a direct ``multirun`` call.
+    """
+
+    model: str
+    series: np.ndarray
+    config: EvolutionConfig
+    init: str = "stratified"
+    index: int = 0
+    seed: int = 0
+    scale: str = "live"
+    stream: str = ""
+    requires: Tuple[str, ...] = ()
+
+    @property
+    def scenario(self) -> str:
+        """Pseudo-scenario name grouping a model's retrain executions."""
+        return f"retrain:{self.model}"
+
+    @property
+    def task_id(self) -> str:
+        """Stable identifier (``retrain:model[exec-NNN]``)."""
+        return f"{self.scenario}[exec-{self.index:03d}]"
+
+    @property
+    def point(self) -> RetrainPoint:
+        """Lineage-compatible grid point (label = execution index)."""
+        return RetrainPoint(label=f"exec-{self.index:03d}")
 
 
 @dataclass(frozen=True)
@@ -452,7 +509,26 @@ def execute_task(
     ``backend`` optionally parallelizes the pooled executions inside
     the task; it is only supplied for in-process execution (a live
     process pool cannot be shipped to a worker).
+
+    :class:`RetrainTask` values dispatch to the multirun execution
+    body (:func:`~repro.core.multirun.run_execution`) — one GA run on
+    the task's own series/config, bitwise identical to the matching
+    execution of a direct ``multirun`` call.
     """
+    if isinstance(task, RetrainTask):
+        t0 = time.perf_counter()
+        payload = run_execution(
+            _ExecutionTask(
+                series=task.series, config=task.config, init=task.init
+            )
+        )
+        return TaskResult(
+            task_id=task.task_id,
+            scenario=task.scenario,
+            label=task.point.label,
+            payload=payload,
+            seconds=time.perf_counter() - t0,
+        )
     spec = task.spec
     t0 = time.perf_counter()
     payload = _EXECUTORS[spec.kind](spec, task, backend)
@@ -675,6 +751,27 @@ class ExperimentOrchestrator:
         boundary).
         """
         tasks = self.plan(scenarios, **plan_kwargs)
+        return self.run_tasks(tasks, max_tasks=max_tasks)
+
+    def run_tasks(
+        self,
+        tasks: Sequence[ExperimentTask],
+        max_tasks: Optional[int] = None,
+    ) -> ExperimentRun:
+        """Run an explicit task list (continuing a matching checkpoint).
+
+        The caller-supplied-plan counterpart of :meth:`run`, with the
+        same checkpoint semantics: a state dir holding the *same* plan
+        keeps completed work, a different plan resets it.  This is how
+        the adaptation layer's
+        :class:`~repro.service.adaptation.RetrainJob` drives its
+        per-execution :class:`RetrainTask` list — any task type with
+        ``task_id``/``requires`` and a picklable body runs here.
+        """
+        tasks = list(tasks)
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate task ids in plan: {sorted(ids)}")
         if self.state_dir is not None:
             manifest = self._read_manifest()
             fresh = (

@@ -40,6 +40,14 @@ adaptive micro-batching, backpressure) ::
     printf 'a,0.5\\nb,0.7\\n' | repro serve --bind a=m1 --bind b=m1@2
     repro serve --bind a=m1 --bind b=m1@2 --listen 0.0.0.0:7071
 
+With ``--adapt`` the gateway closes the loop — per-stream drift
+detection, background challenger retraining and shadow-scored
+promote/rollback (:mod:`repro.service.adaptation`); ``repro adapt
+status`` renders the ``status.json`` the loop writes ::
+
+    repro serve --bind gauge=venice-h1 --csv tide.csv --adapt --quiet
+    repro adapt status --state-dir .repro/adaptation
+
 The benchmark subsystem (see ``docs/benchmarking.md``) runs bench
 areas and gates perf regressions against the committed
 ``BENCH_<area>.json`` trajectories ::
@@ -95,13 +103,23 @@ from .parallel.backends import (
 )
 from .service import ForecastService, ModelRegistry, RegistryError
 
-__all__ = ["main", "build_parser", "DEFAULT_STATE_DIR", "DEFAULT_REGISTRY_DIR"]
+__all__ = [
+    "main",
+    "build_parser",
+    "DEFAULT_STATE_DIR",
+    "DEFAULT_REGISTRY_DIR",
+    "DEFAULT_ADAPT_STATE_DIR",
+]
 
 #: Where ``experiment run``/``resume`` checkpoint when --state-dir is omitted.
 DEFAULT_STATE_DIR = ".repro/experiments/default"
 
 #: Model registry root used by ``models``/``serve`` when --registry is omitted.
 DEFAULT_REGISTRY_DIR = ".repro/registry"
+
+#: Adaptation state root (retrain checkpoints + status.json) for
+#: ``serve --adapt`` / ``adapt status`` when --adapt-state-dir is omitted.
+DEFAULT_ADAPT_STATE_DIR = ".repro/adaptation"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,6 +308,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="suppress per-event JSON lines")
     ps.add_argument("--stats", action="store_true",
                     help="print a final service-stats JSON object")
+    ps.add_argument("--adapt", action="store_true",
+                    help="close the loop: per-stream drift detection, "
+                         "background challenger retraining, shadow "
+                         "scoring and registry-backed promote/rollback "
+                         "(in-process gateway only — not with --listen "
+                         "or --workers > 1; see docs/serving.md)")
+    ps.add_argument("--adapt-state-dir", default=DEFAULT_ADAPT_STATE_DIR,
+                    help="adaptation state root: resumable retrain "
+                         "checkpoints + status.json "
+                         f"(default {DEFAULT_ADAPT_STATE_DIR})")
+    ps.add_argument("--adapt-jobs", type=int, default=0,
+                    help="worker processes for challenger retrains "
+                         "(0 = retrain serially between batches; N > 1 "
+                         "fans GA executions out through the shm "
+                         "backend — bitwise-identical challengers)")
+
+    pad = sub.add_parser(
+        "adapt",
+        help="online-adaptation status: drift, retrains, promotions",
+    )
+    asub = pad.add_subparsers(dest="adapt_command", required=True)
+    ast = asub.add_parser(
+        "status",
+        help="summarize the status.json a 'serve --adapt' loop wrote",
+    )
+    ast.add_argument("--state-dir", default=DEFAULT_ADAPT_STATE_DIR,
+                     help="adaptation state root "
+                          f"(default {DEFAULT_ADAPT_STATE_DIR})")
+    ast.add_argument("--json", action="store_true",
+                     help="print the raw status.json payload")
 
     # -- the benchmark surface -----------------------------------------------
 
@@ -631,7 +679,22 @@ def _serve_main(args: argparse.Namespace) -> int:
     if args.workers < 1:
         _print("error: --workers must be >= 1")
         return 2
+    if args.adapt and args.workers > 1:
+        _print("error: --adapt drives the in-process gateway; it does "
+               "not combine with --workers > 1 (the sharded service "
+               "shadow-scores but keeps promotion decisions out of "
+               "workers)")
+        return 2
+    if args.adapt and args.listen is not None:
+        _print("error: --adapt and --listen are mutually exclusive; run "
+               "the adaptation loop against the stdin/CSV gateway")
+        return 2
+    if args.adapt and args.adapt_jobs < 0:
+        _print("error: --adapt-jobs must be >= 0")
+        return 2
     service = None
+    manager = None
+    retrain_backend = None
     try:
         binds = _parse_binds(args.bind)
         registry = ModelRegistry(args.registry)
@@ -648,6 +711,16 @@ def _serve_main(args: argparse.Namespace) -> int:
         streams = [b[0] for b in binds]
         if args.listen is not None:
             return _serve_network(args, service, streams)
+        if args.adapt:
+            from .service.adaptation import AdaptationManager
+
+            if args.adapt_jobs > 1:
+                retrain_backend = get_backend("shm", workers=args.adapt_jobs)
+            manager = AdaptationManager(
+                service, registry,
+                state_root=args.adapt_state_dir,
+                backend=retrain_backend,
+            )
 
         n_events = 0
         pending: List[Tuple[str, float]] = []
@@ -657,6 +730,10 @@ def _serve_main(args: argparse.Namespace) -> int:
                 if not args.quiet:
                     _print(_forecast_json(forecast))
             pending.clear()
+            if manager is not None:
+                # Retrains advance between batches, never on the
+                # ingest hot path.
+                manager.poll()
 
         for event in _serve_events(args, streams):
             pending.append(event)
@@ -666,6 +743,8 @@ def _serve_main(args: argparse.Namespace) -> int:
             if args.limit is not None and n_events >= args.limit:
                 break
         flush()
+        if manager is not None:
+            manager.save_status()
         if args.stats:
             _print(json.dumps(service.stats(), sort_keys=True))
         return 0
@@ -673,10 +752,74 @@ def _serve_main(args: argparse.Namespace) -> int:
         _print(f"error: {exc}")
         return 2
     finally:
+        if retrain_backend is not None:
+            retrain_backend.close()
         # The sharded gateway owns worker processes and /dev/shm
         # segments; the in-process gateway has nothing to release.
         if service is not None and hasattr(service, "close"):
             service.close()
+
+
+def _adapt_main(args: argparse.Namespace) -> int:
+    """The ``repro adapt status`` subcommand.
+
+    Reads the ``status.json`` an adaptation loop (``repro serve
+    --adapt``) writes and renders counters, per-model shadow scores
+    and the lifecycle timeline; ``--json`` dumps the raw payload for
+    scripting.
+    """
+    from pathlib import Path
+
+    path = Path(args.state_dir) / "status.json"
+    if not path.exists():
+        _print(f"no adaptation status at {path} (write one with "
+               f"'repro serve --adapt --adapt-state-dir {args.state_dir}')")
+        return 2
+    try:
+        status = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        _print(f"error: unreadable {path}: {exc}")
+        return 2
+    if args.json:
+        _print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counters = status.get("counters", {})
+    order = ("drift_events", "retrains", "promotions", "rollbacks",
+             "rejected", "active_challenges", "probations",
+             "pending_retrains")
+    rows = [[key, counters.get(key, 0)] for key in order]
+    _print(format_table(["Counter", "Value"], rows,
+                        title=f"Adaptation — {args.state_dir}"))
+    shadow = status.get("shadow", {})
+    if shadow:
+        rows = [
+            [model, s.get("challenger_version", "-"),
+             s.get("shadow_scored", 0),
+             f"{s.get('champion_error', 0.0):.6g}",
+             f"{s.get('challenger_error', 0.0):.6g}"]
+            for model, s in sorted(shadow.items())
+        ]
+        _print("")
+        _print(format_table(
+            ["Model", "Challenger", "Scored", "Champion err",
+             "Challenger err"],
+            rows, title="Active shadow challenges",
+        ))
+    drifted = status.get("drifted", [])
+    if drifted:
+        _print("")
+        _print("drifted streams: " + ", ".join(drifted))
+    timeline = status.get("timeline", [])
+    if timeline:
+        _print("")
+        _print("timeline (last 10):")
+        for entry in timeline[-10:]:
+            detail = {k: v for k, v in entry.items()
+                      if k not in ("at", "kind")}
+            _print(f"  {entry.get('at', 0.0):>10.3f}  "
+                   f"{entry.get('kind', '?'):<22} "
+                   + json.dumps(detail, sort_keys=True))
+    return 0
 
 
 def _bench_main(args: argparse.Namespace) -> int:
@@ -723,6 +866,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _models_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "adapt":
+        return _adapt_main(args)
     if args.command == "bench":
         return _bench_main(args)
     backend = _backend(args.jobs, args.backend)

@@ -12,13 +12,31 @@ single-stream serving (:mod:`repro.serve`):
 * :class:`ForecastServer` — the asyncio TCP + HTTP front door:
   newline-delimited ingest, adaptive micro-batching with
   backpressure, ``/metrics`` + ``/healthz`` observability
-  (:mod:`repro.service.server`, :mod:`repro.service.metrics`).
+  (:mod:`repro.service.server`, :mod:`repro.service.metrics`);
+* :class:`AdaptationManager` — the online-adaptation loop: per-stream
+  drift detection, resumable challenger retraining, bitwise shadow
+  scoring and registry-backed promote/rollback
+  (:mod:`repro.service.adaptation`).
 
-CLI surface: ``repro models`` (registry lifecycle) and ``repro serve``
+CLI surface: ``repro models`` (registry lifecycle), ``repro serve``
 (stdin / CSV-replay ingestion, or ``--listen HOST:PORT`` for the
-network server).  The full guide is ``docs/serving.md``.
+network server; ``--adapt`` closes the loop) and ``repro adapt``
+(adaptation status).  The full guide is ``docs/serving.md``.
 """
 
+from .adaptation import (
+    AdaptationConfig,
+    AdaptationError,
+    AdaptationManager,
+    AutoPromoter,
+    DriftConfig,
+    DriftEvent,
+    DriftMonitor,
+    PromotionPolicy,
+    RetrainJob,
+    RetrainOutcome,
+    ShadowScorer,
+)
 from .gateway import Forecast, ForecastService
 from .metrics import MetricsRegistry
 from .registry import ModelRecord, ModelRegistry, RegistryError, task_lineage
@@ -33,7 +51,14 @@ from .server import (
 )
 
 __all__ = [
+    "AdaptationConfig",
+    "AdaptationError",
+    "AdaptationManager",
     "AdaptiveBatcher",
+    "AutoPromoter",
+    "DriftConfig",
+    "DriftEvent",
+    "DriftMonitor",
     "Forecast",
     "ForecastServer",
     "ForecastService",
@@ -42,9 +67,13 @@ __all__ = [
     "ModelRecord",
     "ModelRegistry",
     "OverloadedError",
+    "PromotionPolicy",
     "ProtocolError",
     "RegistryError",
+    "RetrainJob",
+    "RetrainOutcome",
     "ServerConfig",
+    "ShadowScorer",
     "StreamState",
     "StreamStore",
     "forecast_to_dict",

@@ -145,6 +145,10 @@ class ForecastService:
         self._models: Dict[Tuple[str, int], CompiledRuleSystem] = {}
         self.n_events = 0
         self.n_batches = 0
+        # Optional adaptation hook (see repro.service.adaptation): one
+        # `is not None` test per batch when detached — the wire output
+        # is bitwise unchanged with adaptation off.
+        self._adaptation = None
 
     # -- binding -------------------------------------------------------------
 
@@ -237,6 +241,79 @@ class ForecastService:
         """
         self._add_stream(stream, system, (model, version))
 
+    # -- adaptation ----------------------------------------------------------
+
+    def attach_adaptation(self, hook) -> None:
+        """Attach an adaptation observer to the ingest path.
+
+        ``hook`` needs ``on_batch(batch, results, ready, stacks)``
+        (called after the score phase of every ingested batch, before
+        eviction sweeps) and ``stats()``; a ``forget(stream)`` method,
+        when present, is wired up as the store's eviction callback so
+        per-stream adaptation state never outlives the stream.  Both
+        :class:`~repro.service.adaptation.AdaptationManager` and a bare
+        :class:`~repro.service.adaptation.ShadowScorer` satisfy this.
+        The hook observes — it must not mutate ``results``; shadow
+        forecasts never reach the wire.
+        """
+        if self._adaptation is not None:
+            raise ValueError(
+                "an adaptation hook is already attached; detach it first"
+            )
+        self._adaptation = hook
+        self._store.on_evict = getattr(hook, "forget", None)
+
+    def detach_adaptation(self):
+        """Detach and return the adaptation hook (``None`` if absent)."""
+        hook, self._adaptation = self._adaptation, None
+        self._store.on_evict = None
+        return hook
+
+    def swap_model(
+        self,
+        old_key: Tuple[str, int],
+        system: Union[RuleSystem, CompiledRuleSystem],
+        version: int,
+    ) -> int:
+        """Rebind every stream on ``old_key`` to a new model version.
+
+        The promotion primitive: streams keep their ring buffers (the
+        new version scores the very next window — no warm-up gap) and
+        only their ``model_key`` changes.  The old compiled pool stays
+        cached in the service so a rollback swap is symmetric.  The new
+        system must share the old one's window width — a different
+        ``d`` cannot score the existing rings.  Returns the number of
+        streams rebound.
+        """
+        name = old_key[0]
+        new_key = (name, int(version))
+        if new_key == old_key:
+            return 0
+        old = self._models.get(old_key)
+        if old is None:
+            raise ValueError(f"unknown model key {old_key!r}")
+        compiled = system.compile() if isinstance(system, RuleSystem) else system
+        if compiled.n_lags != old.n_lags:
+            raise ValueError(
+                f"cannot swap {name!r} v{old_key[1]} -> v{version}: window "
+                f"width changed ({old.n_lags} -> {compiled.n_lags}); live "
+                "rings cannot be re-windowed"
+            )
+        cached = self._models.get(new_key)
+        if cached is None:
+            self._models[new_key] = compiled
+        elif cached is not compiled:
+            raise ValueError(
+                f"model label {name!r}@v{version} is already bound to a "
+                "different system"
+            )
+        rebound = 0
+        for _stream, state in self._store.items():
+            if state.model_key == old_key:
+                state.model_key = new_key
+                rebound += 1
+        return rebound
+
     # -- introspection -------------------------------------------------------
 
     def streams(self) -> List[str]:
@@ -265,7 +342,7 @@ class ForecastService:
         per_stream = {s: self.stream_stats(s) for s in self.streams()}
         ready_steps = sum(s["ready_steps"] for s in per_stream.values())
         predicted = sum(s["predicted_steps"] for s in per_stream.values())
-        return {
+        out = {
             "streams": len(self._store),
             "models": sorted(
                 f"{name}@v{version}" for name, version in self._models
@@ -278,6 +355,9 @@ class ForecastService:
             "evicted_streams": self._store.evicted_streams,
             "per_stream": per_stream,
         }
+        if self._adaptation is not None:
+            out["adaptation"] = self._adaptation.stats()
+        return out
 
     def healthz(self) -> Dict[str, object]:
         """A ``/healthz``-style liveness snapshot (aggregate only)."""
@@ -380,6 +460,12 @@ class ForecastService:
                     model=name,
                     version=version,
                 )
+        # Adaptation observes the finished batch (every results slot is
+        # filled here) before eviction sweeps, so shadow scoring reuses
+        # the stacks built above and maturing forecasts see their
+        # stream's state while it is still guaranteed to exist.
+        if self._adaptation is not None:
+            self._adaptation.on_batch(batch, results, ready, stacks)
         # Evictions happen after the batch is fully applied: an event
         # for an idle-expired stream that arrived in THIS batch counts
         # as activity (the touch above) and keeps it alive.

@@ -580,6 +580,39 @@ class ForecastServer:
         g("repro_gateway_coverage", "Aggregate prediction coverage.").set(
             stats["coverage"]
         )
+        g(
+            "repro_gateway_evicted_streams_total",
+            "Streams evicted by the store's TTL/LRU policy.",
+        ).set(stats["evicted_streams"])
+        adapt = stats.get("adaptation")
+        if adapt:
+            for key, help_text in (
+                ("drift_events", "Drift events the monitor has fired."),
+                ("retrains", "Challenger retrains completed."),
+                ("promotions", "Challengers promoted to champion."),
+                ("rollbacks", "Promotions rolled back from probation."),
+            ):
+                g(f"repro_adaptation_{key}_total", help_text).set(
+                    adapt.get(key, 0)
+                )
+            shadow_err = g(
+                "repro_adaptation_shadow_error",
+                "Mean absolute shadow-comparison error per model, by role "
+                "(champion vs challenger, persistence-fallback charged).",
+                ["model", "role"],
+            )
+            # Rebuilt each scrape: a resolved challenge must not keep
+            # its stale series.
+            shadow_err.clear()
+            for model, s in sorted(adapt.get("shadow", {}).items()):
+                shadow_err.set(
+                    s.get("champion_error", 0.0), model=model, role="champion"
+                )
+                shadow_err.set(
+                    s.get("challenger_error", 0.0),
+                    model=model,
+                    role="challenger",
+                )
         per_stream = g(
             "repro_gateway_stream_coverage",
             "Prediction coverage per stream "

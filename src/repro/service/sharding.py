@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.compiled import CompiledRuleSystem
 from ..core.predictor import RuleSystem
 from ..parallel.shm import SharedArrayPool, shm_loads
+from .adaptation import ShadowScorer
 from .gateway import Forecast, ForecastService
 from .registry import ModelRegistry, RegistryError
 from .store import InMemoryStreamStore
@@ -220,6 +221,42 @@ class ShardConfig:
             raise ValueError("max_pending_batches must be >= 1")
 
 
+class _WorkerShadow:
+    """Composite worker-side adaptation hook: one scorer per model.
+
+    A shard worker can shadow several challenged models at once; this
+    multiplexes the gateway's single adaptation-hook slot across one
+    :class:`~repro.service.adaptation.ShadowScorer` per model.  Workers
+    only *score* — maturing comparisons and promotion verdicts stay in
+    the parent (single decision point), which fetches the logs with the
+    ``shadow_log`` op.
+    """
+
+    __slots__ = ("scorers",)
+
+    def __init__(self) -> None:
+        self.scorers: Dict[str, ShadowScorer] = {}
+
+    def on_batch(self, batch, results, ready, stacks) -> None:
+        """Fan the gateway hook out to every attached scorer."""
+        for scorer in self.scorers.values():
+            scorer.on_batch(batch, results, ready, stacks)
+
+    def forget(self, stream: str) -> None:
+        """Eviction callback: drop the stream from every scorer."""
+        for scorer in self.scorers.values():
+            scorer.forget(stream)
+
+    def stats(self) -> Dict[str, object]:
+        """Per-model shadow counters (merged by the parent)."""
+        return {
+            "shadow": {
+                model: scorer.stats()
+                for model, scorer in sorted(self.scorers.items())
+            }
+        }
+
+
 def _worker_main(
     conn,
     worker_id: int,
@@ -238,6 +275,7 @@ def _worker_main(
     store = InMemoryStreamStore(ttl_s=ttl_s, max_streams=max_streams)
     service = ForecastService(store=store)
     models: Dict[Tuple[str, int], CompiledRuleSystem] = {}
+    shadow = _WorkerShadow()
     try:
         while True:
             msg = conn.recv()
@@ -267,6 +305,36 @@ def _worker_main(
                 except Exception as exc:
                     out = ShardError(f"shard {worker_id}: {exc!r}")
                 conn.send((seq, out))
+            elif op == "shadow":
+                _, seq, model, version, blob, challenger_version = msg
+                try:
+                    challenger = CompiledRuleSystem.from_blocks(
+                        shm_loads(blob)
+                    )
+                    shadow.scorers[model] = ShadowScorer(
+                        model, (model, version), challenger,
+                        challenger_version,
+                    )
+                    if service._adaptation is None:
+                        service.attach_adaptation(shadow)
+                    out = True
+                except Exception as exc:
+                    out = ShardError(f"shard {worker_id}: {exc!r}")
+                conn.send((seq, out))
+            elif op == "unshadow":
+                _, seq, model = msg
+                shadow.scorers.pop(model, None)
+                if not shadow.scorers and service._adaptation is shadow:
+                    service.detach_adaptation()
+                conn.send((seq, True))
+            elif op == "shadow_log":
+                conn.send((
+                    msg[1],
+                    {
+                        model: scorer.logs()
+                        for model, scorer in shadow.scorers.items()
+                    },
+                ))
             elif op == "stats":
                 conn.send((msg[1], service.stats()))
             elif op == "stop":
@@ -369,6 +437,7 @@ class ShardedForecastService:
         self._bindings: Dict[str, Tuple[str, int]] = {}
         self._owner: Dict[str, int] = {}
         self._blobs: Dict[Tuple[str, int], bytes] = {}
+        self._shadow_blobs: Dict[Tuple[str, int], bytes] = {}
         self._compiled: Dict[Tuple[str, int], CompiledRuleSystem] = {}
         self._shards: List[_Shard] = []
         self._parked: Dict[Tuple[int, int], List[Forecast]] = {}
@@ -538,6 +607,64 @@ class ShardedForecastService:
         """Bind a stream directly to an in-memory system (version 0)."""
         self._bind_shared(stream, system, (model, 0))
 
+    # -- shadow scoring ------------------------------------------------------
+
+    def attach_shadow(
+        self,
+        model: str,
+        version: int,
+        system: Union[RuleSystem, CompiledRuleSystem],
+        challenger_version: int = 0,
+    ) -> None:
+        """Shadow-score a challenger against ``model@version`` everywhere.
+
+        The challenger's compiled blocks are leased into the shared
+        pool once and every worker attaches a
+        :class:`~repro.service.adaptation.ShadowScorer` over them —
+        the same zero-copy path the champions use.  Workers score
+        their own traffic; fetch the per-stream logs with
+        :meth:`shadow_logs` (the parent remains the single promotion
+        decision point).  Shadow forecasts never reach the wire.
+        """
+        key = (model, int(version))
+        if key not in self._compiled:
+            raise ValueError(
+                f"no bound model {model!r}@v{version} to shadow against"
+            )
+        if isinstance(system, RuleSystem):
+            if not len(system):
+                raise ValueError("cannot shadow an empty rule system")
+            compiled = system.compile()
+        else:
+            compiled = system
+        blob = self.pool.dumps_leased(compiled.export_blocks())
+        self._shadow_blobs[(model, int(challenger_version))] = blob
+        for shard in self._shards:
+            result = self._call(
+                shard, "shadow", model, int(version), blob,
+                int(challenger_version),
+            )
+            if result is not True:  # pragma: no cover - defensive
+                raise ShardError(f"shadow attach failed: {result!r}")
+
+    def detach_shadow(self, model: str) -> None:
+        """Stop shadow-scoring ``model`` on every worker."""
+        for shard in self._shards:
+            self._call(shard, "unshadow", model)
+
+    def shadow_logs(self) -> Dict[str, Dict[str, List[tuple]]]:
+        """Merged shadow logs: ``{model: {stream: [(t, value, flag)]}}``.
+
+        Streams are disjoint across shards, so the merge is a plain
+        union — each stream's log is exactly what one worker's scorer
+        recorded, in that stream's event order.
+        """
+        merged: Dict[str, Dict[str, List[tuple]]] = {}
+        for shard in self._shards:
+            for model, per_stream in self._call(shard, "shadow_log").items():
+                merged.setdefault(model, {}).update(per_stream)
+        return merged
+
     # -- ingest --------------------------------------------------------------
 
     def _validate(
@@ -682,6 +809,9 @@ class ShardedForecastService:
                           "predicted_steps", "evicted_streams"):
                 merged[field] += stats[field]
             merged["per_stream"].update(stats["per_stream"])
+            adaptation = stats.get("adaptation")
+            if adaptation:
+                self._merge_shadow(merged, adaptation)
             per_shard.append({
                 "worker": i, "streams": stats["streams"],
                 "events": stats["events"],
@@ -695,6 +825,47 @@ class ShardedForecastService:
         )
         merged["per_shard"] = per_shard
         return merged
+
+    @staticmethod
+    def _merge_shadow(merged: Dict[str, object], adaptation: Dict) -> None:
+        """Fold one worker's adaptation block into the aggregate.
+
+        Flat numeric counters sum; per-model shadow blocks sum their
+        window/comparison counts and recompute the error means
+        weighted by each worker's comparison count.
+        """
+        agg = merged.setdefault("adaptation", {"shadow": {}})
+        for key, value in adaptation.items():
+            if key == "shadow":
+                continue
+            if isinstance(value, (int, float)):
+                agg[key] = agg.get(key, 0) + value
+        for model, stats in adaptation.get("shadow", {}).items():
+            slot = agg["shadow"].setdefault(
+                model,
+                {
+                    "model": model,
+                    "challenger_version": stats["challenger_version"],
+                    "shadowed_windows": 0,
+                    "shadow_scored": 0,
+                    "champion_error": 0.0,
+                    "challenger_error": 0.0,
+                },
+            )
+            prior = slot["shadow_scored"]
+            fresh = stats["shadow_scored"]
+            total = prior + fresh
+            if total:
+                slot["champion_error"] = (
+                    slot["champion_error"] * prior
+                    + stats["champion_error"] * fresh
+                ) / total
+                slot["challenger_error"] = (
+                    slot["challenger_error"] * prior
+                    + stats["challenger_error"] * fresh
+                ) / total
+            slot["shadowed_windows"] += stats["shadowed_windows"]
+            slot["shadow_scored"] = total
 
     def healthz(self) -> Dict[str, object]:
         """Aggregate liveness snapshot (per-stream detail dropped)."""

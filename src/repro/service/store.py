@@ -78,9 +78,15 @@ class StreamStore(ABC):
     ----------
     evicted_streams:
         Total streams this store has evicted since construction.
+    on_evict:
+        Optional callback invoked with each evicted stream's name
+        (after removal).  The gateway points this at its adaptation
+        hook's ``forget`` so drift/shadow state never outlives the
+        stream it describes; ``None`` (the default) costs nothing.
     """
 
     evicted_streams: int = 0
+    on_evict: Optional[Callable[[str], None]] = None
 
     @abstractmethod
     def get(self, name: str) -> Optional[StreamState]:
@@ -229,6 +235,8 @@ class InMemoryStreamStore(StreamStore):
         name, _ = self._states.popitem(last=False)
         self._last_active.pop(name, None)
         self.evicted_streams += 1
+        if self.on_evict is not None:
+            self.on_evict(name)
 
     def names(self) -> List[str]:
         """Sorted names of all stored streams."""

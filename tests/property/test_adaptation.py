@@ -1,0 +1,357 @@
+"""Property tests for the online-adaptation loop.
+
+Four contracts from ``repro.service.adaptation``:
+
+* **no false positives** — a stationary stream (any scale of noise,
+  any seed) never trips the :class:`DriftMonitor` at the calibrated
+  default thresholds;
+* **bounded detection** — an injected mean shift, variance shift or
+  coverage collapse fires within a bounded number of post-shift
+  observations, and fires exactly once per shift;
+* **replay determinism** — drift decisions are a pure function of the
+  observation sequence: the same errors produce the identical event
+  log regardless of the injected clock (which only stamps events);
+* **bitwise shadow** — :class:`ShadowScorer` output equals a direct
+  :meth:`~repro.core.compiled.CompiledRuleSystem.predict_windows`
+  replay of the same per-stream windows, for any pool, interleaving
+  and micro-batch split — in-process and through the sharded gateway
+  (``--workers N``) — and attaching a shadow never changes the
+  champion's wire output.  :class:`RetrainJob` pooling is held bitwise
+  to a direct :func:`~repro.core.multirun.multirun` call.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import CompiledRuleSystem
+from repro.core.config import EvolutionConfig
+from repro.core.multirun import multirun
+from repro.core.predictor import RuleSystem
+from repro.series.windowing import WindowDataset
+from repro.service import ForecastService
+from repro.service.adaptation import (
+    DriftConfig,
+    DriftMonitor,
+    RetrainJob,
+    ShadowScorer,
+)
+
+from test_service_batching import interleaved_events, partitions, random_pool
+
+#: Post-shift error budget within which every injected shift must fire.
+#: Calibration (docs/serving.md) measures <= 23 for 4x mean and 3x
+#: variance shifts; 64 leaves slack without weakening the contract.
+DETECTION_BOUND = 64
+
+
+def _feed(monitor, errors, predicted=None):
+    """Feed one stream's error sequence; return the fired events."""
+    fired = []
+    for i, err in enumerate(errors):
+        hit = predicted[i] if predicted is not None else err is not None
+        event = monitor.observe("s", err, hit)
+        if event is not None:
+            fired.append(event)
+    return fired
+
+
+class TestStationaryNoFalsePositives:
+    """Stationary noise never drifts, at any scale, for many seeds."""
+
+    @pytest.mark.parametrize("sigma", [0.1, 1.0, 10.0])
+    def test_half_normal_errors_never_fire(self, sigma):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            errors = np.abs(rng.normal(0.0, sigma, size=500))
+            monitor = DriftMonitor(clock=lambda: 0.0)
+            assert _feed(monitor, errors.tolist()) == []
+            assert monitor.drifted() == []
+
+    def test_slowly_wandering_noise_never_fires(self):
+        """A mild trend inside the drift allowance stays quiet."""
+        rng = np.random.default_rng(7)
+        level = 1.0 + 0.1 * np.sin(np.arange(500) / 80.0)
+        errors = np.abs(rng.normal(0.0, 1.0, size=500)) * level
+        monitor = DriftMonitor(clock=lambda: 0.0)
+        assert _feed(monitor, errors.tolist()) == []
+
+
+class TestBoundedDetection:
+    """Injected shifts fire exactly once, within DETECTION_BOUND."""
+
+    def _shifted(self, seed, pre, post):
+        rng = np.random.default_rng(seed)
+        a = np.abs(rng.normal(0.0, pre, size=200))
+        b = np.abs(rng.normal(0.0, post, size=DETECTION_BOUND))
+        return np.concatenate([a, b]).tolist()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mean_shift_detected(self, seed):
+        errors = self._shifted(seed, pre=1.0, post=4.0)
+        monitor = DriftMonitor(clock=lambda: 0.0)
+        events = _feed(monitor, errors)
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind in ("error-ratio", "page-hinkley")
+        assert event.n_errors <= 200 + DETECTION_BOUND
+        assert event.statistic > event.threshold
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_variance_shift_detected(self, seed):
+        errors = self._shifted(seed, pre=1.0, post=3.0)
+        monitor = DriftMonitor(clock=lambda: 0.0)
+        events = _feed(monitor, errors)
+        assert len(events) == 1
+        assert events[0].kind in ("error-ratio", "page-hinkley")
+
+    def test_coverage_collapse_detected(self):
+        """A champion that stops matching fires the coverage test."""
+        monitor = DriftMonitor(clock=lambda: 0.0)
+        rng = np.random.default_rng(3)
+        errors = np.abs(rng.normal(0.0, 1.0, size=200)).tolist()
+        assert _feed(monitor, errors) == []
+        # Regime change: the champion abstains on every further step.
+        events = _feed(
+            monitor, [None] * 96, predicted=[False] * 96
+        )
+        assert len(events) == 1
+        assert events[0].kind == "coverage-drop"
+        assert events[0].recent < events[0].threshold
+
+    def test_cooldown_disarms_after_an_event(self):
+        """Right after a detection the monitor must not fire again."""
+        config = DriftConfig()
+        monitor = DriftMonitor(config, clock=lambda: 0.0)
+        rng = np.random.default_rng(5)
+        errors = (
+            np.abs(rng.normal(0.0, 1.0, size=200)).tolist()
+            + np.abs(rng.normal(0.0, 8.0, size=config.cooldown)).tolist()
+        )
+        events = _feed(monitor, errors)
+        assert len(events) == 1  # the shift, once — cooldown held
+
+    def test_clear_consumes_the_flag_but_keeps_state(self):
+        monitor = DriftMonitor(clock=lambda: 0.0)
+        rng = np.random.default_rng(5)
+        _feed(
+            monitor,
+            np.abs(rng.normal(0.0, 1.0, size=200)).tolist()
+            + np.abs(rng.normal(0.0, 8.0, size=DETECTION_BOUND)).tolist(),
+        )
+        assert monitor.drifted() == ["s"]
+        monitor.clear("s")
+        assert monitor.drifted() == []
+        assert len(monitor.events) == 1  # the log is append-only
+
+
+class TestReplayDeterminism:
+    """Same observations => same event log; the clock only stamps."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), factor=st.floats(3.0, 10.0))
+    def test_event_log_is_clock_invariant(self, seed, factor):
+        rng = np.random.default_rng(seed)
+        errors = (
+            np.abs(rng.normal(0.0, 1.0, size=150)).tolist()
+            + np.abs(rng.normal(0.0, factor, size=100)).tolist()
+        )
+        ticks_a = iter(range(10_000))
+        ticks_b = iter(range(0, 1_000_000, 100))
+        mon_a = DriftMonitor(clock=lambda: float(next(ticks_a)))
+        mon_b = DriftMonitor(clock=lambda: float(next(ticks_b)))
+        ev_a = _feed(mon_a, errors)
+        ev_b = _feed(mon_b, errors)
+
+        def key(e):
+            # Everything but the stamp, bitwise (repr pins the floats).
+            return (e.stream, e.kind, e.n_errors, repr(e.statistic),
+                    repr(e.threshold), repr(e.baseline), repr(e.recent))
+
+        assert [key(e) for e in ev_a] == [key(e) for e in ev_b]
+
+    def test_two_replays_share_the_full_log(self):
+        rng = np.random.default_rng(11)
+        errors = (
+            np.abs(rng.normal(0.0, 1.0, size=200)).tolist()
+            + np.abs(rng.normal(0.0, 5.0, size=200)).tolist()
+        )
+        logs = []
+        for _ in range(2):
+            monitor = DriftMonitor(clock=lambda: 0.0)
+            _feed(monitor, errors)
+            logs.append([e.to_dict() for e in monitor.events])
+        assert logs[0] == logs[1] and logs[0]
+
+
+# -- shadow scoring -----------------------------------------------------------
+
+
+def _stream_windows(values, d, entries):
+    """Stack each logged entry's window ``values[t-d+1 .. t]``."""
+    return np.asarray(
+        [values[t - d + 1: t + 1] for t, _, _ in entries], dtype=np.float64
+    )
+
+
+class TestShadowBitwise:
+    """Shadow output == direct predict_windows replay, bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        d=st.integers(1, 5),
+        n_champ=st.integers(1, 15),
+        n_chal=st.integers(1, 15),
+        n_streams=st.integers(1, 4),
+        per_stream=st.integers(0, 30),
+        max_batch=st.integers(1, 13),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_inprocess_shadow_equals_direct_replay(
+        self, d, n_champ, n_chal, n_streams, per_stream, max_batch, seed
+    ):
+        rng = np.random.default_rng(seed)
+        champion = RuleSystem(random_pool(rng, n_champ, d))
+        challenger = RuleSystem(random_pool(rng, n_chal, d))
+        streams = {
+            f"s{k}": [float(v) for v in rng.uniform(-0.2, 1.2, per_stream)]
+            for k in range(n_streams)
+        }
+        events = interleaved_events(rng, streams)
+
+        plain = ForecastService()
+        shadowed = ForecastService()
+        for name in streams:
+            plain.bind_system(name, champion, model="m")
+            shadowed.bind_system(name, champion, model="m")
+        scorer = ShadowScorer("m", ("m", 0), challenger)
+        shadowed.attach_adaptation(scorer)
+
+        batches = partitions(rng, events, max_batch)
+        wire_plain = [f for b in batches for f in plain.ingest(b)]
+        wire_shadow = [f for b in batches for f in shadowed.ingest(b)]
+
+        # Attaching a shadow never changes the champion's wire output.
+        assert [repr(f) for f in wire_plain] == [
+            repr(f) for f in wire_shadow
+        ]
+
+        compiled = (
+            challenger.compile()
+            if not isinstance(challenger, CompiledRuleSystem)
+            else challenger
+        )
+        total = 0
+        for name, entries in scorer.logs().items():
+            windows = _stream_windows(streams[name], d, entries)
+            scored = compiled.predict_windows(windows)
+            assert [repr(v) for _, v, _ in entries] == [
+                repr(v) for v in scored.values.tolist()
+            ]
+            assert [flag for _, _, flag in entries] == (
+                scored.predicted.tolist()
+            )
+            total += len(entries)
+        assert total == scorer.n_shadowed
+        # Every ready champion step was shadowed.
+        assert total == sum(f.ready for f in wire_plain)
+
+
+D_SHARD = 3
+SHARD_STREAMS = [f"shadow-{i}" for i in range(6)]
+
+
+@pytest.fixture(scope="class")
+def sharded_shadowed():
+    """A 2-worker sharded service with one challenger attached."""
+    from repro.parallel.shm import live_segments
+    from repro.service.sharding import ShardConfig, ShardedForecastService
+
+    rng = np.random.default_rng(42)
+    champion = RuleSystem(random_pool(rng, 12, D_SHARD))
+    challenger = RuleSystem(random_pool(rng, 9, D_SHARD))
+    service = ShardedForecastService(config=ShardConfig(workers=2))
+    for name in SHARD_STREAMS:
+        service.bind_system(name, champion, model="m")
+    service.attach_shadow("m", 0, challenger, challenger_version=7)
+    yield service, challenger
+    service.close()
+    assert live_segments() == []
+
+
+class TestShardedShadowBitwise:
+    """The sharded gateway's shadow path is bitwise too."""
+
+    def test_sharded_shadow_equals_direct_replay(self, sharded_shadowed):
+        service, challenger = sharded_shadowed
+        rng = np.random.default_rng(1234)
+        streams = {
+            name: [float(v) for v in rng.uniform(-0.2, 1.2, 40)]
+            for name in SHARD_STREAMS
+        }
+        events = interleaved_events(rng, streams)
+        for batch in partitions(rng, events, 17):
+            service.ingest(batch)
+
+        logs = service.shadow_logs()["m"]
+        compiled = challenger.compile()
+        total = 0
+        for name, entries in logs.items():
+            windows = _stream_windows(streams[name], D_SHARD, entries)
+            scored = compiled.predict_windows(windows)
+            assert [repr(v) for _, v, _ in entries] == [
+                repr(v) for v in scored.values.tolist()
+            ]
+            assert [bool(flag) for _, _, flag in entries] == (
+                scored.predicted.tolist()
+            )
+            total += len(entries)
+        # Every stream produced ready windows and all were shadowed.
+        assert set(logs) == set(SHARD_STREAMS)
+        assert total == sum(
+            len(vals) - D_SHARD + 1 for vals in streams.values()
+        )
+        merged = service.stats()["adaptation"]["shadow"]["m"]
+        assert merged["shadowed_windows"] == total
+        assert merged["challenger_version"] == 7
+
+
+# -- retrain pooling ----------------------------------------------------------
+
+
+class TestRetrainBitwise:
+    """RetrainJob pooling == a direct multirun on the same window."""
+
+    def test_pooled_challenger_matches_multirun(self, tmp_path):
+        rng = np.random.default_rng(21)
+        t = np.arange(120)
+        series = np.sin(t / 5.0) + rng.normal(0.0, 0.05, t.size)
+        config = EvolutionConfig(
+            d=3, horizon=1, population_size=20, generations=15,
+            early_stop_patience=10,
+        )
+        job = RetrainJob(
+            "m", series, config,
+            state_dir=tmp_path / "retrain",
+            coverage_target=0.95, max_executions=2, root_seed=11,
+        )
+        outcome = job.run()
+        assert outcome is not None
+
+        dataset = WindowDataset.from_series(series, d=3, horizon=1)
+        direct = multirun(
+            dataset, config,
+            coverage_target=0.95, max_executions=2, root_seed=11,
+        )
+        assert outcome.n_executions == direct.n_executions
+        assert list(outcome.coverage_history) == list(
+            direct.coverage_history
+        )
+        assert len(outcome.system) == len(direct.system)
+        a = outcome.system.compile().predict_windows(dataset.X)
+        b = direct.system.compile().predict_windows(dataset.X)
+        assert [repr(v) for v in a.values.tolist()] == [
+            repr(v) for v in b.values.tolist()
+        ]
+        assert a.predicted.tolist() == b.predicted.tolist()

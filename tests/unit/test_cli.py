@@ -361,6 +361,103 @@ class TestServingMain:
         assert "stdin line 1" in out and "has no stream" in out
 
 
+class TestAdaptCli:
+    """The --adapt serve flags and the `repro adapt status` reader."""
+
+    def test_adapt_flags_parse_with_defaults(self):
+        from repro.cli import DEFAULT_ADAPT_STATE_DIR
+
+        args = build_parser().parse_args(["serve", "--bind", "a=m",
+                                          "--adapt"])
+        assert args.adapt
+        assert args.adapt_state_dir == DEFAULT_ADAPT_STATE_DIR
+        assert args.adapt_jobs == 0
+        args = build_parser().parse_args(
+            ["adapt", "status", "--state-dir", "x", "--json"]
+        )
+        assert args.command == "adapt"
+        assert args.adapt_command == "status"
+        assert args.state_dir == "x" and args.json
+
+    def test_adapt_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt"])
+
+    def test_adapt_conflicts_with_sharding_and_listen(self, capsys, tmp_path):
+        reg = str(tmp_path / "r")
+        rc = main(["serve", "--registry", reg, "--bind", "a=m",
+                   "--adapt", "--workers", "2"])
+        assert rc == 2
+        assert "--adapt" in capsys.readouterr().out
+        rc = main(["serve", "--registry", reg, "--bind", "a=m",
+                   "--adapt", "--listen", "127.0.0.1:0"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_status_without_state_is_clean_error(self, capsys, tmp_path):
+        rc = main(["adapt", "status", "--state-dir",
+                   str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "no adaptation status" in capsys.readouterr().out
+
+    def test_status_renders_counters_and_timeline(self, capsys, tmp_path):
+        import json
+
+        payload = {
+            "counters": {"drift_events": 2, "retrains": 1,
+                         "promotions": 1, "rollbacks": 0},
+            "shadow": {"m": {"challenger_version": 2, "shadow_scored": 9,
+                             "champion_error": 0.5,
+                             "challenger_error": 0.25}},
+            "drifted": ["gauge"],
+            "timeline": [{"at": 1.0, "kind": "drift", "stream": "gauge"},
+                         {"at": 2.0, "kind": "promote", "version": 2}],
+        }
+        (tmp_path / "status.json").write_text(json.dumps(payload))
+        assert main(["adapt", "status", "--state-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "drift_events" in out and "promote" in out
+        assert "drifted streams: gauge" in out
+        assert main(["adapt", "status", "--state-dir", str(tmp_path),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_serve_csv_wire_is_unchanged_by_adapt(
+        self, capsys, tmp_path
+    ):
+        """Stationary replay: --adapt must not perturb wire output."""
+        import json
+
+        import numpy as np
+
+        from repro.core.predictor import RuleSystem
+        from repro.core.rule import Rule
+        from repro.io import save_rule_system, write_series_csv
+
+        rule = Rule.from_box(np.zeros(3), np.ones(3), prediction=2.0)
+        rule.error = 0.1
+        snapshot = tmp_path / "pool.json"
+        save_rule_system(RuleSystem([rule]), snapshot, metadata={"d": 3})
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        csv = tmp_path / "series.csv"
+        write_series_csv(np.full(12, 0.5), csv)
+        outputs = []
+        for extra in ([], ["--adapt", "--adapt-state-dir",
+                           str(tmp_path / "adapt")]):
+            capsys.readouterr()
+            assert main(["serve", "--registry", reg, "--bind", "g=m",
+                         "--csv", str(csv), "--stats"] + extra) == 0
+            outputs.append(capsys.readouterr().out.splitlines())
+        events_plain, events_adapt = outputs[0][:-1], outputs[1][:-1]
+        assert events_plain == events_adapt  # byte-for-byte
+        stats = json.loads(outputs[1][-1])
+        assert stats["adaptation"]["drift_events"] == 0
+        assert stats["adaptation"]["promotions"] == 0
+        assert (tmp_path / "adapt" / "status.json").exists()
+
+
 class TestExperimentMain:
     def test_list_prints_registry(self, capsys):
         assert main(["experiment", "list"]) == 0

@@ -270,6 +270,84 @@ class TestRenderMetricsCap:
         assert 'repro_gateway_stream_coverage{stream="b"}' in second
 
 
+class TestAdaptationMetrics:
+    """render_metrics() surfaces eviction + adaptation observability."""
+
+    def _server(self):
+        import numpy as np
+
+        from repro.core.rule import Rule
+        from repro.core.predictor import RuleSystem
+        from repro.service import ForecastService, ForecastServer
+
+        d = 2
+        pool = RuleSystem([
+            Rule.from_box(np.full(d, -10.0), np.full(d, 10.0), prediction=1.0)
+        ])
+        service = ForecastService()
+        service.bind_system("tide", pool, "m")
+        return service, ForecastServer(service)
+
+    def test_evicted_streams_gauge_always_present(self):
+        _, server = self._server()
+        assert "repro_gateway_evicted_streams_total 0" in server.render_metrics()
+
+    def test_no_adaptation_series_when_detached(self):
+        _, server = self._server()
+        assert "repro_adaptation_" not in server.render_metrics()
+
+    def test_adaptation_counters_and_shadow_gauges(self):
+        class _Hook:
+            def on_batch(self, batch, results, ready, stacks):
+                pass
+
+            def stats(self):
+                return {
+                    "drift_events": 3,
+                    "retrains": 2,
+                    "promotions": 1,
+                    "rollbacks": 0,
+                    "shadow": {
+                        "m": {
+                            "champion_error": 0.5,
+                            "challenger_error": 0.25,
+                        }
+                    },
+                }
+
+        service, server = self._server()
+        service.attach_adaptation(_Hook())
+        out = server.render_metrics()
+        assert "repro_adaptation_drift_events_total 3" in out
+        assert "repro_adaptation_retrains_total 2" in out
+        assert "repro_adaptation_promotions_total 1" in out
+        assert "repro_adaptation_rollbacks_total 0" in out
+        assert ('repro_adaptation_shadow_error'
+                '{model="m",role="champion"} 0.5') in out
+        assert ('repro_adaptation_shadow_error'
+                '{model="m",role="challenger"} 0.25') in out
+
+    def test_resolved_challenge_drops_its_series(self):
+        class _Hook:
+            def __init__(self):
+                self.shadow = {"m": {"champion_error": 1.0,
+                                     "challenger_error": 2.0}}
+
+            def on_batch(self, batch, results, ready, stacks):
+                pass
+
+            def stats(self):
+                return {"drift_events": 0, "retrains": 0, "promotions": 0,
+                        "rollbacks": 0, "shadow": self.shadow}
+
+        service, server = self._server()
+        hook = _Hook()
+        service.attach_adaptation(hook)
+        assert 'model="m"' in server.render_metrics()
+        hook.shadow = {}
+        assert 'model="m"' not in server.render_metrics()
+
+
 class TestRegistry:
     def test_idempotent_creation(self):
         r = MetricsRegistry()
@@ -330,6 +408,23 @@ def _golden_registry() -> MetricsRegistry:
     per_stream.observe(0.04, stream="gauge-chioggia")
     per_stream.observe(0.2, stream="gauge-burano")
     per_stream.observe(0.004, stream="gauge-murano")
+    evicted = r.gauge(
+        "repro_gateway_evicted_streams_total",
+        "Streams evicted by the store's TTL/LRU policy.",
+    )
+    evicted.set(2)
+    drift = r.gauge(
+        "repro_adaptation_drift_events_total",
+        "Drift events the monitor has fired.",
+    )
+    drift.set(4)
+    shadow = r.gauge(
+        "repro_adaptation_shadow_error",
+        "Mean absolute shadow-comparison error per model, by role.",
+        ["model", "role"],
+    )
+    shadow.set(0.8125, model="tide-lr", role="champion")
+    shadow.set(0.5, model="tide-lr", role="challenger")
     return r
 
 

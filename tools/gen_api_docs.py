@@ -36,6 +36,7 @@ MODULES = [
     ("repro.service.gateway", SRC / "service" / "gateway.py"),
     ("repro.service.store", SRC / "service" / "store.py"),
     ("repro.service.sharding", SRC / "service" / "sharding.py"),
+    ("repro.service.adaptation", SRC / "service" / "adaptation.py"),
     ("repro.service.server", SRC / "service" / "server.py"),
     ("repro.service.metrics", SRC / "service" / "metrics.py"),
     ("repro.io.serialize", SRC / "io" / "serialize.py"),
