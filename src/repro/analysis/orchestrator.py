@@ -398,14 +398,31 @@ def _figure_row(
 def _stream_row(
     spec: ScenarioSpec, task: ExperimentTask, backend: Optional[Backend] = None
 ) -> ScenarioRow:
-    """Executor for ``stream`` scenarios: per-event replay + throughput."""
+    """Executor for ``stream`` scenarios: per-event replay + throughput.
+
+    When the spec's ``options`` carry a ``policy`` entry (a tuple of
+    ``(key, value)`` pairs forming a :class:`~repro.service.policy.
+    PolicySpec` dict), the replay runs through the rich scoring path and
+    every step is evaluated by a :class:`~repro.service.policy.
+    PolicyEngine`; the row's detail then appends the alert / suppression
+    / abstention tallies.
+    """
     from ..serve import StreamingForecaster
+
+    policy_opt = spec.options_dict().get("policy")
+    engine = None
+    if policy_opt is not None:
+        from ..service.policy import PolicyEngine, PolicySpec
+
+        engine = PolicyEngine(PolicySpec.from_dict(dict(policy_opt)))
 
     data, config, result, _batch, _train_ds, _val_ds = _train_and_predict(
         spec, task, backend, predict=False
     )
     series = data.validation
-    forecaster = StreamingForecaster(result.system, horizon=config.horizon)
+    forecaster = StreamingForecaster(
+        result.system, horizon=config.horizon, rich=engine is not None
+    )
     t0 = time.perf_counter()
     steps = [forecaster.update(v) for v in series]
     elapsed = time.perf_counter() - t0
@@ -418,13 +435,37 @@ def _stream_row(
         )
     # The forecast made after observing series[t] targets series[t+h].
     score = _score(spec.metric, h, series[h:], values[:-h])
+    detail = f"{series.shape[0]} events, {len(result.system)} rules"
+    if engine is not None:
+        for step in steps:
+            lo, hi = step.interval_lo, step.interval_hi
+            width = (
+                hi - lo
+                if step.predicted and lo is not None and np.isfinite(lo)
+                else 0.0
+            )
+            engine.decide(
+                stream=spec.name,
+                t=step.t,
+                ready=step.ready,
+                predicted=step.predicted,
+                n_rules_used=step.n_rules_used,
+                value=step.value,
+                confidence=step.confidence or 0.0,
+                interval_width=width,
+            )
+        pstats = engine.stats()
+        detail += (
+            f", {pstats['alerts']} alerts, {pstats['suppressions']} "
+            f"suppressed, {pstats['abstentions']} abstained"
+        )
     return ScenarioRow(
         scenario=spec.name,
         label=task.point.label,
         horizon=h,
         variant=task.point.variant,
         score=score,
-        detail=f"{series.shape[0]} events, {len(result.system)} rules",
+        detail=detail,
         events_per_sec=series.shape[0] / elapsed if elapsed > 0 else 0.0,
     )
 

@@ -733,6 +733,37 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="venice_alerting",
+    title="Venice alerting — guardrail policy over streaming replay",
+    section="extension (serving)",
+    kind="stream",
+    description=(
+        "Trains a Venice Lagoon pool, replays the validation series "
+        "through the rich streaming path (uncertainty + confidence) "
+        "and evaluates a high-water guardrail policy per event: alert "
+        "above the acqua-alta threshold with hysteresis, abstain on "
+        "zero-match predictions, rate-limit repeated alerts.  Reports "
+        "RMSE plus the policy's alert/abstain tallies."
+    ),
+    dataset=DatasetSpec("venice"),
+    config_factory="venice",
+    grid=_horizon_grid((1, 4)),
+    metric="rmse",
+    coverage_target=0.90,
+    max_executions=2,
+    seed=31,
+    options=(
+        ("policy", (
+            ("alert_above", 110.0),
+            ("hysteresis", 8.0),
+            ("min_matches", 1),
+            ("max_alerts", 3),
+            ("rate_window", 24.0),
+        )),
+    ),
+))
+
+register(ScenarioSpec(
     name="smoke",
     title="Tiny end-to-end smoke scenario",
     section="infrastructure",

@@ -48,6 +48,15 @@ status`` renders the ``status.json`` the loop writes ::
     repro serve --bind gauge=venice-h1 --csv tide.csv --adapt --quiet
     repro adapt status --state-dir .repro/adaptation
 
+With ``--policy FILE`` the gateway scores through the rich uncertainty
+path and a guardrail policy (:mod:`repro.service.policy`) stamps every
+forecast with a decision — alerts with hysteresis and rate limits,
+suppressions on low confidence/wide intervals, abstentions on thin
+rule coverage; ``repro policy check`` validates a spec file ::
+
+    repro serve --bind gauge=venice-h1 --csv tide.csv --policy alerting.json
+    repro policy check alerting.json
+
 The benchmark subsystem (see ``docs/benchmarking.md``) runs bench
 areas and gates perf regressions against the committed
 ``BENCH_<area>.json`` trajectories ::
@@ -323,6 +332,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0 = retrain serially between batches; N > 1 "
                          "fans GA executions out through the shm "
                          "backend — bitwise-identical challengers)")
+    ps.add_argument("--policy", default=None, metavar="FILE",
+                    help="attach a guardrail policy (JSON PolicySpec): "
+                         "forecasts gain uncertainty fields and a "
+                         "decision (alert/suppress/abstain with reason "
+                         "codes); works with the in-process, sharded "
+                         "and --listen gateways (see docs/serving.md)")
+
+    ppol = sub.add_parser(
+        "policy",
+        help="guardrail policy tools: validate a spec file",
+    )
+    polsub = ppol.add_subparsers(dest="policy_command", required=True)
+    pc = polsub.add_parser(
+        "check",
+        help="validate a JSON policy spec (exit 2 on any error)",
+    )
+    pc.add_argument("file", help="policy spec file (JSON)")
+    pc.add_argument("--json", action="store_true",
+                    help="print the normalized spec as JSON")
 
     pad = sub.add_parser(
         "adapt",
@@ -609,8 +637,13 @@ def _serve_events(
 
 
 def _forecast_json(forecast) -> str:
-    """One output line: a :class:`repro.service.Forecast` as JSON."""
-    return json.dumps({
+    """One output line: a :class:`repro.service.Forecast` as JSON.
+
+    Same envelope as the network server's
+    :func:`repro.service.server.forecast_to_dict` — with a policy
+    attached each line carries the uncertainty fields and decision.
+    """
+    out = {
         "stream": forecast.stream,
         "t": forecast.t,
         "value": None if math.isnan(forecast.value) else forecast.value,
@@ -619,7 +652,18 @@ def _forecast_json(forecast) -> str:
         "ready": forecast.ready,
         "model": forecast.model,
         "version": forecast.version,
-    })
+    }
+    if forecast.confidence is not None:
+        out["confidence"] = forecast.confidence
+        out["dispersion"] = forecast.dispersion
+        out["interval"] = (
+            None
+            if math.isnan(forecast.interval_lo)
+            else [forecast.interval_lo, forecast.interval_hi]
+        )
+    if forecast.decision is not None:
+        out["decision"] = forecast.decision.to_dict()
+    return json.dumps(out)
 
 
 def _parse_listen(spec: str) -> Tuple[str, int]:
@@ -709,6 +753,15 @@ def _serve_main(args: argparse.Namespace) -> int:
         for stream, model, version in binds:
             service.bind(stream, model, version)
         streams = [b[0] for b in binds]
+        if args.policy is not None:
+            from .service.policy import PolicyEngine, load_policy
+
+            spec = load_policy(args.policy)
+            if args.workers > 1:
+                # The sharded gateway ships the spec to every worker.
+                service.attach_policy(spec)
+            else:
+                service.attach_policy(PolicyEngine(spec))
         if args.listen is not None:
             return _serve_network(args, service, streams)
         if args.adapt:
@@ -758,6 +811,37 @@ def _serve_main(args: argparse.Namespace) -> int:
         # segments; the in-process gateway has nothing to release.
         if service is not None and hasattr(service, "close"):
             service.close()
+
+
+def _policy_main(args: argparse.Namespace) -> int:
+    """The ``repro policy check`` subcommand.
+
+    Validates a JSON policy spec file against
+    :class:`repro.service.policy.PolicySpec` — unknown fields, bad
+    types and inconsistent thresholds all exit 2 with a one-line
+    diagnostic, so a typo'd guardrail fails in CI instead of silently
+    doing nothing in production.
+    """
+    from .service.policy import PolicyError, load_policy
+
+    try:
+        spec = load_policy(args.file)
+    except (OSError, PolicyError) as exc:
+        _print(f"error: {exc}")
+        return 2
+    if args.json:
+        _print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    configured = spec.to_dict()
+    if not configured:
+        _print(f"{args.file}: valid (empty policy — every decision "
+               "passes or abstains)")
+        return 0
+    rows = [[key, json.dumps(value)]
+            for key, value in sorted(configured.items())]
+    _print(format_table(["Field", "Value"], rows,
+                        title=f"Policy — {args.file} (valid)"))
+    return 0
 
 
 def _adapt_main(args: argparse.Namespace) -> int:
@@ -868,6 +952,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve_main(args)
     if args.command == "adapt":
         return _adapt_main(args)
+    if args.command == "policy":
+        return _policy_main(args)
     if args.command == "bench":
         return _bench_main(args)
     backend = _backend(args.jobs, args.backend)

@@ -55,7 +55,7 @@ from typing import Dict, Iterable, List, Optional, Union
 import numpy as np
 
 from .matching import stack_effective_bounds
-from .predictor import PredictionBatch
+from .predictor import PredictionBatch, rich_from_moments
 from .rule import Rule
 
 __all__ = ["CompiledRuleSystem"]
@@ -348,11 +348,17 @@ class CompiledRuleSystem:
                     out[lin] = acc
         return out
 
-    def predict(self, patterns: np.ndarray) -> PredictionBatch:
+    def predict(
+        self, patterns: np.ndarray, rich: bool = False
+    ) -> PredictionBatch:
         """Mean-of-matching-rules prediction for ``(n, D)`` patterns.
 
         Bitwise identical to the per-rule reference loop
-        (``RuleSystem.predict(..., compiled=False)``).
+        (``RuleSystem.predict(..., compiled=False)``).  ``rich=True``
+        adds per-pattern dispersion/interval/confidence in one extra
+        ``bincount`` pass over the same matched pairs — the point
+        values are computed by the unchanged code and stay bitwise
+        identical to the plain path.
         """
         patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
         n = patterns.shape[0]
@@ -362,19 +368,30 @@ class CompiledRuleSystem:
                 f"{self.n_lags}"
             )
         if n == 1:
-            return self._predict_single(patterns[0])
+            return self._predict_single(patterns[0], rich=rich)
         if not np.isfinite(patterns).all():
             raise ValueError(
                 "compiled prediction requires finite patterns (no NaN/inf); "
                 "clean the input or use predict(..., compiled=False)"
             )
-        return self._predict_blocks(patterns)
+        return self._predict_blocks(patterns, rich=rich)
 
-    def _predict_blocks(self, patterns: np.ndarray) -> PredictionBatch:
-        """Blocked multi-pattern kernel (validated ``(n, D)`` float64)."""
+    def _predict_blocks(
+        self, patterns: np.ndarray, rich: bool = False
+    ) -> PredictionBatch:
+        """Blocked multi-pattern kernel (validated ``(n, D)`` float64).
+
+        The rich pass rides the block loop: each block's mean is fully
+        determined by its own ``bincount`` (blocks partition patterns),
+        so squared deviations of the pair outputs from that mean are
+        accumulated with a second ``bincount`` over the same rule-major
+        pairs — per pattern in ascending rule order, exactly the order
+        of the oracle's second scatter-add loop.
+        """
         n = patterns.shape[0]
         totals = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n, dtype=np.int64)
+        m2 = np.zeros(n, dtype=np.float64) if rich else None
         for start in range(0, n, self.block_size):
             stop = min(start + self.block_size, n)
             blkT = np.ascontiguousarray(patterns[start:stop].T)
@@ -386,14 +403,38 @@ class CompiledRuleSystem:
                 i_idx, weights=outputs, minlength=stop - start
             )
             counts[start:stop] = np.bincount(i_idx, minlength=stop - start)
+            if rich:
+                # Same float ops as the naive masked form, expressed
+                # allocation-light: ``divide(where=)`` skips the
+                # boolean fancy-index round trips, ``take`` beats
+                # advanced indexing for the per-pair gather, and the
+                # subtract/multiply reuse the gather buffer in place.
+                # Every element's arithmetic is unchanged, so the
+                # moments stay bitwise equal to the per-rule oracle.
+                blk_counts = counts[start:stop]
+                blk_values = np.zeros(stop - start, dtype=np.float64)
+                np.divide(
+                    totals[start:stop], blk_counts, out=blk_values,
+                    where=blk_counts > 0,
+                )
+                dev = blk_values.take(i_idx)
+                np.subtract(outputs, dev, out=dev)
+                np.multiply(dev, dev, out=dev)
+                m2[start:stop] = np.bincount(
+                    i_idx, weights=dev, minlength=stop - start
+                )
         predicted = counts > 0
         values = np.full(n, np.nan)
         values[predicted] = totals[predicted] / counts[predicted]
+        if rich:
+            return rich_from_moments(values, predicted, counts, m2)
         return PredictionBatch(
             values=values, predicted=predicted, n_rules_used=counts
         )
 
-    def predict_windows(self, windows: np.ndarray) -> PredictionBatch:
+    def predict_windows(
+        self, windows: np.ndarray, rich: bool = False
+    ) -> PredictionBatch:
         """Micro-batch entry point: score a pre-validated window stack.
 
         The serving gateway (:class:`repro.service.ForecastService`)
@@ -413,6 +454,10 @@ class CompiledRuleSystem:
         Callers that cannot guarantee finite windows must use
         :meth:`predict`.  ``k = 0`` (no stream ready this batch) is
         valid and returns an empty batch.
+
+        ``rich=True`` opts into the uncertainty-carrying
+        :class:`~repro.core.predictor.RichPredictionBatch` — same point
+        bits, one extra reduction pass.
         """
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim != 2 or windows.shape[1] != self.n_lags:
@@ -422,16 +467,25 @@ class CompiledRuleSystem:
             )
         k = windows.shape[0]
         if k == 0:
+            if rich:
+                return rich_from_moments(
+                    np.full(0, np.nan),
+                    np.zeros(0, dtype=bool),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.float64),
+                )
             return PredictionBatch(
                 values=np.full(0, np.nan),
                 predicted=np.zeros(0, dtype=bool),
                 n_rules_used=np.zeros(0, dtype=np.int64),
             )
         if k == 1:
-            return self._predict_single(windows[0])
-        return self._predict_blocks(windows)
+            return self._predict_single(windows[0], rich=rich)
+        return self._predict_blocks(windows, rich=rich)
 
-    def _predict_single(self, pattern: np.ndarray) -> PredictionBatch:
+    def _predict_single(
+        self, pattern: np.ndarray, rich: bool = False
+    ) -> PredictionBatch:
         """One-pattern fast path: the streaming/serving step.
 
         A handful of whole-pool operations instead of the batch
@@ -447,6 +501,13 @@ class CompiledRuleSystem:
         idx = np.nonzero(matched)[0]
         k = idx.size
         if k == 0:
+            if rich:
+                return rich_from_moments(
+                    np.full(1, np.nan),
+                    np.zeros(1, dtype=bool),
+                    np.zeros(1, dtype=np.int64),
+                    np.zeros(1, dtype=np.float64),
+                )
             return PredictionBatch(
                 values=np.full(1, np.nan),
                 predicted=np.zeros(1, dtype=bool),
@@ -464,6 +525,16 @@ class CompiledRuleSystem:
         # order as the oracle's per-rule scatter-add (np.sum is not:
         # it unrolls 8-wide above a handful of elements).
         total = np.bincount(np.zeros(k, dtype=np.intp), weights=outputs)[0]
+        if rich:
+            value = total / k
+            dev = outputs - value
+            m2 = np.bincount(np.zeros(k, dtype=np.intp), weights=dev * dev)[0]
+            return rich_from_moments(
+                np.array([value]),
+                np.ones(1, dtype=bool),
+                np.array([k], dtype=np.int64),
+                np.array([m2]),
+            )
         return PredictionBatch(
             values=np.array([total / k]),
             predicted=np.ones(1, dtype=bool),

@@ -35,7 +35,12 @@ import numpy as np
 from .matching import match_mask
 from .rule import Rule
 
-__all__ = ["PredictionBatch", "RuleSystem"]
+__all__ = [
+    "PredictionBatch",
+    "RichPredictionBatch",
+    "RuleSystem",
+    "rich_from_moments",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,80 @@ class PredictionBatch:
         if self.predicted.size == 0:
             return 0.0
         return float(self.predicted.mean())
+
+
+@dataclass(frozen=True)
+class RichPredictionBatch(PredictionBatch):
+    """A :class:`PredictionBatch` plus per-pattern uncertainty.
+
+    The pool carries uncertainty for free: each prediction is the mean
+    of the matching rules' outputs, so the spread of those outputs is a
+    direct dispersion estimate and the match count a coverage signal.
+    Rich batches surface both, plus two derived fields, without
+    perturbing a single bit of the point values (the rich path is the
+    same kernel with one extra ``bincount`` pass — see
+    ``tests/property/test_uncertainty.py``).
+
+    Attributes
+    ----------
+    dispersion:
+        Population standard deviation of the matching rules' outputs
+        (``sqrt(sum((out - mean)^2) / k)``).  Exactly ``0.0`` where one
+        rule matches and — deliberately NaN-free — also ``0.0`` where
+        the system abstains.
+    interval_lo, interval_hi:
+        ``value ∓/± dispersion`` — a one-sigma disagreement band, not a
+        calibrated quantile.  ``NaN`` where the system abstains
+        (mirroring ``values``).
+    confidence:
+        ``(k / (k + 1)) / (1 + dispersion)`` for ``k`` matching rules —
+        a unitless score in ``(0, 1)`` that grows with agreement and
+        match count, built from rational ops only so both scoring paths
+        reproduce it bit for bit.  Exactly ``0.0`` where the system
+        abstains.
+    """
+
+    dispersion: np.ndarray = None  # type: ignore[assignment]
+    interval_lo: np.ndarray = None  # type: ignore[assignment]
+    interval_hi: np.ndarray = None  # type: ignore[assignment]
+    confidence: np.ndarray = None  # type: ignore[assignment]
+
+
+def rich_from_moments(
+    values: np.ndarray,
+    predicted: np.ndarray,
+    counts: np.ndarray,
+    m2: np.ndarray,
+) -> RichPredictionBatch:
+    """Derive a :class:`RichPredictionBatch` from accumulated moments.
+
+    ``m2`` is the per-pattern sum of squared deviations of matching rule
+    outputs from the (already final) mean.  Both scoring paths — the
+    per-rule oracle loop and the compiled kernels — accumulate their
+    moments in the same order and then call *this one function* for the
+    derived fields, so dispersion/interval/confidence are bitwise
+    identical across paths by construction.
+    """
+    n = values.shape[0]
+    dispersion = np.zeros(n, dtype=np.float64)
+    matched = counts > 0
+    if matched.any():
+        dispersion[matched] = np.sqrt(m2[matched] / counts[matched])
+    interval_lo = values - dispersion
+    interval_hi = values + dispersion
+    confidence = np.zeros(n, dtype=np.float64)
+    if matched.any():
+        k = counts[matched].astype(np.float64)
+        confidence[matched] = (k / (k + 1.0)) / (1.0 + dispersion[matched])
+    return RichPredictionBatch(
+        values=values,
+        predicted=predicted,
+        n_rules_used=counts,
+        dispersion=dispersion,
+        interval_lo=interval_lo,
+        interval_hi=interval_hi,
+        confidence=confidence,
+    )
 
 
 class RuleSystem:
@@ -124,7 +203,7 @@ class RuleSystem:
         return self._compiled
 
     def predict(
-        self, patterns: np.ndarray, compiled: bool = True
+        self, patterns: np.ndarray, compiled: bool = True, rich: bool = False
     ) -> PredictionBatch:
         """Mean-of-matching-rules prediction for ``(n, D)`` patterns.
 
@@ -133,10 +212,25 @@ class RuleSystem:
         ``compiled=False`` runs the per-rule reference loop.  The two
         are bitwise identical — the flag is an A/B escape hatch (CLI:
         ``--no-compiled``) and the oracle for property tests.
+
+        ``rich=True`` returns a :class:`RichPredictionBatch` carrying
+        per-pattern dispersion/interval/confidence on top of the exact
+        same point values.  The reference implementation runs a second
+        per-rule pass accumulating squared deviations from the final
+        mean in ascending rule order — the oracle the compiled rich
+        kernels are held bitwise equal to
+        (``tests/property/test_uncertainty.py``).
         """
         patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
         n = patterns.shape[0]
         if not self.rules:
+            if rich:
+                return rich_from_moments(
+                    np.full(n, np.nan),
+                    np.zeros(n, dtype=bool),
+                    np.zeros(n, dtype=np.int64),
+                    np.zeros(n, dtype=np.float64),
+                )
             return PredictionBatch(
                 values=np.full(n, np.nan),
                 predicted=np.zeros(n, dtype=bool),
@@ -148,7 +242,7 @@ class RuleSystem:
                 f"{self.n_lags}"
             )
         if compiled:
-            return self.compile().predict(patterns)
+            return self.compile().predict(patterns, rich=rich)
         totals = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n, dtype=np.int64)
         for rule in self.rules:
@@ -160,6 +254,15 @@ class RuleSystem:
         predicted = counts > 0
         values = np.full(n, np.nan)
         values[predicted] = totals[predicted] / counts[predicted]
+        if rich:
+            m2 = np.zeros(n, dtype=np.float64)
+            for rule in self.rules:
+                mask = match_mask(rule, patterns)
+                if not mask.any():
+                    continue
+                dev = rule.output(patterns[mask]) - values[mask]
+                m2[mask] += dev * dev
+            return rich_from_moments(values, predicted, counts, m2)
         return PredictionBatch(values=values, predicted=predicted, n_rules_used=counts)
 
     def predict_one(

@@ -117,6 +117,13 @@ class StreamStep:
         Number of rules that contributed to the forecast.
     ready:
         True once the buffer holds a full window (``t >= D - 1``).
+    dispersion, interval_lo, interval_hi, confidence:
+        Per-step uncertainty (see
+        :class:`~repro.core.predictor.RichPredictionBatch`), populated
+        only when the forecaster was built with ``rich=True``; ``None``
+        otherwise.  ``dispersion``/``confidence`` are NaN-free (``0.0``
+        on abstention and while filling); the interval mirrors
+        ``value``'s NaN semantics.
     """
 
     t: int
@@ -124,6 +131,10 @@ class StreamStep:
     predicted: bool
     n_rules_used: int
     ready: bool
+    dispersion: Optional[float] = None
+    interval_lo: Optional[float] = None
+    interval_hi: Optional[float] = None
+    confidence: Optional[float] = None
 
 
 class StreamingForecaster:
@@ -138,12 +149,18 @@ class StreamingForecaster:
         Informational: the horizon the pool was trained for.  Each
         prediction targets ``horizon`` steps after the latest ingested
         observation.
+    rich:
+        When True, every ready step also carries
+        dispersion/interval/confidence from the rich scoring path (same
+        point bits — the rich kernel only adds a reduction pass).  Off
+        by default: plain streaming stays on the leanest fast path.
     """
 
     def __init__(
         self,
         system: Union[RuleSystem, CompiledRuleSystem],
         horizon: int = 1,
+        rich: bool = False,
     ) -> None:
         if isinstance(system, RuleSystem):
             if not len(system):
@@ -154,6 +171,7 @@ class StreamingForecaster:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
         self.horizon = horizon
+        self.rich = bool(rich)
         self._ring = RingWindowBuffer(self._compiled.n_lags)
         self.n_steps = 0
         self.n_predicted = 0
@@ -223,14 +241,32 @@ class StreamingForecaster:
             )
         self._ring.push(v)
         if not self.ready:
+            if self.rich:
+                return StreamStep(
+                    t=t, value=np.nan, predicted=False, n_rules_used=0,
+                    ready=False, dispersion=0.0, interval_lo=np.nan,
+                    interval_hi=np.nan, confidence=0.0,
+                )
             return StreamStep(
                 t=t, value=np.nan, predicted=False, n_rules_used=0, ready=False
             )
-        batch = self._compiled._predict_single(self.window())
+        batch = self._compiled._predict_single(self.window(), rich=self.rich)
         predicted = bool(batch.predicted[0])
         self.n_steps += 1
         if predicted:
             self.n_predicted += 1
+        if self.rich:
+            return StreamStep(
+                t=t,
+                value=float(batch.values[0]),
+                predicted=predicted,
+                n_rules_used=int(batch.n_rules_used[0]),
+                ready=True,
+                dispersion=float(batch.dispersion[0]),
+                interval_lo=float(batch.interval_lo[0]),
+                interval_hi=float(batch.interval_hi[0]),
+                confidence=float(batch.confidence[0]),
+            )
         return StreamStep(
             t=t,
             value=float(batch.values[0]),

@@ -16,12 +16,18 @@ single-stream serving (:mod:`repro.serve`):
 * :class:`AdaptationManager` — the online-adaptation loop: per-stream
   drift detection, resumable challenger retraining, bitwise shadow
   scoring and registry-backed promote/rollback
-  (:mod:`repro.service.adaptation`).
+  (:mod:`repro.service.adaptation`);
+* :class:`PolicyEngine` — the guardrail decision layer: uncertainty-
+  aware thresholds with hysteresis, per-stream rate limits and
+  machine-readable reason codes over the rich scoring path
+  (:mod:`repro.service.policy`).
 
 CLI surface: ``repro models`` (registry lifecycle), ``repro serve``
 (stdin / CSV-replay ingestion, or ``--listen HOST:PORT`` for the
-network server; ``--adapt`` closes the loop) and ``repro adapt``
-(adaptation status).  The full guide is ``docs/serving.md``.
+network server; ``--adapt`` closes the loop; ``--policy FILE``
+attaches guardrails), ``repro adapt`` (adaptation status) and ``repro
+policy check`` (spec validation).  The full guide is
+``docs/serving.md``.
 """
 
 from .adaptation import (
@@ -39,6 +45,13 @@ from .adaptation import (
 )
 from .gateway import Forecast, ForecastService
 from .metrics import MetricsRegistry
+from .policy import (
+    Decision,
+    PolicyEngine,
+    PolicyError,
+    PolicySpec,
+    load_policy,
+)
 from .registry import ModelRecord, ModelRegistry, RegistryError, task_lineage
 from .store import InMemoryStreamStore, StreamState, StreamStore
 from .server import (
@@ -56,6 +69,7 @@ __all__ = [
     "AdaptationManager",
     "AdaptiveBatcher",
     "AutoPromoter",
+    "Decision",
     "DriftConfig",
     "DriftEvent",
     "DriftMonitor",
@@ -67,6 +81,9 @@ __all__ = [
     "ModelRecord",
     "ModelRegistry",
     "OverloadedError",
+    "PolicyEngine",
+    "PolicyError",
+    "PolicySpec",
     "PromotionPolicy",
     "ProtocolError",
     "RegistryError",
@@ -77,5 +94,6 @@ __all__ = [
     "StreamState",
     "StreamStore",
     "forecast_to_dict",
+    "load_policy",
     "task_lineage",
 ]

@@ -95,6 +95,14 @@ class Forecast(NamedTuple):
     model, version:
         The registry identity serving this stream (version 0 for
         directly bound systems).
+    confidence, dispersion, interval_lo, interval_hi:
+        Per-event uncertainty (see
+        :class:`~repro.core.predictor.RichPredictionBatch`), populated
+        only when a policy is attached (the gateway then scores through
+        the rich kernel path — same point bits); ``None`` otherwise.
+    decision:
+        The attached policy's :class:`~repro.service.policy.Decision`
+        for this event; ``None`` when no policy is attached.
     """
 
     stream: str
@@ -105,6 +113,11 @@ class Forecast(NamedTuple):
     ready: bool
     model: str
     version: int
+    confidence: Optional[float] = None
+    dispersion: Optional[float] = None
+    interval_lo: Optional[float] = None
+    interval_hi: Optional[float] = None
+    decision: Optional[object] = None
 
 
 class ForecastService:
@@ -149,6 +162,10 @@ class ForecastService:
         # `is not None` test per batch when detached — the wire output
         # is bitwise unchanged with adaptation off.
         self._adaptation = None
+        # Optional policy engine (see repro.service.policy): when
+        # attached, scoring switches to the rich kernel path (same
+        # point bits) and every forecast carries a Decision.
+        self._policy = None
 
     # -- binding -------------------------------------------------------------
 
@@ -261,13 +278,66 @@ class ForecastService:
                 "an adaptation hook is already attached; detach it first"
             )
         self._adaptation = hook
-        self._store.on_evict = getattr(hook, "forget", None)
+        self._wire_evict()
 
     def detach_adaptation(self):
         """Detach and return the adaptation hook (``None`` if absent)."""
         hook, self._adaptation = self._adaptation, None
-        self._store.on_evict = None
+        self._wire_evict()
         return hook
+
+    # -- policy --------------------------------------------------------------
+
+    def attach_policy(self, engine) -> None:
+        """Attach a guardrail policy to the ingest path.
+
+        ``engine`` is a :class:`~repro.service.policy.PolicyEngine` (or
+        anything with the same ``decide``/``forget``/``stats`` shape).
+        With a policy attached the gateway scores through the rich
+        kernel path — point values stay bitwise identical — and every
+        returned :class:`Forecast` carries uncertainty fields plus the
+        policy's :class:`~repro.service.policy.Decision`.  Per-stream
+        policy state is dropped on store eviction via ``forget``.
+        """
+        if self._policy is not None:
+            raise ValueError(
+                "a policy engine is already attached; detach it first"
+            )
+        self._policy = engine
+        self._wire_evict()
+
+    def detach_policy(self):
+        """Detach and return the policy engine (``None`` if absent)."""
+        engine, self._policy = self._policy, None
+        self._wire_evict()
+        return engine
+
+    def _wire_evict(self) -> None:
+        """Point the store's eviction callback at the attached hooks.
+
+        Adaptation and policy each keep per-stream state that must not
+        outlive the stream; with both attached the callback fans out to
+        both ``forget`` methods.
+        """
+        callbacks = []
+        if self._adaptation is not None:
+            forget = getattr(self._adaptation, "forget", None)
+            if forget is not None:
+                callbacks.append(forget)
+        if self._policy is not None:
+            forget = getattr(self._policy, "forget", None)
+            if forget is not None:
+                callbacks.append(forget)
+        if not callbacks:
+            self._store.on_evict = None
+        elif len(callbacks) == 1:
+            self._store.on_evict = callbacks[0]
+        else:
+            def fan_out(stream: str) -> None:
+                for forget in callbacks:
+                    forget(stream)
+
+            self._store.on_evict = fan_out
 
     def swap_model(
         self,
@@ -357,6 +427,8 @@ class ForecastService:
         }
         if self._adaptation is not None:
             out["adaptation"] = self._adaptation.stats()
+        if self._policy is not None:
+            out["policy"] = self._policy.stats()
         return out
 
     def healthz(self) -> Dict[str, object]:
@@ -412,6 +484,10 @@ class ForecastService:
         results: List[Optional[Forecast]] = [None] * len(batch)
         ready: Dict[Tuple[str, int], List[Tuple[int, StreamState, int]]] = {}
         stacks: Dict[Tuple[str, int], np.ndarray] = {}
+        policy = self._policy
+        rich = policy is not None
+        decide = policy.decide if rich else None
+        n_warmup = 0
         for i, (stream, state, v) in enumerate(batch):
             self._store.touch(stream)
             ring = state.ring
@@ -427,16 +503,33 @@ class ForecastService:
                 members.append((i, state, t))
             else:
                 name, version = state.model_key
-                results[i] = Forecast(
-                    stream=stream, t=t, value=float("nan"), predicted=False,
-                    n_rules_used=0, ready=False, model=name, version=version,
-                )
+                if rich:
+                    # Warm-up verdicts are a shared singleton, bulk-
+                    # counted after the loop (they touch no per-stream
+                    # machine state).
+                    n_warmup += 1
+                    results[i] = Forecast(
+                        stream=stream, t=t, value=float("nan"),
+                        predicted=False, n_rules_used=0, ready=False,
+                        model=name, version=version, confidence=0.0,
+                        dispersion=0.0, interval_lo=float("nan"),
+                        interval_hi=float("nan"),
+                        decision=policy.NOT_READY,
+                    )
+                else:
+                    results[i] = Forecast(
+                        stream=stream, t=t, value=float("nan"),
+                        predicted=False, n_rules_used=0, ready=False,
+                        model=name, version=version,
+                    )
         self.n_events += len(batch)
+        if rich and n_warmup:
+            policy.tally(policy.NOT_READY, n_warmup)
 
         # Score phase: one batched call per model with >= 1 ready window.
         for model_key, members in ready.items():
             windows = stacks[model_key][: len(members)]
-            scored = self._models[model_key].predict_windows(windows)
+            scored = self._models[model_key].predict_windows(windows, rich=rich)
             self.n_batches += 1
             name, version = model_key
             # One C-level conversion per batch instead of three numpy
@@ -444,22 +537,84 @@ class ForecastService:
             values = scored.values.tolist()
             predicted_flags = scored.predicted.tolist()
             rules_used = scored.n_rules_used.tolist()
-            for row, (i, state, t) in enumerate(members):
-                stream = batch[i][0]
-                predicted = predicted_flags[row]
-                state.n_steps += 1
-                if predicted:
-                    state.n_predicted += 1
-                results[i] = Forecast(
-                    stream=stream,
-                    t=t,
-                    value=values[row],
-                    predicted=predicted,
-                    n_rules_used=rules_used[row],
-                    ready=True,
-                    model=name,
-                    version=version,
-                )
+            if rich:
+                confidences = scored.confidence.tolist()
+                dispersions = scored.dispersion.tolist()
+                interval_los = scored.interval_lo.tolist()
+                interval_his = scored.interval_hi.tolist()
+                # Certain passes take the vectorized shortcut: one
+                # shared Decision singleton, counters bumped in bulk.
+                # Latched streams and anything near a guardrail or
+                # threshold run the full per-event state machine —
+                # per-stream decision sequences are identical either
+                # way (the policy property suite holds the two paths
+                # bitwise equal).
+                fast_rows = policy.prefilter(scored).tolist()
+                latched = policy._latched
+                fast_pass = policy.PASS
+                no_prediction = policy.NO_PREDICTION
+                low_match = policy.LOW_MATCH
+                min_matches = policy.spec.min_matches
+                new = tuple.__new__
+                cls = Forecast
+                n_fast = n_nopred = n_lowmatch = 0
+                for (i, state, t), value, predicted, n_used, conf, \
+                        disp, lo, hi, fast in zip(
+                            members, values, predicted_flags, rules_used,
+                            confidences, dispersions, interval_los,
+                            interval_his, fast_rows):
+                    stream = batch[i][0]
+                    state.n_steps += 1
+                    if predicted:
+                        state.n_predicted += 1
+                        if fast and stream not in latched:
+                            n_fast += 1
+                            decision = fast_pass
+                        elif n_used < min_matches:
+                            n_lowmatch += 1
+                            decision = low_match
+                        else:
+                            decision = decide(
+                                stream, t, True, True, n_used, value,
+                                conf, hi - lo,
+                            )
+                    else:
+                        n_nopred += 1
+                        decision = no_prediction
+                    # Bound ``tuple.__new__`` is one C call per event
+                    # — no generated-``__new__`` frame, no ``_make``
+                    # classmethod wrapper; this loop runs once per
+                    # event on the policy hot path.
+                    results[i] = new(cls, (
+                        stream, t, value, predicted, n_used, True,
+                        name, version, conf, disp, lo, hi, decision,
+                    ))
+                policy.tally(fast_pass, n_fast)
+                policy.tally(no_prediction, n_nopred)
+                policy.tally(low_match, n_lowmatch)
+            else:
+                for row, (i, state, t) in enumerate(members):
+                    stream = batch[i][0]
+                    predicted = predicted_flags[row]
+                    state.n_steps += 1
+                    if predicted:
+                        state.n_predicted += 1
+                    results[i] = Forecast(
+                        stream=stream,
+                        t=t,
+                        value=values[row],
+                        predicted=predicted,
+                        n_rules_used=rules_used[row],
+                        ready=True,
+                        model=name,
+                        version=version,
+                    )
+        # Policy decisions were attached as each Forecast was built.
+        # Within one batch a stream's events score in input order (and
+        # its warm-up events precede them without touching latch
+        # state), so per-stream decision sequences are a pure function
+        # of that stream's event sequence — the property the sharded
+        # gateway's byte-identical replay rests on.
         # Adaptation observes the finished batch (every results slot is
         # filled here) before eviction sweeps, so shadow scoring reuses
         # the stacks built above and maturing forecasts see their

@@ -1,0 +1,604 @@
+"""Guardrail policy layer: declarative decisions over rich forecasts.
+
+A freshly promoted challenger (:mod:`repro.service.adaptation`) or a
+drifting sensor can push wild values to the wire; the policy layer is
+the safety net between the model and the consumer.  A
+:class:`PolicySpec` declares *what* to guard — value thresholds with
+hysteresis, confidence/interval guardrails, match-count floors, value
+caps, per-stream alert rate limits — and :class:`PolicyEngine` compiles
+it into a pure per-event state machine emitting one :class:`Decision`
+per forecast, with machine-readable reason codes.
+
+Actions (:data:`ACTIONS`):
+
+* ``pass`` — the forecast is served untouched;
+* ``alert`` — a threshold was crossed (rising edge: a latched stream
+  does not re-alert until it has cleared the hysteresis band);
+* ``suppress`` — the forecast failed a guardrail (low confidence, wide
+  interval, cap) or an alert was rate-limited; consumers should not act
+  on it;
+* ``abstain`` — there is nothing to act on (window filling, no matching
+  rule, too few matching rules).
+
+**Determinism.**  Decisions are a pure function of the per-stream
+forecast sequence: latches and step-based rate windows key off the
+stream's own observation index ``t``, never off wall time.  Wall-clock
+rate windows (``rate_unit="seconds"``) take an injected ``clock``
+callable so tests — and deterministic replays — control time
+explicitly.  Because streams shard by consistent hashing, per-stream
+sequences are preserved under sharding and the sharded gateway's
+decisions are byte-identical to a single-process serial replay
+(``tests/integration/test_policy_integration.py``).
+
+Evaluation order is fixed (first hit wins the action; guardrail reasons
+accumulate):
+
+1. ``not-ready`` — abstain while the window is filling;
+2. ``no-prediction`` — abstain when no rule matched;
+3. ``low-match`` — abstain below the ``min_matches`` floor;
+4. guardrails — ``low-confidence`` / ``wide-interval`` /
+   ``cap-exceeded`` suppress (all triggered codes are reported);
+5. thresholds — ``threshold-above`` / ``threshold-below`` alert on the
+   rising edge and latch; inside the hysteresis band a latched stream
+   passes with ``hysteresis-hold``; ``rate-limited`` downgrades an
+   alert to a suppression when the per-stream budget is spent.
+
+Guardrail suppressions leave the latch untouched — an untrustworthy
+forecast is no evidence the alert condition ended.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, fields
+from time import monotonic
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "ACTIONS",
+    "REASON_CODES",
+    "Decision",
+    "PolicyError",
+    "PolicyEngine",
+    "PolicySpec",
+    "load_policy",
+]
+
+#: Every action a decision can carry, in severity order.
+ACTIONS: Tuple[str, ...] = ("pass", "alert", "suppress", "abstain")
+
+#: The full, stable reason-code vocabulary.  Codes are wire format —
+#: consumers key on them — so this tuple only ever grows
+#: (``tests/unit/test_policy.py`` pins it).
+REASON_CODES: Tuple[str, ...] = (
+    "not-ready",
+    "no-prediction",
+    "low-match",
+    "low-confidence",
+    "wide-interval",
+    "cap-exceeded",
+    "threshold-above",
+    "threshold-below",
+    "hysteresis-hold",
+    "rate-limited",
+)
+
+
+class PolicyError(ValueError):
+    """An invalid policy spec (bad field, bad value, unknown key)."""
+
+
+class Decision(NamedTuple):
+    """One policy verdict for one forecast.
+
+    A ``NamedTuple`` for the same reason :class:`~repro.service.gateway.
+    Forecast` is one: the engine emits one per event on the serving hot
+    path, and the common verdicts are shared singletons (reason tuples
+    are immutable, so sharing is safe).
+
+    Attributes
+    ----------
+    action:
+        One of :data:`ACTIONS`.
+    reasons:
+        Machine-readable reason codes from :data:`REASON_CODES`, in
+        evaluation order; empty for an unremarkable pass.
+    """
+
+    action: str
+    reasons: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form: ``{"action": ..., "reasons": [...]}``."""
+        return {"action": self.action, "reasons": list(self.reasons)}
+
+
+# Hot-path singletons: one object per common verdict, shared across all
+# events (Decision is immutable).
+_PASS = Decision("pass", ())
+_HOLD = Decision("pass", ("hysteresis-hold",))
+_NOT_READY = Decision("abstain", ("not-ready",))
+_NO_PREDICTION = Decision("abstain", ("no-prediction",))
+_LOW_MATCH = Decision("abstain", ("low-match",))
+_ALERT_ABOVE = Decision("alert", ("threshold-above",))
+_ALERT_BELOW = Decision("alert", ("threshold-below",))
+_RATE_LIMITED_ABOVE = Decision("suppress", ("threshold-above", "rate-limited"))
+_RATE_LIMITED_BELOW = Decision("suppress", ("threshold-below", "rate-limited"))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative guardrail policy (all fields optional, JSON-shaped).
+
+    Attributes
+    ----------
+    alert_above, alert_below:
+        Alert when the forecast value crosses above/below the
+        threshold.  Either, both or neither may be set (``alert_below``
+        must stay strictly under ``alert_above`` when both are).
+    hysteresis:
+        Width of the clearing band: a stream latched by
+        ``alert_above`` only re-arms once its value drops below
+        ``alert_above - hysteresis`` (symmetrically for
+        ``alert_below``).  ``0.0`` disables the band (the latch still
+        makes alerts edge-triggered).
+    min_confidence:
+        Suppress forecasts whose confidence is below this (``0..1``).
+    max_interval_width:
+        Suppress forecasts whose ``interval_hi - interval_lo`` exceeds
+        this.
+    min_matches:
+        Abstain when fewer than this many rules matched (a coverage
+        floor; ``0`` disables).
+    value_cap:
+        Suppress forecasts with ``|value| > value_cap`` — a sanity cap
+        against runaway model outputs.
+    max_alerts, rate_window, rate_unit:
+        Per-stream alert budget: at most ``max_alerts`` emitted alerts
+        per trailing ``rate_window`` (in the stream's own observation
+        steps by default, or wall-clock seconds with
+        ``rate_unit="seconds"`` — the engine's injected clock supplies
+        the timestamps).  Alerts beyond the budget are downgraded to
+        suppressions with ``rate-limited``.
+    """
+
+    alert_above: Optional[float] = None
+    alert_below: Optional[float] = None
+    hysteresis: float = 0.0
+    min_confidence: Optional[float] = None
+    max_interval_width: Optional[float] = None
+    min_matches: int = 0
+    value_cap: Optional[float] = None
+    max_alerts: Optional[int] = None
+    rate_window: float = 0.0
+    rate_unit: str = "steps"
+
+    def __post_init__(self) -> None:
+        def _num(name: str, allow_none: bool = True) -> None:
+            v = getattr(self, name)
+            if v is None:
+                if not allow_none:
+                    raise PolicyError(f"{name} must be set")
+                return
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise PolicyError(f"{name} must be a number, got {v!r}")
+            if v != v or v in (float("inf"), float("-inf")):
+                raise PolicyError(f"{name} must be finite, got {v!r}")
+
+        for name in ("alert_above", "alert_below", "hysteresis",
+                     "min_confidence", "max_interval_width", "value_cap",
+                     "rate_window"):
+            _num(name)
+        if self.hysteresis < 0:
+            raise PolicyError("hysteresis must be >= 0")
+        if (
+            self.alert_above is not None
+            and self.alert_below is not None
+            and not (self.alert_below < self.alert_above)
+        ):
+            raise PolicyError(
+                "alert_below must be strictly less than alert_above"
+            )
+        if self.min_confidence is not None and not (
+            0.0 <= self.min_confidence <= 1.0
+        ):
+            raise PolicyError("min_confidence must be in [0, 1]")
+        if (
+            self.max_interval_width is not None
+            and self.max_interval_width < 0
+        ):
+            raise PolicyError("max_interval_width must be >= 0")
+        if isinstance(self.min_matches, bool) or not isinstance(
+            self.min_matches, int
+        ):
+            raise PolicyError("min_matches must be an integer")
+        if self.min_matches < 0:
+            raise PolicyError("min_matches must be >= 0")
+        if self.value_cap is not None and self.value_cap <= 0:
+            raise PolicyError("value_cap must be > 0")
+        if self.max_alerts is not None:
+            if isinstance(self.max_alerts, bool) or not isinstance(
+                self.max_alerts, int
+            ):
+                raise PolicyError("max_alerts must be an integer")
+            if self.max_alerts < 1:
+                raise PolicyError("max_alerts must be >= 1")
+            if self.rate_window <= 0:
+                raise PolicyError(
+                    "max_alerts requires a positive rate_window"
+                )
+        if self.rate_unit not in ("steps", "seconds"):
+            raise PolicyError(
+                f"rate_unit must be 'steps' or 'seconds', got "
+                f"{self.rate_unit!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, object]) -> "PolicySpec":
+        """Build and validate a spec from a plain (JSON-shaped) dict.
+
+        Unknown keys are rejected — a typo'd guardrail silently doing
+        nothing is exactly the failure mode a policy layer exists to
+        prevent.
+        """
+        if not isinstance(spec, dict):
+            raise PolicyError(
+                f"policy spec must be an object/dict, got "
+                f"{type(spec).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise PolicyError(
+                f"unknown policy field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**spec)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The spec as a plain dict (only non-default fields)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v != f.default:
+                out[f.name] = v
+        return out
+
+
+def load_policy(path: str) -> PolicySpec:
+    """Load and validate a JSON policy spec file.
+
+    The CLI surface behind ``repro serve --policy FILE`` and
+    ``repro policy check FILE``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise PolicyError(f"{path}: not valid JSON ({exc})") from exc
+    return PolicySpec.from_dict(raw)
+
+
+class PolicyEngine:
+    """The per-stream decision state machine compiled from a spec.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`PolicySpec` (or a plain dict, validated via
+        :meth:`PolicySpec.from_dict`).
+    clock:
+        Time source for ``rate_unit="seconds"`` windows; injected so
+        tests and replays control time (defaults to
+        :func:`time.monotonic`).  Never consulted for step-based
+        windows — the default policy stays wall-clock-free and thus
+        byte-identical under sharded replay.
+
+    The engine satisfies the gateway hook shape
+    (:meth:`~repro.service.gateway.ForecastService.attach_policy`):
+    :meth:`decide` per event, :meth:`forget` on stream eviction,
+    :meth:`stats` for observability.  All counters are flat and
+    summable, so the sharded gateway aggregates per-shard engines by
+    plain addition.
+    """
+
+    #: Shared verdicts for the three *stateless* outcomes — decisions
+    #: :meth:`decide` reaches without reading or writing any per-stream
+    #: machine state, so the gateway may emit the singleton directly
+    #: and bulk-count via :meth:`tally`.  ``PASS`` is what every
+    #: :meth:`prefilter` fast row decides to; ``NOT_READY`` every
+    #: warm-up event; ``NO_PREDICTION`` every zero-match event;
+    #: ``LOW_MATCH`` every event under the ``min_matches`` floor.
+    PASS = _PASS
+    NOT_READY = _NOT_READY
+    NO_PREDICTION = _NO_PREDICTION
+    LOW_MATCH = _LOW_MATCH
+
+    def __init__(
+        self,
+        spec: "PolicySpec | Dict[str, object]",
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if isinstance(spec, dict):
+            spec = PolicySpec.from_dict(spec)
+        if not isinstance(spec, PolicySpec):
+            raise PolicyError(
+                f"expected a PolicySpec or dict, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._clock = clock
+        # stream -> which threshold latched it ("above"/"below").  At
+        # most one can hold: the thresholds are strictly ordered and
+        # clearing one side means crossing into (or past) the band of
+        # the other.
+        self._latched: Dict[str, str] = {}
+        # stream -> recent emitted-alert marks (step t or clock time).
+        self._alert_log: Dict[str, Deque[float]] = {}
+        self.n_evaluated = 0
+        self.n_pass = 0
+        self.n_alerts = 0
+        self.n_suppressed = 0
+        self.n_abstained = 0
+        self._reason_counts: Dict[str, int] = {}
+
+    # -- decisions -----------------------------------------------------------
+
+    def decide(
+        self,
+        stream: str,
+        t: int,
+        ready: bool,
+        predicted: bool,
+        n_rules_used: int,
+        value: float,
+        confidence: float,
+        interval_width: float,
+    ) -> Decision:
+        """Decide one forecast and advance the stream's machine state.
+
+        Arguments mirror the rich fields of one
+        :class:`~repro.service.gateway.Forecast`.  Pure in the
+        functional sense: the decision depends only on the spec, the
+        stream's prior event sequence and (for wall-clock rate windows)
+        the injected clock.
+        """
+        spec = self.spec
+        self.n_evaluated += 1
+        if not ready:
+            self.n_abstained += 1
+            self._count_reasons(_NOT_READY.reasons)
+            return _NOT_READY
+        if not predicted:
+            self.n_abstained += 1
+            self._count_reasons(_NO_PREDICTION.reasons)
+            return _NO_PREDICTION
+        if n_rules_used < spec.min_matches:
+            self.n_abstained += 1
+            self._count_reasons(_LOW_MATCH.reasons)
+            return _LOW_MATCH
+
+        guard: List[str] = []
+        if spec.min_confidence is not None and confidence < spec.min_confidence:
+            guard.append("low-confidence")
+        if (
+            spec.max_interval_width is not None
+            and interval_width > spec.max_interval_width
+        ):
+            guard.append("wide-interval")
+        if spec.value_cap is not None and (
+            value > spec.value_cap or value < -spec.value_cap
+        ):
+            guard.append("cap-exceeded")
+        if guard:
+            # A guardrail failure suppresses the forecast and leaves
+            # the alert latch untouched: an untrustworthy value is no
+            # evidence the alert condition ended.
+            self.n_suppressed += 1
+            reasons = tuple(guard)
+            self._count_reasons(reasons)
+            return Decision("suppress", reasons)
+
+        side = (
+            "above"
+            if spec.alert_above is not None and value > spec.alert_above
+            else "below"
+            if spec.alert_below is not None and value < spec.alert_below
+            else None
+        )
+        latched = self._latched.get(stream)
+        if side is not None:
+            if latched == side:
+                # Still in the alert condition, already alerted.
+                self.n_pass += 1
+                self._count_reasons(_HOLD.reasons)
+                return _HOLD
+            self._latched[stream] = side
+            if self._alert_budget_spent(stream, t):
+                self.n_suppressed += 1
+                decision = (
+                    _RATE_LIMITED_ABOVE if side == "above"
+                    else _RATE_LIMITED_BELOW
+                )
+            else:
+                self._record_alert(stream, t)
+                self.n_alerts += 1
+                decision = _ALERT_ABOVE if side == "above" else _ALERT_BELOW
+            self._count_reasons(decision.reasons)
+            return decision
+        if latched is not None:
+            if latched == "above":
+                cleared = value < spec.alert_above - spec.hysteresis
+            else:
+                cleared = value > spec.alert_below + spec.hysteresis
+            if not cleared:
+                # Inside the hysteresis band: neither a fresh alert nor
+                # a re-arm — this is what prevents flapping.
+                self.n_pass += 1
+                self._count_reasons(_HOLD.reasons)
+                return _HOLD
+            del self._latched[stream]
+        self.n_pass += 1
+        return _PASS
+
+    def prefilter(self, scored):
+        """Vectorized certain-pass mask over one rich scored batch.
+
+        Takes a :class:`~repro.core.predictor.RichPredictionBatch` and
+        returns a boolean array: ``True`` rows are guaranteed to
+        :meth:`decide` to a plain ``pass`` for any stream *not*
+        currently holding an alert latch — predicted, at or above the
+        match floor, inside every guardrail and strictly inside both
+        thresholds.  The gateway uses this to take per-event Python off
+        the hot path: fast rows share the ``pass`` singleton and are
+        bulk-counted via :meth:`tally`; everything else falls
+        back to :meth:`decide`.  The mask is conservative by
+        construction — every condition is expressed positively, so a
+        ``NaN`` fails the comparison and routes the row to the full
+        state machine.
+        """
+        spec = self.spec
+        values = scored.values
+        fast = scored.predicted.copy()
+        if spec.min_matches:
+            fast &= scored.n_rules_used >= spec.min_matches
+        if spec.min_confidence is not None:
+            fast &= scored.confidence >= spec.min_confidence
+        if spec.max_interval_width is not None:
+            width = scored.interval_hi - scored.interval_lo
+            fast &= width <= spec.max_interval_width
+        if spec.value_cap is not None:
+            fast &= values <= spec.value_cap
+            fast &= values >= -spec.value_cap
+        if spec.alert_above is not None:
+            fast &= values <= spec.alert_above
+        if spec.alert_below is not None:
+            fast &= values >= spec.alert_below
+        return fast
+
+    def tally(self, decision: Decision, n: int) -> None:
+        """Bulk-count ``n`` events that all reached ``decision`` via a
+        stateless shortcut (one of :attr:`PASS`, :attr:`NOT_READY`,
+        :attr:`NO_PREDICTION`); equivalent to ``n`` :meth:`decide`
+        calls with those inputs."""
+        if not n:
+            return
+        self.n_evaluated += n
+        if decision.action == "pass":
+            self.n_pass += n
+        else:
+            self.n_abstained += n
+        self._count_reasons(decision.reasons, n)
+
+    def evaluate(self, forecasts: Iterable) -> List[Decision]:
+        """Decide a batch of :class:`~repro.service.gateway.Forecast`
+        objects (rich fields required), in input order."""
+        out: List[Decision] = []
+        append = out.append
+        decide = self.decide
+        for f in forecasts:
+            width = (
+                f.interval_hi - f.interval_lo
+                if f.interval_hi is not None and f.predicted
+                else 0.0
+            )
+            append(decide(
+                f.stream, f.t, f.ready, f.predicted, f.n_rules_used,
+                f.value, f.confidence or 0.0, width,
+            ))
+        return out
+
+    # -- rate limiting -------------------------------------------------------
+
+    def _marks(self, stream: str) -> Deque[float]:
+        marks = self._alert_log.get(stream)
+        if marks is None:
+            marks = self._alert_log[stream] = deque()
+        return marks
+
+    def _alert_budget_spent(self, stream: str, t: int) -> bool:
+        spec = self.spec
+        if spec.max_alerts is None:
+            return False
+        marks = self._marks(stream)
+        now = float(t) if spec.rate_unit == "steps" else self._clock()
+        edge = now - spec.rate_window
+        while marks and marks[0] <= edge:
+            marks.popleft()
+        return len(marks) >= spec.max_alerts
+
+    def _record_alert(self, stream: str, t: int) -> None:
+        spec = self.spec
+        if spec.max_alerts is None:
+            return
+        now = float(t) if spec.rate_unit == "steps" else self._clock()
+        self._marks(stream).append(now)
+
+    # -- lifecycle / observability -------------------------------------------
+
+    def forget(self, stream: str) -> None:
+        """Drop all per-stream machine state (store eviction callback)."""
+        self._latched.pop(stream, None)
+        self._alert_log.pop(stream, None)
+
+    def reset(self) -> None:
+        """Forget every stream's state and zero the counters."""
+        self._latched.clear()
+        self._alert_log.clear()
+        self.n_evaluated = 0
+        self.n_pass = 0
+        self.n_alerts = 0
+        self.n_suppressed = 0
+        self.n_abstained = 0
+        self._reason_counts.clear()
+
+    def _count_reasons(self, reasons: Tuple[str, ...], n: int = 1) -> None:
+        counts = self._reason_counts
+        for code in reasons:
+            counts[code] = counts.get(code, 0) + n
+
+    def stats(self) -> Dict[str, object]:
+        """Flat, summable counters plus a per-reason-code breakdown."""
+        return {
+            "evaluated": self.n_evaluated,
+            "passes": self.n_pass,
+            "alerts": self.n_alerts,
+            "suppressions": self.n_suppressed,
+            "abstentions": self.n_abstained,
+            "latched_streams": len(self._latched),
+            "reasons": dict(self._reason_counts),
+        }
+
+
+def merge_policy_stats(
+    shards: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Sum per-shard :meth:`PolicyEngine.stats` dicts into one.
+
+    Every counter is additive (per-stream state never spans shards), so
+    the sharded gateway's aggregate is a plain field-wise sum —
+    ``tests/integration/test_policy_integration.py`` pins the
+    aggregated counters to the per-shard sums.
+    """
+    out: Dict[str, object] = {
+        "evaluated": 0, "passes": 0, "alerts": 0, "suppressions": 0,
+        "abstentions": 0, "latched_streams": 0, "reasons": {},
+    }
+    reasons: Dict[str, int] = out["reasons"]  # type: ignore[assignment]
+    for stats in shards:
+        for key in ("evaluated", "passes", "alerts", "suppressions",
+                    "abstentions", "latched_streams"):
+            out[key] += stats.get(key, 0)  # type: ignore[operator]
+        for code, n in stats.get("reasons", {}).items():  # type: ignore
+            reasons[code] = reasons.get(code, 0) + n
+    return out

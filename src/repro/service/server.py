@@ -83,9 +83,12 @@ def forecast_to_dict(forecast: Forecast) -> Dict[str, object]:
 
     ``value`` is ``null`` while the window is filling or the model
     abstains — ``NaN`` is not valid JSON, and "no forecast" is a
-    first-class outcome, not a float.
+    first-class outcome, not a float.  With a policy attached the
+    envelope additionally carries the uncertainty fields
+    (``confidence``/``dispersion``/``interval``, interval ``null``
+    when there is no forecast) and the policy ``decision``.
     """
-    return {
+    out = {
         "stream": forecast.stream,
         "t": forecast.t,
         "value": None if math.isnan(forecast.value) else forecast.value,
@@ -95,6 +98,17 @@ def forecast_to_dict(forecast: Forecast) -> Dict[str, object]:
         "model": forecast.model,
         "version": forecast.version,
     }
+    if forecast.confidence is not None:
+        out["confidence"] = forecast.confidence
+        out["dispersion"] = forecast.dispersion
+        out["interval"] = (
+            None
+            if math.isnan(forecast.interval_lo)
+            else [forecast.interval_lo, forecast.interval_hi]
+        )
+    if forecast.decision is not None:
+        out["decision"] = forecast.decision.to_dict()
+    return out
 
 
 def parse_event_line(line: str) -> Tuple[str, float]:
@@ -613,6 +627,29 @@ class ForecastServer:
                     model=model,
                     role="challenger",
                 )
+        policy = stats.get("policy")
+        if policy:
+            for key, help_text in (
+                ("evaluated", "Forecasts the policy engine evaluated."),
+                ("passes", "Forecasts served untouched (plain pass)."),
+                ("alerts", "Alert decisions emitted."),
+                ("suppressions", "Forecasts suppressed by guardrails "
+                                 "or rate limits."),
+                ("abstentions", "Abstain decisions (not ready, no or "
+                                "too few matching rules)."),
+            ):
+                g(f"repro_policy_{key}_total", help_text).set(
+                    policy.get(key, 0)
+                )
+            reasons = g(
+                "repro_policy_reasons_total",
+                "Decision reason codes emitted, by code.",
+                ["reason"],
+            )
+            # Rebuilt each scrape from the authoritative counters.
+            reasons.clear()
+            for code, count in sorted(policy.get("reasons", {}).items()):
+                reasons.set(count, reason=code)
         per_stream = g(
             "repro_gateway_stream_coverage",
             "Prediction coverage per stream "

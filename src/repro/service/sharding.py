@@ -58,6 +58,7 @@ from ..core.predictor import RuleSystem
 from ..parallel.shm import SharedArrayPool, shm_loads
 from .adaptation import ShadowScorer
 from .gateway import Forecast, ForecastService
+from .policy import PolicyEngine, PolicySpec, merge_policy_stats
 from .registry import ModelRegistry, RegistryError
 from .store import InMemoryStreamStore
 
@@ -327,6 +328,26 @@ def _worker_main(
                 if not shadow.scorers and service._adaptation is shadow:
                     service.detach_adaptation()
                 conn.send((seq, True))
+            elif op == "policy":
+                # The spec travels as a plain dict; each worker compiles
+                # its own engine.  Per-stream policy state lives where
+                # the stream lives, so sharded decisions replay the
+                # serial gateway byte for byte.
+                _, seq, spec_dict = msg
+                try:
+                    if service._policy is not None:
+                        service.detach_policy()
+                    service.attach_policy(
+                        PolicyEngine(PolicySpec.from_dict(spec_dict))
+                    )
+                    out = True
+                except Exception as exc:
+                    out = ShardError(f"shard {worker_id}: {exc!r}")
+                conn.send((seq, out))
+            elif op == "unpolicy":
+                if service._policy is not None:
+                    service.detach_policy()
+                conn.send((msg[1], True))
             elif op == "shadow_log":
                 conn.send((
                     msg[1],
@@ -441,6 +462,7 @@ class ShardedForecastService:
         self._compiled: Dict[Tuple[str, int], CompiledRuleSystem] = {}
         self._shards: List[_Shard] = []
         self._parked: Dict[Tuple[int, int], List[Forecast]] = {}
+        self._policy_spec: Optional[PolicySpec] = None
         self._closed = False
         ctx = mp.get_context("spawn")
         for i in range(self.config.workers):
@@ -652,6 +674,36 @@ class ShardedForecastService:
         for shard in self._shards:
             self._call(shard, "unshadow", model)
 
+    # -- policy --------------------------------------------------------------
+
+    def attach_policy(
+        self, spec: Union[PolicySpec, Dict[str, object]]
+    ) -> None:
+        """Attach one guardrail policy to every shard worker.
+
+        The validated :class:`~repro.service.policy.PolicySpec` ships
+        to each worker as a plain dict; workers compile private
+        :class:`~repro.service.policy.PolicyEngine` instances.  Streams
+        route to exactly one shard in arrival order, and policy state
+        is per stream, so the sharded decision sequence for any stream
+        is byte-identical to the single-process gateway's.
+        """
+        if isinstance(spec, dict):
+            spec = PolicySpec.from_dict(spec)
+        spec_dict = spec.to_dict()
+        for shard in self._shards:
+            result = self._call(shard, "policy", spec_dict)
+            if result is not True:  # pragma: no cover - defensive
+                raise ShardError(f"policy attach failed: {result!r}")
+        self._policy_spec = spec
+
+    def detach_policy(self) -> Optional[PolicySpec]:
+        """Detach the policy on every worker; returns the prior spec."""
+        for shard in self._shards:
+            self._call(shard, "unpolicy")
+        spec, self._policy_spec = self._policy_spec, None
+        return spec
+
     def shadow_logs(self) -> Dict[str, Dict[str, List[tuple]]]:
         """Merged shadow logs: ``{model: {stream: [(t, value, flag)]}}``.
 
@@ -797,6 +849,7 @@ class ShardedForecastService:
             "evicted_streams": 0, "per_stream": {},
         }
         per_shard = []
+        policy_blocks: List[Dict[str, object]] = []
         for i, shard in enumerate(self._shards):
             try:
                 stats = self._call(shard, "stats")
@@ -812,6 +865,9 @@ class ShardedForecastService:
             adaptation = stats.get("adaptation")
             if adaptation:
                 self._merge_shadow(merged, adaptation)
+            policy = stats.get("policy")
+            if policy:
+                policy_blocks.append(policy)
             per_shard.append({
                 "worker": i, "streams": stats["streams"],
                 "events": stats["events"],
@@ -823,6 +879,11 @@ class ShardedForecastService:
         merged["coverage"] = (
             merged["predicted_steps"] / ready if ready else 0.0
         )
+        if policy_blocks:
+            # Streams never span shards, so policy counters are plain
+            # sums (the integration suite pins aggregate == per-shard
+            # sums).
+            merged["policy"] = merge_policy_stats(policy_blocks)
         merged["per_shard"] = per_shard
         return merged
 

@@ -1,0 +1,216 @@
+"""Integration tests: the policy layer across the whole serving stack.
+
+The determinism contract from ``repro/service/policy.py``: decisions
+are a pure function of each stream's own forecast sequence, so neither
+consistent-hash sharding (streams never span shards) nor the TCP
+front-end's micro-batching (per-stream arrival order is preserved) may
+change a single byte of any decision relative to a single-process
+serial replay.  Counters are plain sums, so the sharded aggregate must
+equal the field-wise sum of the per-shard engines, and the ``/metrics``
+payload must expose exactly those numbers.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import RuleSystem
+from repro.core.rule import Rule
+from repro.service import (
+    ForecastServer,
+    ForecastService,
+    PolicyEngine,
+    PolicySpec,
+    ServerConfig,
+)
+from repro.service.policy import merge_policy_stats
+from repro.service.sharding import ShardConfig, ShardedForecastService
+
+D = 4
+
+SPEC = {
+    "alert_above": 0.6,
+    "alert_below": -0.6,
+    "hysteresis": 0.15,
+    "min_matches": 1,
+    "max_alerts": 2,
+    "rate_window": 12.0,
+}
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """Deterministic pool: partial boxes plus a catch-all, so streams
+    mix real predictions, holds and threshold crossings."""
+    rng = np.random.default_rng(17)
+    rules = []
+    for _ in range(14):
+        lo = rng.uniform(-1.5, 0.8, size=D)
+        rule = Rule.from_box(
+            lo, lo + rng.uniform(0.3, 1.2, size=D),
+            prediction=float(rng.normal()),
+        )
+        rule.error = float(rng.uniform(0.01, 1.0))
+        rules.append(rule)
+    catch_all = Rule.from_box(
+        np.full(D, -100.0), np.full(D, 100.0), prediction=0.7
+    )
+    catch_all.error = 0.5
+    rules.append(catch_all)
+    return RuleSystem(rules)
+
+
+def _event_tape(streams, n_rounds, seed=5):
+    """A deterministic arrival tape crossing both thresholds often."""
+    rng = np.random.default_rng(seed)
+    tape = []
+    for step in range(n_rounds):
+        for j, name in enumerate(streams):
+            v = float(np.sin(0.4 * step + 1.3 * j) + rng.normal(0, 0.2))
+            tape.append((name, v))
+    return tape
+
+
+def _serial_replay(pool, tape, streams, batch=None):
+    """Single-process ground truth: one gateway, one engine."""
+    service = ForecastService()
+    for name in streams:
+        service.bind_system(name, pool, model="itg")
+    service.attach_policy(PolicyEngine(PolicySpec.from_dict(SPEC)))
+    out = []
+    if batch is None:
+        for event in tape:
+            out.extend(service.ingest([event]))
+    else:
+        for i in range(0, len(tape), batch):
+            out.extend(service.ingest(tape[i:i + batch]))
+    return out, service
+
+
+def _assert_forecasts_identical(got, want):
+    assert len(got) == len(want)
+    for f, g in zip(got, want):
+        assert f.stream == g.stream and f.t == g.t
+        assert f.predicted == g.predicted and f.ready == g.ready
+        assert f.n_rules_used == g.n_rules_used
+        assert np.array_equal([f.value], [g.value], equal_nan=True)
+        assert f.confidence == g.confidence
+        assert f.dispersion == g.dispersion
+        assert np.array_equal(
+            [f.interval_lo, f.interval_hi],
+            [g.interval_lo, g.interval_hi],
+            equal_nan=True,
+        )
+        assert f.decision == g.decision, (f, g)
+
+
+class TestShardedPolicyParity:
+    def test_decisions_byte_identical_to_serial_replay(self, pool):
+        streams = [f"s{i:02d}" for i in range(12)]
+        tape = _event_tape(streams, 20)
+        serial_out, serial = _serial_replay(
+            pool, tape, streams, batch=len(streams)
+        )
+        with ShardedForecastService(config=ShardConfig(workers=3)) as svc:
+            for name in streams:
+                svc.bind_system(name, pool, model="itg")
+            svc.attach_policy(SPEC)
+            sharded_out = []
+            for i in range(0, len(tape), len(streams)):
+                sharded_out.extend(svc.ingest(tape[i:i + len(streams)]))
+            merged = svc.stats()["policy"]
+            per_shard = [
+                s["policy"] for s in (
+                    svc._call(shard, "stats") for shard in svc._shards
+                ) if s.get("policy")
+            ]
+        _assert_forecasts_identical(sharded_out, serial_out)
+        # something actually happened in this tape
+        assert merged["alerts"] > 0 and merged["abstentions"] > 0
+        # aggregate == serial engine == field-wise per-shard sum
+        assert merged == serial.stats()["policy"]
+        assert merged == merge_policy_stats(per_shard)
+        # the per-shard blocks are a real partition, not copies
+        assert sum(s["evaluated"] for s in per_shard) == len(tape)
+        assert any(
+            s["evaluated"] < merged["evaluated"] for s in per_shard
+        )
+
+    def test_policy_detach_round_trip(self, pool):
+        streams = ["a", "b"]
+        with ShardedForecastService(config=ShardConfig(workers=2)) as svc:
+            for name in streams:
+                svc.bind_system(name, pool, model="itg")
+            svc.attach_policy(SPEC)
+            svc.ingest([("a", 0.1), ("b", 0.2)])
+            spec = svc.detach_policy()
+            assert spec == PolicySpec.from_dict(SPEC)
+            out = svc.ingest([("a", 0.3)])
+            assert out[0].decision is None
+            assert "policy" not in svc.stats()
+
+
+class TestNetworkPolicyParity:
+    def test_tcp_decisions_match_serial_replay(self, pool):
+        """One TCP client sends the tape line by line (awaiting each
+        reply, so arrival order is exact); the wire decisions must be
+        byte-identical to the serial replay and ``/metrics`` must
+        expose the engine's exact counters."""
+        streams = ["gauge", "tide", "lagoon"]
+        tape = _event_tape(streams, 15, seed=11)
+        serial_out, serial = _serial_replay(pool, tape, streams, batch=1)
+
+        service = ForecastService()
+        for name in streams:
+            service.bind_system(name, pool, model="itg")
+        engine = PolicyEngine(PolicySpec.from_dict(SPEC))
+        service.attach_policy(engine)
+        server = ForecastServer(service, ServerConfig(port=0))
+
+        async def run():
+            async with server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                replies = []
+                for stream, value in tape:
+                    writer.write(f"{stream},{value!r}\n".encode())
+                    await writer.drain()
+                    replies.append(json.loads(await reader.readline()))
+                writer.close()
+                await writer.wait_closed()
+                await server.batcher.drain()
+                return replies, server.render_metrics()
+
+        replies, metrics_text = asyncio.run(run())
+
+        assert len(replies) == len(serial_out)
+        for reply, want in zip(replies, serial_out):
+            assert reply["stream"] == want.stream
+            assert reply["t"] == want.t
+            assert reply["decision"] == want.decision.to_dict(), (
+                reply, want
+            )
+            if want.predicted:
+                assert reply["value"] == want.value
+                assert reply["confidence"] == want.confidence
+            else:
+                assert reply["value"] is None
+
+        # /metrics mirrors the engine's counters exactly
+        stats = engine.stats()
+        assert stats == serial.stats()["policy"]  # sanity: same tape
+        samples = {}
+        for line in metrics_text.splitlines():
+            if line.startswith("repro_policy_"):
+                key, value = line.rsplit(" ", 1)
+                samples[key] = float(value)
+        for field in ("evaluated", "passes", "alerts", "suppressions",
+                      "abstentions"):
+            assert samples[f"repro_policy_{field}_total"] == stats[field]
+        for code, count in stats["reasons"].items():
+            assert samples[
+                f'repro_policy_reasons_total{{reason="{code}"}}'
+            ] == count
+        assert stats["alerts"] > 0  # the tape crossed the thresholds

@@ -1,0 +1,267 @@
+"""Property tests: rich (uncertainty-carrying) predictions vs oracles.
+
+Two bitwise contracts are pinned here:
+
+1. **Rich scoring never perturbs the point path.**  For any pool and
+   any batch, ``predict(rich=True)`` returns the exact bit pattern of
+   ``predict(rich=False)`` in ``values`` / ``predicted`` /
+   ``n_rules_used`` — across the single-pattern fast path, the sparse
+   pruning path, the dense wildcard-heavy fallback and block
+   boundaries.
+
+2. **The compiled rich moments equal the naive per-rule oracle.**  A
+   from-scratch two-pass loop over ``match_mask`` + ``rule.output``
+   (mean first, then squared deviations from that mean in ascending
+   rule order) is recomputed inside this file — independent of
+   ``RuleSystem.predict(compiled=False)`` — and the kernel's
+   match-count / dispersion / interval / confidence must match it
+   bit for bit.
+
+A third property backs the gateway's vectorized policy shortcut: the
+prefilter-fast-path decisions the serving gateway emits are identical
+to a fresh :class:`~repro.service.policy.PolicyEngine` replaying the
+same forecasts one :meth:`decide` at a time, and the two engines'
+counters agree exactly (the claim referenced from
+``repro/service/gateway.py``).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import CompiledRuleSystem
+from repro.core.matching import match_mask
+from repro.core.predictor import RuleSystem
+from repro.service import ForecastService
+from repro.service.policy import PolicyEngine, PolicySpec
+
+from test_compiled_predictor import random_pool
+
+
+def naive_rich(rules, patterns):
+    """The from-scratch rich oracle: per-rule masks, two passes.
+
+    Returns ``(values, predicted, counts, dispersion, interval_lo,
+    interval_hi, confidence)`` computed with the exact float operations
+    the rich contract promises: sequential scatter-adds in ascending
+    rule order, ``sqrt(m2 / k)`` dispersion, ``value -/+ dispersion``
+    interval and ``(k / (k + 1)) / (1 + dispersion)`` confidence.
+    """
+    patterns = np.atleast_2d(np.asarray(patterns, dtype=np.float64))
+    n = patterns.shape[0]
+    totals = np.zeros(n)
+    counts = np.zeros(n, dtype=np.int64)
+    for rule in rules:
+        mask = match_mask(rule, patterns)
+        if not mask.any():
+            continue
+        totals[mask] += rule.output(patterns[mask])
+        counts[mask] += 1
+    predicted = counts > 0
+    values = np.full(n, np.nan)
+    values[predicted] = totals[predicted] / counts[predicted]
+    m2 = np.zeros(n)
+    for rule in rules:
+        mask = match_mask(rule, patterns)
+        if not mask.any():
+            continue
+        dev = rule.output(patterns[mask]) - values[mask]
+        m2[mask] += dev * dev
+    dispersion = np.zeros(n)
+    dispersion[predicted] = np.sqrt(m2[predicted] / counts[predicted])
+    interval_lo = values - dispersion
+    interval_hi = values + dispersion
+    confidence = np.zeros(n)
+    k = counts[predicted].astype(np.float64)
+    confidence[predicted] = (k / (k + 1.0)) / (1.0 + dispersion[predicted])
+    return (
+        values, predicted, counts, dispersion,
+        interval_lo, interval_hi, confidence,
+    )
+
+
+def assert_rich_matches_oracle(rich, oracle):
+    values, predicted, counts, disp, lo, hi, conf = oracle
+    assert np.array_equal(rich.values, values, equal_nan=True)
+    assert np.array_equal(rich.predicted, predicted)
+    assert np.array_equal(rich.n_rules_used, counts)
+    assert np.array_equal(rich.dispersion, disp)
+    assert np.array_equal(rich.interval_lo, lo, equal_nan=True)
+    assert np.array_equal(rich.interval_hi, hi, equal_nan=True)
+    assert np.array_equal(rich.confidence, conf)
+    # Derived fields never smuggle NaN past an abstention: dispersion
+    # and confidence are finite everywhere, intervals are NaN exactly
+    # where the point value is.
+    assert np.isfinite(rich.dispersion).all()
+    assert np.isfinite(rich.confidence).all()
+    assert np.array_equal(np.isnan(rich.interval_lo), np.isnan(rich.values))
+    assert np.array_equal(np.isnan(rich.interval_hi), np.isnan(rich.values))
+
+
+def assert_point_fields_bitwise(rich, plain):
+    assert np.array_equal(rich.values, plain.values, equal_nan=True)
+    assert np.array_equal(rich.predicted, plain.predicted)
+    assert np.array_equal(rich.n_rules_used, plain.n_rules_used)
+
+
+class TestRichVsOracle:
+    @given(
+        st.integers(1, 8),       # d
+        st.integers(1, 40),      # rules
+        st.integers(0, 120),     # patterns
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_pools(self, d, n_rules, n_patterns, seed):
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, n_rules, d)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(-0.2, 1.2, size=(n_patterns, d))
+        oracle = naive_rich(rules, patterns)
+        for compiled in (False, True):
+            rich = system.predict(patterns, compiled=compiled, rich=True)
+            plain = system.predict(patterns, compiled=compiled)
+            assert_rich_matches_oracle(rich, oracle)
+            assert_point_fields_bitwise(rich, plain)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_block_boundaries(self, seed):
+        """Rich moments stay exact across internal block splits."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 15, 4)
+        compiled = CompiledRuleSystem(rules, block_size=7)
+        for n in (2, 6, 7, 8, 13, 14, 15, 50):
+            patterns = rng.uniform(0, 1, size=(n, 4))
+            rich = compiled.predict(patterns, rich=True)
+            assert_rich_matches_oracle(rich, naive_rich(rules, patterns))
+            assert_point_fields_bitwise(rich, compiled.predict(patterns))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_dense_fallback(self, seed):
+        """Wildcard-heavy pools route through the dense kernel branch."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 12, 3, p_wildcard=0.9, width=0.9)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(0, 1, size=(90, 3))
+        rich = system.predict(patterns, compiled=True, rich=True)
+        assert_rich_matches_oracle(rich, naive_rich(rules, patterns))
+        assert_point_fields_bitwise(rich, system.predict(patterns))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_single_pattern_fast_path(self, seed):
+        """The n=1 streaming step (k=0 and k>=1) equals the oracle."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 25, 4)
+        system = RuleSystem(rules)
+        for lo, hi in ((0.0, 1.0), (5.0, 6.0)):  # matching and abstaining
+            x = rng.uniform(lo, hi, size=(1, 4))
+            rich = system.predict(x, compiled=True, rich=True)
+            assert_rich_matches_oracle(rich, naive_rich(rules, x))
+            assert_point_fields_bitwise(rich, system.predict(x))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_all_abstain_batch(self, seed):
+        """No matches anywhere: zero counts, zero dispersion/confidence,
+        NaN values and intervals."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 10, 3, p_wildcard=0.0)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(5.0, 6.0, size=(20, 3))
+        rich = system.predict(patterns, compiled=True, rich=True)
+        assert not rich.predicted.any()
+        assert not rich.dispersion.any() and not rich.confidence.any()
+        assert np.isnan(rich.values).all()
+        assert_rich_matches_oracle(rich, naive_rich(rules, patterns))
+
+    def test_empty_pool(self):
+        rich = RuleSystem([]).predict(np.zeros((4, 3)), rich=True)
+        assert not rich.predicted.any()
+        assert np.isnan(rich.values).all()
+        assert not rich.dispersion.any() and not rich.confidence.any()
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(0)
+        system = RuleSystem(random_pool(rng, 5, 3))
+        for compiled in (False, True):
+            rich = system.predict(
+                np.empty((0, 3)), compiled=compiled, rich=True
+            )
+            assert rich.values.shape == (0,)
+            assert rich.dispersion.shape == (0,)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_single_matching_rule_zero_dispersion(self, seed):
+        """k == 1: the lone rule agrees with itself — dispersion 0,
+        degenerate interval, confidence exactly 1/2."""
+        rng = np.random.default_rng(seed)
+        rules = random_pool(rng, 1, 3, p_wildcard=1.0)
+        system = RuleSystem(rules)
+        patterns = rng.uniform(0, 1, size=(10, 3))
+        rich = system.predict(patterns, compiled=True, rich=True)
+        assert (rich.n_rules_used == 1).all()
+        assert not rich.dispersion.any()
+        assert np.array_equal(rich.interval_lo, rich.values)
+        assert np.array_equal(rich.interval_hi, rich.values)
+        assert (rich.confidence == 0.5).all()
+        assert_rich_matches_oracle(rich, naive_rich(rules, patterns))
+
+
+def _policy_specs():
+    """A grid of spec shapes that exercise every prefilter condition."""
+    return st.sampled_from([
+        PolicySpec(),
+        PolicySpec(alert_above=0.3, hysteresis=0.2),
+        PolicySpec(alert_below=-0.3, hysteresis=0.1),
+        PolicySpec(alert_above=0.4, alert_below=-0.4, hysteresis=0.15,
+                   max_alerts=2, rate_window=10.0),
+        PolicySpec(min_confidence=0.5),
+        PolicySpec(max_interval_width=0.2),
+        PolicySpec(value_cap=0.5),
+        PolicySpec(min_matches=3),
+        PolicySpec(alert_above=0.2, hysteresis=0.05, min_matches=2,
+                   min_confidence=0.3, max_interval_width=0.8,
+                   value_cap=2.0, max_alerts=1, rate_window=5.0),
+    ])
+
+
+class TestGatewayFastPathEqualsDecide:
+    """The gateway's prefilter shortcut is indistinguishable from pure
+    per-event :meth:`PolicyEngine.decide` — the property the inline
+    comment in ``repro/service/gateway.py`` leans on."""
+
+    @given(_policy_specs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_decisions_and_counters_match_serial_replay(self, spec, seed):
+        rng = np.random.default_rng(seed)
+        d = 4
+        rules = random_pool(rng, 20, d, p_wildcard=0.5, width=0.5)
+        system = RuleSystem(rules)
+        service = ForecastService()
+        n_streams, n_events = 6, 30
+        names = [f"s{i}" for i in range(n_streams)]
+        for name in names:
+            service.bind_system(name, system, model="m")
+        engine = PolicyEngine(spec)
+        service.attach_policy(engine)
+        forecasts = []
+        for step in range(n_events):
+            # Values wander in and out of the boxes and across the
+            # thresholds; occasional far-out values force abstentions.
+            batch = []
+            for j, name in enumerate(names):
+                v = float(np.sin(0.3 * step + j) + rng.normal(0, 0.3))
+                if rng.random() < 0.05:
+                    v += 10.0
+                batch.append((name, v))
+            forecasts.extend(service.ingest(batch))
+
+        oracle = PolicyEngine(spec)
+        replayed = oracle.evaluate(forecasts)
+        for f, expect in zip(forecasts, replayed):
+            assert f.decision == expect, (f, expect)
+        assert engine.stats() == oracle.stats()

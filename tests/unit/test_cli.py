@@ -597,3 +597,173 @@ class TestBenchCli:
         rc = main(["bench", "compare", "--baseline", str(base), str(base),
                    "--current", str(cur)])
         assert rc == 2
+
+
+class TestPolicyCli:
+    """`serve --policy` wiring and the `repro policy check` validator."""
+
+    SPEC = {
+        "alert_above": 2.5,
+        "hysteresis": 0.2,
+        "min_matches": 1,
+        "max_alerts": 3,
+        "rate_window": 10.0,
+    }
+
+    def _registered_model(self, tmp_path):
+        import numpy as np
+
+        from repro.core.predictor import RuleSystem
+        from repro.core.rule import Rule
+        from repro.io import save_rule_system
+
+        rule_a = Rule.from_box(np.zeros(3), np.ones(3), prediction=2.0)
+        rule_b = Rule.from_box(np.zeros(3), np.ones(3), prediction=4.0)
+        rule_a.error = rule_b.error = 0.1
+        snapshot = tmp_path / "pool.json"
+        save_rule_system(
+            RuleSystem([rule_a, rule_b]), snapshot, metadata={"d": 3}
+        )
+        reg = str(tmp_path / "registry")
+        main(["models", "register", "m", "--registry", reg,
+              "--snapshot", str(snapshot), "--promote"])
+        return reg
+
+    def _spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--bind", "a=m", "--policy", "alerting.json"]
+        )
+        assert args.policy == "alerting.json"
+        assert build_parser().parse_args(
+            ["serve", "--bind", "a=m"]
+        ).policy is None
+        args = build_parser().parse_args(["policy", "check", "spec.json"])
+        assert args.command == "policy"
+        assert args.policy_command == "check"
+        assert args.file == "spec.json"
+
+    def test_policy_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["policy"])
+
+    def test_policy_check_valid_spec(self, capsys, tmp_path):
+        assert main(["policy", "check", self._spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "alert_above" in out
+
+    def test_policy_check_json_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.service import PolicySpec
+
+        assert main(["policy", "check", self._spec_file(tmp_path),
+                     "--json"]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert PolicySpec.from_dict(dumped) == \
+            PolicySpec.from_dict(self.SPEC)
+
+    def test_policy_check_rejects_bad_specs(self, capsys, tmp_path):
+        import json
+
+        bad = [
+            ({"alert_above": "high"}, "alert_above"),
+            ({"no_such_field": 1}, "no_such_field"),
+            ({"alert_above": 1.0, "alert_below": 2.0}, "alert_below"),
+        ]
+        for payload, needle in bad:
+            path = tmp_path / "bad.json"
+            path.write_text(json.dumps(payload))
+            assert main(["policy", "check", str(path)]) == 2
+            out = capsys.readouterr().out
+            assert "error:" in out and needle in out, payload
+        assert main(["policy", "check",
+                     str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_serve_csv_policy_wire_matches_engine_replay(
+        self, capsys, tmp_path
+    ):
+        """The CSV replay's decision lines must be byte-equal to a
+        direct ForecastService + PolicyEngine replay of the same
+        series — the CLI adds wiring, never arithmetic."""
+        import json
+
+        import numpy as np
+
+        from repro.io import load_rule_system, write_series_csv
+        from repro.service import ForecastService, PolicyEngine, PolicySpec
+
+        reg = self._registered_model(tmp_path)
+        series = np.full(8, 0.5)
+        csv = tmp_path / "series.csv"
+        write_series_csv(series, csv)
+        capsys.readouterr()
+        assert main(["serve", "--registry", reg, "--bind", "g=m",
+                     "--csv", str(csv), "--policy",
+                     self._spec_file(tmp_path), "--stats"]) == 0
+        lines = [json.loads(ln)
+                 for ln in capsys.readouterr().out.splitlines()]
+        events, stats = lines[:-1], lines[-1]
+
+        service = ForecastService()
+        service.bind_system(
+            "g", load_rule_system(tmp_path / "pool.json"), model="m"
+        )
+        engine = PolicyEngine(PolicySpec.from_dict(self.SPEC))
+        service.attach_policy(engine)
+        want = [f for v in series for f in service.ingest([("g", float(v))])]
+
+        assert len(events) == len(want)
+        for event, forecast in zip(events, want):
+            assert event["decision"] == forecast.decision.to_dict()
+            if forecast.predicted:
+                assert event["value"] == forecast.value
+                assert event["confidence"] == forecast.confidence
+                assert event["dispersion"] == forecast.dispersion
+                assert event["interval"] == [forecast.interval_lo,
+                                             forecast.interval_hi]
+        # prediction 3.0 crosses alert_above=2.5 once, then latches
+        assert sum(
+            e["decision"]["action"] == "alert" for e in events
+        ) == 1
+        assert stats["policy"] == engine.stats()
+
+    def test_serve_sharded_policy_matches_single_process(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--workers 2 with --policy replays byte-identically to
+        --workers 1, decisions and merged counters included."""
+        import io
+        import json
+
+        reg = self._registered_model(tmp_path)
+        spec = self._spec_file(tmp_path)
+        feed = "".join(
+            f"{s},0.5\n" for _ in range(4) for s in ("a", "b", "c")
+        )
+        capsys.readouterr()
+        outputs = []
+        for workers in ("1", "2"):
+            monkeypatch.setattr("sys.stdin", io.StringIO(feed))
+            assert main(["serve", "--registry", reg, "--bind", "a=m",
+                         "--bind", "b=m", "--bind", "c=m", "--batch", "3",
+                         "--workers", workers, "--policy", spec,
+                         "--stats"]) == 0
+            outputs.append(capsys.readouterr().out.splitlines())
+        events_1, stats_1 = outputs[0][:-1], json.loads(outputs[0][-1])
+        events_2, stats_2 = outputs[1][:-1], json.loads(outputs[1][-1])
+        assert events_1 == events_2  # byte-for-byte JSON lines
+        assert stats_1["policy"] == stats_2["policy"]
+        assert stats_1["policy"]["evaluated"] == 12
+        assert stats_1["policy"]["alerts"] == 3  # one latch per stream
+
+        from repro.parallel.shm import live_segments
+
+        assert live_segments() == []

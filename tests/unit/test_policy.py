@@ -1,0 +1,484 @@
+"""Unit tests for the guardrail policy layer (`repro.service.policy`).
+
+Table-driven over a grid of spec shapes: hysteresis anti-flap
+behaviour, the injected-clock rate limiter, abstain-on-zero-match, the
+REASON_CODES wire-format pin, spec validation errors, bulk tallying and
+the vectorized prefilter, and per-shard stats merging.
+
+Run directly (``python tests/unit/test_policy.py``) or under pytest.
+"""
+
+import json
+import math
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+from repro.core.predictor import rich_from_moments  # noqa: E402
+from repro.service.policy import (  # noqa: E402
+    ACTIONS,
+    REASON_CODES,
+    Decision,
+    PolicyEngine,
+    PolicyError,
+    PolicySpec,
+    load_policy,
+    merge_policy_stats,
+)
+
+
+def decide_value(engine, value, stream="s", t=0, n_rules=5,
+                 confidence=0.8, width=0.1):
+    """One forecast with everything healthy except the given value."""
+    return engine.decide(stream, t, True, True, n_rules, value,
+                         confidence, width)
+
+
+# ---------------------------------------------------------------------------
+# wire-format pins
+
+
+def test_reason_codes_are_pinned():
+    """Reason codes are wire format: consumers key on the exact
+    strings, so changing or removing one is a breaking change this
+    test refuses to let past silently (appending is fine)."""
+    assert REASON_CODES == (
+        "not-ready",
+        "no-prediction",
+        "low-match",
+        "low-confidence",
+        "wide-interval",
+        "cap-exceeded",
+        "threshold-above",
+        "threshold-below",
+        "hysteresis-hold",
+        "rate-limited",
+    )
+    assert ACTIONS == ("pass", "alert", "suppress", "abstain")
+
+
+def test_decision_to_dict_wire_shape():
+    d = Decision("suppress", ("low-confidence", "wide-interval"))
+    assert d.to_dict() == {
+        "action": "suppress",
+        "reasons": ["low-confidence", "wide-interval"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# evaluation order: abstentions come first
+
+
+def test_not_ready_abstains_before_everything():
+    engine = PolicyEngine(PolicySpec(alert_above=0.0, value_cap=0.1))
+    d = engine.decide("s", 3, False, False, 0, float("nan"), 0.0, 0.0)
+    assert d == Decision("abstain", ("not-ready",))
+
+
+def test_zero_match_abstains_with_no_prediction():
+    """A ready stream whose window matched no rule abstains — the NaN
+    value never reaches threshold or guardrail comparisons."""
+    engine = PolicyEngine(PolicySpec(alert_above=0.0, value_cap=0.1))
+    d = engine.decide("s", 9, True, False, 0, float("nan"), 0.0, 0.0)
+    assert d == Decision("abstain", ("no-prediction",))
+    assert engine.stats()["reasons"] == {"no-prediction": 1}
+
+
+def test_min_matches_floor_abstains():
+    engine = PolicyEngine(PolicySpec(min_matches=3))
+    assert decide_value(engine, 0.5, n_rules=2) == Decision(
+        "abstain", ("low-match",)
+    )
+    assert decide_value(engine, 0.5, n_rules=3).action == "pass"
+
+
+# ---------------------------------------------------------------------------
+# guardrails
+
+
+def test_guardrail_reasons_accumulate():
+    engine = PolicyEngine(PolicySpec(
+        min_confidence=0.5, max_interval_width=0.2, value_cap=1.0,
+    ))
+    d = decide_value(engine, 5.0, confidence=0.1, width=0.9)
+    assert d.action == "suppress"
+    assert d.reasons == ("low-confidence", "wide-interval", "cap-exceeded")
+
+
+def test_value_cap_is_symmetric():
+    engine = PolicyEngine(PolicySpec(value_cap=1.0))
+    assert decide_value(engine, -1.5).reasons == ("cap-exceeded",)
+    assert decide_value(engine, 1.5).reasons == ("cap-exceeded",)
+    assert decide_value(engine, 0.99).action == "pass"
+
+
+def test_guardrail_suppression_leaves_latch_untouched():
+    """An untrustworthy forecast is no evidence the alert condition
+    ended: a latched stream stays latched through a suppression and
+    does not re-alert when the next healthy value is still high."""
+    engine = PolicyEngine(PolicySpec(alert_above=1.0, min_confidence=0.5))
+    assert decide_value(engine, 1.5).action == "alert"
+    d = decide_value(engine, 0.2, confidence=0.1)  # suppressed, low value
+    assert d == Decision("suppress", ("low-confidence",))
+    # still latched: a high value holds instead of re-alerting
+    assert decide_value(engine, 1.4).reasons == ("hysteresis-hold",)
+
+
+# ---------------------------------------------------------------------------
+# thresholds, latching, hysteresis
+
+
+def test_alert_fires_on_rising_edge_only():
+    engine = PolicyEngine(PolicySpec(alert_above=1.0))
+    assert decide_value(engine, 1.2) == Decision(
+        "alert", ("threshold-above",)
+    )
+    # still above: latched, holds instead of re-alerting
+    assert decide_value(engine, 1.3).reasons == ("hysteresis-hold",)
+    assert engine.stats()["alerts"] == 1
+
+
+def test_hysteresis_band_prevents_flapping():
+    """Oscillating across the threshold inside the band yields exactly
+    one alert; only a drop below ``alert_above - hysteresis`` re-arms."""
+    engine = PolicyEngine(PolicySpec(alert_above=1.0, hysteresis=0.3))
+    flapping = [1.1, 0.95, 1.05, 0.9, 1.2, 0.75, 1.05]
+    actions = [decide_value(engine, v).action for v in flapping]
+    # one alert at 1.1; 0.95/0.9 are inside the band (>= 0.7) so the
+    # latch holds through the oscillation; 0.75 is also >= 0.7 — still
+    # held; the final 1.05 therefore does NOT re-alert.
+    assert actions == ["alert"] + ["pass"] * 6
+    assert engine.stats()["alerts"] == 1
+    # dropping below 0.7 clears, and the next crossing re-alerts
+    assert decide_value(engine, 0.6).action == "pass"
+    assert decide_value(engine, 1.01).action == "alert"
+    assert engine.stats()["alerts"] == 2
+
+
+def test_zero_hysteresis_still_edge_triggered():
+    engine = PolicyEngine(PolicySpec(alert_above=1.0))
+    assert decide_value(engine, 1.1).action == "alert"
+    assert decide_value(engine, 0.999).action == "pass"  # cleared
+    assert decide_value(engine, 1.1).action == "alert"  # re-armed
+
+
+def test_alert_below_side():
+    engine = PolicyEngine(PolicySpec(alert_below=-1.0, hysteresis=0.2))
+    assert decide_value(engine, -1.1) == Decision(
+        "alert", ("threshold-below",)
+    )
+    assert decide_value(engine, -0.9).reasons == ("hysteresis-hold",)
+    assert decide_value(engine, -0.7).action == "pass"  # cleared
+    assert decide_value(engine, -1.2).action == "alert"
+
+
+def test_both_thresholds_switch_latch_sides():
+    """Swinging straight from one alert side to the other re-alerts:
+    the new side is a fresh rising edge."""
+    engine = PolicyEngine(PolicySpec(alert_above=1.0, alert_below=-1.0))
+    assert decide_value(engine, 1.5).reasons == ("threshold-above",)
+    assert decide_value(engine, -1.5).reasons == ("threshold-below",)
+    assert decide_value(engine, 1.5).reasons == ("threshold-above",)
+
+
+def test_latches_are_per_stream():
+    engine = PolicyEngine(PolicySpec(alert_above=1.0))
+    assert decide_value(engine, 1.5, stream="a").action == "alert"
+    assert decide_value(engine, 1.5, stream="b").action == "alert"
+    assert engine.stats()["latched_streams"] == 2
+    engine.forget("a")
+    assert engine.stats()["latched_streams"] == 1
+
+
+# ---------------------------------------------------------------------------
+# rate limiting
+
+
+def test_step_rate_limiter_downgrades_to_suppression():
+    engine = PolicyEngine(PolicySpec(
+        alert_above=1.0, max_alerts=2, rate_window=10.0,
+    ))
+    # three rising edges inside one 10-step window: third is limited
+    seq = [(0, 1.5), (2, 0.5), (4, 1.5), (6, 0.5), (8, 1.5)]
+    out = [decide_value(engine, v, t=t).action for t, v in seq]
+    assert out == ["alert", "pass", "alert", "pass", "suppress"]
+    limited = decide_value(engine, 1.5, t=9)
+    assert limited.reasons == ("hysteresis-hold",)  # still latched
+    stats = engine.stats()
+    assert stats["alerts"] == 2
+    assert stats["reasons"]["rate-limited"] == 1
+    # the window is trailing: by t=20 both marks (t=0, t=4) expired
+    engine2 = PolicyEngine(PolicySpec(
+        alert_above=1.0, max_alerts=1, rate_window=10.0,
+    ))
+    assert decide_value(engine2, 1.5, t=0).action == "alert"
+    assert decide_value(engine2, 0.5, t=5).action == "pass"
+    assert decide_value(engine2, 1.5, t=6).action == "suppress"
+    assert decide_value(engine2, 0.5, t=15).action == "pass"
+    assert decide_value(engine2, 1.5, t=20).action == "alert"
+
+
+def test_rate_limited_alert_keeps_threshold_reason():
+    engine = PolicyEngine(PolicySpec(
+        alert_below=-1.0, max_alerts=1, rate_window=100.0,
+    ))
+    assert decide_value(engine, -1.5, t=0).action == "alert"
+    assert decide_value(engine, 0.0, t=1).action == "pass"
+    d = decide_value(engine, -1.5, t=2)
+    assert d == Decision("suppress", ("threshold-below", "rate-limited"))
+
+
+def test_seconds_rate_limiter_uses_injected_clock():
+    """Wall-clock windows consult only the injected clock — the test
+    owns time, so the schedule is deterministic."""
+    now = [100.0]
+    engine = PolicyEngine(
+        PolicySpec(alert_above=1.0, max_alerts=1, rate_window=30.0,
+                   rate_unit="seconds"),
+        clock=lambda: now[0],
+    )
+    assert decide_value(engine, 1.5, t=0).action == "alert"
+    assert decide_value(engine, 0.5, t=1).action == "pass"
+    now[0] = 110.0  # 10s later: budget still spent
+    assert decide_value(engine, 1.5, t=2).action == "suppress"
+    assert decide_value(engine, 0.5, t=3).action == "pass"
+    now[0] = 131.0  # mark at t=100 now outside the 30s window
+    assert decide_value(engine, 1.5, t=4).action == "alert"
+
+
+def test_rate_budget_counts_emitted_alerts_not_crossings():
+    """Rate-limited (suppressed) crossings spend no budget."""
+    engine = PolicyEngine(PolicySpec(
+        alert_above=1.0, max_alerts=1, rate_window=5.0,
+    ))
+    assert decide_value(engine, 1.5, t=0).action == "alert"
+    assert decide_value(engine, 0.5, t=1).action == "pass"
+    assert decide_value(engine, 1.5, t=2).action == "suppress"
+    assert decide_value(engine, 0.5, t=3).action == "pass"
+    # t=6: the t=0 mark expired; the suppressed crossing left no mark
+    assert decide_value(engine, 1.5, t=6).action == "alert"
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+
+
+def test_spec_validation_errors():
+    cases = [
+        ({"alert_above": float("nan")}, "finite"),
+        ({"alert_above": float("inf")}, "finite"),
+        ({"alert_above": "high"}, "number"),
+        ({"alert_above": True}, "number"),
+        ({"hysteresis": -0.1}, "hysteresis"),
+        ({"alert_above": 1.0, "alert_below": 1.0}, "strictly less"),
+        ({"alert_above": 1.0, "alert_below": 2.0}, "strictly less"),
+        ({"min_confidence": 1.5}, "min_confidence"),
+        ({"min_confidence": -0.1}, "min_confidence"),
+        ({"max_interval_width": -1.0}, "max_interval_width"),
+        ({"min_matches": -1}, "min_matches"),
+        ({"min_matches": 1.5}, "integer"),
+        ({"min_matches": True}, "integer"),
+        ({"value_cap": 0.0}, "value_cap"),
+        ({"value_cap": -2.0}, "value_cap"),
+        ({"max_alerts": 0, "rate_window": 10.0}, "max_alerts"),
+        ({"max_alerts": 2.5, "rate_window": 10.0}, "integer"),
+        ({"max_alerts": 3}, "rate_window"),
+        ({"rate_unit": "minutes"}, "rate_unit"),
+        ({"no_such_field": 1}, "unknown"),
+    ]
+    for fields, needle in cases:
+        try:
+            PolicySpec.from_dict(fields)
+        except PolicyError as err:
+            assert needle in str(err), (fields, err)
+        else:
+            raise AssertionError(f"{fields} must be rejected")
+
+
+def test_from_dict_rejects_non_dict():
+    for bad in ([1, 2], "spec", 7):
+        try:
+            PolicySpec.from_dict(bad)
+        except PolicyError:
+            pass
+        else:
+            raise AssertionError(f"{bad!r} must be rejected")
+
+
+def test_engine_rejects_non_spec():
+    try:
+        PolicyEngine(42)
+    except PolicyError as err:
+        assert "PolicySpec" in str(err)
+    else:
+        raise AssertionError("non-spec must be rejected")
+
+
+def test_spec_round_trips_through_dict():
+    spec = PolicySpec(alert_above=1.0, hysteresis=0.2, min_matches=2,
+                      max_alerts=3, rate_window=24.0)
+    assert PolicySpec.from_dict(spec.to_dict()) == spec
+    assert PolicySpec().to_dict() == {}  # defaults stay implicit
+
+
+def test_load_policy_file_and_errors():
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "policy.json")
+        with open(good, "w", encoding="utf-8") as fh:
+            json.dump({"alert_above": 110.0, "hysteresis": 8.0}, fh)
+        spec = load_policy(good)
+        assert spec.alert_above == 110.0 and spec.hysteresis == 8.0
+
+        bad = os.path.join(tmp, "broken.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        try:
+            load_policy(bad)
+        except PolicyError as err:
+            assert "not valid JSON" in str(err)
+        else:
+            raise AssertionError("bad JSON must be rejected")
+
+
+# ---------------------------------------------------------------------------
+# bulk tallying and the vectorized prefilter
+
+
+def test_tally_matches_equivalent_decide_calls():
+    """``tally(singleton, n)`` must be indistinguishable from ``n``
+    decide() calls that reach the same stateless verdict."""
+    spec = PolicySpec(alert_above=1.0, min_matches=2)
+    bulk = PolicyEngine(spec)
+    serial = PolicyEngine(spec)
+    bulk.tally(bulk.PASS, 3)
+    bulk.tally(bulk.NOT_READY, 2)
+    bulk.tally(bulk.NO_PREDICTION, 1)
+    bulk.tally(bulk.LOW_MATCH, 2)
+    bulk.tally(bulk.PASS, 0)  # no-op
+    for _ in range(3):
+        decide_value(serial, 0.5)
+    for _ in range(2):
+        serial.decide("s", 0, False, False, 0, float("nan"), 0.0, 0.0)
+    serial.decide("s", 0, True, False, 0, float("nan"), 0.0, 0.0)
+    for _ in range(2):
+        decide_value(serial, 0.5, n_rules=1)
+    assert bulk.stats() == serial.stats()
+
+
+def _rich_batch(values, counts):
+    values = np.asarray(values, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.int64)
+    predicted = counts > 0
+    m2 = np.where(predicted, 0.01 * counts, 0.0)
+    out = np.where(predicted, values, np.nan)
+    return rich_from_moments(out, predicted, counts, m2)
+
+
+def test_prefilter_certain_pass_rows():
+    spec = PolicySpec(alert_above=1.0, alert_below=-1.0, min_matches=2,
+                      min_confidence=0.3, max_interval_width=1.0,
+                      value_cap=3.0)
+    engine = PolicyEngine(spec)
+    batch = _rich_batch(
+        values=[0.5, 1.5, -1.5, 0.0, 0.2],
+        counts=[5, 5, 5, 0, 1],
+    )
+    fast = engine.prefilter(batch)
+    # row 0 passes everything; 1/2 cross thresholds; 3 has no
+    # prediction (NaN value fails the positive comparisons); 4 is
+    # below the match floor.
+    assert fast.tolist() == [True, False, False, False, False]
+    # and prefilter-True rows really decide to a plain pass
+    d = engine.decide("fresh", 0, True, True, 5, 0.5,
+                      float(batch.confidence[0]),
+                      float(batch.interval_hi[0] - batch.interval_lo[0]))
+    assert d == engine.PASS
+
+
+def test_prefilter_is_nan_conservative():
+    """NaN in any compared field routes the row to the slow path
+    (False), never to a silent pass."""
+    engine = PolicyEngine(PolicySpec(alert_above=1.0))
+    batch = _rich_batch(values=[float("nan"), 0.0], counts=[3, 3])
+    # force a NaN value on a predicted row
+    batch.values[0] = float("nan")
+    assert engine.prefilter(batch).tolist() == [False, True]
+
+
+def test_prefilter_with_empty_spec_passes_predicted_rows():
+    engine = PolicyEngine(PolicySpec())
+    batch = _rich_batch(values=[0.5, 0.0], counts=[1, 0])
+    assert engine.prefilter(batch).tolist() == [True, False]
+
+
+# ---------------------------------------------------------------------------
+# stats plumbing
+
+
+def test_stats_account_for_every_event():
+    engine = PolicyEngine(PolicySpec(alert_above=1.0, min_matches=1))
+    decide_value(engine, 0.5)
+    decide_value(engine, 1.5)
+    engine.decide("s", 0, False, False, 0, float("nan"), 0.0, 0.0)
+    engine.tally(engine.PASS, 4)
+    s = engine.stats()
+    assert s["evaluated"] == 7
+    assert (
+        s["passes"] + s["alerts"] + s["suppressions"] + s["abstentions"]
+        == 7
+    )
+
+
+def test_reset_clears_state_and_counters():
+    engine = PolicyEngine(PolicySpec(alert_above=1.0, max_alerts=1,
+                                     rate_window=10.0))
+    decide_value(engine, 1.5)
+    engine.reset()
+    s = engine.stats()
+    assert s["evaluated"] == 0 and s["latched_streams"] == 0
+    assert s["reasons"] == {}
+    # after reset the same crossing is a fresh rising edge again
+    assert decide_value(engine, 1.5).action == "alert"
+
+
+def test_merge_policy_stats_sums_fields():
+    a = PolicyEngine(PolicySpec(alert_above=1.0))
+    b = PolicyEngine(PolicySpec(alert_above=1.0))
+    decide_value(a, 1.5, stream="x")
+    decide_value(a, 0.5, stream="x")
+    decide_value(b, 1.5, stream="y")
+    b.decide("y", 0, False, False, 0, float("nan"), 0.0, 0.0)
+    merged = merge_policy_stats([a.stats(), b.stats()])
+    assert merged["evaluated"] == 4
+    assert merged["alerts"] == 2
+    assert merged["passes"] == 1
+    assert merged["abstentions"] == 1
+    # a's 0.5 cleared x's latch (zero hysteresis); only y stays latched
+    assert merged["latched_streams"] == 1
+    assert merged["reasons"] == {"threshold-above": 2, "not-ready": 1}
+    assert merge_policy_stats([]) == {
+        "evaluated": 0, "passes": 0, "alerts": 0, "suppressions": 0,
+        "abstentions": 0, "latched_streams": 0, "reasons": {},
+    }
+
+
+def _main():
+    mod = sys.modules[__name__]
+    names = sorted(
+        n for n in dir(mod)
+        if n.startswith("test_") and callable(getattr(mod, n))
+    )
+    for name in names:
+        getattr(mod, name)()
+        print(f"ok {name}")
+    print(f"{len(names)} policy unit tests passed")
+
+
+if __name__ == "__main__":
+    _main()

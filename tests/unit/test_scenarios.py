@@ -37,7 +37,8 @@ class TestRegistryInvariants:
             "table1", "table2", "table3", "figure2",
             "ablation-init", "ablation-replacement", "ablation-emax",
             "ablation-pooling", "ablation-predicting",
-            "lorenz", "noise-robustness", "streaming-replay", "smoke",
+            "lorenz", "noise-robustness", "streaming-replay",
+            "venice_alerting", "smoke",
         ):
             assert expected in names
 

@@ -290,3 +290,71 @@ class TestGatewayIngest:
 
     def test_healthz_without_streams(self):
         assert ForecastService().healthz()["status"] == "no-streams"
+
+
+class TestRichZeroMatchFallback:
+    """Zero-matching-rule streams through the rich (policy-attached)
+    gateway path: the wire carries clean sentinels — confidence 0.0,
+    dispersion 0.0 (never NaN), NaN value/interval — and the decision
+    is an explicit ``no-prediction`` abstention."""
+
+    def _rich_service(self, system):
+        from repro.service import PolicyEngine, PolicySpec
+
+        service = ForecastService()
+        service.bind_system("hit", system)
+        service.bind_system("miss", system)
+        service.attach_policy(PolicyEngine(PolicySpec(alert_above=50.0)))
+        return service
+
+    def test_zero_match_stream_is_nan_free_in_derived_fields(self, system):
+        service = self._rich_service(system)
+        # 9.0-windows are ready but inside no rule's box
+        out = [service.ingest_one("miss", 9.0) for _ in range(5)][-1]
+        assert out.ready and not out.predicted
+        assert np.isnan(out.value)
+        assert out.confidence == 0.0
+        assert out.dispersion == 0.0  # NaN-free: zero, not sqrt(0/0)
+        assert np.isnan(out.interval_lo) and np.isnan(out.interval_hi)
+        assert out.decision.action == "abstain"
+        assert out.decision.reasons == ("no-prediction",)
+
+    def test_mixed_batch_keeps_sides_apart(self, system):
+        """A scoring batch mixing matched and unmatched streams keeps
+        the zero-match sentinels from leaking into matched rows (and
+        vice versa)."""
+        service = self._rich_service(system)
+        for _ in range(3):  # fill both windows (d=3)
+            service.ingest([("hit", 0.5), ("miss", 9.0)])
+        out = {f.stream: f for f in service.ingest(
+            [("hit", 0.5), ("miss", 9.0)]
+        )}
+        hit, miss = out["hit"], out["miss"]
+        assert hit.predicted and hit.value == pytest.approx(3.0)
+        assert hit.confidence > 0.0
+        assert np.isfinite(hit.interval_lo) and np.isfinite(hit.interval_hi)
+        assert hit.decision.action == "pass"
+        assert not miss.predicted
+        assert miss.confidence == 0.0 and miss.dispersion == 0.0
+        assert miss.decision.reasons == ("no-prediction",)
+        pstats = service.stats()["policy"]
+        # per stream: t=0,1 are warm-ups, t=2,3 score — so the miss
+        # stream contributes exactly two no-prediction abstentions
+        assert pstats["reasons"]["no-prediction"] == 2
+        assert pstats["reasons"]["not-ready"] == 4
+        assert pstats["abstentions"] == 6
+
+    def test_zero_match_counts_never_reach_thresholds(self, system):
+        """Even with an alert threshold the NaN value can never cross,
+        a zero-match stream alerts on nothing and latches nothing."""
+        from repro.service import PolicyEngine, PolicySpec
+
+        service = ForecastService()
+        service.bind_system("miss", system)
+        engine = PolicyEngine(PolicySpec(alert_above=-100.0))
+        service.attach_policy(engine)
+        for _ in range(6):
+            service.ingest_one("miss", 9.0)
+        stats = engine.stats()
+        assert stats["alerts"] == 0
+        assert stats["latched_streams"] == 0

@@ -425,6 +425,23 @@ def _golden_registry() -> MetricsRegistry:
     )
     shadow.set(0.8125, model="tide-lr", role="champion")
     shadow.set(0.5, model="tide-lr", role="challenger")
+    policy_eval = r.gauge(
+        "repro_policy_evaluated_total",
+        "Forecasts the policy engine evaluated.",
+    )
+    policy_eval.set(24)
+    policy_alerts = r.gauge(
+        "repro_policy_alerts_total", "Alert decisions emitted."
+    )
+    policy_alerts.set(3)
+    reasons = r.gauge(
+        "repro_policy_reasons_total",
+        "Decision reason codes emitted, by code.",
+        ["reason"],
+    )
+    reasons.set(3, reason="threshold-above")
+    reasons.set(5, reason="not-ready")
+    reasons.set(1, reason="rate-limited")
     return r
 
 
