@@ -34,7 +34,24 @@ __all__ = [
     "record_result",
     "RESULTS_DIR",
     "BENCH_ROOT",
+    "SERVICE_TIERS",
+    "service_smoke_deselect",
 ]
+
+#: Service bench tiers that own a dedicated CI smoke job.  This tuple
+#: is the single source of truth: each name is a pytest marker carried
+#: by exactly one tier test in ``bench_service.py``, the dedicated job
+#: selects with ``-m <tier>``, and the catch-all ``service-smoke`` job
+#: deselects with :func:`service_smoke_deselect` — so adding a tier
+#: here (plus its marker) updates both sides, and
+#: ``tests/unit/test_ci_tiers.py`` fails CI if the workflow file
+#: drifts from this registry.
+SERVICE_TIERS = ("network", "sharded", "adaptation", "policy")
+
+
+def service_smoke_deselect() -> str:
+    """The ``-m`` expression excluding every dedicated-job tier."""
+    return " and ".join(f"not {tier}" for tier in SERVICE_TIERS)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -69,6 +69,10 @@ class CompareReport:
 
     deltas: List[MetricDelta] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Gated metrics that could not be compared because one side does
+    #: not record them (a refactor that silently stops recording a
+    #: speedup key must not silently stop gating it).
+    skipped_gates: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -84,18 +88,28 @@ class CompareReport:
         """Merge another report into this one."""
         self.deltas.extend(other.deltas)
         self.notes.extend(other.notes)
+        self.skipped_gates.extend(other.skipped_gates)
 
     def format_text(self, verbose: bool = False) -> str:
-        """The CLI report: regressions, notes and (verbose) all deltas."""
+        """The CLI report: regressions, notes and (verbose) all deltas.
+
+        Skipped gates are always listed — a gate that silently stopped
+        running is indistinguishable from a passing one otherwise —
+        and the summary line carries their count.
+        """
         lines: List[str] = []
         shown = self.deltas if verbose else self.regressions
         lines.extend(d.describe() for d in shown)
         lines.extend(f"note: {n}" for n in self.notes)
+        lines.extend(f"skipped gate: {s}" for s in self.skipped_gates)
         n_gated = sum(1 for d in self.deltas if d.gated)
-        lines.append(
+        summary = (
             f"{len(self.deltas)} metrics compared ({n_gated} gated), "
             f"{len(self.regressions)} regression(s)"
         )
+        if self.skipped_gates:
+            summary += f", {len(self.skipped_gates)} skipped gate(s)"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -107,9 +121,32 @@ def _section_deltas(
     tolerance: float,
     gated: bool,
     higher_is_better: bool,
+    skipped: List[str],
 ) -> List[MetricDelta]:
+    """Deltas for one metric section, surfacing one-sided keys.
+
+    Metrics present on only one side cannot be gated; intersecting the
+    key sets silently (the original behaviour) meant a bench that
+    stopped recording a speedup key also stopped being gated on it,
+    with no trace in the report.  One-sided *gated* metrics are now
+    appended to ``skipped`` (ungated sections stay informational).
+    """
     deltas = []
-    for metric in sorted(set(base) & set(cur)):
+    for metric in sorted(set(base) | set(cur)):
+        if metric not in cur:
+            if gated:
+                skipped.append(
+                    f"{key} {section}[{metric}]: in baseline only — "
+                    "current run no longer records it"
+                )
+            continue
+        if metric not in base:
+            if gated:
+                skipped.append(
+                    f"{key} {section}[{metric}]: no baseline recorded — "
+                    "gates from the next re-record"
+                )
+            continue
         b, c = base[metric], cur[metric]
         if higher_is_better:
             regressed = gated and c < b * (1.0 - tolerance)
@@ -146,18 +183,22 @@ def compare(
     report.deltas.extend(_section_deltas(
         key, "speedup", baseline.speedup, current.speedup,
         tolerance, gated=True, higher_is_better=True,
+        skipped=report.skipped_gates,
     ))
     report.deltas.extend(_section_deltas(
         key, "throughput", baseline.throughput, current.throughput,
         tolerance, gated=gate_throughput, higher_is_better=True,
+        skipped=report.skipped_gates,
     ))
     report.deltas.extend(_section_deltas(
         key, "latency", baseline.latency, current.latency,
         tolerance, gated=gate_throughput, higher_is_better=False,
+        skipped=report.skipped_gates,
     ))
     report.deltas.extend(_section_deltas(
         key, "wall_s", baseline.wall_s, current.wall_s,
         tolerance, gated=False, higher_is_better=False,
+        skipped=report.skipped_gates,
     ))
     return report
 

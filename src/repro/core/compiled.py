@@ -16,17 +16,35 @@ them, and the predicting parts as an ``(R, D+1)`` coefficient block
 scores a whole batch with a fixed, batch-size-independent number of
 vectorized operations:
 
-1. **candidate generation** on the most selective lag: sort the batch's
-   column once, then one ``searchsorted`` per bound turns every rule's
-   interval into a contiguous index range — candidate (rule, pattern)
-   pairs are materialized without touching the other ``D-1`` lags;
-2. **compaction** of the pair list over the remaining lags (most
-   selective first, consecutive lags de-correlated by index spacing),
-   falling back to the dense stacked-bounds kernel shape when the
-   candidate set would be bigger than the dense matrix is worth;
+1. **candidate generation** via a per-block interval index: sort the
+   block's column on the most selective lag, then one ``searchsorted``
+   per bound turns every rule's interval into a contiguous index
+   range — candidate (rule, pattern) pairs are materialized without
+   touching the other lags.  Micro-batches (``<= MICRO_BLOCK``
+   patterns) skip the index entirely: their dense mask is cache
+   resident, so an adaptive dense-prefix walk generates candidates
+   cheaper than any sort (see :meth:`_micro_pairs`);
+2. **verification** of the pair list over the remaining lags: a few
+   budget-driven compaction passes (1-D gathers, most selective lag
+   first) followed by one accumulate sweep that touches each remaining
+   lag exactly once with no intermediate pair-list rewrites.  Candidate
+   sets denser than ``DENSE_SWITCH`` switch the block to a staged
+   dense walk instead — the ``DENSE_PREFIX`` most selective lags as
+   contiguous stacked-bounds passes, then the same accumulate sweep
+   over the survivors (see :meth:`_match_pairs`);
 3. **masked mean**: per-lag multiply-add of the coefficient block over
    the surviving pairs, then ``bincount`` reductions into per-pattern
    totals and counts.
+
+Two A/B escape hatches ride along.  ``matcher="legacy"`` keeps the
+previous single-lag-scan/pure-dense kernel generation — the staged
+matcher is property-tested bitwise-identical against it, and either
+path stays bitwise equal to the per-rule loop.  ``storage="float32"``
+(opt-in) halves the compiled pack's memory: bounds are rounded
+*outward* to ``float32`` (every float64-matched pair still matches —
+a strict superset guarantee) and coefficients round to nearest, so
+forecasts carry a documented tolerance instead of the bitwise
+contract (see :meth:`__init__`).
 
 **Bitwise contract.**  Every floating-point operation mirrors the
 per-rule loop exactly: rule outputs accumulate intercept-first then lag
@@ -61,6 +79,28 @@ from .rule import Rule
 __all__ = ["CompiledRuleSystem"]
 
 
+def _round_bounds_down(bounds: np.ndarray) -> np.ndarray:
+    """Cast to float32 rounding toward ``-inf`` (never raises a lo bound).
+
+    Entries the nearest-even cast rounded *up* step back one float32
+    ulp; infinities pass through (``-inf`` casts exactly, and a finite
+    float64 beyond float32 range casts to ``+inf`` which the step-back
+    then pulls below the original — still a superset).
+    """
+    out = bounds.astype(np.float32)
+    raised = out.astype(np.float64) > bounds
+    out[raised] = np.nextafter(out[raised], np.float32(-np.inf))
+    return out
+
+
+def _round_bounds_up(bounds: np.ndarray) -> np.ndarray:
+    """Cast to float32 rounding toward ``+inf`` (never lowers a hi bound)."""
+    out = bounds.astype(np.float32)
+    lowered = out.astype(np.float64) < bounds
+    out[lowered] = np.nextafter(out[lowered], np.float32(np.inf))
+    return out
+
+
 class CompiledRuleSystem:
     """An immutable, array-packed compilation of a rule pool.
 
@@ -75,6 +115,28 @@ class CompiledRuleSystem:
         temporaries (candidate pairs, dense fallback matrix) so peak
         memory is independent of the batch size; the default keeps the
         per-lag gather working set L2-resident.
+    matcher:
+        ``"staged"`` (default) or ``"legacy"``.  The staged matcher is
+        the measured-faster generation (interval-index candidate
+        pruning at micro scale, dense-prefix + accumulate-tail at bulk
+        scale); ``"legacy"`` keeps the previous single-lag-scan/dense
+        kernel as the A/B baseline.  Both are exact — the property
+        suite holds them bitwise equal pair-for-pair.
+    storage:
+        ``"float64"`` (default) or ``"float32"``.  Opting into float32
+        halves the compiled pack (bounds, coefficients and their
+        kernel-facing transposes), which is what multi-tenant serving
+        cares about when hundreds of models share one host.  Bounds
+        are rounded **outward** (lo toward ``-inf``, hi toward
+        ``+inf``), so the float32 match set is always a superset of
+        the float64 one: no true match is ever lost, but patterns
+        within one float32 ulp (~6e-8 relative) of a box boundary may
+        match extra rules.  Coefficients round to nearest, bounding
+        each rule output's relative error by ~``(D+1) * 6e-8`` away
+        from match-set boundaries.  Forecasts therefore carry that
+        documented tolerance instead of the bitwise contract —
+        ``tests/property/test_compiled_float32.py`` pins both halves
+        (superset always; value tolerance away from boundaries).
 
     Attributes
     ----------
@@ -86,13 +148,28 @@ class CompiledRuleSystem:
         hold zero weights and ``p_R`` as intercept.
     """
 
-    #: Candidate pairs above this fraction of the dense matrix switch the
-    #: block to the dense stacked-bounds kernel (general, wildcard-heavy
-    #: pools produce near-dense candidate sets anyway).
-    SPARSE_FRACTION = 0.25
+    #: Candidate pairs above this fraction of the dense matrix switch
+    #: the block from the sparse (interval-index) kernel to the staged
+    #: dense walk.  Measured on the bench workloads: at bulk scale the
+    #: dense walk streams contiguous memory at ~0.1 ns/element while
+    #: sparse verification pays ~1 ns/element for gathers, so sparse
+    #: only wins while the candidate set is a small fraction of R*B.
+    DENSE_SWITCH = 0.25
+    #: Legacy-matcher micro density cap: micro-blocks stay on its
+    #: sparse path up to this much higher candidate density than bulk
+    #: blocks.  Only ``matcher="legacy"`` reads this — the staged micro
+    #: kernel is dense-first (see :meth:`_micro_pairs`).
+    MICRO_DENSE_SWITCH = 0.6
+    #: Staged bulk matcher: lags walked as contiguous dense passes
+    #: before the survivors are extracted into a pair list.  Measured
+    #: sweet spot on the kernel bench: survivors shrink geometrically
+    #: for ~6 selective lags (283k -> 64k of 983k possible at 240x4096)
+    #: and then flatten, at which point per-pair verification of the
+    #: remaining lags beats 5 more full-matrix passes per lag.
+    DENSE_PREFIX = 6
     #: Once ``remaining_lags * n_pairs`` falls under this, the per-lag
     #: compaction stops and the remaining lags are verified in one
-    #: gathered vectorized check.
+    #: accumulate sweep (no more pair-list rewrites).
     FULL_CHECK_BUDGET = 2_000_000
     #: Blocks of at most this many patterns (serving micro-batches, not
     #: analysis sweeps) use micro-tuned heuristics instead: the dense
@@ -100,21 +177,46 @@ class CompiledRuleSystem:
     #: block size, so small blocks prefer the pruning sparse path much
     #: longer (see :meth:`_match_pairs`).
     MICRO_BLOCK = 256
-    #: Micro-block full-check budget, *per pattern*: per-lag compaction
-    #: keeps shrinking the pair list while the gathered final check
-    #: would still touch more than this many (lag, pair) slots per
-    #: pattern.  Compaction passes on a few thousand pairs cost ~a
-    #: handful of small numpy ops and shrink the set geometrically, so
-    #: at micro scale they stay profitable far below the bulk
-    #: ``FULL_CHECK_BUDGET``.
+    #: Micro matcher: minimum number of most-selective lags walked as
+    #: dense full-matrix passes before the adaptive exit check starts.
+    #: The first couple of lags always pay for themselves (survivors
+    #: shrink geometrically), so pricing the exit earlier just spends
+    #: ``count_nonzero`` calls on a foregone conclusion.
+    MICRO_DENSE_PREFIX = 3
+    #: Micro matcher exit budget: once ``survivors * remaining_lags``
+    #: falls under this, the dense walk stops and the remaining lags
+    #: are verified in one gather over the extracted pair list.
+    #: Measured across both serving-shaped (decorrelated columns) and
+    #: sliding-window (correlated) micro blocks at 240 rules x 64
+    #: patterns: 32k beats fixed prefixes of 3..6 on both, because the
+    #: two shapes want different prefixes (3-4 vs 5-6) and the pricing
+    #: picks per block.
+    MICRO_VERIFY_BUDGET = 32_000
+    #: Legacy-matcher micro budget, *per pattern*: its per-lag
+    #: compaction keeps shrinking the pair list while the one-shot
+    #: check of the remaining lags would still touch more than this
+    #: many (lag, pair) slots per pattern.  The staged micro kernel
+    #: does not compact at all (measured slower than its one-shot
+    #: verify at micro pair counts); only ``matcher="legacy"`` reads
+    #: this.
     MICRO_CHECK_BUDGET_PER_PATTERN = 160
 
-    def __init__(self, rules: Iterable[Rule], block_size: int = 4096) -> None:
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        block_size: int = 4096,
+        matcher: str = "staged",
+        storage: str = "float64",
+    ) -> None:
         pool: List[Rule] = list(rules)
         if not pool:
             raise ValueError("CompiledRuleSystem requires at least one rule")
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if matcher not in ("staged", "legacy"):
+            raise ValueError(f"unknown matcher {matcher!r}")
+        if storage not in ("float64", "float32"):
+            raise ValueError(f"unknown storage {storage!r}")
         d = pool[0].n_lags
         for rule in pool:
             if not np.isfinite(rule.prediction) and rule.coeffs is None:
@@ -126,6 +228,8 @@ class CompiledRuleSystem:
         self.n_rules = R
         self.n_lags = d
         self.block_size = int(block_size)
+        self.matcher = matcher
+        self.storage = storage
         # One shared bounds layout with the training-side stacked kernel.
         self.lo, self.hi = stack_effective_bounds(pool)
         self.coeffs = np.zeros((R, d + 1), dtype=np.float64)
@@ -136,6 +240,10 @@ class CompiledRuleSystem:
                 self.is_linear[i] = True
             else:
                 self.coeffs[i, -1] = rule.prediction
+        if storage == "float32":
+            self.lo = _round_bounds_down(self.lo)
+            self.hi = _round_bounds_up(self.hi)
+            self.coeffs = self.coeffs.astype(np.float32)
         self.has_linear = bool(self.is_linear.any())
         # Transposed contiguous copies: the kernels walk lag-major.
         self._loT = np.ascontiguousarray(self.lo.T)
@@ -175,6 +283,10 @@ class CompiledRuleSystem:
             name: getattr(self, name) for name in self._BLOCK_ARRAYS
         }
         blocks["block_size"] = self.block_size
+        # Kernel generation travels with the pack (storage is implied
+        # by the array dtypes); absent in pre-staged exports, where
+        # from_blocks falls back to the staged default.
+        blocks["matcher"] = 1 if self.matcher == "legacy" else 0
         return blocks
 
     @classmethod
@@ -198,6 +310,10 @@ class CompiledRuleSystem:
         for name in cls._BLOCK_ARRAYS:
             setattr(self, name, np.asarray(blocks[name]))
         self.block_size = int(blocks["block_size"])
+        self.matcher = "legacy" if int(blocks.get("matcher", 0)) else "staged"
+        self.storage = (
+            "float32" if self.lo.dtype == np.float32 else "float64"
+        )
         self.n_rules, self.n_lags = self.lo.shape
         self.is_linear = self.is_linear.astype(bool, copy=False)
         self.has_linear = bool(self.is_linear.any())
@@ -249,27 +365,210 @@ class CompiledRuleSystem:
             col = blkT[j]
             np.logical_and(M, col >= self._loT[j][:, None], out=M)
             np.logical_and(M, col <= self._hiT[j][:, None], out=M)
-        return np.nonzero(M)
+        return self._unravel_pairs(M, n_block)
 
     def _match_pairs(self, blkT: np.ndarray, n_block: int):
         """All matching (rule, pattern) pairs of one block, rule-major.
 
-        Heuristics are scale-aware: bulk blocks (analysis re-scoring)
-        use ``SPARSE_FRACTION``/``FULL_CHECK_BUDGET`` as tuned for
-        cache-resident dense walks, while micro blocks (serving
-        micro-batches, ``n_block <= MICRO_BLOCK``) stay on the sparse
-        path up to a much higher candidate density and keep compacting
-        much longer — at ``B = 64`` the dense kernel's unavoidable
-        ``R*B*D`` comparisons cost ~4x more than pruning does.  Both
-        kernels are exact, so the choice never changes a single output
-        bit (the property suite runs the same pools through both).
+        Dispatches on ``matcher`` and scale: the staged generation
+        routes micro blocks (serving micro-batches,
+        ``n_block <= MICRO_BLOCK``) through the best-of-K interval
+        index (:meth:`_micro_pairs`) and bulk blocks (analysis
+        re-scoring) through the dense-prefix walk
+        (:meth:`_bulk_pairs`); ``matcher="legacy"`` keeps the previous
+        single-lag-scan kernel.  Every kernel is exact interval
+        arithmetic and returns pairs rule-major (per-pattern ascending
+        rule order — what the downstream sequential ``bincount``
+        reductions need for the bitwise contract), so the choice never
+        changes a single output bit: the property suite runs the same
+        pools through both generations pair-for-pair.
+        """
+        if self.matcher == "legacy":
+            return self._match_pairs_legacy(blkT, n_block)
+        if n_block <= self.MICRO_BLOCK:
+            return self._micro_pairs(blkT, n_block)
+        return self._bulk_pairs(blkT, n_block)
+
+    def _tail_pairs(
+        self,
+        blkT: np.ndarray,
+        r_idx: np.ndarray,
+        i_idx: np.ndarray,
+        lags: np.ndarray,
+        budget: int,
+    ):
+        """Verify candidate pairs over ``lags``; shared kernel tail.
+
+        Two regimes, both built from the cheap primitives (1-D
+        ``take`` gathers; never boolean-mask compression, which costs
+        ~6x a gather at these sizes):
+
+        * while the remaining work ``len(lags) * n_pairs`` exceeds
+          ``budget``, **compaction** passes rewrite the pair list one
+          lag at a time (most selective first) so later lags touch
+          fewer pairs;
+        * then one **accumulate sweep** ANDs every remaining lag into
+          a single ``ok`` mask with no intermediate rewrites —
+          per-rule bounds are expanded with ``np.repeat`` over the
+          rule-major run lengths, avoiding per-pair 2-D fancy
+          indexing.
+
+        Order-preserving throughout (``nonzero`` + ``take`` keep the
+        rule-major pair order), so bitwise-safe for the downstream
+        sequential reductions.
+        """
+        n_lags = len(lags)
+        oi = 0
+        while oi < n_lags and r_idx.size and (
+            (n_lags - oi) * r_idx.size > budget
+        ):
+            j = lags[oi]
+            vals = blkT[j].take(i_idx)
+            keep = vals >= self._loT[j].take(r_idx)
+            np.logical_and(keep, vals <= self._hiT[j].take(r_idx), out=keep)
+            sel = np.nonzero(keep)[0]
+            r_idx = r_idx.take(sel)
+            i_idx = i_idx.take(sel)
+            oi += 1
+        if oi >= n_lags or r_idx.size == 0:
+            return r_idx, i_idx
+        sizes = np.bincount(r_idx, minlength=self.n_rules)
+        ok = np.ones(r_idx.size, dtype=bool)
+        for j in lags[oi:]:
+            vals = blkT[j].take(i_idx)
+            np.logical_and(ok, vals >= np.repeat(self._loT[j], sizes), out=ok)
+            np.logical_and(ok, vals <= np.repeat(self._hiT[j], sizes), out=ok)
+        sel = np.nonzero(ok)[0]
+        return r_idx.take(sel), i_idx.take(sel)
+
+    @staticmethod
+    def _unravel_pairs(M: np.ndarray, n_block: int):
+        """Survivor (rule, pattern) pairs of a ``(R, n_block)`` mask.
+
+        ``flatnonzero`` + divide instead of 2-D ``np.nonzero``: the
+        unravel inside ``nonzero`` costs ~6x the flat scan itself
+        (measured 2.4ms vs 0.36ms on a (240, 4096) matrix), while
+        dividing flat indices only touches the survivors — a shift
+        when the block is a power of two.  C-order flat indices are
+        rule-major, so pair order is unchanged.
+        """
+        flat = np.flatnonzero(M)
+        if n_block & (n_block - 1) == 0:
+            r_idx = flat >> int(n_block.bit_length() - 1)
+            i_idx = flat & (n_block - 1)
+        else:
+            r_idx = flat // n_block
+            i_idx = flat - r_idx * n_block
+        return r_idx, i_idx
+
+    def _bulk_pairs(self, blkT: np.ndarray, n_block: int):
+        """Bulk-block matcher: priced first pass, then sparse or dense.
+
+        The most selective lag's dense pass is shared work: its
+        ``count_nonzero`` (~45us, SIMD) prices the block exactly, so
+        no separate sort-based probe is needed.  Sparse candidate sets
+        (``<= DENSE_SWITCH`` of ``R*B``) extract that pass's survivors
+        directly and verify via :meth:`_tail_pairs`.  Denser blocks
+        continue the staged dense walk through the ``DENSE_PREFIX``
+        most selective lags before extracting — survivors shrink
+        geometrically over the prefix (measured 983k -> 64k at
+        240x4096 on the kernel bench), which is why stopping the dense
+        walk early and finishing sparse beats walking all ``D`` lags
+        densely.
+        """
+        R, d = self.n_rules, self.n_lags
+        order = self._lag_order
+        j0 = order[0]
+        col = blkT[j0]
+        M = col >= self._loT[j0][:, None]
+        np.logical_and(M, col <= self._hiT[j0][:, None], out=M)
+        total = np.count_nonzero(M)
+        if total > self.DENSE_SWITCH * R * n_block:
+            prefix = min(self.DENSE_PREFIX, d)
+            for j in order[1:prefix]:
+                cj = blkT[j]
+                np.logical_and(M, cj >= self._loT[j][:, None], out=M)
+                np.logical_and(M, cj <= self._hiT[j][:, None], out=M)
+            r_idx, i_idx = self._unravel_pairs(M, n_block)
+            return self._tail_pairs(
+                blkT, r_idx, i_idx, order[prefix:], self.FULL_CHECK_BUDGET
+            )
+        r_idx, i_idx = self._unravel_pairs(M, n_block)
+        return self._tail_pairs(
+            blkT, r_idx, i_idx, order[1:], self.FULL_CHECK_BUDGET
+        )
+
+    def _micro_pairs(self, blkT: np.ndarray, n_block: int):
+        """Micro-block matcher: adaptive dense prefix, one-shot verify.
+
+        At ``B <= 256`` the ``(R, B)`` dense mask is tiny (a 240-rule
+        pool x 64 patterns is 15 KB — cache resident), so full-matrix
+        ``logical_and`` passes over the most selective lags are cheaper
+        than any sort-based candidate index: an argsort +
+        ``searchsorted`` probe costs ``O(B log B + R)`` per lag *plus*
+        pair materialization, and measured on the serving bench the
+        whole probe apparatus (best-of-K ranges, integer rank pruning)
+        loses to three in-cache dense passes.  So: walk at least
+        ``MICRO_DENSE_PREFIX`` lags dense, then after each further lag
+        price the exit — once ``survivors * remaining_lags`` falls
+        under ``MICRO_VERIFY_BUDGET`` the mask is extracted into a
+        rule-major pair list and the remaining lags are verified in one
+        ``(rest, pairs)`` gather against repeat-expanded bounds (no
+        per-lag compaction: at micro pair counts the extra passes cost
+        more than they prune).  ``count_nonzero`` on the mask is ~1 µs,
+        so the adaptive pricing is effectively free and self-tunes the
+        prefix per block: correlated sliding windows keep walking while
+        survivors stay dense, decorrelated serving batches exit after
+        the minimum prefix.
+        """
+        R, d = self.n_rules, self.n_lags
+        order = self._lag_order
+        j0 = order[0]
+        col = blkT[j0]
+        M = col >= self._loT[j0][:, None]
+        np.logical_and(M, col <= self._hiT[j0][:, None], out=M)
+        t = 1
+        while t < d:
+            if (
+                t >= self.MICRO_DENSE_PREFIX
+                and np.count_nonzero(M) * (d - t) <= self.MICRO_VERIFY_BUDGET
+            ):
+                break
+            j = order[t]
+            col = blkT[j]
+            np.logical_and(M, col >= self._loT[j][:, None], out=M)
+            np.logical_and(M, col <= self._hiT[j][:, None], out=M)
+            t += 1
+        r_idx, i_idx = self._unravel_pairs(M, n_block)
+        rest = order[t:]
+        if rest.size == 0 or r_idx.size == 0:
+            return r_idx, i_idx
+        gathered = blkT[rest].take(i_idx, axis=1)
+        szs = np.bincount(r_idx, minlength=R)
+        Q = gathered >= np.repeat(self._loT[rest], szs, axis=1)
+        np.logical_and(
+            Q, gathered <= np.repeat(self._hiT[rest], szs, axis=1), out=Q
+        )
+        sel = np.nonzero(Q.all(axis=0))[0]
+        return r_idx.take(sel), i_idx.take(sel)
+
+    def _match_pairs_legacy(self, blkT: np.ndarray, n_block: int):
+        """Previous kernel generation, kept verbatim as the A/B baseline.
+
+        Single-lag sorted scan with per-pair compaction, falling back
+        to the pure dense walk above ``DENSE_SWITCH``
+        (``MICRO_DENSE_SWITCH`` for micro blocks).  Exact, like every
+        kernel here — ``matcher="legacy"`` exists so a regression in
+        the staged generation can be bisected and flagged off without
+        touching rule code, and so the parity suite has a live
+        in-tree oracle.
         """
         R, d = self.n_rules, self.n_lags
         if n_block <= self.MICRO_BLOCK:
-            sparse_cap = 0.6 * R * n_block
+            sparse_cap = self.MICRO_DENSE_SWITCH * R * n_block
             check_budget = self.MICRO_CHECK_BUDGET_PER_PATTERN * n_block
         else:
-            sparse_cap = self.SPARSE_FRACTION * R * n_block
+            sparse_cap = self.DENSE_SWITCH * R * n_block
             check_budget = self.FULL_CHECK_BUDGET
         order = self._lag_order
         j0 = order[0]
@@ -330,7 +629,9 @@ class CompiledRuleSystem:
           calls into a handful — which is what the serving micro-batch
           regime (few pairs, call-overhead-bound) needs.
         """
-        out = self._intercept[r_idx]
+        # Accumulate in float64 regardless of storage: float32 packs
+        # round the *parameters* only, never the arithmetic.
+        out = self._intercept[r_idx].astype(np.float64, copy=False)
         if self.has_linear and r_idx.size:
             lin = self.is_linear[r_idx]
             if lin.any():
@@ -395,36 +696,85 @@ class CompiledRuleSystem:
         for start in range(0, n, self.block_size):
             stop = min(start + self.block_size, n)
             blkT = np.ascontiguousarray(patterns[start:stop].T)
-            r_idx, i_idx = self._match_pairs(blkT, stop - start)
-            outputs = self._pair_outputs(
-                blkT, r_idx, i_idx, micro=stop - start <= self.MICRO_BLOCK
+            self._score_blockT(blkT, start, stop, totals, counts, m2)
+        return self._finish_batch(totals, counts, m2, rich)
+
+    def _predict_blocksT(
+        self, stackT: np.ndarray, rich: bool = False
+    ) -> PredictionBatch:
+        """Blocked kernel over an already-transposed ``(D, n)`` stack.
+
+        The fused-stacking entry: the serving gateway fills a
+        lag-major stack buffer directly from its ring buffers, so the
+        per-block ``patterns[start:stop].T`` copy of
+        :meth:`_predict_blocks` disappears — the kernels run on column
+        views of the caller's buffer.  Row slices of a C-order
+        ``(D, n)`` buffer stay contiguous under the column slicing, so
+        the lag-major walks lose nothing; every arithmetic op sees the
+        same values in the same order, keeping the result bitwise
+        equal to the row-major path.
+        """
+        n = stackT.shape[1]
+        totals = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.int64)
+        m2 = np.zeros(n, dtype=np.float64) if rich else None
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            self._score_blockT(
+                stackT if n <= self.block_size else stackT[:, start:stop],
+                start, stop, totals, counts, m2,
             )
-            totals[start:stop] = np.bincount(
-                i_idx, weights=outputs, minlength=stop - start
+        return self._finish_batch(totals, counts, m2, rich)
+
+    def _score_blockT(
+        self,
+        blkT: np.ndarray,
+        start: int,
+        stop: int,
+        totals: np.ndarray,
+        counts: np.ndarray,
+        m2: Optional[np.ndarray],
+    ) -> None:
+        """Match + score one ``(D, stop-start)`` block into the batch
+        accumulators (shared by both block-loop orientations)."""
+        r_idx, i_idx = self._match_pairs(blkT, stop - start)
+        outputs = self._pair_outputs(
+            blkT, r_idx, i_idx, micro=stop - start <= self.MICRO_BLOCK
+        )
+        totals[start:stop] = np.bincount(
+            i_idx, weights=outputs, minlength=stop - start
+        )
+        counts[start:stop] = np.bincount(i_idx, minlength=stop - start)
+        if m2 is not None:
+            # Same float ops as the naive masked form, expressed
+            # allocation-light: ``divide(where=)`` skips the
+            # boolean fancy-index round trips, ``take`` beats
+            # advanced indexing for the per-pair gather, and the
+            # subtract/multiply reuse the gather buffer in place.
+            # Every element's arithmetic is unchanged, so the
+            # moments stay bitwise equal to the per-rule oracle.
+            blk_counts = counts[start:stop]
+            blk_values = np.zeros(stop - start, dtype=np.float64)
+            np.divide(
+                totals[start:stop], blk_counts, out=blk_values,
+                where=blk_counts > 0,
             )
-            counts[start:stop] = np.bincount(i_idx, minlength=stop - start)
-            if rich:
-                # Same float ops as the naive masked form, expressed
-                # allocation-light: ``divide(where=)`` skips the
-                # boolean fancy-index round trips, ``take`` beats
-                # advanced indexing for the per-pair gather, and the
-                # subtract/multiply reuse the gather buffer in place.
-                # Every element's arithmetic is unchanged, so the
-                # moments stay bitwise equal to the per-rule oracle.
-                blk_counts = counts[start:stop]
-                blk_values = np.zeros(stop - start, dtype=np.float64)
-                np.divide(
-                    totals[start:stop], blk_counts, out=blk_values,
-                    where=blk_counts > 0,
-                )
-                dev = blk_values.take(i_idx)
-                np.subtract(outputs, dev, out=dev)
-                np.multiply(dev, dev, out=dev)
-                m2[start:stop] = np.bincount(
-                    i_idx, weights=dev, minlength=stop - start
-                )
+            dev = blk_values.take(i_idx)
+            np.subtract(outputs, dev, out=dev)
+            np.multiply(dev, dev, out=dev)
+            m2[start:stop] = np.bincount(
+                i_idx, weights=dev, minlength=stop - start
+            )
+
+    @staticmethod
+    def _finish_batch(
+        totals: np.ndarray,
+        counts: np.ndarray,
+        m2: Optional[np.ndarray],
+        rich: bool,
+    ) -> PredictionBatch:
         predicted = counts > 0
-        values = np.full(n, np.nan)
+        values = np.full(totals.shape[0], np.nan)
         values[predicted] = totals[predicted] / counts[predicted]
         if rich:
             return rich_from_moments(values, predicted, counts, m2)
@@ -483,6 +833,58 @@ class CompiledRuleSystem:
             return self._predict_single(windows[0], rich=rich)
         return self._predict_blocks(windows, rich=rich)
 
+    def predict_windowsT(
+        self, stackT: np.ndarray, k: Optional[int] = None, rich: bool = False
+    ) -> PredictionBatch:
+        """Score the first ``k`` columns of a lag-major ``(D, cap)`` stack.
+
+        The zero-copy twin of :meth:`predict_windows` for callers that
+        assemble windows **column-wise** — the serving gateway's fused
+        stacking path writes each ready ring window straight into a
+        column of a persistent per-model buffer and scores it here,
+        skipping both the per-flush stack allocation and the per-block
+        transpose copy the row-major entry pays.  ``k`` defaults to
+        every column; a buffer wider than ``k`` is fine (only the
+        leading columns are read).  Results are bitwise identical to
+        ``predict_windows(stackT[:, :k].T, rich=rich)`` — the same
+        kernels run on the same values, only the memory walk changes
+        (``tests/property/test_service_batching.py`` and the compiled
+        suite pin this).
+
+        Like :meth:`predict_windows`, multi-column stacks are not
+        re-validated for finiteness (the gateway rejects non-finite
+        observations at ingest); the single-column path shares
+        :meth:`_predict_single` and keeps its check, exactly as the
+        row-major entry does.
+        """
+        stackT = np.asarray(stackT, dtype=np.float64)
+        if stackT.ndim != 2 or stackT.shape[0] != self.n_lags:
+            raise ValueError(
+                f"expected a ({self.n_lags}, cap) window stack, got shape "
+                f"{stackT.shape}"
+            )
+        k = stackT.shape[1] if k is None else int(k)
+        if not 0 <= k <= stackT.shape[1]:
+            raise ValueError(
+                f"k={k} outside the stack's {stackT.shape[1]} columns"
+            )
+        if k == 0:
+            if rich:
+                return rich_from_moments(
+                    np.full(0, np.nan),
+                    np.zeros(0, dtype=bool),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.float64),
+                )
+            return PredictionBatch(
+                values=np.full(0, np.nan),
+                predicted=np.zeros(0, dtype=bool),
+                n_rules_used=np.zeros(0, dtype=np.int64),
+            )
+        if k == 1:
+            return self._predict_single(stackT[:, 0], rich=rich)
+        return self._predict_blocksT(stackT[:, :k], rich=rich)
+
     def _predict_single(
         self, pattern: np.ndarray, rich: bool = False
     ) -> PredictionBatch:
@@ -513,7 +915,7 @@ class CompiledRuleSystem:
                 predicted=np.zeros(1, dtype=bool),
                 n_rules_used=np.zeros(1, dtype=np.int64),
             )
-        outputs = self._intercept[idx].copy()
+        outputs = self._intercept[idx].astype(np.float64, copy=False)
         lin = self.is_linear[idx]
         if lin.any():
             li = idx[lin]

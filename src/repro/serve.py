@@ -95,6 +95,23 @@ class RingWindowBuffer:
         pos = (self.count - 1) % self.d
         out[...] = self._buf[pos + 1 : pos + 1 + self.d]
 
+    def push_into(self, value: float, out: np.ndarray) -> None:
+        """:meth:`push` one value, then copy the new window into ``out``.
+
+        Equivalent to ``push(value)`` followed by
+        ``copy_window_into(out)`` but with one method call and one
+        position computation instead of two of each — the gateway's
+        per-ready-event fast path.  Caller must ensure the ring is
+        ready *after* this push (``count + 1 >= d``).
+        """
+        d = self.d
+        pos = self.count % d
+        buf = self._buf
+        buf[pos] = value
+        buf[pos + d] = value
+        self.count += 1
+        out[...] = buf[pos + 1 : pos + 1 + d]
+
     def reset(self) -> None:
         """Forget all pushed observations."""
         self.count = 0

@@ -134,6 +134,20 @@ class ForecastService:
         :class:`~repro.service.store.InMemoryStreamStore`.  Pass one
         configured with ``ttl_s``/``max_streams`` to evict idle
         streams (multi-tenant serving must not grow without bound).
+    fused_stacking:
+        ``True`` (default) stacks each model's ready windows
+        **column-wise** into a persistent lag-major buffer and scores
+        it through
+        :meth:`~repro.core.compiled.CompiledRuleSystem.predict_windowsT`
+        — no per-flush stack allocation, no per-block transpose copy
+        inside the kernel.  ``False`` keeps the previous
+        allocate-stack-then-``predict_windows`` flush as the A/B
+        baseline.  Forecasts are bitwise identical either way
+        (``tests/property/test_service_batching.py``); the knob only
+        moves copies.  With an adaptation hook attached the gateway
+        silently uses the baseline layout — shadow scorers consume the
+        row-major stacks directly, and adaptation batches are off the
+        raw-throughput path by design.
 
     Example
     -------
@@ -150,9 +164,14 @@ class ForecastService:
         self,
         registry: Optional[ModelRegistry] = None,
         store: Optional[StreamStore] = None,
+        fused_stacking: bool = True,
     ) -> None:
         self.registry = registry
         self._store = store if store is not None else InMemoryStreamStore()
+        self.fused_stacking = bool(fused_stacking)
+        # (name, version) -> persistent (d, cap) lag-major stack buffer
+        # for the fused flush path; grown to the largest batch seen.
+        self._stack_bufs: Dict[Tuple[str, int], np.ndarray] = {}
         # (name, version) -> compiled pool; streams sharing a model
         # share one compiled pack (and one micro-batch per ingest).
         self._models: Dict[Tuple[str, int], CompiledRuleSystem] = {}
@@ -463,10 +482,14 @@ class ForecastService:
         Returns one :class:`Forecast` per event, in input order.
         """
         batch: List[Tuple[str, StreamState, float]] = []
+        get_state = self._store.get
+        isfinite = math.isfinite
         for stream, value in events:
-            state = self._stream(stream)
+            state = get_state(stream)
+            if state is None:
+                state = self._stream(stream)  # raises with bound names
             v = float(value)
-            if not math.isfinite(v):
+            if not isfinite(v):
                 raise ValueError(
                     f"non-finite observation {value!r} for stream "
                     f"{stream!r}; fill or drop sensor gaps upstream "
@@ -478,9 +501,13 @@ class ForecastService:
 
         # Push phase: windows must be copied out as they form — a later
         # event for the same stream advances the ring and would
-        # invalidate the zero-copy view.  Each model's stack is
-        # preallocated at batch size and filled row by row (one slice
-        # assignment per ready event, no intermediate arrays).
+        # invalidate the zero-copy view.  On the fused path each ready
+        # window lands column-wise in the model's persistent lag-major
+        # buffer (scored in place by ``predict_windowsT``); the A/B
+        # baseline preallocates a row-major stack per flush instead.
+        # Adaptation hooks consume row-major stacks, so their presence
+        # pins the baseline layout (see ``fused_stacking`` above).
+        fused = self.fused_stacking and self._adaptation is None
         results: List[Optional[Forecast]] = [None] * len(batch)
         ready: Dict[Tuple[str, int], List[Tuple[int, StreamState, int]]] = {}
         stacks: Dict[Tuple[str, int], np.ndarray] = {}
@@ -488,20 +515,34 @@ class ForecastService:
         rich = policy is not None
         decide = policy.decide if rich else None
         n_warmup = 0
+        # touch() is a per-event call whose only purpose is eviction
+        # bookkeeping; skip it wholesale when the store says it no-ops.
+        touch = self._store.touch if self._store.tracks_activity else None
         for i, (stream, state, v) in enumerate(batch):
-            self._store.touch(stream)
+            if touch is not None:
+                touch(stream)
             ring = state.ring
             t = ring.count
-            ring.push(v)
-            if ring.ready:
+            if t + 1 >= ring.d:  # ready after this push (no property call)
                 key = state.model_key
                 members = ready.get(key)
                 if members is None:
                     members = ready[key] = []
-                    stacks[key] = np.empty((len(batch), ring.d))
-                ring.copy_window_into(stacks[key][len(members)])
+                    if fused:
+                        buf = self._stack_bufs.get(key)
+                        if buf is None or buf.shape[1] < len(batch):
+                            buf = np.empty((ring.d, len(batch)))
+                            self._stack_bufs[key] = buf
+                        stacks[key] = buf
+                    else:
+                        stacks[key] = np.empty((len(batch), ring.d))
+                if fused:
+                    ring.push_into(v, stacks[key][:, len(members)])
+                else:
+                    ring.push_into(v, stacks[key][len(members)])
                 members.append((i, state, t))
             else:
+                ring.push(v)
                 name, version = state.model_key
                 if rich:
                     # Warm-up verdicts are a shared singleton, bulk-
@@ -528,8 +569,15 @@ class ForecastService:
 
         # Score phase: one batched call per model with >= 1 ready window.
         for model_key, members in ready.items():
-            windows = stacks[model_key][: len(members)]
-            scored = self._models[model_key].predict_windows(windows, rich=rich)
+            if fused:
+                scored = self._models[model_key].predict_windowsT(
+                    stacks[model_key], len(members), rich=rich
+                )
+            else:
+                windows = stacks[model_key][: len(members)]
+                scored = self._models[model_key].predict_windows(
+                    windows, rich=rich
+                )
             self.n_batches += 1
             name, version = model_key
             # One C-level conversion per batch instead of three numpy
@@ -593,22 +641,21 @@ class ForecastService:
                 policy.tally(no_prediction, n_nopred)
                 policy.tally(low_match, n_lowmatch)
             else:
-                for row, (i, state, t) in enumerate(members):
-                    stream = batch[i][0]
-                    predicted = predicted_flags[row]
+                # Same bound ``tuple.__new__`` trick as the policy
+                # branch: one C call per event on the plain hot path
+                # (the keyword constructor pays a generated-``__new__``
+                # frame plus default fill-in per event).
+                new = tuple.__new__
+                cls = Forecast
+                for (i, state, t), value, predicted, n_used in zip(
+                        members, values, predicted_flags, rules_used):
                     state.n_steps += 1
                     if predicted:
                         state.n_predicted += 1
-                    results[i] = Forecast(
-                        stream=stream,
-                        t=t,
-                        value=values[row],
-                        predicted=predicted,
-                        n_rules_used=rules_used[row],
-                        ready=True,
-                        model=name,
-                        version=version,
-                    )
+                    results[i] = new(cls, (
+                        batch[i][0], t, value, predicted, n_used, True,
+                        name, version, None, None, None, None, None,
+                    ))
         # Policy decisions were attached as each Forecast was built.
         # Within one batch a stream's events score in input order (and
         # its warm-up events precede them without touching latch

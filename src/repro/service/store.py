@@ -104,6 +104,18 @@ class StreamStore(ABC):
     def touch(self, name: str) -> None:
         """Mark a stream active now (refreshes TTL / LRU position)."""
 
+    @property
+    def tracks_activity(self) -> bool:
+        """Whether :meth:`touch` has any effect for this store.
+
+        The gateway calls this once per ingest batch and skips the
+        per-event :meth:`touch` entirely when it returns False — a
+        no-op method call per event is measurable at micro-batch
+        rates.  The conservative default is True; stores whose touch
+        is unconditionally a no-op should override.
+        """
+        return True
+
     @abstractmethod
     def sweep(self) -> int:
         """Apply the eviction policy; return how many streams left."""
@@ -211,6 +223,11 @@ class InMemoryStreamStore(StreamStore):
             return
         self._states.move_to_end(name)
         self._last_active[name] = self._clock()
+
+    @property
+    def tracks_activity(self) -> bool:
+        """False when no TTL or stream cap is configured (touch no-ops)."""
+        return self.ttl_s is not None or self.max_streams is not None
 
     def sweep(self) -> int:
         """Evict every stream idle for longer than ``ttl_s``.

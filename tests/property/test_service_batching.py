@@ -177,3 +177,147 @@ class TestMicroBatchingBitwise:
                 assert np.array_equal(
                     [forecast.value], [step.value], equal_nan=True
                 )
+
+
+class TestFusedStacking:
+    """The ``fused_stacking`` A/B hatch: layout changes, bits do not."""
+
+    @given(
+        st.integers(1, 6),        # d
+        st.integers(1, 25),       # rules
+        st.integers(1, 6),        # streams
+        st.integers(0, 40),       # events per stream
+        st.integers(1, 17),       # max micro-batch size
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fused_equals_baseline_gateway(
+        self, d, n_rules, n_streams, per_stream, max_batch, seed
+    ):
+        """Any pool / interleaving / batch split: both layouts bitwise."""
+        rng = np.random.default_rng(seed)
+        pool = RuleSystem(random_pool(rng, n_rules, d))
+        streams = {
+            f"s{k}": rng.uniform(-0.2, 1.2, size=per_stream)
+            for k in range(n_streams)
+        }
+        events = interleaved_events(rng, streams)
+        batches = partitions(rng, events, max_batch)
+
+        def replay(fused):
+            service = ForecastService(fused_stacking=fused)
+            for name in streams:
+                service.bind_system(name, pool, model="shared")
+            out = []
+            for batch in batches:
+                out.extend(service.ingest(batch))
+            return out
+
+        for a, b in zip(replay(True), replay(False)):
+            assert a.stream == b.stream and a.t == b.t
+            assert a.ready == b.ready and a.predicted == b.predicted
+            assert a.n_rules_used == b.n_rules_used
+            assert a.model == b.model and a.version == b.version
+            assert np.array_equal([a.value], [b.value], equal_nan=True)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_rich_path_with_policy(self, seed):
+        """The rich (policy) scoring branch holds bitwise too —
+        uncertainty fields included."""
+        from repro.service.policy import PolicyEngine, PolicySpec
+
+        rng = np.random.default_rng(seed)
+        pool = RuleSystem(random_pool(rng, 15, 4))
+        series = {name: rng.uniform(-0.2, 1.2, size=25) for name in "xyz"}
+        spec = PolicySpec(alert_above=0.5, hysteresis=0.1, min_matches=1)
+
+        def replay(fused):
+            service = ForecastService(fused_stacking=fused)
+            for name in series:
+                service.bind_system(name, pool, model="shared")
+            service.attach_policy(PolicyEngine(spec))
+            out = []
+            for i in range(25):
+                out.extend(service.ingest(
+                    [(name, series[name][i]) for name in "xyz"]
+                ))
+            return out
+
+        for a, b in zip(replay(True), replay(False)):
+            assert a.stream == b.stream and a.t == b.t
+            assert a.n_rules_used == b.n_rules_used
+            for fa, fb in (
+                (a.value, b.value), (a.confidence, b.confidence),
+                (a.dispersion, b.dispersion),
+                (a.interval_lo, b.interval_lo),
+                (a.interval_hi, b.interval_hi),
+            ):
+                assert np.array_equal([fa], [fb], equal_nan=True)
+            assert type(a.decision) is type(b.decision)
+
+    @given(
+        st.integers(1, 5),        # d
+        st.integers(1, 20),       # rules
+        st.integers(0, 120),      # windows
+        st.integers(0, 8),        # extra unused buffer columns
+        st.booleans(),            # rich
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_predict_windowsT_equals_predict_windows(
+        self, d, n_rules, n_windows, slack, rich, seed
+    ):
+        """The transposed entry vs the row-major entry, bitwise, with
+        trailing garbage columns proving only ``k`` columns are read."""
+        rng = np.random.default_rng(seed)
+        compiled = CompiledRuleSystem(random_pool(rng, n_rules, d))
+        windows = rng.uniform(-0.2, 1.2, size=(n_windows, d))
+        stackT = np.full((d, n_windows + slack), np.nan)
+        stackT[:, :n_windows] = windows.T
+        row = compiled.predict_windows(windows, rich=rich)
+        col = compiled.predict_windowsT(stackT, n_windows, rich=rich)
+        assert np.array_equal(row.values, col.values, equal_nan=True)
+        assert np.array_equal(row.predicted, col.predicted)
+        assert np.array_equal(row.n_rules_used, col.n_rules_used)
+        if rich:
+            for field in (
+                "confidence", "dispersion", "interval_lo", "interval_hi"
+            ):
+                assert np.array_equal(
+                    getattr(row, field), getattr(col, field), equal_nan=True
+                )
+
+    def test_predict_windowsT_validates(self):
+        rng = np.random.default_rng(0)
+        compiled = CompiledRuleSystem(random_pool(rng, 5, 3))
+        import pytest
+
+        with pytest.raises(ValueError):
+            compiled.predict_windowsT(np.zeros((4, 7)))       # wrong D
+        with pytest.raises(ValueError):
+            compiled.predict_windowsT(np.zeros((3, 7)), k=8)  # k > cap
+        with pytest.raises(ValueError):
+            compiled.predict_windowsT(np.zeros((3, 7)), k=-1)
+
+    def test_adaptation_pins_baseline_layout(self):
+        """With an adaptation hook attached the stacks passed to
+        ``on_batch`` stay row-major ``(k, d)`` slices."""
+        rng = np.random.default_rng(3)
+        pool = RuleSystem(random_pool(rng, 8, 3))
+        seen = []
+
+        class Probe:
+            def on_batch(self, batch, results, ready, stacks):
+                for key, members in ready.items():
+                    seen.append(stacks[key][: len(members)].shape)
+
+            def stats(self):
+                return {}
+
+        service = ForecastService(fused_stacking=True)
+        service.bind_system("s", pool, model="m")
+        service.attach_adaptation(Probe())
+        for v in rng.uniform(0, 1, size=10):
+            service.ingest([("s", float(v))])
+        assert seen and all(shape[1] == 3 for shape in seen)

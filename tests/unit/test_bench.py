@@ -184,6 +184,44 @@ class TestCompare:
             _result(), _result(latency={"p99_ms": 6.0}), tolerance=0.25
         ).passed
 
+    def test_dropped_speedup_key_surfaces_as_skipped_gate(self):
+        """A run that stops recording a gated metric must say so.
+
+        The original ``_section_deltas`` intersected the key sets, so a
+        refactor that silently dropped a speedup key also silently
+        dropped its gate — the report looked identical to a pass.
+        """
+        cur = _result(speedup={})
+        report = compare(_result(), cur, tolerance=0.25)
+        assert report.passed  # skips report, they do not fail
+        assert len(report.skipped_gates) == 1
+        assert "shm_vs_process" in report.skipped_gates[0]
+        assert "baseline only" in report.skipped_gates[0]
+        text = report.format_text()
+        assert "skipped gate:" in text
+        assert "1 skipped gate(s)" in text
+
+    def test_new_gated_metric_surfaces_as_skipped_gate(self):
+        cur = _result(speedup={"shm_vs_process": 2.0, "brand_new": 3.0})
+        report = compare(_result(), cur, tolerance=0.25)
+        assert report.passed
+        assert any("brand_new" in s and "no baseline" in s
+                   for s in report.skipped_gates)
+
+    def test_ungated_sections_do_not_report_skips(self):
+        # wall_s is never gated; cross-env throughput is not gated
+        # either — neither belongs in the skipped-gates list.
+        cur = _result(wall_s={})
+        assert not compare(_result(), cur).skipped_gates
+        base = _result(env={"fingerprint": "aaaa"})
+        cur = _result(env={"fingerprint": "bbbb"}, throughput={})
+        assert not compare(base, cur).skipped_gates
+
+    def test_no_skips_on_identical_metric_sets(self):
+        report = compare(_result(), _result(), tolerance=0.25)
+        assert not report.skipped_gates
+        assert "skipped" not in report.format_text()
+
     def test_cross_env_latency_not_gated_but_noted(self):
         base = _result(env={"fingerprint": "aaaa"}, throughput={},
                        latency={"p99_ms": 5.0})

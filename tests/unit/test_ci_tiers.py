@@ -1,0 +1,174 @@
+"""CI smoke-job selections stay in sync with the tier marker registry.
+
+``benchmarks/_common.py`` declares ``SERVICE_TIERS`` — the service
+bench tiers that own a dedicated CI job.  Three places must agree with
+it and historically drifted when they were maintained by hand:
+
+* the ``@pytest.mark.<tier>`` markers on the tier tests in
+  ``benchmarks/bench_service.py``;
+* the marker registration in ``pyproject.toml`` (unregistered markers
+  select nothing under ``--strict-markers`` and warn otherwise);
+* the ``-m`` expressions in ``.github/workflows/ci.yml`` — each
+  dedicated job selects its tier, and the catch-all ``service-smoke``
+  job deselects *all* of them (the pre-marker ``-k`` list had already
+  drifted: it forgot ``adaptation``, so that tier ran in two jobs).
+
+These tests parse all three as text/AST — no workflow execution — so a
+new tier forgotten in any one place fails the tier-1 suite.
+"""
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from _common import SERVICE_TIERS, service_smoke_deselect  # noqa: E402
+
+
+def _bench_service_markers():
+    """``{test_name: [tier markers]}`` from the bench file's AST."""
+    tree = ast.parse((REPO / "benchmarks" / "bench_service.py").read_text())
+    marks = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not node.name.startswith("test_"):
+            continue
+        tiers = []
+        for deco in node.decorator_list:
+            # pytest.mark.<name>, with or without call parentheses
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "mark"
+            ):
+                tiers.append(target.attr)
+        marks[node.name] = tiers
+    return marks
+
+
+class TestTierRegistry:
+    def test_every_tier_marks_exactly_one_bench_test(self):
+        marks = _bench_service_markers()
+        for tier in SERVICE_TIERS:
+            owners = [t for t, ms in marks.items() if tier in ms]
+            assert len(owners) == 1, (
+                f"tier {tier!r} must mark exactly one bench_service test, "
+                f"found {owners}"
+            )
+
+    def test_no_unregistered_tier_markers_on_bench_tests(self):
+        marks = _bench_service_markers()
+        for test, ms in marks.items():
+            stray = [m for m in ms if m not in SERVICE_TIERS]
+            assert not stray, (
+                f"{test} carries markers {stray} missing from "
+                "SERVICE_TIERS in benchmarks/_common.py"
+            )
+            assert len(ms) <= 1, f"{test} carries two tier markers: {ms}"
+
+    def test_markers_registered_with_pytest(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        registered = re.findall(
+            r'^\s*"(\w+):', pyproject.split("markers = [", 1)[1], re.M
+        )
+        for tier in SERVICE_TIERS:
+            assert tier in registered, (
+                f"tier {tier!r} is not registered under "
+                "[tool.pytest.ini_options] markers in pyproject.toml"
+            )
+
+
+def _run_commands(workflow_text):
+    """Each ``run:`` command in a workflow as one logical line.
+
+    ``run: >`` folds a command across physical lines; ``run: |`` holds
+    one command per line.  Either way the continuation lines are the
+    ones indented deeper than the ``run:`` key itself.
+    """
+    lines = workflow_text.splitlines()
+    commands = []
+    i = 0
+    while i < len(lines):
+        m = re.match(r"(\s*)run:\s*(.*)$", lines[i])
+        if not m:
+            i += 1
+            continue
+        indent, rest = len(m.group(1)), m.group(2).strip()
+        i += 1
+        block = []
+        while i < len(lines) and (
+            not lines[i].strip()
+            or len(lines[i]) - len(lines[i].lstrip()) > indent
+        ):
+            if lines[i].strip():
+                block.append(lines[i].strip())
+            i += 1
+        if rest == ">":
+            commands.append(" ".join(block))
+        elif rest == "|":
+            commands.extend(block)
+        else:
+            commands.append(rest)
+    return commands
+
+
+class TestWorkflowSelections:
+    def _bench_service_commands(self):
+        text = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        return [
+            c
+            for c in _run_commands(text)
+            if "benchmarks/bench_service.py" in c
+        ]
+
+    def _service_m_expressions(self):
+        """Every ``-m`` expression applied to bench_service.py in CI."""
+        exprs = []
+        for cmd in self._bench_service_commands():
+            # Search after the file path so `python -m pytest` does not
+            # shadow the pytest `-m` marker expression.
+            tail = cmd.split("benchmarks/bench_service.py", 1)[1]
+            m = re.search(r'-m\s+(?:"([^"]+)"|(\S+))', tail)
+            if m:
+                exprs.append(m.group(1) or m.group(2))
+        return exprs
+
+    def test_smoke_jobs_cover_all_tiers_exactly_once(self):
+        exprs = self._service_m_expressions()
+        deselect = service_smoke_deselect()
+        assert deselect in exprs, (
+            "the service-smoke job must deselect every dedicated tier "
+            f"with -m \"{deselect}\""
+        )
+        single = [e for e in exprs if e != deselect]
+        assert sorted(single) == sorted(SERVICE_TIERS), (
+            "each tier in SERVICE_TIERS needs exactly one dedicated "
+            f"-m selection in ci.yml; found {single}"
+        )
+
+    def test_no_stale_k_selections_on_bench_service(self):
+        """Tier selection must go through markers, not name matching."""
+        stale = [c for c in self._bench_service_commands() if " -k " in c]
+        assert not stale, (
+            "bench_service.py tier selection must use -m markers "
+            f"(single source of truth), found -k: {stale}"
+        )
+
+    def test_nightly_workflow_runs_bench_scale_with_compare(self):
+        """The nightly schedule exists, runs real-scale benches, gates
+        them against the committed trajectories and uploads results."""
+        path = REPO / ".github" / "workflows" / "nightly.yml"
+        assert path.exists(), "nightly bench workflow is missing"
+        text = path.read_text()
+        assert "schedule:" in text and "cron:" in text
+        assert "REPRO_BENCH_TINY" not in text, (
+            "nightly must run at bench scale, not tiny mode"
+        )
+        assert "bench run" in text
+        assert "bench compare" in text
+        assert "upload-artifact" in text
